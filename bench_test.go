@@ -1,0 +1,760 @@
+// Package repro's root benchmarks regenerate every exhibit of the
+// reproduction at micro-benchmark granularity: one Benchmark per table or
+// figure (T1, F1) and per claim-derived experiment (E1–E10). The
+// full-scale table-producing runs live in cmd/hfadbench; these testing.B
+// variants measure the same operations per-op so `go test -bench=.`
+// exercises the whole comparison surface.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/hfad"
+	"repro/internal/blockdev"
+	"repro/internal/buddy"
+	"repro/internal/dsearch"
+	"repro/internal/extent"
+	"repro/internal/hierfs"
+	"repro/internal/pager"
+	"repro/internal/workload"
+)
+
+// newStore builds a populated hFAD volume for benchmarks.
+func newStore(b *testing.B, opts hfad.Options) *hfad.Store {
+	b.Helper()
+	st, err := hfad.Create(hfad.NewMemDevice(1<<15), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func newHier(b *testing.B) *hierfs.FS {
+	b.Helper()
+	fs, err := hierfs.Mkfs(blockdev.NewMem(1<<15, blockdev.DefaultBlockSize), hierfs.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+// BenchmarkT1_Table1 measures one naming resolution per Table 1 row.
+func BenchmarkT1_Table1(b *testing.B) {
+	st := newStore(b, hfad.Options{})
+	defer st.Close()
+	pfs, err := st.POSIX()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pfs.MkdirAll("/home/margo", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := pfs.WriteFile("/home/margo/paper.tex", []byte("hierarchical file systems are dead"), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	m, err := pfs.Stat("/home/margo/paper.tex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.IndexContent(m.OID); err != nil {
+		b.Fatal(err)
+	}
+	_ = st.Tag(m.OID, hfad.TagUser, "margo")
+	_ = st.Tag(m.OID, hfad.TagUDef, "annotation:draft")
+	_ = st.Tag(m.OID, hfad.TagApp, "latex")
+
+	rows := []struct {
+		name  string
+		pairs []hfad.TagValue
+	}{
+		{"POSIX", []hfad.TagValue{hfad.TV(hfad.TagPOSIX, "/home/margo/paper.tex")}},
+		{"Search_FULLTEXT", []hfad.TagValue{hfad.TV(hfad.TagFulltext, "hierarchical")}},
+		{"Manual_USER", []hfad.TagValue{hfad.TV(hfad.TagUser, "margo")}},
+		{"Manual_UDEF", []hfad.TagValue{hfad.TV(hfad.TagUDef, "annotation:draft")}},
+		{"Applications_APP_USER", []hfad.TagValue{hfad.TV(hfad.TagApp, "latex"), hfad.TV(hfad.TagUser, "margo")}},
+		{"FastPath_ID", []hfad.TagValue{hfad.TV(hfad.TagID, fmt.Sprintf("%d", m.OID))}},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ids, err := st.Find(row.pairs...)
+				if err != nil || len(ids) != 1 {
+					b.Fatalf("find = %v, %v", ids, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF1_ArchitectureWalk pushes one request through every layer of
+// Figure 1 per iteration.
+func BenchmarkF1_ArchitectureWalk(b *testing.B) {
+	st := newStore(b, hfad.Options{})
+	defer st.Close()
+	pfs, err := st.POSIX()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pfs.MkdirAll("/walk", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := fmt.Sprintf("/walk/f%d", i)
+		if err := pfs.WriteFile(p, []byte("layer cake contents"), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		m, err := pfs.Stat(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Tag(m.OID, hfad.TagUDef, "walked"); err != nil {
+			b.Fatal(err)
+		}
+		obj, err := st.OpenObject(m.OID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := obj.InsertAt(5, []byte(" deep")); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := obj.ReadAt(buf[:10], 0); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+		obj.Close()
+		if err := st.Untag(m.OID, hfad.TagUDef, "walked"); err != nil {
+			b.Fatal(err)
+		}
+		// Remove the file so the volume stays in steady state; reclaim is
+		// part of the architecture walk too.
+		if err := pfs.Remove(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1_SearchToData compares search-term→data-block per query.
+func BenchmarkE1_SearchToData(b *testing.B) {
+	const files = 64
+	docs := workload.DocCorpus(99, workload.DocCorpusConfig{Docs: files, RareEvery: 1})
+
+	b.Run("hierfs+dsearch", func(b *testing.B) {
+		fs := newHier(b)
+		if err := fs.MkdirAll("/a/b/c/d", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range docs {
+			if err := fs.WriteFile("/a/b/c/d/"+d.Name, []byte(d.Text), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng, err := dsearch.New(fs, "/index.db", 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Crawl("/"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.SearchToData(fmt.Sprintf("marker%d", i%files)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hFAD", func(b *testing.B) {
+		st := newStore(b, hfad.Options{})
+		defer st.Close()
+		for _, d := range docs {
+			obj, err := st.CreateObject("u")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := obj.Append([]byte(d.Text)); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.IndexContent(obj.OID()); err != nil {
+				b.Fatal(err)
+			}
+			obj.Close()
+		}
+		buf := make([]byte, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ids, err := st.Find(hfad.TV(hfad.TagFulltext, fmt.Sprintf("marker%d", i%files)))
+			if err != nil || len(ids) == 0 {
+				b.Fatalf("find: %v %v", ids, err)
+			}
+			obj, err := st.OpenObject(ids[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+				b.Fatal(err)
+			}
+			obj.Close()
+		}
+	})
+}
+
+// BenchmarkE2_SharedAncestor measures parallel name resolution.
+func BenchmarkE2_SharedAncestor(b *testing.B) {
+	const users = 64
+	b.Run("hierfs", func(b *testing.B) {
+		fs := newHier(b)
+		if err := fs.MkdirAll("/home", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < users; i++ {
+			d := fmt.Sprintf("/home/u%02d", i)
+			if err := fs.Mkdir(d, 0o755); err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.WriteFile(d+"/f", []byte("x"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := fs.Lookup(fmt.Sprintf("/home/u%02d/f", i%users)); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
+	b.Run("hFAD", func(b *testing.B) {
+		st := newStore(b, hfad.Options{IndexShards: 8})
+		defer st.Close()
+		for i := 0; i < users; i++ {
+			obj, err := st.CreateObject("u")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Tag(obj.OID(), hfad.TagUser, fmt.Sprintf("u%02d", i)); err != nil {
+				b.Fatal(err)
+			}
+			obj.Close()
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := st.Find(hfad.TV(hfad.TagUser, fmt.Sprintf("u%02d", i%users))); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkE3_MiddleInsert inserts 24 bytes at the middle of a 1 MiB
+// object.
+func BenchmarkE3_MiddleInsert(b *testing.B) {
+	const size = 1 << 20
+	content := workload.NewRng(3).Bytes(size)
+	ins := []byte("spliced into the middle!")
+
+	// Inserts land at a fixed offset; every resetEvery iterations the
+	// accumulated bytes are deleted (outside the timer) so the object —
+	// and the device — stay in steady state at any b.N.
+	const resetEvery = 2048
+	b.Run("hierfs", func(b *testing.B) {
+		fs := newHier(b)
+		if err := fs.WriteFile("/victim", content, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%resetEvery == 0 {
+				b.StopTimer()
+				if err := fs.DeleteRangeAt("/victim", size/2, resetEvery*uint64(len(ins))); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if err := fs.InsertAt("/victim", size/2, ins); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hFAD", func(b *testing.B) {
+		st := newStore(b, hfad.Options{})
+		defer st.Close()
+		obj, err := st.CreateObject("u")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := obj.Append(content); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%resetEvery == 0 {
+				b.StopTimer()
+				if err := obj.TruncateRange(size/2, resetEvery*uint64(len(ins))); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if err := obj.InsertAt(size/2, ins); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4_MultiNaming compares adding one more categorization.
+func BenchmarkE4_MultiNaming(b *testing.B) {
+	content := workload.NewRng(4).Bytes(16 << 10)
+	b.Run("hierfs-copy", func(b *testing.B) {
+		fs := newHier(b)
+		if err := fs.MkdirAll("/c", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.WriteFile("/c/item", content, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%256 == 0 {
+				b.StopTimer()
+				for j := i - 256; j < i; j++ {
+					if err := fs.Remove(fmt.Sprintf("/c/copy%d", j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			data, err := fs.ReadFile("/c/item")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fs.WriteFile(fmt.Sprintf("/c/copy%d", i), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hFAD-tag", func(b *testing.B) {
+		st := newStore(b, hfad.Options{})
+		defer st.Close()
+		obj, err := st.CreateObject("u")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := obj.Append(content); err != nil {
+			b.Fatal(err)
+		}
+		oid := obj.OID()
+		obj.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Cycle the value space: re-tagging an existing name is an
+			// idempotent index put, so state stays bounded at any b.N.
+			if err := st.Tag(oid, hfad.TagUDef, fmt.Sprintf("collection:%d", i%4096)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5_AttributeSearch runs the person∧place conjunction against
+// a 1000-photo library.
+func BenchmarkE5_AttributeSearch(b *testing.B) {
+	lib := workload.MediaLibrary(2025, workload.MediaLibraryConfig{Photos: 1000, MinSize: 1 << 10, MaxSize: 4 << 10})
+	person, place := "person:"+lib[0].Person, "place:"+lib[0].Place
+
+	b.Run("hFAD-conjunction", func(b *testing.B) {
+		st := newStore(b, hfad.Options{})
+		defer st.Close()
+		for _, p := range lib {
+			obj, err := st.CreateObject("u")
+			if err != nil {
+				b.Fatal(err)
+			}
+			oid := obj.OID()
+			obj.Close()
+			_ = st.Tag(oid, hfad.TagUDef, "person:"+p.Person)
+			_ = st.Tag(oid, hfad.TagUDef, "place:"+p.Place)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Find(hfad.TV(hfad.TagUDef, person), hfad.TV(hfad.TagUDef, place)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hierfs-walk", func(b *testing.B) {
+		fs := newHier(b)
+		made := map[string]bool{}
+		for _, p := range lib {
+			if !made[p.Dir] {
+				if err := fs.MkdirAll(p.Dir, 0o755); err != nil {
+					b.Fatal(err)
+				}
+				made[p.Dir] = true
+			}
+			meta := fmt.Sprintf("person=%s place=%s\n", p.Person, p.Place)
+			if err := fs.WriteFile(p.Path(), []byte(meta), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		buf := make([]byte, 128)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			found := 0
+			err := fs.Walk("/photos", func(pp string, info hierfs.FileInfo) error {
+				if info.IsDir() {
+					return nil
+				}
+				if _, err := fs.ReadAt(pp, buf, 0); err != nil && err != io.EOF {
+					return err
+				}
+				found++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6_ClusteringIllusory reads one photo set per iteration under
+// the two access patterns.
+func BenchmarkE6_ClusteringIllusory(b *testing.B) {
+	lib := workload.MediaLibrary(7, workload.MediaLibraryConfig{Photos: 300, MinSize: 4 << 10, MaxSize: 8 << 10, Years: 2})
+	fs := newHier(b)
+	made := map[string]bool{}
+	for _, p := range lib {
+		if !made[p.Dir] {
+			if err := fs.MkdirAll(p.Dir, 0o755); err != nil {
+				b.Fatal(err)
+			}
+			made[p.Dir] = true
+		}
+		if err := fs.WriteFile(p.Path(), workload.NewRng(1).Bytes(p.Size), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	byDir := map[string][]workload.Photo{}
+	byPerson := map[string][]workload.Photo{}
+	for _, p := range lib {
+		byDir[p.Dir] = append(byDir[p.Dir], p)
+		byPerson[p.Person] = append(byPerson[p.Person], p)
+	}
+	var dirKey, personKey string
+	for k := range byDir {
+		if len(byDir[k]) > len(byDir[dirKey]) {
+			dirKey = k
+		}
+	}
+	for k := range byPerson {
+		if len(byPerson[k]) > len(byPerson[personKey]) {
+			personKey = k
+		}
+	}
+	read := func(b *testing.B, set []workload.Photo) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range set {
+				buf := make([]byte, p.Size)
+				if _, err := fs.ReadAt(p.Path(), buf, 0); err != nil && err != io.EOF {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("one-directory", func(b *testing.B) { read(b, byDir[dirKey]) })
+	b.Run("one-person", func(b *testing.B) { read(b, byPerson[personKey]) })
+}
+
+// BenchmarkE7_ExtentMapAblation inserts mid-object with both extent maps.
+func BenchmarkE7_ExtentMapAblation(b *testing.B) {
+	const extents = 2000
+	const extentSize = 4096
+	content := workload.NewRng(1).Bytes(extentSize)
+
+	b.Run("counted-tree", func(b *testing.B) {
+		dev := blockdev.NewMem(1<<16, blockdev.DefaultBlockSize)
+		pg := pager.New(dev, 2048, true)
+		ba := buddy.New(1, 1<<16-1)
+		ct, err := extent.Create(pg, ba, extent.Config{MaxExtentBytes: extentSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < extents; i++ {
+			if err := ct.WriteAt(content, ct.Size()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mid := ct.Size() / 2
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%2048 == 0 {
+				b.StopTimer()
+				if err := ct.DeleteRange(mid, 2048*100); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if err := ct.InsertAt(mid, content[:100]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("offset-keyed", func(b *testing.B) {
+		dev := blockdev.NewMem(1<<16, blockdev.DefaultBlockSize)
+		pg := pager.New(dev, 2048, true)
+		ba := buddy.New(1, 1<<16-1)
+		km, err := extent.NewKeyedMap(pg, ba, extent.Config{MaxExtentBytes: extentSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < extents; i++ {
+			if err := km.Append(content); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mid := km.Size() / 2
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%512 == 0 {
+				b.StopTimer()
+				if err := km.DeleteRange(mid, 512*100); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if err := km.InsertAt(mid, content[:100]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8_IndexSharding measures parallel tag lookups by shard count.
+func BenchmarkE8_IndexSharding(b *testing.B) {
+	const users = 64
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			st := newStore(b, hfad.Options{IndexShards: shards})
+			defer st.Close()
+			for i := 0; i < users; i++ {
+				obj, err := st.CreateObject("u")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Tag(obj.OID(), hfad.TagUser, fmt.Sprintf("u%02d", i)); err != nil {
+					b.Fatal(err)
+				}
+				obj.Close()
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := st.Find(hfad.TV(hfad.TagUser, fmt.Sprintf("u%02d", i%users))); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE9_LazyIndexing measures per-document ingest cost with
+// synchronous vs background indexing.
+func BenchmarkE9_LazyIndexing(b *testing.B) {
+	text := workload.DocCorpus(1, workload.DocCorpusConfig{Docs: 1, WordsPer: 150})[0].Text
+	// Ingest accumulates objects and postings; recreate the store every
+	// resetEvery iterations (outside the timer) for steady state.
+	const resetEvery = 2048
+	b.Run("synchronous", func(b *testing.B) {
+		st := newStore(b, hfad.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%resetEvery == 0 {
+				b.StopTimer()
+				st.Close()
+				st = newStore(b, hfad.Options{})
+				b.StartTimer()
+			}
+			obj, err := st.CreateObject("u")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := obj.Append([]byte(text)); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.IndexContent(obj.OID()); err != nil {
+				b.Fatal(err)
+			}
+			obj.Close()
+		}
+		b.StopTimer()
+		st.Close()
+	})
+	b.Run("lazy", func(b *testing.B) {
+		st := newStore(b, hfad.Options{})
+		st.StartLazyIndexing(1 << 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%resetEvery == 0 {
+				b.StopTimer()
+				st.WaitIndexIdle()
+				st.Close()
+				st = newStore(b, hfad.Options{})
+				st.StartLazyIndexing(1 << 16)
+				b.StartTimer()
+			}
+			obj, err := st.CreateObject("u")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := obj.Append([]byte(text)); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.IndexContentLazy(obj.OID()); err != nil {
+				b.Fatal(err)
+			}
+			obj.Close()
+		}
+		b.StopTimer()
+		st.WaitIndexIdle()
+		st.Close()
+	})
+}
+
+// BenchmarkE10_TransactionalOSD measures the create+write+tag mix with
+// the WAL off and on.
+func BenchmarkE10_TransactionalOSD(b *testing.B) {
+	payload := workload.NewRng(5).Bytes(8 << 10)
+	for _, transactional := range []bool{false, true} {
+		name := "wal-off"
+		if transactional {
+			name = "wal-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := hfad.Options{Transactional: transactional}
+			st := newStore(b, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%2048 == 0 {
+					b.StopTimer()
+					st.Close()
+					st = newStore(b, opts)
+					b.StartTimer()
+				}
+				obj, err := st.CreateObject("u")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := obj.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Tag(obj.OID(), hfad.TagUDef, fmt.Sprintf("b:%d", i%10)); err != nil {
+					b.Fatal(err)
+				}
+				obj.Close()
+			}
+			b.StopTimer()
+			st.Close()
+		})
+	}
+}
+
+// BenchmarkAblation_MaxExtentBytes measures the DESIGN.md decision that
+// bounds extents (and therefore the copy a mid-extent split performs):
+// smaller caps mean cheaper splits but more extents to manage.
+func BenchmarkAblation_MaxExtentBytes(b *testing.B) {
+	const objectSize = 4 << 20
+	for _, maxExtent := range []uint32{64 << 10, 256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("cap-%dK", maxExtent>>10), func(b *testing.B) {
+			st := newStore(b, hfad.Options{MaxExtentBytes: maxExtent})
+			defer st.Close()
+			obj, err := st.CreateObject("u")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := obj.Append(workload.NewRng(9).Bytes(objectSize)); err != nil {
+				b.Fatal(err)
+			}
+			rng := workload.NewRng(11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%2048 == 0 {
+					b.StopTimer()
+					if err := obj.Truncate(0); err != nil {
+						b.Fatal(err)
+					}
+					if err := obj.Append(workload.NewRng(9).Bytes(objectSize)); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				// Insert at a random unaligned offset so splits happen.
+				off := uint64(rng.IntN(objectSize-1)) | 1
+				if err := obj.InsertAt(off, []byte("x")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_RenameSubtree measures the DESIGN.md decision to key
+// the POSIX index by full path: renaming a directory rewrites every
+// descendant's names, where the inode-based hierarchy edits two directory
+// entries. The flip side of that trade is hFAD's O(1) path lookup.
+func BenchmarkAblation_RenameSubtree(b *testing.B) {
+	const files = 64
+	b.Run("hFAD-posix", func(b *testing.B) {
+		st := newStore(b, hfad.Options{})
+		defer st.Close()
+		pfs, err := st.POSIX()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pfs.MkdirAll("/tree0/sub", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < files; i++ {
+			if err := pfs.WriteFile(fmt.Sprintf("/tree0/sub/f%02d", i), []byte("x"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := pfs.Rename(fmt.Sprintf("/tree%d", i), fmt.Sprintf("/tree%d", i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hierfs", func(b *testing.B) {
+		fs := newHier(b)
+		if err := fs.MkdirAll("/tree0/sub", 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < files; i++ {
+			if err := fs.WriteFile(fmt.Sprintf("/tree0/sub/f%02d", i), []byte("x"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fs.Rename(fmt.Sprintf("/tree%d", i), fmt.Sprintf("/tree%d", i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Command hfadfsck demonstrates the volume checker against healthy and
+// deliberately damaged volumes. With no flags it builds a volume, checks
+// it, then injects corruption and shows the checker catching it — the
+// offline-fsck story for a file system whose namespace is a set of
+// indexes rather than a directory tree.
+//
+// Usage:
+//
+//	hfadfsck          # healthy + corrupted demonstration
+//	hfadfsck -crash   # crash-injection + recovery + fsck demonstration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/hfad"
+	"repro/internal/blockdev"
+	"repro/internal/osd"
+)
+
+func main() {
+	crash := flag.Bool("crash", false, "demonstrate crash recovery instead of corruption detection")
+	flag.Parse()
+	var err error
+	if *crash {
+		err = crashDemo()
+	} else {
+		err = corruptionDemo()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func populate(st *hfad.Store) error {
+	pfs, err := st.POSIX()
+	if err != nil {
+		return err
+	}
+	if err := pfs.MkdirAll("/data", 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < 25; i++ {
+		p := fmt.Sprintf("/data/file%02d", i)
+		if err := pfs.WriteFile(p, []byte(fmt.Sprintf("contents of file %d", i)), 0o644); err != nil {
+			return err
+		}
+		m, err := pfs.Stat(p)
+		if err != nil {
+			return err
+		}
+		if err := st.Tag(m.OID, hfad.TagUDef, fmt.Sprintf("bucket:%d", i%5)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func report(st *hfad.Store) error {
+	rep, err := st.Check()
+	if err != nil {
+		return err
+	}
+	if rep.Ok() {
+		fmt.Printf("  clean: %d objects, %d extents, %d metadata pages, %d used + %d free blocks\n",
+			rep.Objects, rep.Extents, rep.MetadataPages, rep.UsedBlocks, rep.FreeBlocks)
+		return nil
+	}
+	fmt.Printf("  %d problem(s):\n", len(rep.Problems))
+	for i, p := range rep.Problems {
+		if i == 8 {
+			fmt.Printf("    ... and %d more\n", len(rep.Problems)-8)
+			break
+		}
+		fmt.Println("   ", p)
+	}
+	return nil
+}
+
+func corruptionDemo() error {
+	mem := blockdev.NewMem(1<<15, blockdev.DefaultBlockSize)
+	st, err := hfad.Create(mem, hfad.Options{})
+	if err != nil {
+		return err
+	}
+	if err := populate(st); err != nil {
+		return err
+	}
+	fmt.Println("== healthy volume ==")
+	if err := report(st); err != nil {
+		return err
+	}
+	if err := st.Sync(); err != nil {
+		return err
+	}
+
+	// Scribble over in-use metadata: scan the data region for occupied
+	// blocks (past the superblock and allocator-snapshot region) and
+	// flip bits in a handful of them.
+	fmt.Println("== after corrupting metadata blocks ==")
+	buf := make([]byte, blockdev.DefaultBlockSize)
+	corrupted := 0
+	for target := uint64(65); target < mem.NumBlocks() && corrupted < 6; target++ {
+		if err := mem.ReadBlock(target, buf); err != nil {
+			return err
+		}
+		inUse := false
+		for _, b := range buf {
+			if b != 0 {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			continue
+		}
+		for i := range buf {
+			buf[i] ^= 0x5A
+		}
+		if err := mem.WriteBlock(target, buf); err != nil {
+			return err
+		}
+		corrupted++
+	}
+	fmt.Printf("  corrupted %d occupied blocks\n", corrupted)
+	// Reopen from the damaged image so no cache hides the damage.
+	st2, err := hfad.Open(mem, hfad.Options{})
+	if err != nil {
+		fmt.Printf("  open refused the volume outright: %v\n", err)
+		return nil
+	}
+	if err := report(st2); err != nil {
+		// A checker crash on garbage is itself detection; report and
+		// succeed.
+		fmt.Printf("  checker error (detected): %v\n", err)
+	}
+	return nil
+}
+
+func crashDemo() error {
+	mem := blockdev.NewMem(1<<15, blockdev.DefaultBlockSize)
+	fd := blockdev.NewFault(mem)
+	st, err := hfad.Create(fd, hfad.Options{Transactional: true})
+	if err != nil {
+		return err
+	}
+	if err := populate(st); err != nil {
+		return err
+	}
+	fmt.Println("== committed state built (transactional volume) ==")
+
+	fmt.Println("== injecting device failure mid-operation ==")
+	fd.FailAfterWrites(7)
+	for i := 0; i < 100; i++ {
+		obj, err := st.CreateObject("crasher")
+		if err != nil {
+			fmt.Printf("  operation %d failed as injected: %v\n", i, err)
+			break
+		}
+		if err := obj.Append([]byte("doomed")); err != nil {
+			fmt.Printf("  operation %d failed as injected: %v\n", i, err)
+			break
+		}
+		obj.Close()
+	}
+	if !fd.Tripped() {
+		return fmt.Errorf("fault never fired")
+	}
+
+	fmt.Println("== reopening from the surviving image (WAL recovery) ==")
+	st2, err := hfad.Open(mem, hfad.Options{})
+	if err != nil {
+		return err
+	}
+	if err := report(st2); err != nil {
+		return err
+	}
+	// Committed data must still resolve.
+	ids, err := st2.Find(hfad.TV(hfad.TagUDef, "bucket:3"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  committed names intact: bucket:3 -> %d objects\n", len(ids))
+	var stat osd.Meta
+	if len(ids) > 0 {
+		stat, err = st2.Stat(ids[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  object %d: %d bytes, owner %q\n", stat.OID, stat.Size, stat.Owner)
+	}
+	return st2.Close()
+}

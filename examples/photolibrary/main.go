@@ -1,0 +1,108 @@
+// Photolibrary is the paper's motivating workload (§1): "users may have
+// many gigabytes worth of photo, video, and audio libraries ... one might
+// want to access a picture based on who is in it, when it was taken,
+// where it was taken" — needs external tagging in a hierarchy, but is
+// native naming in hFAD.
+//
+// The example builds a synthetic library, tags every photo with
+// person/place/date/camera attributes, and runs the kinds of queries a
+// photo manager needs: conjunctions, date ranges, boolean exclusions, and
+// the iterative search refinement that replaces "cd".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/hfad"
+	"repro/internal/workload"
+)
+
+func main() {
+	st, err := hfad.Create(hfad.NewMemDevice(1<<15), hfad.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	lib := workload.MediaLibrary(1234, workload.MediaLibraryConfig{
+		Photos: 500, People: 8, Places: 5, MinSize: 2 << 10, MaxSize: 16 << 10,
+	})
+	fmt.Printf("importing %d photos...\n", len(lib))
+	for _, p := range lib {
+		obj, err := st.CreateObject("margo")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obj.Append(workload.NewRng(uint64(p.Size)).Bytes(p.Size)); err != nil {
+			log.Fatal(err)
+		}
+		oid := obj.OID()
+		obj.Close()
+		// The library's attributes are names, not sidecar files.
+		for _, tag := range []string{
+			"person:" + p.Person,
+			"place:" + p.Place,
+			"date:" + p.Date,
+			"camera:" + p.Camera,
+		} {
+			if err := st.Tag(oid, hfad.TagUDef, tag); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	person := "person:" + lib[0].Person
+	place := "place:" + lib[0].Place
+
+	// Who/where conjunction — the paper's headline query.
+	ids, err := st.Find(hfad.TV(hfad.TagUDef, person), hfad.TV(hfad.TagUDef, place))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at %s: %d photos\n", person, place, len(ids))
+
+	// When: a date-range query over the ordered UDEF index.
+	ids, err = st.Query(hfad.Range{Tag: hfad.TagUDef, Lo: []byte("date:2004-01-01"), Hi: []byte("date:2005-01-01")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("taken during 2004: %d photos\n", len(ids))
+
+	// Boolean: that person, anywhere EXCEPT that place.
+	ids, err = st.Query(hfad.And{Kids: []hfad.Query{
+		hfad.Term{Tag: hfad.TagUDef, Value: []byte(person)},
+		hfad.Not{Kid: hfad.Term{Tag: hfad.TagUDef, Value: []byte(place)}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s away from %s: %d photos\n", person, place, len(ids))
+
+	// Iterative refinement: the semantic-FS "current directory" (§4).
+	s := st.NewSearch().
+		Refine(hfad.Term{Tag: hfad.TagUDef, Value: []byte(person)})
+	lvl1, err := s.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2 := s.Refine(hfad.Range{Tag: hfad.TagUDef, Lo: []byte("date:2003"), Hi: []byte("date:2006")})
+	lvl2, err := s2.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refinement: %s (%d) -> +2003..2005 (%d), depth %d\n",
+		person, len(lvl1), len(lvl2), s2.Depth())
+	back, err := s2.Back().Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cd .. restores %d results\n", len(back))
+
+	// Every photo still answers "what are your names?"
+	names, err := st.Names(lvl2[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("photo %d carries %d names, e.g. %s=%s\n", lvl2[0], len(names), names[0].Tag, names[0].Value)
+}

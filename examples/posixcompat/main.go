@@ -1,0 +1,152 @@
+// Posixcompat is the backwards-compatibility story (§2.3's first design
+// requirement): "a storage system is not useful without some support for
+// backwards compatibility in interface if not in disk layout."
+//
+// The example runs a legacy-shaped workload against the POSIX layer —
+// directories, rename, hard links — then lets two pieces of the Go
+// standard library loose on the volume through the io/fs adapter:
+// fs.WalkDir and archive/tar, the modern "ls and tar" from the paper's
+// introduction.
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"log"
+
+	"repro/hfad"
+)
+
+func main() {
+	st, err := hfad.Create(hfad.NewMemDevice(1<<15), hfad.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	pfs, err := st.POSIX()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A legacy application's view of the world.
+	for _, d := range []string{"/home/margo/src", "/home/margo/docs", "/etc"} {
+		if err := pfs.MkdirAll(d, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	files := map[string]string{
+		"/home/margo/src/main.c":    "#include <stdio.h>\nint main() { return 0; }",
+		"/home/margo/docs/plan.txt": "port berkeley db to the raw device",
+		"/etc/hfad.conf":            "transactional = false",
+	}
+	for p, content := range files {
+		if err := pfs.WriteFile(p, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Seek/read/write file handles, like any Unix program.
+	f, err := pfs.OpenRW("/home/margo/docs/plan.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" and lucene too")); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// Hard links: "a data item may have many names".
+	if err := pfs.Link("/home/margo/docs/plan.txt", "/home/margo/src/PLAN"); err != nil {
+		log.Fatal(err)
+	}
+	a, _ := pfs.Stat("/home/margo/docs/plan.txt")
+	b, _ := pfs.Stat("/home/margo/src/PLAN")
+	fmt.Printf("hard link: both paths reach object %d (same as %d: %v)\n", a.OID, b.OID, a.OID == b.OID)
+
+	// Rename a whole subtree.
+	if err := pfs.Rename("/home/margo", "/home/mis"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pfs.Stat("/home/mis/src/main.c"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("renamed /home/margo -> /home/mis; deep paths follow")
+
+	// Stdlib tooling over the volume: WalkDir...
+	fmt.Println("\nfs.WalkDir over the volume:")
+	err = iofs.WalkDir(pfs.IOFS(), ".", func(p string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		kind := "f"
+		if d.IsDir() {
+			kind = "d"
+		}
+		fmt.Printf("  %s %s\n", kind, p)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and tar: archive the volume without hFAD-specific code.
+	var archive bytes.Buffer
+	tw := tar.NewWriter(&archive)
+	err = iofs.WalkDir(pfs.IOFS(), ".", func(p string, d iofs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		hdr, err := tar.FileInfoHeader(info, "")
+		if err != nil {
+			return err
+		}
+		hdr.Name = p
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		data, err := iofs.ReadFile(pfs.IOFS(), p)
+		if err != nil {
+			return err
+		}
+		_, err = tw.Write(data)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\narchive/tar produced a %d-byte tarball of the volume:\n", archive.Len())
+	tr := tar.NewReader(&archive)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %6d  %s\n", hdr.Size, hdr.Name)
+	}
+
+	// And underneath it all, the same objects carry tags.
+	if err := st.Tag(a.OID, hfad.TagUDef, "priority:high"); err != nil {
+		log.Fatal(err)
+	}
+	ids, err := st.Find(hfad.TV(hfad.TagUDef, "priority:high"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe POSIX world and the tag world share objects: UDEF/priority:high -> %v\n", ids)
+}

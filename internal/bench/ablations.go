@@ -1,0 +1,415 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sort"
+
+	"repro/hfad"
+	"repro/internal/blockdev"
+	"repro/internal/buddy"
+	"repro/internal/extent"
+	"repro/internal/pager"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunE6 measures the §2.2 point the paper borrows from Stein: locality
+// from directory clustering is an artifact of the access pattern and the
+// device. The same media library is read two ways (by directory, and by
+// person cutting across directories) on an HDD model (seek-sensitive) and
+// an SSD model (flat).
+func RunE6(s Scale) (*Result, error) {
+	photos := pick(s, 150, 2000)
+	lib := workload.MediaLibrary(7, workload.MediaLibraryConfig{
+		Photos: photos, MinSize: 8 << 10, MaxSize: 32 << 10, Years: 3,
+	})
+	// Group photos by directory and by person for the two patterns. The
+	// directory pattern reads in readdir (name) order, as ls/thumbnailers
+	// do; the person pattern browses chronologically, hopping between the
+	// month directories the photos landed in.
+	byDir := map[string][]workload.Photo{}
+	byPerson := map[string][]workload.Photo{}
+	for _, p := range lib {
+		byDir[p.Dir] = append(byDir[p.Dir], p)
+		byPerson[p.Person] = append(byPerson[p.Person], p)
+	}
+	for _, set := range byDir {
+		sort.Slice(set, func(i, j int) bool { return set[i].Name < set[j].Name })
+	}
+	for _, set := range byPerson {
+		sort.Slice(set, func(i, j int) bool { return set[i].Date < set[j].Date })
+	}
+	// Pick the largest directory and the most photographed person, with
+	// similar set sizes so costs are comparable.
+	var dirKey, personKey string
+	for k, v := range byDir {
+		if len(v) > len(byDir[dirKey]) {
+			dirKey = k
+		}
+	}
+	for k, v := range byPerson {
+		if len(v) > len(byPerson[personKey]) {
+			personKey = k
+		}
+	}
+
+	tbl := stats.NewTable("E6 — per-file read cost by access pattern and device",
+		"device", "pattern", "files", "virtual ms total", "sequential frac")
+
+	// Photos are written directory-by-directory (imported month by month),
+	// the friendliest case for FFS clustering: a directory's files end up
+	// physically adjacent inside their cylinder group.
+	ordered := append([]workload.Photo(nil), lib...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Dir != ordered[j].Dir {
+			return ordered[i].Dir < ordered[j].Dir
+		}
+		return ordered[i].Name < ordered[j].Name
+	})
+
+	for _, model := range []blockdev.CostModel{blockdev.DefaultHDD(), blockdev.DefaultSSD()} {
+		fs, sim, err := newHierFS(devBlocks(s, 1<<15, 1<<17), model)
+		if err != nil {
+			return nil, err
+		}
+		made := map[string]bool{}
+		for _, p := range ordered {
+			if !made[p.Dir] {
+				if err := fs.MkdirAll(p.Dir, 0o755); err != nil {
+					return nil, err
+				}
+				made[p.Dir] = true
+			}
+			if err := fs.WriteFile(p.Path(), workload.NewRng(uint64(len(p.Name))).Bytes(p.Size), 0o644); err != nil {
+				return nil, err
+			}
+		}
+		readSet := func(set []workload.Photo) (blockdev.Stats, error) {
+			base := sim.Stats()
+			for _, p := range set {
+				buf := make([]byte, p.Size)
+				if _, err := fs.ReadAt(p.Path(), buf, 0); err != nil && err != io.EOF {
+					return blockdev.Stats{}, err
+				}
+			}
+			return sim.Stats().Sub(base), nil
+		}
+		dirStats, err := readSet(byDir[dirKey])
+		if err != nil {
+			return nil, err
+		}
+		personStats, err := readSet(byPerson[personKey])
+		if err != nil {
+			return nil, err
+		}
+		seqFrac := func(st blockdev.Stats) float64 {
+			if st.Ops() == 0 {
+				return 0
+			}
+			return float64(st.SeqAccesses) / float64(st.Ops())
+		}
+		tbl.AddRow(model.Name(), "one directory", len(byDir[dirKey]), ms(dirStats.VirtualTime), seqFrac(dirStats))
+		tbl.AddRow(model.Name(), "one person (cross-dir)", len(byPerson[personKey]), ms(personStats.VirtualTime), seqFrac(personStats))
+	}
+
+	return &Result{
+		ID:     "E6",
+		Claim:  "§2.2: FFS-style clustering \"works well [only] if those items are always accessed together\"; on pattern mismatch — or on devices where \"sequential access may no longer be fastest\" — the gains are illusory.",
+		Tables: []*stats.Table{tbl},
+		Notes: []string{
+			"per-file HDD cost rises when access cuts across the clustered hierarchy (person pattern)",
+			"on the SSD model the directory/person gap collapses: position-independent cost",
+		},
+	}, nil
+}
+
+// RunE7 is the extent-map ablation: the counted tree this repository
+// builds versus the paper's literal offset-keyed btree sketch, which must
+// renumber every subsequent extent key on a middle insert.
+func RunE7(s Scale) (*Result, error) {
+	extentCounts := []int{1000, 10000}
+	if s == Smoke {
+		extentCounts = []int{200, 1000}
+	}
+	const extentSize = 4096
+
+	tbl := stats.NewTable("E7 — insert 100 B mid-object vs extent count",
+		"extents", "map", "wall µs/insert", "keys renumbered", "node splits")
+
+	for _, n := range extentCounts {
+		blocks := devBlocks(s, 1<<16, 1<<18)
+		content := workload.NewRng(1).Bytes(extentSize)
+
+		// Counted tree.
+		dev := blockdev.NewMem(blocks, blockdev.DefaultBlockSize)
+		pg := pager.New(dev, 2048, true)
+		ba := buddy.New(1, blocks-1)
+		ct, err := extent.Create(pg, ba, extent.Config{MaxExtentBytes: extentSize})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if err := ct.WriteAt(content, ct.Size()); err != nil {
+				return nil, err
+			}
+		}
+		inserts := pick(s, 20, 100)
+		splitBase := ct.Stats().Splits
+		t0 := time.Now()
+		for i := 0; i < inserts; i++ {
+			if err := ct.InsertAt(ct.Size()/2, content[:100]); err != nil {
+				return nil, err
+			}
+		}
+		counted := time.Since(t0)
+		tbl.AddRow(n, "counted tree", us(counted)/float64(inserts), 0, ct.Stats().Splits-splitBase)
+
+		// Offset-keyed map (the paper's sketch).
+		dev2 := blockdev.NewMem(blocks, blockdev.DefaultBlockSize)
+		pg2 := pager.New(dev2, 2048, true)
+		ba2 := buddy.New(1, blocks-1)
+		km, err := extent.NewKeyedMap(pg2, ba2, extent.Config{MaxExtentBytes: extentSize})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if err := km.Append(content); err != nil {
+				return nil, err
+			}
+		}
+		renumBase := km.RenumberedKeys()
+		t0 = time.Now()
+		for i := 0; i < inserts; i++ {
+			if err := km.InsertAt(km.Size()/2, content[:100]); err != nil {
+				return nil, err
+			}
+		}
+		keyed := time.Since(t0)
+		tbl.AddRow(n, "offset-keyed btree", us(keyed)/float64(inserts),
+			(km.RenumberedKeys()-renumBase)/int64(inserts), 0)
+	}
+
+	return &Result{
+		ID:     "E7",
+		Claim:  "§3.4 (ablated): \"the use of btrees gives us the capability to insert and truncate with little implementation effort\" — only if interior nodes count bytes; offsets-as-keys renumber O(extents) keys per insert.",
+		Tables: []*stats.Table{tbl},
+		Notes: []string{
+			"offset-keyed insert cost grows with extent count; counted-tree cost is flat",
+			"reads and appends of the two maps are equivalent (verified by tests)",
+		},
+	}, nil
+}
+
+// RunE8 is the index-sharding ablation behind the E2 result, measured at
+// the index-store layer where the lock lives. Reads take shared locks and
+// never contend on a single btree, so the experiment drives concurrent
+// INSERTS — each insert takes the tree's exclusive lock, and with one
+// shard every writer serializes on it.
+func RunE8(s Scale) (*Result, error) {
+	duration := 40 * time.Millisecond
+	if s == Full {
+		duration = 300 * time.Millisecond
+	}
+	workers := []int{1, 2, 4, 8}
+	shardCounts := []int{1, 4, 16}
+
+	tbl := stats.NewTable("E8 — concurrent tag-insert throughput vs index shards",
+		"shards", "goroutines", "inserts/s")
+
+	for _, shards := range shardCounts {
+		st, _, err := newHFAD(devBlocks(s, 1<<14, 1<<15), blockdev.NullModel{}, hfad.Options{IndexShards: shards})
+		if err != nil {
+			return nil, err
+		}
+		store, err := st.Volume().Registry().Get(hfad.TagUser)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range workers {
+			var total int64
+			var mu sync.Mutex
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			errCh := make(chan error, g)
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					local := int64(0)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							mu.Lock()
+							total += local
+							mu.Unlock()
+							return
+						default:
+						}
+						val := []byte(fmt.Sprintf("w%d-v%d", w, i))
+						if err := store.Insert(val, hfad.OID(uint64(w)<<32|uint64(i))); err != nil {
+							errCh <- err
+							return
+						}
+						local++
+					}
+				}(w)
+			}
+			time.Sleep(duration)
+			close(stop)
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				return nil, err
+			default:
+			}
+			tbl.AddRow(shards, g, float64(total)/duration.Seconds())
+		}
+		st.Close()
+	}
+
+	return &Result{
+		ID:     "E8",
+		Claim:  "§2.3 (ablated): \"better indexing structures with fewer hotspots exist, so we should take advantage of them\" — sharding the tag index removes the single writer lock behind hFAD's naming operations.",
+		Tables: []*stats.Table{tbl},
+		Notes: []string{
+			"reads take shared locks and do not contend; the hotspot is the exclusive lock writers take, which sharding splits",
+			"scaling is bounded by host core count",
+		},
+	}, nil
+}
+
+// RunE9 measures §3.4's lazy indexing: synchronous full-text indexing
+// charges the writer; background indexing keeps ingest fast at the cost
+// of a freshness window.
+func RunE9(s Scale) (*Result, error) {
+	docs := workload.DocCorpus(31, workload.DocCorpusConfig{
+		Docs: pick(s, 100, 2000), WordsPer: 150,
+	})
+
+	tbl := stats.NewTable("E9 — ingest vs searchability",
+		"mode", "docs", "ingest ms", "searchable-after ms")
+
+	run := func(lazy bool) error {
+		st, _, err := newHFAD(devBlocks(s, 1<<15, 1<<17), blockdev.NullModel{}, hfad.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if lazy {
+			st.StartLazyIndexing(len(docs))
+		}
+		t0 := time.Now()
+		for _, d := range docs {
+			obj, err := st.CreateObject("writer")
+			if err != nil {
+				return err
+			}
+			if err := obj.Append([]byte(d.Text)); err != nil {
+				return err
+			}
+			if lazy {
+				err = st.IndexContentLazy(obj.OID())
+			} else {
+				err = st.IndexContent(obj.OID())
+			}
+			if err != nil {
+				return err
+			}
+			obj.Close()
+		}
+		ingest := time.Since(t0)
+		if lazy {
+			st.WaitIndexIdle()
+		}
+		searchable := time.Since(t0)
+		mode := "synchronous"
+		if lazy {
+			mode = "lazy (background)"
+		}
+		// Correctness: the needle must be findable in both modes.
+		ids, err := st.Find(hfad.TV(hfad.TagFulltext, "marker0"))
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("E9: marker not searchable in %s mode", mode)
+		}
+		tbl.AddRow(mode, len(docs), ms(ingest), ms(searchable))
+		return nil
+	}
+	if err := run(false); err != nil {
+		return nil, err
+	}
+	if err := run(true); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		ID:     "E9",
+		Claim:  "§3.4: \"we use background threads to perform lazy full-text indexing\" — writers should not pay the analyzer; freshness is the price.",
+		Tables: []*stats.Table{tbl},
+		Notes:  []string{"ingest time excludes indexing in lazy mode; searchable-after includes the drain"},
+	}, nil
+}
+
+// RunE10 measures §3.3's deliberately open decision: the cost of running
+// the OSD transactionally. The same create/write/tag mix runs with the
+// WAL off and on.
+func RunE10(s Scale) (*Result, error) {
+	objects := pick(s, 100, 1500)
+	payload := workload.NewRng(5).Bytes(8 << 10)
+
+	tbl := stats.NewTable("E10 — transactional OSD overhead",
+		"mode", "objects", "wall ms", "device writes", "bytes logged")
+
+	run := func(transactional bool) error {
+		st, sim, err := newHFAD(devBlocks(s, 1<<15, 1<<17), blockdev.NullModel{},
+			hfad.Options{Transactional: transactional})
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for i := 0; i < objects; i++ {
+			obj, err := st.CreateObject("u")
+			if err != nil {
+				return err
+			}
+			if err := obj.Append(payload); err != nil {
+				return err
+			}
+			if err := st.Tag(obj.OID(), hfad.TagUDef, fmt.Sprintf("batch:%d", i%10)); err != nil {
+				return err
+			}
+			obj.Close()
+		}
+		elapsed := time.Since(t0)
+		mode := "wal off"
+		logged := int64(0)
+		if transactional {
+			mode = "wal on"
+			logged = st.Volume().WAL().Stats().BytesLogged
+		}
+		tbl.AddRow(mode, objects, ms(elapsed), sim.Stats().Writes, logged)
+		return st.Close()
+	}
+	if err := run(false); err != nil {
+		return nil, err
+	}
+	if err := run(true); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		ID:     "E10",
+		Claim:  "§3.3: \"in hFAD, the OSD may be transactional, but this is an implementation decision, not a requirement\" — here is what the decision costs.",
+		Tables: []*stats.Table{tbl},
+		Notes: []string{
+			"wal on: every metadata mutation logs page images and forces them home (no-steal/force)",
+			"crash-atomicity of the transactional mode is verified separately by the core recovery tests",
+		},
+	}, nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every experiment at Smoke scale and
+// validates the rendered output has the expected structure. This is the
+// harness's own correctness gate: every table must have rows, and the
+// cross-system verifications inside the runners must hold.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res, err := r.Run(Smoke)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if res.ID != r.ID {
+				t.Errorf("result ID = %q, want %q", res.ID, r.ID)
+			}
+			if res.Claim == "" {
+				t.Error("missing claim")
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range res.Tables {
+				if tbl.NumRows() == 0 {
+					t.Errorf("table %q has no rows", tbl.Title)
+				}
+			}
+			out := res.String()
+			if !strings.Contains(out, r.ID) {
+				t.Error("rendered output missing experiment id")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if r := Find("E3"); r == nil || r.ID != "E3" {
+		t.Errorf("Find(E3) = %+v", r)
+	}
+	if r := Find("nope"); r != nil {
+		t.Errorf("Find(nope) = %+v", r)
+	}
+}
+
+// TestE1ShapeHolds checks the headline E1 shape: baseline traversals
+// exceed hFAD's 2 and grow with depth.
+func TestE1ShapeHolds(t *testing.T) {
+	res, err := RunE1(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Tables[0].String()
+	if !strings.Contains(out, "hFAD") || !strings.Contains(out, "hierfs+dsearch") {
+		t.Fatalf("missing systems in:\n%s", out)
+	}
+}
+
+// TestE7ShapeHolds checks that the offset-keyed map renumbers keys and
+// the counted tree does not.
+func TestE7ShapeHolds(t *testing.T) {
+	res, err := RunE7(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Tables[0].String()
+	lines := strings.Split(out, "\n")
+	sawRenumber := false
+	for _, l := range lines {
+		if strings.Contains(l, "offset-keyed") && !strings.Contains(l, " 0 ") {
+			sawRenumber = true
+		}
+	}
+	if !sawRenumber {
+		t.Errorf("offset-keyed rows show no renumbering:\n%s", out)
+	}
+}

@@ -1,0 +1,466 @@
+// Package blockdev provides the simulated stable-storage substrate that
+// every other layer of the repository sits on.
+//
+// The paper's prototype runs on a raw Linux device via FUSE; this package
+// substitutes a simulated block device so that experiments measure the
+// quantities the paper argues about — block I/O counts, seek-distance cost,
+// index traversals — deterministically and independently of host hardware.
+//
+// Three device flavours are provided:
+//
+//   - MemDevice: a plain in-memory block store.
+//   - SimDevice: wraps any Device with a CostModel (HDD seek-distance model
+//     or SSD flat model) and accumulates virtual time plus operation counts.
+//   - FaultDevice: wraps any Device and injects write failures (including
+//     torn writes) after a programmable countdown, for crash-recovery tests.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBlockSize is the block size used throughout the repository.
+const DefaultBlockSize = 4096
+
+// Common device errors.
+var (
+	ErrOutOfRange = errors.New("blockdev: block number out of range")
+	ErrBadLength  = errors.New("blockdev: buffer length != block size")
+	ErrClosed     = errors.New("blockdev: device is closed")
+	// ErrInjected is returned by FaultDevice once its countdown expires.
+	ErrInjected = errors.New("blockdev: injected fault")
+)
+
+// Device is a fixed-block-size random-access storage device.
+// Implementations must be safe for concurrent use.
+type Device interface {
+	// ReadBlock reads block n into p; len(p) must equal BlockSize().
+	ReadBlock(n uint64, p []byte) error
+	// WriteBlock writes p to block n; len(p) must equal BlockSize().
+	WriteBlock(n uint64, p []byte) error
+	// BlockSize returns the device block size in bytes.
+	BlockSize() int
+	// NumBlocks returns the device capacity in blocks.
+	NumBlocks() uint64
+	// Sync flushes any buffered state to stable storage.
+	Sync() error
+	// Close releases the device. Further operations return ErrClosed.
+	Close() error
+}
+
+// MemDevice is an in-memory Device backed by a single contiguous buffer.
+type MemDevice struct {
+	mu     sync.RWMutex
+	buf    []byte
+	bs     int
+	blocks uint64
+	closed bool
+}
+
+// NewMem creates an in-memory device with the given geometry.
+func NewMem(blocks uint64, blockSize int) *MemDevice {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &MemDevice{
+		buf:    make([]byte, blocks*uint64(blockSize)),
+		bs:     blockSize,
+		blocks: blocks,
+	}
+}
+
+func (d *MemDevice) check(n uint64, p []byte) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if n >= d.blocks {
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, n, d.blocks)
+	}
+	if len(p) != d.bs {
+		return fmt.Errorf("%w: got %d want %d", ErrBadLength, len(p), d.bs)
+	}
+	return nil
+}
+
+// ReadBlock implements Device.
+func (d *MemDevice) ReadBlock(n uint64, p []byte) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.check(n, p); err != nil {
+		return err
+	}
+	copy(p, d.buf[n*uint64(d.bs):])
+	return nil
+}
+
+// WriteBlock implements Device.
+func (d *MemDevice) WriteBlock(n uint64, p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(n, p); err != nil {
+		return err
+	}
+	copy(d.buf[n*uint64(d.bs):], p)
+	return nil
+}
+
+// BlockSize implements Device.
+func (d *MemDevice) BlockSize() int { return d.bs }
+
+// NumBlocks implements Device.
+func (d *MemDevice) NumBlocks() uint64 { return d.blocks }
+
+// Sync implements Device. MemDevice has no buffering, so it only checks
+// for closure.
+func (d *MemDevice) Sync() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements Device.
+func (d *MemDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.closed = true
+	return nil
+}
+
+// Snapshot returns a copy of the raw device contents. Used by crash tests
+// to capture a post-fault disk image.
+func (d *MemDevice) Snapshot() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]byte, len(d.buf))
+	copy(out, d.buf)
+	return out
+}
+
+// RestoreFrom replaces the device contents with the given image.
+// The image length must match the device capacity.
+func (d *MemDevice) RestoreFrom(img []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(img) != len(d.buf) {
+		return fmt.Errorf("blockdev: image size %d != device size %d", len(img), len(d.buf))
+	}
+	copy(d.buf, img)
+	d.closed = false
+	return nil
+}
+
+// CostModel prices a single block access given the previously accessed
+// block. Implementations must be safe for concurrent use (they are called
+// with device-internal serialization of prev tracking).
+type CostModel interface {
+	// Access returns the virtual time charged for accessing block cur
+	// when the head/previous access was at block prev.
+	Access(prev, cur uint64, write bool) time.Duration
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// HDDModel charges seek cost proportional to the square root of seek
+// distance (a standard first-order approximation of arm movement), a fixed
+// average rotational latency on every discontiguous access, and a per-block
+// transfer time. Sequential access (cur == prev+1) pays transfer only.
+type HDDModel struct {
+	SeekBase   time.Duration // fixed cost of any non-sequential access
+	SeekFactor time.Duration // multiplied by sqrt(distance in blocks)
+	Rotational time.Duration // average rotational delay
+	Transfer   time.Duration // per-block transfer time
+}
+
+// DefaultHDD models a ~7200 RPM disk from the paper's era (2009):
+// ~4 ms average rotational latency, short seeks around 1–2 ms, full-stroke
+// seeks reaching ~8–10 ms on a few-hundred-thousand-block device
+// (sqrt(262144) × 16 µs ≈ 8 ms), and ~100 MB/s sequential transfer
+// (≈ 40 µs per 4 KiB block).
+func DefaultHDD() *HDDModel {
+	return &HDDModel{
+		SeekBase:   500 * time.Microsecond,
+		SeekFactor: 16 * time.Microsecond,
+		Rotational: 4 * time.Millisecond,
+		Transfer:   40 * time.Microsecond,
+	}
+}
+
+// Access implements CostModel.
+func (m *HDDModel) Access(prev, cur uint64, write bool) time.Duration {
+	if cur == prev+1 {
+		return m.Transfer
+	}
+	var dist float64
+	if cur > prev {
+		dist = float64(cur - prev)
+	} else {
+		dist = float64(prev - cur)
+	}
+	seek := m.SeekBase + time.Duration(float64(m.SeekFactor)*math.Sqrt(dist))
+	return seek + m.Rotational + m.Transfer
+}
+
+// Name implements CostModel.
+func (m *HDDModel) Name() string { return "hdd" }
+
+// SSDModel charges a flat per-operation latency with no positional
+// component; writes cost more than reads, as on real flash.
+type SSDModel struct {
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+}
+
+// DefaultSSD models a SATA-era SSD: 90 µs reads, 250 µs writes.
+func DefaultSSD() *SSDModel {
+	return &SSDModel{ReadLatency: 90 * time.Microsecond, WriteLatency: 250 * time.Microsecond}
+}
+
+// Access implements CostModel.
+func (m *SSDModel) Access(prev, cur uint64, write bool) time.Duration {
+	if write {
+		return m.WriteLatency
+	}
+	return m.ReadLatency
+}
+
+// Name implements CostModel.
+func (m *SSDModel) Name() string { return "ssd" }
+
+// NullModel charges nothing; useful when only op counts matter.
+type NullModel struct{}
+
+// Access implements CostModel.
+func (NullModel) Access(prev, cur uint64, write bool) time.Duration { return 0 }
+
+// Name implements CostModel.
+func (NullModel) Name() string { return "null" }
+
+// Stats is a snapshot of SimDevice accounting.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	// VirtualTime is the total modelled device time. It is accumulated,
+	// not slept, so experiments are fast and deterministic.
+	VirtualTime time.Duration
+	// SeqAccesses counts accesses at prev+1 (sequential).
+	SeqAccesses int64
+}
+
+// Ops returns total operations.
+func (s Stats) Ops() int64 { return s.Reads + s.Writes }
+
+// Sub returns s minus base, for before/after deltas.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Reads:        s.Reads - base.Reads,
+		Writes:       s.Writes - base.Writes,
+		BytesRead:    s.BytesRead - base.BytesRead,
+		BytesWritten: s.BytesWritten - base.BytesWritten,
+		VirtualTime:  s.VirtualTime - base.VirtualTime,
+		SeqAccesses:  s.SeqAccesses - base.SeqAccesses,
+	}
+}
+
+// SimDevice wraps a Device with cost-model accounting.
+type SimDevice struct {
+	inner Device
+	model CostModel
+
+	mu   sync.Mutex // serializes prev-position updates
+	prev uint64
+
+	reads        atomic.Int64
+	writes       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	vtime        atomic.Int64
+	seq          atomic.Int64
+}
+
+// NewSim wraps dev with the given cost model.
+func NewSim(dev Device, model CostModel) *SimDevice {
+	if model == nil {
+		model = NullModel{}
+	}
+	return &SimDevice{inner: dev, model: model}
+}
+
+// Model returns the device's cost model.
+func (d *SimDevice) Model() CostModel { return d.model }
+
+func (d *SimDevice) charge(n uint64, write bool) {
+	d.mu.Lock()
+	prev := d.prev
+	d.prev = n
+	d.mu.Unlock()
+	if n == prev+1 {
+		d.seq.Add(1)
+	}
+	d.vtime.Add(int64(d.model.Access(prev, n, write)))
+}
+
+// ReadBlock implements Device.
+func (d *SimDevice) ReadBlock(n uint64, p []byte) error {
+	if err := d.inner.ReadBlock(n, p); err != nil {
+		return err
+	}
+	d.charge(n, false)
+	d.reads.Add(1)
+	d.bytesRead.Add(int64(len(p)))
+	return nil
+}
+
+// WriteBlock implements Device.
+func (d *SimDevice) WriteBlock(n uint64, p []byte) error {
+	if err := d.inner.WriteBlock(n, p); err != nil {
+		return err
+	}
+	d.charge(n, true)
+	d.writes.Add(1)
+	d.bytesWritten.Add(int64(len(p)))
+	return nil
+}
+
+// BlockSize implements Device.
+func (d *SimDevice) BlockSize() int { return d.inner.BlockSize() }
+
+// NumBlocks implements Device.
+func (d *SimDevice) NumBlocks() uint64 { return d.inner.NumBlocks() }
+
+// Sync implements Device.
+func (d *SimDevice) Sync() error { return d.inner.Sync() }
+
+// Close implements Device.
+func (d *SimDevice) Close() error { return d.inner.Close() }
+
+// Stats returns a snapshot of accumulated accounting.
+func (d *SimDevice) Stats() Stats {
+	return Stats{
+		Reads:        d.reads.Load(),
+		Writes:       d.writes.Load(),
+		BytesRead:    d.bytesRead.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+		VirtualTime:  time.Duration(d.vtime.Load()),
+		SeqAccesses:  d.seq.Load(),
+	}
+}
+
+// ResetStats zeroes all accounting counters.
+func (d *SimDevice) ResetStats() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.bytesRead.Store(0)
+	d.bytesWritten.Store(0)
+	d.vtime.Store(0)
+	d.seq.Store(0)
+}
+
+// FaultDevice wraps a Device and fails writes once a countdown expires.
+// It is the crash-injection mechanism for recovery tests: run a workload,
+// let the device start refusing writes mid-operation, then recover from
+// the surviving image and check invariants.
+type FaultDevice struct {
+	inner Device
+
+	remaining atomic.Int64 // writes allowed before faulting; <0 = unlimited
+	failReads atomic.Bool
+	torn      atomic.Bool
+	tripped   atomic.Bool
+}
+
+// NewFault wraps dev with fault injection disarmed (unlimited writes).
+func NewFault(dev Device) *FaultDevice {
+	f := &FaultDevice{inner: dev}
+	f.remaining.Store(-1)
+	return f
+}
+
+// FailAfterWrites arms the device to allow n more successful writes and
+// then fail every subsequent write with ErrInjected.
+func (f *FaultDevice) FailAfterWrites(n int64) {
+	f.tripped.Store(false)
+	f.remaining.Store(n)
+}
+
+// Disarm removes any pending fault.
+func (f *FaultDevice) Disarm() {
+	f.remaining.Store(-1)
+	f.tripped.Store(false)
+	f.failReads.Store(false)
+}
+
+// SetTornWrites makes the faulting write persist only the first half of
+// the block before returning ErrInjected, modelling a torn sector write.
+func (f *FaultDevice) SetTornWrites(v bool) { f.torn.Store(v) }
+
+// SetFailReads makes reads also fail once the device has tripped.
+func (f *FaultDevice) SetFailReads(v bool) { f.failReads.Store(v) }
+
+// Tripped reports whether an injected fault has fired.
+func (f *FaultDevice) Tripped() bool { return f.tripped.Load() }
+
+// ReadBlock implements Device.
+func (f *FaultDevice) ReadBlock(n uint64, p []byte) error {
+	if f.tripped.Load() && f.failReads.Load() {
+		return ErrInjected
+	}
+	return f.inner.ReadBlock(n, p)
+}
+
+// WriteBlock implements Device.
+func (f *FaultDevice) WriteBlock(n uint64, p []byte) error {
+	for {
+		cur := f.remaining.Load()
+		if cur < 0 {
+			return f.inner.WriteBlock(n, p)
+		}
+		if cur == 0 {
+			f.tripped.Store(true)
+			if f.torn.Load() {
+				// Persist a torn half-block, then report failure.
+				half := make([]byte, len(p))
+				copy(half, p[:len(p)/2])
+				orig := make([]byte, len(p))
+				if err := f.inner.ReadBlock(n, orig); err == nil {
+					copy(half[len(p)/2:], orig[len(p)/2:])
+				}
+				_ = f.inner.WriteBlock(n, half)
+				f.torn.Store(false) // tear only the first failed write
+			}
+			return ErrInjected
+		}
+		if f.remaining.CompareAndSwap(cur, cur-1) {
+			return f.inner.WriteBlock(n, p)
+		}
+	}
+}
+
+// BlockSize implements Device.
+func (f *FaultDevice) BlockSize() int { return f.inner.BlockSize() }
+
+// NumBlocks implements Device.
+func (f *FaultDevice) NumBlocks() uint64 { return f.inner.NumBlocks() }
+
+// Sync implements Device.
+func (f *FaultDevice) Sync() error {
+	if f.tripped.Load() {
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+// Close implements Device.
+func (f *FaultDevice) Close() error { return f.inner.Close() }

@@ -1,0 +1,317 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fill(bs int, b byte) []byte {
+	p := make([]byte, bs)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestMemReadWriteRoundtrip(t *testing.T) {
+	d := NewMem(16, 512)
+	want := fill(512, 0xAB)
+	if err := d.WriteBlock(3, want); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := d.ReadBlock(3, got); err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read data differs from written data")
+	}
+}
+
+func TestMemZeroInitialized(t *testing.T) {
+	d := NewMem(4, 512)
+	got := make([]byte, 512)
+	if err := d.ReadBlock(0, got); err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("fresh device not zeroed")
+	}
+}
+
+func TestMemBoundsAndLength(t *testing.T) {
+	d := NewMem(4, 512)
+	if err := d.ReadBlock(4, make([]byte, 512)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range read error = %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteBlock(99, make([]byte, 512)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range write error = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadBlock(0, make([]byte, 100)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("short-buffer read error = %v, want ErrBadLength", err)
+	}
+}
+
+func TestMemClose(t *testing.T) {
+	d := NewMem(4, 512)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.ReadBlock(0, make([]byte, 512)); !errors.Is(err, ErrClosed) {
+		t.Errorf("read after close = %v, want ErrClosed", err)
+	}
+	if err := d.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemDefaultBlockSize(t *testing.T) {
+	d := NewMem(2, 0)
+	if d.BlockSize() != DefaultBlockSize {
+		t.Errorf("BlockSize = %d, want %d", d.BlockSize(), DefaultBlockSize)
+	}
+}
+
+func TestMemSnapshotRestore(t *testing.T) {
+	d := NewMem(4, 512)
+	if err := d.WriteBlock(1, fill(512, 7)); err != nil {
+		t.Fatal(err)
+	}
+	img := d.Snapshot()
+	if err := d.WriteBlock(1, fill(512, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RestoreFrom(img); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := d.ReadBlock(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Errorf("restored block byte = %d, want 7", got[0])
+	}
+	if err := d.RestoreFrom(make([]byte, 3)); err == nil {
+		t.Error("RestoreFrom with wrong size image should fail")
+	}
+}
+
+func TestMemConcurrent(t *testing.T) {
+	d := NewMem(64, 512)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			for i := 0; i < 100; i++ {
+				blk := uint64((w*100 + i) % 64)
+				if err := d.WriteBlock(blk, buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if err := d.ReadBlock(blk, buf); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSimCountsOps(t *testing.T) {
+	d := NewSim(NewMem(16, 512), NullModel{})
+	buf := make([]byte, 512)
+	for i := 0; i < 5; i++ {
+		if err := d.WriteBlock(uint64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.ReadBlock(uint64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Writes != 5 || s.Reads != 3 {
+		t.Errorf("ops = %d writes %d reads, want 5/3", s.Writes, s.Reads)
+	}
+	if s.BytesWritten != 5*512 || s.BytesRead != 3*512 {
+		t.Errorf("bytes = %d written %d read", s.BytesWritten, s.BytesRead)
+	}
+	if s.Ops() != 8 {
+		t.Errorf("Ops() = %d, want 8", s.Ops())
+	}
+	d.ResetStats()
+	if d.Stats().Ops() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestSimErrorsNotCounted(t *testing.T) {
+	d := NewSim(NewMem(4, 512), NullModel{})
+	if err := d.ReadBlock(100, make([]byte, 512)); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if d.Stats().Reads != 0 {
+		t.Error("failed read was counted")
+	}
+}
+
+func TestHDDSequentialCheaperThanRandom(t *testing.T) {
+	model := DefaultHDD()
+	seq := model.Access(10, 11, false)
+	rnd := model.Access(10, 100000, false)
+	if seq >= rnd {
+		t.Errorf("sequential access (%v) should be cheaper than a long seek (%v)", seq, rnd)
+	}
+	near := model.Access(10, 20, false)
+	far := model.Access(10, 1000000, false)
+	if near >= far {
+		t.Errorf("near seek (%v) should be cheaper than far seek (%v)", near, far)
+	}
+}
+
+func TestHDDSeekDistanceSymmetric(t *testing.T) {
+	model := DefaultHDD()
+	fwd := model.Access(100, 2000, false)
+	back := model.Access(2000, 100, false)
+	if fwd != back {
+		t.Errorf("seek cost asymmetric: fwd %v back %v", fwd, back)
+	}
+}
+
+func TestSSDFlat(t *testing.T) {
+	model := DefaultSSD()
+	a := model.Access(0, 1, false)
+	b := model.Access(0, 1000000, false)
+	if a != b {
+		t.Errorf("SSD read cost should be position-independent: %v vs %v", a, b)
+	}
+	if model.Access(0, 1, true) <= model.Access(0, 1, false) {
+		t.Error("SSD write should cost more than read")
+	}
+}
+
+func TestSimVirtualTimeAccumulates(t *testing.T) {
+	d := NewSim(NewMem(1024, 512), DefaultHDD())
+	buf := make([]byte, 512)
+	// Random-ish pattern: every access seeks.
+	blocks := []uint64{0, 512, 3, 700, 90}
+	for _, b := range blocks {
+		if err := d.ReadBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vt := d.Stats().VirtualTime
+	if vt < 4*time.Millisecond {
+		t.Errorf("virtual time %v implausibly small for %d random HDD reads", vt, len(blocks))
+	}
+	// Sequential run should add much less per op.
+	d.ResetStats()
+	if err := d.ReadBlock(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Stats().VirtualTime
+	for i := uint64(101); i < 111; i++ {
+		if err := d.ReadBlock(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqTime := d.Stats().VirtualTime - base
+	if seqTime > 10*DefaultHDD().Transfer {
+		t.Errorf("sequential virtual time %v, want ≤ %v", seqTime, 10*DefaultHDD().Transfer)
+	}
+	if got := d.Stats().SeqAccesses; got != 10 {
+		t.Errorf("SeqAccesses = %d, want 10", got)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 5, VirtualTime: time.Second}
+	b := Stats{Reads: 4, Writes: 2, VirtualTime: 300 * time.Millisecond}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 3 || d.VirtualTime != 700*time.Millisecond {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestFaultCountdown(t *testing.T) {
+	f := NewFault(NewMem(16, 512))
+	f.FailAfterWrites(3)
+	buf := make([]byte, 512)
+	for i := 0; i < 3; i++ {
+		if err := f.WriteBlock(uint64(i), buf); err != nil {
+			t.Fatalf("write %d should succeed: %v", i, err)
+		}
+	}
+	if err := f.WriteBlock(3, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 4 error = %v, want ErrInjected", err)
+	}
+	if !f.Tripped() {
+		t.Error("Tripped() = false after fault")
+	}
+	// Reads still work unless FailReads set.
+	if err := f.ReadBlock(0, buf); err != nil {
+		t.Errorf("read after trip: %v", err)
+	}
+	f.SetFailReads(true)
+	if err := f.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("read with FailReads = %v, want ErrInjected", err)
+	}
+	f.Disarm()
+	if err := f.WriteBlock(0, buf); err != nil {
+		t.Errorf("write after disarm: %v", err)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	mem := NewMem(4, 512)
+	f := NewFault(mem)
+	full := fill(512, 1)
+	if err := f.WriteBlock(0, full); err != nil {
+		t.Fatal(err)
+	}
+	f.FailAfterWrites(0)
+	f.SetTornWrites(true)
+	newData := fill(512, 2)
+	if err := f.WriteBlock(0, newData); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", err)
+	}
+	got := make([]byte, 512)
+	if err := mem.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Errorf("first half byte = %d, want new data (2)", got[0])
+	}
+	if got[511] != 1 {
+		t.Errorf("second half byte = %d, want old data (1)", got[511])
+	}
+}
+
+func TestFaultUnlimitedByDefault(t *testing.T) {
+	f := NewFault(NewMem(4, 512))
+	buf := make([]byte, 512)
+	for i := 0; i < 100; i++ {
+		if err := f.WriteBlock(uint64(i%4), buf); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+}
+
+func TestFaultSyncReflectsTrip(t *testing.T) {
+	f := NewFault(NewMem(4, 512))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync before trip: %v", err)
+	}
+	f.FailAfterWrites(0)
+	_ = f.WriteBlock(0, make([]byte, 512))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Sync after trip = %v, want ErrInjected", err)
+	}
+}

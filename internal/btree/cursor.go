@@ -1,0 +1,325 @@
+package btree
+
+import (
+	"bytes"
+
+	"repro/internal/pager"
+)
+
+// Scan visits every key in [lo, hi) in ascending order, calling fn with
+// copies of each key and value. A nil lo starts at the first key; a nil hi
+// scans to the end. fn returning false stops the scan early. The tree's
+// read lock is held for the duration, so fn must not mutate the tree.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	leaf, idx, err := t.seekLeaf(lo)
+	if err != nil {
+		return err
+	}
+	levels := int64(t.height)
+	for leaf != 0 {
+		pg, err := t.pg.Acquire(leaf)
+		if err != nil {
+			return err
+		}
+		p := pageRef{pg.Data()}
+		n := p.ncells()
+		type kv struct{ k, v []byte }
+		var batch []kv
+		next := p.ptrA()
+		done := false
+		for ; idx < n; idx++ {
+			c, err := p.decodeCell(idx)
+			if err != nil {
+				t.pg.Release(pg)
+				return err
+			}
+			if hi != nil && bytes.Compare(c.key, hi) >= 0 {
+				done = true
+				break
+			}
+			k := append([]byte(nil), c.key...)
+			var v []byte
+			if c.overflow == 0 {
+				v = append([]byte(nil), c.val...)
+			} else {
+				// Defer chain read until after releasing this page to
+				// keep pin counts bounded; record a placeholder.
+				v = nil
+				batch = append(batch, kv{k, nil})
+				// Store overflow info alongside via closure-local slices.
+				// Simpler: read it now; chains pin one page at a time.
+				ovf, total := c.overflow, c.totalLen
+				vv, err := t.readOverflow(ovf, total)
+				if err != nil {
+					t.pg.Release(pg)
+					return err
+				}
+				batch[len(batch)-1].v = vv
+				continue
+			}
+			batch = append(batch, kv{k, v})
+		}
+		t.pg.Release(pg)
+		levels++
+		for _, e := range batch {
+			if !fn(e.k, e.v) {
+				t.addStats(1, levels, 0, 0)
+				return nil
+			}
+		}
+		if done {
+			break
+		}
+		leaf = next
+		idx = 0
+	}
+	t.addStats(1, levels, 0, 0)
+	return nil
+}
+
+// ScanPrefix visits every key beginning with prefix in ascending order.
+func (t *Tree) ScanPrefix(prefix []byte, fn func(key, val []byte) bool) error {
+	return t.Scan(prefix, prefixEnd(prefix), fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil if no such key exists (prefix is all 0xFF).
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// seekLeaf descends to the leaf that should contain lo (or the first leaf
+// when lo is nil) and returns the leaf page and starting cell index.
+func (t *Tree) seekLeaf(lo []byte) (uint64, int, error) {
+	pno := t.root
+	for level := 0; level < t.height-1; level++ {
+		pg, err := t.pg.Acquire(pno)
+		if err != nil {
+			return 0, 0, err
+		}
+		p := pageRef{pg.Data()}
+		var child uint64
+		if lo == nil {
+			if p.ncells() > 0 {
+				c, err := p.decodeCell(0)
+				if err != nil {
+					t.pg.Release(pg)
+					return 0, 0, err
+				}
+				child = c.child
+			} else {
+				child = p.ptrA()
+			}
+		} else {
+			idx, _, err := p.search(lo)
+			if err != nil {
+				t.pg.Release(pg)
+				return 0, 0, err
+			}
+			if idx < p.ncells() {
+				c, err := p.decodeCell(idx)
+				if err != nil {
+					t.pg.Release(pg)
+					return 0, 0, err
+				}
+				child = c.child
+			} else {
+				child = p.ptrA()
+			}
+		}
+		t.pg.Release(pg)
+		pno = child
+	}
+	idx := 0
+	if lo != nil {
+		pg, err := t.pg.Acquire(pno)
+		if err != nil {
+			return 0, 0, err
+		}
+		p := pageRef{pg.Data()}
+		idx, _, err = p.search(lo)
+		t.pg.Release(pg)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return pno, idx, nil
+}
+
+// First returns the smallest key and its value, or ErrNotFound if empty.
+func (t *Tree) First() ([]byte, []byte, error) {
+	var k, v []byte
+	found := false
+	err := t.Scan(nil, nil, func(key, val []byte) bool {
+		k, v = key, val
+		found = true
+		return false
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !found {
+		return nil, nil, ErrNotFound
+	}
+	return k, v, nil
+}
+
+// Last returns the largest key and its value, or ErrNotFound if empty.
+func (t *Tree) Last() ([]byte, []byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pno := t.root
+	for level := 0; level < t.height-1; level++ {
+		pg, err := t.pg.Acquire(pno)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := pageRef{pg.Data()}
+		next := p.ptrA()
+		t.pg.Release(pg)
+		pno = next
+	}
+	pg, err := t.pg.Acquire(pno)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := pageRef{pg.Data()}
+	n := p.ncells()
+	if n == 0 {
+		t.pg.Release(pg)
+		return nil, nil, ErrNotFound
+	}
+	c, err := p.decodeCell(n - 1)
+	if err != nil {
+		t.pg.Release(pg)
+		return nil, nil, err
+	}
+	k := append([]byte(nil), c.key...)
+	var v []byte
+	if c.overflow == 0 {
+		v = append([]byte(nil), c.val...)
+		t.pg.Release(pg)
+	} else {
+		ovf, total := c.overflow, c.totalLen
+		t.pg.Release(pg)
+		v, err = t.readOverflow(ovf, total)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return k, v, nil
+}
+
+// Floor returns the greatest key ≤ target and its value, or ErrNotFound
+// if every key is greater than target (or the tree is empty).
+func (t *Tree) Floor(target []byte) ([]byte, []byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf, idx, err := t.seekLeaf(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	// idx is the first cell ≥ target within leaf. The floor is that cell
+	// if it equals target, else the one before it (possibly in the
+	// previous leaf).
+	for leaf != 0 {
+		pg, err := t.pg.Acquire(leaf)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := pageRef{pg.Data()}
+		if idx < p.ncells() {
+			c, err := p.decodeCell(idx)
+			if err != nil {
+				t.pg.Release(pg)
+				return nil, nil, err
+			}
+			if compareKeys(c.key, target) == 0 {
+				k, v, err := t.materialize(p, idx, pg)
+				return k, v, err
+			}
+		}
+		if idx > 0 {
+			k, v, err := t.materialize(p, idx-1, pg)
+			return k, v, err
+		}
+		prev := p.ptrB()
+		t.pg.Release(pg)
+		if prev == 0 {
+			return nil, nil, ErrNotFound
+		}
+		// Step into the previous leaf's last cell.
+		ppg, err := t.pg.Acquire(prev)
+		if err != nil {
+			return nil, nil, err
+		}
+		pp := pageRef{ppg.Data()}
+		n := pp.ncells()
+		if n == 0 {
+			leaf = pp.ptrB()
+			idx = 0
+			t.pg.Release(ppg)
+			// Continue walking back through (possibly empty) leaves.
+			for leaf != 0 {
+				epg, err := t.pg.Acquire(leaf)
+				if err != nil {
+					return nil, nil, err
+				}
+				ep := pageRef{epg.Data()}
+				if ep.ncells() > 0 {
+					k, v, err := t.materialize(ep, ep.ncells()-1, epg)
+					return k, v, err
+				}
+				leaf = ep.ptrB()
+				t.pg.Release(epg)
+			}
+			return nil, nil, ErrNotFound
+		}
+		k, v, err := t.materialize(pp, n-1, ppg)
+		return k, v, err
+	}
+	return nil, nil, ErrNotFound
+}
+
+// materialize copies out cell idx of the pinned page, reading overflow
+// chains as needed, and releases the pin.
+func (t *Tree) materialize(p pageRef, idx int, pg *pager.Page) ([]byte, []byte, error) {
+	c, err := p.decodeCell(idx)
+	if err != nil {
+		t.pg.Release(pg)
+		return nil, nil, err
+	}
+	k := append([]byte(nil), c.key...)
+	if c.overflow == 0 {
+		v := append([]byte(nil), c.val...)
+		t.pg.Release(pg)
+		return k, v, nil
+	}
+	ovf, total := c.overflow, c.totalLen
+	t.pg.Release(pg)
+	v, err := t.readOverflow(ovf, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, v, nil
+}
+
+// Count returns the number of keys in [lo, hi).
+func (t *Tree) Count(lo, hi []byte) (uint64, error) {
+	var n uint64
+	err := t.Scan(lo, hi, func(_, _ []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}

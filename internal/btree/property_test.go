@@ -1,0 +1,201 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickOpsMatchReference drives the tree with generated operation
+// sequences via testing/quick and compares every observable against a
+// reference map.
+func TestQuickOpsMatchReference(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		tr, _ := newTree(t)
+		ref := map[string]string{}
+		rng := rand.New(rand.NewPCG(seed, 99))
+		for _, op := range ops {
+			key := fmt.Sprintf("k%03d", op%512)
+			switch op % 3 {
+			case 0:
+				val := fmt.Sprintf("v%d", rng.Uint32())
+				if err := tr.Put([]byte(key), []byte(val)); err != nil {
+					return false
+				}
+				ref[key] = val
+			case 1:
+				err := tr.Delete([]byte(key))
+				_, had := ref[key]
+				if had && err != nil {
+					return false
+				}
+				if !had && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				delete(ref, key)
+			case 2:
+				v, err := tr.Get([]byte(key))
+				want, had := ref[key]
+				if had && (err != nil || string(v) != want) {
+					return false
+				}
+				if !had && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != uint64(len(ref)) {
+			return false
+		}
+		if _, err := tr.Check(); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanIsSorted: any insertion set scans back in sorted order
+// with no duplicates or losses.
+func TestQuickScanIsSorted(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		tr, _ := newTree(t)
+		ref := map[string]bool{}
+		for _, k := range keys {
+			if len(k) == 0 || len(k) > tr.MaxKeyLen() {
+				continue
+			}
+			if err := tr.Put(k, []byte("v")); err != nil {
+				return false
+			}
+			ref[string(k)] = true
+		}
+		var got []string
+		if err := tr.Scan(nil, nil, func(k, _ []byte) bool {
+			got = append(got, string(k))
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		if !sort.StringsAreSorted(got) {
+			return false
+		}
+		for _, k := range got {
+			if !ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	tr, _ := newTree(t)
+	if _, _, err := tr.Floor([]byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Floor on empty = %v", err)
+	}
+	for i := 0; i < 500; i += 10 {
+		mustPut(t, tr, fmt.Sprintf("k%04d", i), fmt.Sprintf("v%d", i))
+	}
+	// Exact hit.
+	k, v, err := tr.Floor([]byte("k0100"))
+	if err != nil || string(k) != "k0100" || string(v) != "v100" {
+		t.Errorf("exact Floor = %q/%q, %v", k, v, err)
+	}
+	// Between keys: floor is the lower neighbour.
+	k, _, err = tr.Floor([]byte("k0105"))
+	if err != nil || string(k) != "k0100" {
+		t.Errorf("between Floor = %q, %v", k, err)
+	}
+	// Below all keys.
+	if _, _, err := tr.Floor([]byte("a")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("below-all Floor = %v", err)
+	}
+	// Above all keys: floor is the max.
+	k, _, err = tr.Floor([]byte("zzz"))
+	if err != nil || string(k) != "k0490" {
+		t.Errorf("above-all Floor = %q, %v", k, err)
+	}
+}
+
+// TestFloorAcrossLeafBoundaries exercises the previous-leaf hop.
+func TestFloorAcrossLeafBoundaries(t *testing.T) {
+	tr, _ := newTree(t)
+	// Many keys so multiple leaves exist.
+	for i := 0; i < 2000; i++ {
+		mustPut(t, tr, fmt.Sprintf("k%06d", i*2), "v") // even keys only
+	}
+	// Query odd keys: floor must be the even key below, including at
+	// leaf boundaries.
+	for i := 1; i < 4000; i += 97 {
+		target := fmt.Sprintf("k%06d", i)
+		k, _, err := tr.Floor([]byte(target))
+		if err != nil {
+			t.Fatalf("Floor(%s): %v", target, err)
+		}
+		want := fmt.Sprintf("k%06d", i-1)
+		if i%2 == 0 {
+			want = target
+		}
+		if string(k) != want {
+			t.Fatalf("Floor(%s) = %s, want %s", target, k, want)
+		}
+	}
+}
+
+// TestQuickFloorMatchesReference: Floor agrees with a sorted-slice oracle.
+func TestQuickFloorMatchesReference(t *testing.T) {
+	tr, _ := newTree(t)
+	var keys []string
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("k%05d", i*7)
+		mustPut(t, tr, k, "v")
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := func(probe uint16) bool {
+		target := fmt.Sprintf("k%05d", int(probe)%2200)
+		k, _, err := tr.Floor([]byte(target))
+		// Oracle: greatest key <= target.
+		idx := sort.SearchStrings(keys, target)
+		if idx < len(keys) && keys[idx] == target {
+			return err == nil && string(k) == target
+		}
+		if idx == 0 {
+			return errors.Is(err, ErrNotFound)
+		}
+		return err == nil && string(k) == keys[idx-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargeKeysNearLimit stresses splits with keys at the maximum size.
+func TestLargeKeysNearLimit(t *testing.T) {
+	tr, _ := newTree(t)
+	max := tr.MaxKeyLen()
+	for i := 0; i < 60; i++ {
+		k := bytes.Repeat([]byte{byte('a' + i%26)}, max-2)
+		k = append(k, byte(i/26), byte(i%26))
+		if err := tr.Put(k, bytes.Repeat([]byte("V"), 900)); err != nil {
+			t.Fatalf("Put big key %d: %v", i, err)
+		}
+	}
+	mustCheck(t, tr)
+	if tr.Len() != 60 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/extent"
+	"repro/internal/index"
+	"repro/internal/osd"
+)
+
+func newVolume(t *testing.T, opts Options) (*Volume, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(32768, blockdev.DefaultBlockSize) // 128 MiB
+	v, err := Create(dev, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return v, dev
+}
+
+func mustCreateObject(t *testing.T, v *Volume, owner string, content string) OID {
+	t.Helper()
+	obj, err := v.OSD.CreateObject(owner, osd.ModeRegular|0o644)
+	if err != nil {
+		t.Fatalf("CreateObject: %v", err)
+	}
+	defer obj.Close()
+	if content != "" {
+		if err := obj.WriteAt([]byte(content), 0); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+	}
+	return obj.OID()
+}
+
+func TestCreateAndReopenVolume(t *testing.T) {
+	v, dev := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "margo", "volume contents")
+	if err := v.AddName(oid, index.TagUser, []byte("margo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ids, err := v2.Resolve(TV(index.TagUser, "margo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{oid}) {
+		t.Errorf("Resolve after reopen = %v, want [%d]", ids, oid)
+	}
+	obj, err := v2.OSD.OpenObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 15)
+	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "volume contents" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dev := blockdev.NewMem(1024, blockdev.DefaultBlockSize)
+	if _, err := Open(dev, Options{}); !errors.Is(err, ErrBadSuperblock) {
+		t.Errorf("Open(blank) = %v, want ErrBadSuperblock", err)
+	}
+}
+
+func TestCreateTooSmall(t *testing.T) {
+	dev := blockdev.NewMem(32, blockdev.DefaultBlockSize)
+	if _, err := Create(dev, Options{}); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("Create(tiny) = %v, want ErrTooSmall", err)
+	}
+}
+
+func TestNamingAndResolve(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	photo1 := mustCreateObject(t, v, "margo", "photo one bytes")
+	photo2 := mustCreateObject(t, v, "margo", "photo two bytes")
+
+	for oid, tags := range map[OID][]TagValue{
+		photo1: {TV("USER", "margo"), TV("UDEF", "person:nick"), TV("UDEF", "place:boston")},
+		photo2: {TV("USER", "margo"), TV("UDEF", "person:nick"), TV("UDEF", "place:seattle")},
+	} {
+		for _, tv := range tags {
+			if err := v.AddName(oid, tv.Tag, tv.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Single-term resolve returns both.
+	ids, err := v.Resolve(TV("UDEF", "person:nick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Errorf("person:nick = %v", ids)
+	}
+	// Conjunction narrows ("the conjunction of the results of an index
+	// lookup for each element in the vector").
+	ids, err = v.Resolve(TV("UDEF", "person:nick"), TV("UDEF", "place:boston"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{photo1}) {
+		t.Errorf("conjunction = %v, want [%d]", ids, photo1)
+	}
+	// Empty vector is invalid.
+	if _, err := v.Resolve(); !errors.Is(err, ErrQuery) {
+		t.Errorf("empty resolve = %v", err)
+	}
+	// Unknown tag.
+	if _, err := v.Resolve(TV("BOGUS", "x")); !errors.Is(err, index.ErrUnknownTag) {
+		t.Errorf("bogus tag = %v", err)
+	}
+}
+
+func TestFastPathIDTag(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "app", "fastpath")
+	ids, err := v.Resolve(TagValue{index.TagID, []byte(fmt.Sprintf("%d", oid))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{oid}) {
+		t.Errorf("ID resolve = %v", ids)
+	}
+	// Nonexistent ID: empty, not error.
+	ids, err = v.Resolve(TV(index.TagID, "999999"))
+	if err != nil || len(ids) != 0 {
+		t.Errorf("missing ID = %v, %v", ids, err)
+	}
+	// Malformed ID value.
+	if _, err := v.Resolve(TV(index.TagID, "not-a-number")); !errors.Is(err, ErrQuery) {
+		t.Errorf("bad ID = %v", err)
+	}
+}
+
+func TestRemoveNameAndNames(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "u", "data")
+	if err := v.AddName(oid, "USER", []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddName(oid, "UDEF", []byte("tag1")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := v.Names(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Errorf("Names = %v", names)
+	}
+	if err := v.RemoveName(oid, "UDEF", []byte("tag1")); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := v.Resolve(TV("UDEF", "tag1"))
+	if len(ids) != 0 {
+		t.Errorf("after remove = %v", ids)
+	}
+	names, _ = v.Names(oid)
+	if len(names) != 1 {
+		t.Errorf("Names after remove = %v", names)
+	}
+}
+
+func TestDeleteObjectCleansAllIndexes(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "u", "doomed object text")
+	if err := v.AddName(oid, "USER", []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddName(oid, "FULLTEXT", []byte("doomed object text")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DeleteObject(oid); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := v.Resolve(TV("USER", "u"))
+	if len(ids) != 0 {
+		t.Errorf("USER index survived delete: %v", ids)
+	}
+	ids, _ = v.Resolve(TV("FULLTEXT", "doomed"))
+	if len(ids) != 0 {
+		t.Errorf("FULLTEXT index survived delete: %v", ids)
+	}
+	if _, err := v.OSD.Stat(oid); !errors.Is(err, osd.ErrNotFound) {
+		t.Error("object survived delete")
+	}
+	rep, err := v.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("fsck after delete: %v", rep.Problems)
+	}
+}
+
+func TestBooleanQueries(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	a := mustCreateObject(t, v, "u", "")
+	b := mustCreateObject(t, v, "u", "")
+	c := mustCreateObject(t, v, "u", "")
+	add := func(oid OID, vals ...string) {
+		for _, val := range vals {
+			if err := v.AddName(oid, "UDEF", []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(a, "color:red", "shape:circle")
+	add(b, "color:red", "shape:square")
+	add(c, "color:blue", "shape:circle")
+
+	// Or.
+	ids, err := v.Query(Or{[]Query{Term{"UDEF", []byte("color:blue")}, Term{"UDEF", []byte("shape:square")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{b, c}) {
+		t.Errorf("Or = %v, want [%d %d]", ids, b, c)
+	}
+	// And with Not.
+	ids, err = v.Query(And{[]Query{
+		Term{"UDEF", []byte("color:red")},
+		Not{Term{"UDEF", []byte("shape:square")}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{a}) {
+		t.Errorf("And-Not = %v, want [%d]", ids, a)
+	}
+	// Nested.
+	ids, err = v.Query(And{[]Query{
+		Or{[]Query{Term{"UDEF", []byte("color:red")}, Term{"UDEF", []byte("color:blue")}}},
+		Term{"UDEF", []byte("shape:circle")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{a, c}) {
+		t.Errorf("nested = %v, want [%d %d]", ids, a, c)
+	}
+	// Invalid shapes.
+	if _, err := v.Query(Not{Term{"UDEF", []byte("x")}}); !errors.Is(err, ErrQuery) {
+		t.Errorf("bare Not = %v", err)
+	}
+	if _, err := v.Query(And{[]Query{Not{Term{"UDEF", []byte("x")}}}}); !errors.Is(err, ErrQuery) {
+		t.Errorf("only-Not And = %v", err)
+	}
+	if _, err := v.Query(Or{nil}); !errors.Is(err, ErrQuery) {
+		t.Errorf("empty Or = %v", err)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	var oids []OID
+	for i := 0; i < 5; i++ {
+		oid := mustCreateObject(t, v, "u", "")
+		date := fmt.Sprintf("date:2009-0%d-01", i+1)
+		if err := v.AddName(oid, "UDEF", []byte(date)); err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	ids, err := v.Query(Range{"UDEF", []byte("date:2009-02"), []byte("date:2009-05")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{oids[1], oids[2], oids[3]}) {
+		t.Errorf("range = %v", ids)
+	}
+	// Fulltext store doesn't support ranges.
+	if _, err := v.Query(Range{"FULLTEXT", []byte("a"), []byte("b")}); !errors.Is(err, ErrQuery) {
+		t.Errorf("fulltext range = %v", err)
+	}
+}
+
+func TestSearchRefinement(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	a := mustCreateObject(t, v, "u", "")
+	b := mustCreateObject(t, v, "u", "")
+	for _, x := range []struct {
+		oid  OID
+		tags []string
+	}{{a, []string{"type:photo", "year:2008"}}, {b, []string{"type:photo", "year:2009"}}} {
+		for _, tag := range x.tags {
+			if err := v.AddName(x.oid, "UDEF", []byte(tag)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	root := v.NewSearch()
+	if _, err := root.Results(); !errors.Is(err, ErrQuery) {
+		t.Errorf("root Results = %v", err)
+	}
+	s1 := root.Refine(Term{"UDEF", []byte("type:photo")})
+	ids, err := s1.Results()
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("level1 = %v, %v", ids, err)
+	}
+	s2 := s1.Refine(Term{"UDEF", []byte("year:2009")})
+	ids, err = s2.Results()
+	if err != nil || !reflect.DeepEqual(ids, []OID{b}) {
+		t.Fatalf("level2 = %v, %v", ids, err)
+	}
+	if s2.Depth() != 2 {
+		t.Errorf("Depth = %d", s2.Depth())
+	}
+	back := s2.Back()
+	ids, _ = back.Results()
+	if len(ids) != 2 {
+		t.Errorf("after Back = %v", ids)
+	}
+	if root.Back() != root {
+		t.Error("Back at root should be stable")
+	}
+}
+
+func TestContentIndexing(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "u", "the quick brown fox jumps")
+	if err := v.IndexContent(oid); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := v.Resolve(TV("FULLTEXT", "quick"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []OID{oid}) {
+		t.Errorf("content search = %v", ids)
+	}
+}
+
+func TestLazyContentIndexing(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "u", "deferred gratification document")
+	if err := v.IndexContentLazy(oid); err == nil {
+		t.Fatal("lazy indexing should fail before StartLazyIndexing")
+	}
+	v.StartLazyIndexing(64)
+	if err := v.IndexContentLazy(oid); err != nil {
+		t.Fatal(err)
+	}
+	v.WaitIndexIdle()
+	ids, err := v.Resolve(TV("FULLTEXT", "gratification"))
+	if err != nil || !reflect.DeepEqual(ids, []OID{oid}) {
+		t.Errorf("lazy search = %v, %v", ids, err)
+	}
+}
+
+func TestMultipleNamesOneObject(t *testing.T) {
+	// §2.2: "a single piece of data may belong to multiple collections".
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "u", "one datum, many names")
+	names := []TagValue{
+		TV("UDEF", "outfit:work"),
+		TV("UDEF", "outfit:party"),
+		TV("USER", "margo"),
+		TV("APP", "photoapp"),
+	}
+	for _, tv := range names {
+		if err := v.AddName(oid, tv.Tag, tv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tv := range names {
+		ids, err := v.Resolve(tv)
+		if err != nil || !reflect.DeepEqual(ids, []OID{oid}) {
+			t.Errorf("Resolve(%s=%s) = %v, %v", tv.Tag, tv.Value, ids, err)
+		}
+	}
+	got, err := v.Names(oid)
+	if err != nil || len(got) != 4 {
+		t.Errorf("Names = %v, %v", got, err)
+	}
+}
+
+func TestFsckCleanVolume(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	for i := 0; i < 20; i++ {
+		oid := mustCreateObject(t, v, "u", fmt.Sprintf("object %d content", i))
+		if err := v.AddName(oid, "UDEF", []byte(fmt.Sprintf("n:%d", i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := v.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("fsck problems: %v", rep.Problems)
+	}
+	if rep.Objects != 20 {
+		t.Errorf("fsck objects = %d", rep.Objects)
+	}
+	if rep.UsedBlocks == 0 || rep.FreeBlocks == 0 {
+		t.Errorf("fsck block counts: used=%d free=%d", rep.UsedBlocks, rep.FreeBlocks)
+	}
+}
+
+func TestTransactionalVolumeBasics(t *testing.T) {
+	v, dev := newVolume(t, Options{Transactional: true})
+	oid := mustCreateObject(t, v, "u", "transactional data")
+	if err := v.AddName(oid, "USER", []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+	if v.WAL() == nil {
+		t.Fatal("no WAL on transactional volume")
+	}
+	if v.WAL().Stats().Commits == 0 {
+		t.Error("no commits recorded")
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := v2.Resolve(TV("USER", "u"))
+	if err != nil || !reflect.DeepEqual(ids, []OID{oid}) {
+		t.Errorf("reopened = %v, %v", ids, err)
+	}
+}
+
+// TestCrashRecoveryDirtyOpen simulates a crash (no Close) on a
+// non-transactional volume: reopen must rebuild the allocator from
+// reachability and fsck must pass.
+func TestCrashRecoveryDirtyOpen(t *testing.T) {
+	v, dev := newVolume(t, Options{})
+	for i := 0; i < 10; i++ {
+		oid := mustCreateObject(t, v, "u", fmt.Sprintf("pre-crash %d", i))
+		if err := v.AddName(oid, "UDEF", []byte("k:v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush caches but do NOT Close: the clean flag stays unset.
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatalf("dirty Open: %v", err)
+	}
+	rep, err := v2.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("fsck after dirty open: %v", rep.Problems)
+	}
+	if rep.Objects != 10 {
+		t.Errorf("objects after recovery = %d", rep.Objects)
+	}
+	// Volume still fully usable.
+	oid := mustCreateObject(t, v2, "u", "post-crash")
+	if err := v2.AddName(oid, "UDEF", []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = v2.Check()
+	if !rep.Ok() {
+		t.Errorf("fsck after post-crash writes: %v", rep.Problems)
+	}
+}
+
+// TestCrashRecoveryWAL injects a device fault mid-operation on a
+// transactional volume, then recovers from the surviving image.
+func TestCrashRecoveryWAL(t *testing.T) {
+	mem := blockdev.NewMem(32768, blockdev.DefaultBlockSize)
+	fd := blockdev.NewFault(mem)
+	v, err := Create(fd, Options{Transactional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed pre-crash state.
+	oid := mustCreateObject(t, v, "u", "committed before crash")
+	if err := v.AddName(oid, "USER", []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject a fault soon: some operation's commit will fail partway.
+	fd.FailAfterWrites(10)
+	for i := 0; i < 50; i++ {
+		obj, err := v.OSD.CreateObject("u", osd.ModeRegular)
+		if err != nil {
+			break // the fault fired
+		}
+		if err := obj.WriteAt([]byte(fmt.Sprintf("doomed %d", i)), 0); err != nil {
+			break
+		}
+		obj.Close()
+	}
+	if !fd.Tripped() {
+		t.Fatal("fault never fired")
+	}
+
+	// "Reboot": reopen from the raw memory device.
+	v2, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	rep, err := v2.Check()
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if !rep.Ok() {
+		t.Errorf("fsck after WAL recovery: %v", rep.Problems)
+	}
+	// The committed pre-crash object must be intact.
+	ids, err := v2.Resolve(TV("USER", "u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == oid {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("committed pre-crash object lost")
+	}
+	// The volume must accept new work.
+	if _, err := v2.OSD.CreateObject("u", osd.ModeRegular); err != nil {
+		t.Fatalf("post-recovery create: %v", err)
+	}
+}
+
+func TestImagePluginThroughVolume(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "u", "")
+	px := make([]byte, 16*16)
+	for i := range px {
+		px[i] = byte(i)
+	}
+	bm, err := index.EncodeBitmap(16, 16, px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddName(oid, index.TagImage, bm); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := v.Resolve(TagValue{index.TagImage, bm})
+	if err != nil || !reflect.DeepEqual(ids, []OID{oid}) {
+		t.Errorf("image resolve = %v, %v", ids, err)
+	}
+}
+
+func TestObjectDataIntact(t *testing.T) {
+	v, dev := newVolume(t, Options{})
+	content := bytes.Repeat([]byte("hFAD!"), 40000) // 200 KB
+	obj, err := v.OSD.CreateObject("u", osd.ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.InsertAt(1000, []byte("INSERTED")); err != nil {
+		t.Fatal(err)
+	}
+	oid := obj.OID()
+	obj.Close()
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := v2.OSD.OpenObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(content)+8)
+	if _, err := obj2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	want := append(append(append([]byte{}, content[:1000]...), []byte("INSERTED")...), content[1000:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("data mismatch after reopen")
+	}
+}
+
+// Test helpers shared with explain_test.go.
+func blockdevNewMemForTest() *blockdev.MemDevice {
+	return blockdev.NewMem(32768, blockdev.DefaultBlockSize)
+}
+
+func extentConfigForTest(max uint32) extent.Config {
+	return extent.Config{MaxExtentBytes: max}
+}

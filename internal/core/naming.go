@@ -1,0 +1,596 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/btree"
+	"repro/internal/index"
+)
+
+// TagValue is one naming term: "an object is named by one or more
+// tag/value pairs. A tag tells hFAD how to interpret the value and in
+// which of multiple indexes to search."
+type TagValue struct {
+	Tag   string
+	Value []byte
+}
+
+// TV builds a TagValue from strings.
+func TV(tag, value string) TagValue { return TagValue{tag, []byte(value)} }
+
+// reverse-index key: oid (8 bytes BE) | tag | 0x00 | value.
+func revKey(oid OID, tag string, value []byte) []byte {
+	k := make([]byte, 0, 9+len(tag)+len(value))
+	var ob [8]byte
+	binary.BigEndian.PutUint64(ob[:], uint64(oid))
+	k = append(k, ob[:]...)
+	k = append(k, tag...)
+	k = append(k, 0x00)
+	return append(k, value...)
+}
+
+func revPrefix(oid OID) []byte {
+	var ob [8]byte
+	binary.BigEndian.PutUint64(ob[:], uint64(oid))
+	return ob[:]
+}
+
+func parseRevKey(k []byte) (TagValue, error) {
+	if len(k) < 9 {
+		return TagValue{}, fmt.Errorf("%w: short reverse key", ErrQuery)
+	}
+	rest := k[8:]
+	for i, b := range rest {
+		if b == 0x00 {
+			return TagValue{Tag: string(rest[:i]), Value: append([]byte(nil), rest[i+1:]...)}, nil
+		}
+	}
+	return TagValue{}, fmt.Errorf("%w: unterminated reverse key", ErrQuery)
+}
+
+// AddName attaches a (tag, value) name to the object. For the FULLTEXT
+// tag the value is document text to analyze; its reverse entry records
+// only the tag (the text itself is not a recoverable name).
+func (v *Volume) AddName(oid OID, tag string, value []byte) error {
+	st, err := v.registry.Get(tag)
+	if err != nil {
+		return err
+	}
+	if err := st.Insert(value, oid); err != nil {
+		return err
+	}
+	revVal := value
+	if tag == index.TagFulltext || tag == index.TagImage {
+		revVal = nil // content, not a name
+	}
+	if err := v.reverse.Put(revKey(oid, tag, revVal), nil); err != nil {
+		return err
+	}
+	return v.commit()
+}
+
+// RemoveName detaches a (tag, value) name.
+func (v *Volume) RemoveName(oid OID, tag string, value []byte) error {
+	st, err := v.registry.Get(tag)
+	if err != nil {
+		return err
+	}
+	if err := st.Remove(value, oid); err != nil {
+		return err
+	}
+	revVal := value
+	if tag == index.TagFulltext || tag == index.TagImage {
+		revVal = nil
+	}
+	if err := v.reverse.Delete(revKey(oid, tag, revVal)); err != nil && err != btree.ErrNotFound {
+		return err
+	}
+	return v.commit()
+}
+
+// Names lists all names attached to the object.
+func (v *Volume) Names(oid OID) ([]TagValue, error) {
+	var out []TagValue
+	var inner error
+	err := v.reverse.ScanPrefix(revPrefix(oid), func(k, _ []byte) bool {
+		tv, err := parseRevKey(k)
+		if err != nil {
+			inner = err
+			return false
+		}
+		out = append(out, tv)
+		return true
+	})
+	if inner != nil {
+		return nil, inner
+	}
+	return out, err
+}
+
+// RemoveAllNames strips every name from the object (used before deletion:
+// "only the identifier for the data in the OSD layer must be unique" —
+// once the names are gone, the object is unreachable except by ID).
+func (v *Volume) RemoveAllNames(oid OID) error {
+	names, err := v.Names(oid)
+	if err != nil {
+		return err
+	}
+	for _, tv := range names {
+		st, err := v.registry.Get(tv.Tag)
+		if err != nil {
+			return err
+		}
+		if err := st.Remove(tv.Value, oid); err != nil {
+			return err
+		}
+		if err := v.reverse.Delete(revKey(oid, tv.Tag, tv.Value)); err != nil && err != btree.ErrNotFound {
+			return err
+		}
+	}
+	return v.commit()
+}
+
+// DeleteObject removes all names and destroys the object.
+func (v *Volume) DeleteObject(oid OID) error {
+	if err := v.RemoveAllNames(oid); err != nil {
+		return err
+	}
+	return v.OSD.DeleteObject(oid)
+}
+
+// Resolve is the paper's naming operation: a vector of tag/value pairs
+// whose result is "the conjunction of the results of an index lookup for
+// each element in the vector". The ID tag short-circuits through the OSD
+// (FastPath row of Table 1). Results are ascending by OID; "naming
+// operations can return multiple items" and "no query need uniquely
+// define a data item".
+func (v *Volume) Resolve(pairs ...TagValue) ([]OID, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%w: empty naming vector", ErrQuery)
+	}
+	qs := make([]Query, len(pairs))
+	for i, p := range pairs {
+		qs[i] = Term{p.Tag, p.Value}
+	}
+	return v.Query(And{qs})
+}
+
+// ResolveOne resolves to exactly one object, erring on zero results; with
+// multiple results the lowest OID wins (callers wanting sets use Resolve).
+func (v *Volume) ResolveOne(pairs ...TagValue) (OID, error) {
+	ids, err := v.Resolve(pairs...)
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, ErrNotFound
+	}
+	return ids[0], nil
+}
+
+// --- boolean queries ---
+
+// Query is a boolean tree over naming terms; the paper's open question
+// "should [index stores] support arbitrary boolean queries?" answered
+// affirmatively with a small planner.
+type Query interface{ isQuery() }
+
+// Term matches objects named (Tag, Value).
+type Term struct {
+	Tag   string
+	Value []byte
+}
+
+// Range matches objects whose Tag value lies in [Lo, Hi) — only for tags
+// whose store supports ordered lookup.
+type Range struct {
+	Tag    string
+	Lo, Hi []byte
+}
+
+// And is a conjunction of subqueries; Not children are applied as set
+// subtraction after the positive terms.
+type And struct{ Kids []Query }
+
+// Or is a disjunction of subqueries.
+type Or struct{ Kids []Query }
+
+// Not negates a subquery; valid only inside And (negation alone is
+// unbounded).
+type Not struct{ Kid Query }
+
+func (Term) isQuery()  {}
+func (Range) isQuery() {}
+func (And) isQuery()   {}
+func (Or) isQuery()    {}
+func (Not) isQuery()   {}
+
+// Query plans and executes q, returning matching OIDs ascending.
+//
+// Planning is deliberately small (another §4 question — "should they
+// include full-fledged query optimizers?" — answered with just
+// selectivity ordering): And terms are evaluated cheapest-estimated-first
+// so intersections shrink early.
+func (v *Volume) Query(q Query) ([]OID, error) {
+	ids, err := v.eval(q)
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (v *Volume) eval(q Query) ([]OID, error) {
+	switch qq := q.(type) {
+	case Term:
+		return v.evalTerm(qq)
+	case Range:
+		st, err := v.registry.Get(qq.Tag)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := st.(index.Ranged)
+		if !ok {
+			return nil, fmt.Errorf("%w: tag %q does not support ranges", ErrQuery, qq.Tag)
+		}
+		ids, err := r.RangeLookup(qq.Lo, qq.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return dedupSorted(ids), nil
+	case Or:
+		if len(qq.Kids) == 0 {
+			return nil, fmt.Errorf("%w: empty Or", ErrQuery)
+		}
+		var lists [][]OID
+		for _, kid := range qq.Kids {
+			if _, isNot := kid.(Not); isNot {
+				return nil, fmt.Errorf("%w: Not inside Or is unbounded", ErrQuery)
+			}
+			l, err := v.eval(kid)
+			if err != nil {
+				return nil, err
+			}
+			lists = append(lists, l)
+		}
+		return index.UnionOIDs(lists...), nil
+	case And:
+		return v.evalAnd(qq)
+	case Not:
+		return nil, fmt.Errorf("%w: bare Not is unbounded", ErrQuery)
+	default:
+		return nil, fmt.Errorf("%w: unknown query node %T", ErrQuery, q)
+	}
+}
+
+func (v *Volume) evalTerm(t Term) ([]OID, error) {
+	if t.Tag == index.TagID {
+		// FastPath: "a special tag, ID, indicates that the value is
+		// actually a unique object ID".
+		oid, err := parseOIDValue(t.Value)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := v.OSD.Stat(oid); err != nil {
+			return nil, nil // nonexistent: empty result, not an error
+		}
+		return []OID{oid}, nil
+	}
+	st, err := v.registry.Get(t.Tag)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := st.Lookup(t.Value)
+	if err != nil {
+		return nil, err
+	}
+	return dedupSorted(ids), nil
+}
+
+func parseOIDValue(v []byte) (OID, error) {
+	if len(v) == 8 {
+		return OID(binary.BigEndian.Uint64(v)), nil
+	}
+	n, err := strconv.ParseUint(string(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad ID value %q", ErrQuery, v)
+	}
+	return OID(n), nil
+}
+
+// evalAnd orders positive children by estimated selectivity, intersects
+// incrementally, then subtracts Not children.
+func (v *Volume) evalAnd(a And) ([]OID, error) {
+	if len(a.Kids) == 0 {
+		return nil, fmt.Errorf("%w: empty And", ErrQuery)
+	}
+	type planned struct {
+		q    Query
+		cost int
+	}
+	var pos []planned
+	var neg []Query
+	for _, kid := range a.Kids {
+		if n, ok := kid.(Not); ok {
+			neg = append(neg, n.Kid)
+			continue
+		}
+		pos = append(pos, planned{kid, v.estimate(kid)})
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("%w: And with only negations is unbounded", ErrQuery)
+	}
+	sort.SliceStable(pos, func(i, j int) bool { return pos[i].cost < pos[j].cost })
+	acc, err := v.eval(pos[0].q)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pos[1:] {
+		if len(acc) == 0 {
+			return nil, nil
+		}
+		next, err := v.eval(p.q)
+		if err != nil {
+			return nil, err
+		}
+		acc = index.IntersectOIDs(acc, next)
+	}
+	for _, nq := range neg {
+		if len(acc) == 0 {
+			return nil, nil
+		}
+		ex, err := v.eval(nq)
+		if err != nil {
+			return nil, err
+		}
+		acc = index.DiffOIDs(acc, ex)
+	}
+	return acc, nil
+}
+
+// PlanStep describes one element of an And plan: the subquery rendered,
+// its selectivity estimate, and its execution position.
+type PlanStep struct {
+	Rendered string
+	Estimate int
+	Negated  bool
+}
+
+// Explain returns the evaluation order the planner would use for q
+// without executing it — answering §4's "how much control should [index
+// stores] expose to filesystem clients?" with at least visibility.
+// Only And nodes reorder; other shapes return a single step.
+func (v *Volume) Explain(q Query) ([]PlanStep, error) {
+	a, ok := q.(And)
+	if !ok {
+		return []PlanStep{{Rendered: renderQuery(q), Estimate: v.estimate(q)}}, nil
+	}
+	if len(a.Kids) == 0 {
+		return nil, fmt.Errorf("%w: empty And", ErrQuery)
+	}
+	type planned struct {
+		q    Query
+		cost int
+	}
+	var pos []planned
+	var neg []Query
+	for _, kid := range a.Kids {
+		if n, isNot := kid.(Not); isNot {
+			neg = append(neg, n.Kid)
+			continue
+		}
+		pos = append(pos, planned{kid, v.estimate(kid)})
+	}
+	sort.SliceStable(pos, func(i, j int) bool { return pos[i].cost < pos[j].cost })
+	out := make([]PlanStep, 0, len(pos)+len(neg))
+	for _, p := range pos {
+		out = append(out, PlanStep{Rendered: renderQuery(p.q), Estimate: p.cost})
+	}
+	for _, nq := range neg {
+		out = append(out, PlanStep{Rendered: renderQuery(nq), Estimate: v.estimate(nq), Negated: true})
+	}
+	return out, nil
+}
+
+// renderQuery prints a query tree compactly for Explain output.
+func renderQuery(q Query) string {
+	switch qq := q.(type) {
+	case Term:
+		return fmt.Sprintf("%s=%q", qq.Tag, qq.Value)
+	case Range:
+		return fmt.Sprintf("%s∈[%q,%q)", qq.Tag, qq.Lo, qq.Hi)
+	case And:
+		s := "("
+		for i, k := range qq.Kids {
+			if i > 0 {
+				s += " ∧ "
+			}
+			s += renderQuery(k)
+		}
+		return s + ")"
+	case Or:
+		s := "("
+		for i, k := range qq.Kids {
+			if i > 0 {
+				s += " ∨ "
+			}
+			s += renderQuery(k)
+		}
+		return s + ")"
+	case Not:
+		return "¬" + renderQuery(qq.Kid)
+	default:
+		return fmt.Sprintf("%T", q)
+	}
+}
+
+// estimate returns a rough result-size bound for planning; unknown shapes
+// estimate large so they run last.
+func (v *Volume) estimate(q Query) int {
+	const unknown = 1 << 30
+	switch qq := q.(type) {
+	case Term:
+		if qq.Tag == index.TagID {
+			return 1
+		}
+		st, err := v.registry.Get(qq.Tag)
+		if err != nil {
+			return unknown
+		}
+		n, err := st.Count(qq.Value)
+		if err != nil {
+			return unknown
+		}
+		return n
+	case And:
+		best := unknown
+		for _, kid := range qq.Kids {
+			if _, isNot := kid.(Not); isNot {
+				continue
+			}
+			if e := v.estimate(kid); e < best {
+				best = e
+			}
+		}
+		return best
+	case Or:
+		total := 0
+		for _, kid := range qq.Kids {
+			total += v.estimate(kid)
+		}
+		return total
+	default:
+		return unknown
+	}
+}
+
+func dedupSorted(ids []OID) []OID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || v != ids[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// --- iterative search refinement (§4: "extend the notion of a 'current
+// directory' to be an iterative refinement of a search") ---
+
+// Search is an immutable refinement chain: each Refine narrows the result
+// set, Back pops to the previous scope — cd semantics for queries.
+type Search struct {
+	vol    *Volume
+	parent *Search
+	step   Query
+}
+
+// NewSearch starts an unrefined search (the root "directory").
+func (v *Volume) NewSearch() *Search { return &Search{vol: v} }
+
+// Refine returns a narrowed search (does not mutate the receiver).
+func (s *Search) Refine(q Query) *Search {
+	return &Search{vol: s.vol, parent: s, step: q}
+}
+
+// Back returns the enclosing search scope (nil-safe at the root).
+func (s *Search) Back() *Search {
+	if s.parent == nil {
+		return s
+	}
+	return s.parent
+}
+
+// Depth reports how many refinements are in effect.
+func (s *Search) Depth() int {
+	d := 0
+	for cur := s; cur.parent != nil; cur = cur.parent {
+		d++
+	}
+	return d
+}
+
+// Query renders the accumulated conjunction, or nil at the root.
+func (s *Search) Query() Query {
+	var kids []Query
+	for cur := s; cur.parent != nil; cur = cur.parent {
+		kids = append(kids, cur.step)
+	}
+	if len(kids) == 0 {
+		return nil
+	}
+	// Reverse into refinement order.
+	for i, j := 0, len(kids)-1; i < j; i, j = i+1, j-1 {
+		kids[i], kids[j] = kids[j], kids[i]
+	}
+	return And{kids}
+}
+
+// Results evaluates the current refinement; the root scope errs (an
+// unrefined search would enumerate the volume — use OSD.ForEach for that).
+func (s *Search) Results() ([]OID, error) {
+	q := s.Query()
+	if q == nil {
+		return nil, fmt.Errorf("%w: unrefined search", ErrQuery)
+	}
+	return s.vol.Query(q)
+}
+
+// --- content indexing (the paper's lazy full-text path) ---
+
+// IndexContent reads the object's bytes and indexes them as full text,
+// synchronously.
+func (v *Volume) IndexContent(oid OID) error {
+	text, err := v.readObjectText(oid)
+	if err != nil {
+		return err
+	}
+	return v.AddName(oid, index.TagFulltext, text)
+}
+
+// IndexContentLazy queues the object for the background indexer ("we use
+// background threads to perform lazy full-text indexing"). The caller
+// must have started the indexer via StartLazyIndexing.
+func (v *Volume) IndexContentLazy(oid OID) error {
+	text, err := v.readObjectText(oid)
+	if err != nil {
+		return err
+	}
+	if !v.ft.Inner().Enqueue(uint64(oid), string(text)) {
+		return fmt.Errorf("core: lazy indexer not running")
+	}
+	// Record the name relationship immediately; postings land when the
+	// background thread gets there.
+	return v.reverse.Put(revKey(oid, index.TagFulltext, nil), nil)
+}
+
+// StartLazyIndexing launches the background indexer.
+func (v *Volume) StartLazyIndexing(queueDepth int) { v.ft.Inner().StartLazy(queueDepth) }
+
+// WaitIndexIdle blocks until queued documents are searchable.
+func (v *Volume) WaitIndexIdle() { v.ft.Inner().WaitIdle() }
+
+func (v *Volume) readObjectText(oid OID) ([]byte, error) {
+	obj, err := v.OSD.OpenObject(oid)
+	if err != nil {
+		return nil, err
+	}
+	defer obj.Close()
+	size := obj.Size()
+	const maxIndexable = 4 << 20 // index at most 4 MiB of content
+	if size > maxIndexable {
+		size = maxIndexable
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,671 @@
+// Package core implements the hFAD volume: the native API of Figure 1.
+//
+// A volume ties the substrates together on one block device:
+//
+//	superblock (block 0)
+//	write-ahead log region (optional)
+//	allocator snapshot region
+//	data region: buddy-managed pages and extents holding
+//	    the OSD object table, per-object extent trees,
+//	    the index stores (KV, fulltext, image), and
+//	    the reverse (OID → names) index
+//
+// The public surface is the paper's two API halves: naming interfaces
+// that map tagged search terms to objects (AddName/RemoveName/Resolve/
+// Query), and access interfaces that manipulate an object once located
+// (Object read/write/insert/truncate-range, via the OSD layer).
+//
+// Durability: with Transactional set, every mutating operation commits its
+// dirty metadata pages to the WAL (force, no-steal), and crash recovery
+// replays committed images. Without it, the volume is flushed on Sync and
+// Close only — the paper's "the OSD may be transactional, but this is an
+// implementation decision" made concrete and measurable (experiment E10).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/btree"
+	"repro/internal/buddy"
+	"repro/internal/extent"
+	"repro/internal/fulltext"
+	"repro/internal/index"
+	"repro/internal/osd"
+	"repro/internal/pager"
+	"repro/internal/wal"
+)
+
+// Errors.
+var (
+	ErrBadSuperblock = errors.New("core: bad superblock")
+	ErrTooSmall      = errors.New("core: device too small")
+	ErrQuery         = errors.New("core: invalid query")
+	ErrNotFound      = errors.New("core: not found")
+)
+
+// OID aliases the OSD identifier.
+type OID = osd.OID
+
+// Superblock layout (block 0, little-endian):
+//
+//	[0:4]   magic
+//	[4:8]   version
+//	[8:12]  block size
+//	[12:16] flags (bit 0: transactional, bit 1: clean shutdown)
+//	[16:24] wal start block   [24:32] wal blocks
+//	[32:40] snapshot start    [40:48] snapshot blocks
+//	[48:56] data region start [56:64] data region blocks
+//	[64:72] OSD header page
+//	[72:80] catalog header page
+//	[80:84] crc32 of bytes [0:80]
+const (
+	sbMagic   = 0x68464144 // "hFAD"
+	sbVersion = 1
+
+	flagTransactional = 1 << 0
+	flagClean         = 1 << 1
+)
+
+// Options configures volume creation.
+type Options struct {
+	// Transactional enables the WAL.
+	Transactional bool
+	// WALBlocks sizes the log region (default 256 blocks).
+	WALBlocks uint64
+	// SnapshotBlocks sizes the allocator snapshot region (default 64).
+	SnapshotBlocks uint64
+	// CachePages sizes the buffer cache (default 1024).
+	CachePages int
+	// IndexShards shards the USER/UDEF/APP indexes (default 4).
+	IndexShards int
+	// ExtentConfig tunes object extent trees.
+	ExtentConfig extent.Config
+	// FulltextConfig tunes the inverted index.
+	FulltextConfig fulltext.Config
+	// Clock injects timestamps (tests); nil = time.Now.
+	Clock func() time.Time
+}
+
+func (o *Options) fill() {
+	if o.WALBlocks == 0 {
+		o.WALBlocks = 256
+	}
+	if o.SnapshotBlocks == 0 {
+		o.SnapshotBlocks = 64
+	}
+	if o.CachePages == 0 {
+		o.CachePages = 1024
+	}
+	if o.IndexShards == 0 {
+		o.IndexShards = 4
+	}
+}
+
+// Volume is an open hFAD volume.
+type Volume struct {
+	dev  blockdev.Device
+	opts Options
+	pg   *pager.Pager
+	ba   *buddy.Allocator
+	log  *wal.Log // nil when non-transactional
+	OSD  *osd.Store
+
+	catalog  *btree.Tree
+	reverse  *btree.Tree
+	registry *index.Registry
+	ft       *index.Fulltext
+	img      *index.ImageIndex
+	kvTrees  []*btree.Tree // every KV index btree, for fsck
+
+	dataStart, dataBlocks uint64
+	snapStart, snapBlocks uint64
+
+	commitMu sync.Mutex
+	closed   bool
+	mu       sync.Mutex
+}
+
+// pageAlloc adapts the buddy allocator for btrees.
+type pageAlloc struct{ ba *buddy.Allocator }
+
+func (a pageAlloc) AllocPage() (uint64, error) { return a.ba.Alloc(1) }
+func (a pageAlloc) FreePage(no uint64) error   { return a.ba.Free(no, 1) }
+
+// Create formats dev as a new hFAD volume.
+func Create(dev blockdev.Device, opts Options) (*Volume, error) {
+	opts.fill()
+	walBlocks := opts.WALBlocks
+	if !opts.Transactional {
+		walBlocks = 0
+	}
+	snapStart := 1 + walBlocks
+	dataStart := snapStart + opts.SnapshotBlocks
+	if dev.NumBlocks() <= dataStart+16 {
+		return nil, fmt.Errorf("%w: %d blocks, need > %d", ErrTooSmall, dev.NumBlocks(), dataStart+16)
+	}
+	dataBlocks := dev.NumBlocks() - dataStart
+
+	v := &Volume{
+		dev: dev, opts: opts,
+		ba:         buddy.New(dataStart, dataBlocks),
+		dataStart:  dataStart,
+		dataBlocks: dataBlocks,
+		snapStart:  snapStart,
+		snapBlocks: opts.SnapshotBlocks,
+		registry:   index.NewRegistry(),
+	}
+	v.pg = pager.New(dev, opts.CachePages, !opts.Transactional)
+	if opts.Transactional {
+		v.log = wal.New(dev, 1, walBlocks)
+	}
+
+	var err error
+	v.OSD, err = osd.Create(v.pg, v.ba, osd.Options{
+		Commit:       v.commitHook(),
+		ExtentConfig: opts.ExtentConfig,
+		Clock:        opts.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.catalog, err = btree.Create(v.pg, pageAlloc{v.ba})
+	if err != nil {
+		return nil, err
+	}
+	v.reverse, err = btree.Create(v.pg, pageAlloc{v.ba})
+	if err != nil {
+		return nil, err
+	}
+	if err := v.catalogPut("rev", v.reverse.HeaderPage()); err != nil {
+		return nil, err
+	}
+	// Persist tuning that changes on-device interpretation, so reopening
+	// with different Options cannot silently alter behaviour.
+	cfg := opts.ExtentConfig
+	cfg.Fill(dev.BlockSize())
+	if err := v.catalogPut("cfg/maxExtent", uint64(cfg.MaxExtentBytes)); err != nil {
+		return nil, err
+	}
+	if err := v.createIndexes(); err != nil {
+		return nil, err
+	}
+	if err := v.writeSuperblock(false); err != nil {
+		return nil, err
+	}
+	if err := v.commit(); err != nil {
+		return nil, err
+	}
+	if err := v.pg.Sync(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// createIndexes builds the standard Table 1 index stores plus the image
+// plug-in, recording headers in the catalog.
+func (v *Volume) createIndexes() error {
+	// Unsharded path indexes (prefix scans stay single-structure).
+	for _, tag := range []string{index.TagPOSIX, "PDIR"} {
+		kv, err := index.NewKVIndex(tag, v.pg, pageAlloc{v.ba})
+		if err != nil {
+			return err
+		}
+		if err := v.catalogPut("idx/"+tag+"/0", kv.HeaderPage()); err != nil {
+			return err
+		}
+		v.kvTrees = append(v.kvTrees, kv.Tree())
+		v.registry.Register(kv)
+	}
+	// Sharded attribute indexes.
+	for _, tag := range []string{index.TagUser, index.TagUDef, index.TagApp} {
+		var shards []index.Store
+		for i := 0; i < v.opts.IndexShards; i++ {
+			kv, err := index.NewKVIndex(tag, v.pg, pageAlloc{v.ba})
+			if err != nil {
+				return err
+			}
+			if err := v.catalogPut(fmt.Sprintf("idx/%s/%d", tag, i), kv.HeaderPage()); err != nil {
+				return err
+			}
+			v.kvTrees = append(v.kvTrees, kv.Tree())
+			shards = append(shards, kv)
+		}
+		if v.opts.IndexShards == 1 {
+			v.registry.Register(shards[0].(*index.KVIndex))
+		} else {
+			v.registry.Register(index.NewSharded(tag, shards))
+		}
+	}
+	ftIdx, err := fulltext.Create(v.pg, pageAlloc{v.ba}, v.opts.FulltextConfig)
+	if err != nil {
+		return err
+	}
+	if err := v.catalogPut("ft", ftIdx.ManifestPage()); err != nil {
+		return err
+	}
+	v.ft = index.NewFulltext(ftIdx)
+	v.registry.Register(v.ft)
+
+	v.img, err = index.NewImageIndex(v.pg, pageAlloc{v.ba})
+	if err != nil {
+		return err
+	}
+	if err := v.catalogPut("img", v.img.HeaderPage()); err != nil {
+		return err
+	}
+	v.registry.Register(v.img)
+	return nil
+}
+
+func (v *Volume) catalogPut(key string, pno uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], pno)
+	return v.catalog.Put([]byte(key), b[:])
+}
+
+func (v *Volume) catalogGet(key string) (uint64, error) {
+	b, err := v.catalog.Get([]byte(key))
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// writeSuperblock persists block 0 directly (not through the pager, so it
+// never participates in WAL logging).
+func (v *Volume) writeSuperblock(clean bool) error {
+	b := make([]byte, v.dev.BlockSize())
+	binary.LittleEndian.PutUint32(b[0:], sbMagic)
+	binary.LittleEndian.PutUint32(b[4:], sbVersion)
+	binary.LittleEndian.PutUint32(b[8:], uint32(v.dev.BlockSize()))
+	var flags uint32
+	if v.opts.Transactional {
+		flags |= flagTransactional
+	}
+	if clean {
+		flags |= flagClean
+	}
+	binary.LittleEndian.PutUint32(b[12:], flags)
+	walBlocks := uint64(0)
+	if v.opts.Transactional {
+		walBlocks = v.opts.WALBlocks
+	}
+	binary.LittleEndian.PutUint64(b[16:], 1)
+	binary.LittleEndian.PutUint64(b[24:], walBlocks)
+	binary.LittleEndian.PutUint64(b[32:], v.snapStart)
+	binary.LittleEndian.PutUint64(b[40:], v.snapBlocks)
+	binary.LittleEndian.PutUint64(b[48:], v.dataStart)
+	binary.LittleEndian.PutUint64(b[56:], v.dataBlocks)
+	binary.LittleEndian.PutUint64(b[64:], v.OSD.HeaderPage())
+	binary.LittleEndian.PutUint64(b[72:], v.catalog.HeaderPage())
+	binary.LittleEndian.PutUint32(b[80:], crc32.ChecksumIEEE(b[:80]))
+	return v.dev.WriteBlock(0, b)
+}
+
+type superblock struct {
+	transactional         bool
+	clean                 bool
+	walStart, walBlocks   uint64
+	snapStart, snapBlocks uint64
+	dataStart, dataBlocks uint64
+	osdHeader             uint64
+	catalogHeader         uint64
+}
+
+func readSuperblock(dev blockdev.Device) (*superblock, error) {
+	b := make([]byte, dev.BlockSize())
+	if err := dev.ReadBlock(0, b); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != sbMagic {
+		return nil, fmt.Errorf("%w: magic mismatch", ErrBadSuperblock)
+	}
+	if binary.LittleEndian.Uint32(b[80:]) != crc32.ChecksumIEEE(b[:80]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSuperblock)
+	}
+	if got := binary.LittleEndian.Uint32(b[8:]); got != uint32(dev.BlockSize()) {
+		return nil, fmt.Errorf("%w: block size %d, device has %d", ErrBadSuperblock, got, dev.BlockSize())
+	}
+	flags := binary.LittleEndian.Uint32(b[12:])
+	return &superblock{
+		transactional: flags&flagTransactional != 0,
+		clean:         flags&flagClean != 0,
+		walStart:      binary.LittleEndian.Uint64(b[16:]),
+		walBlocks:     binary.LittleEndian.Uint64(b[24:]),
+		snapStart:     binary.LittleEndian.Uint64(b[32:]),
+		snapBlocks:    binary.LittleEndian.Uint64(b[40:]),
+		dataStart:     binary.LittleEndian.Uint64(b[48:]),
+		dataBlocks:    binary.LittleEndian.Uint64(b[56:]),
+		osdHeader:     binary.LittleEndian.Uint64(b[64:]),
+		catalogHeader: binary.LittleEndian.Uint64(b[72:]),
+	}, nil
+}
+
+// Open loads an existing volume, performing WAL recovery and allocator
+// reconstruction as needed.
+func Open(dev blockdev.Device, opts Options) (*Volume, error) {
+	opts.fill()
+	sb, err := readSuperblock(dev)
+	if err != nil {
+		return nil, err
+	}
+	opts.Transactional = sb.transactional
+
+	v := &Volume{
+		dev: dev, opts: opts,
+		dataStart:  sb.dataStart,
+		dataBlocks: sb.dataBlocks,
+		snapStart:  sb.snapStart,
+		snapBlocks: sb.snapBlocks,
+		registry:   index.NewRegistry(),
+	}
+	v.pg = pager.New(dev, opts.CachePages, !sb.transactional)
+
+	// Recover the WAL first so all metadata pages are current.
+	if sb.transactional {
+		v.log = wal.New(dev, sb.walStart, sb.walBlocks)
+		if _, err := v.log.Recover(func(pno uint64, data []byte) error {
+			if len(data) != dev.BlockSize() {
+				return fmt.Errorf("%w: logged page has %d bytes", ErrBadSuperblock, len(data))
+			}
+			return dev.WriteBlock(pno, data)
+		}); err != nil {
+			return nil, err
+		}
+		if err := v.log.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Allocator: restore the snapshot on clean shutdown, else rebuild
+	// from reachability after loading the trees.
+	if sb.clean {
+		snap, err := v.readSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		v.ba, err = buddy.Restore(snap)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Placeholder; replaced after structures load.
+		v.ba = buddy.New(sb.dataStart, sb.dataBlocks)
+	}
+
+	v.OSD, err = osd.Open(v.pg, v.ba, sb.osdHeader, osd.Options{
+		Commit:       v.commitHook(),
+		ExtentConfig: opts.ExtentConfig,
+		Clock:        opts.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.catalog, err = btree.Open(v.pg, pageAlloc{v.ba}, sb.catalogHeader)
+	if err != nil {
+		return nil, err
+	}
+	revPno, err := v.catalogGet("rev")
+	if err != nil {
+		return nil, err
+	}
+	v.reverse, err = btree.Open(v.pg, pageAlloc{v.ba}, revPno)
+	if err != nil {
+		return nil, err
+	}
+	// The persisted extent tuning wins over whatever the caller passed.
+	if maxExt, cerr := v.catalogGet("cfg/maxExtent"); cerr == nil && maxExt != 0 {
+		v.opts.ExtentConfig.MaxExtentBytes = uint32(maxExt)
+	}
+	if err := v.openIndexes(); err != nil {
+		return nil, err
+	}
+	if !sb.clean {
+		if err := v.rebuildAllocator(); err != nil {
+			return nil, err
+		}
+	}
+	// Mark the volume dirty while open.
+	if err := v.writeSuperblock(false); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (v *Volume) openIndexes() error {
+	for _, tag := range []string{index.TagPOSIX, "PDIR"} {
+		pno, err := v.catalogGet("idx/" + tag + "/0")
+		if err != nil {
+			return err
+		}
+		kv, err := index.OpenKVIndex(tag, v.pg, pageAlloc{v.ba}, pno)
+		if err != nil {
+			return err
+		}
+		v.kvTrees = append(v.kvTrees, kv.Tree())
+		v.registry.Register(kv)
+	}
+	for _, tag := range []string{index.TagUser, index.TagUDef, index.TagApp} {
+		var shards []index.Store
+		for i := 0; ; i++ {
+			pno, err := v.catalogGet(fmt.Sprintf("idx/%s/%d", tag, i))
+			if err == btree.ErrNotFound {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			kv, err := index.OpenKVIndex(tag, v.pg, pageAlloc{v.ba}, pno)
+			if err != nil {
+				return err
+			}
+			v.kvTrees = append(v.kvTrees, kv.Tree())
+			shards = append(shards, kv)
+		}
+		if len(shards) == 0 {
+			return fmt.Errorf("%w: no shards for %s", ErrBadSuperblock, tag)
+		}
+		if len(shards) == 1 {
+			v.registry.Register(shards[0].(*index.KVIndex))
+		} else {
+			v.registry.Register(index.NewSharded(tag, shards))
+		}
+	}
+	ftPno, err := v.catalogGet("ft")
+	if err != nil {
+		return err
+	}
+	ftIdx, err := fulltext.Open(v.pg, pageAlloc{v.ba}, ftPno, v.opts.FulltextConfig)
+	if err != nil {
+		return err
+	}
+	v.ft = index.NewFulltext(ftIdx)
+	v.registry.Register(v.ft)
+
+	imgPno, err := v.catalogGet("img")
+	if err != nil {
+		return err
+	}
+	v.img, err = index.OpenImageIndex(v.pg, pageAlloc{v.ba}, imgPno)
+	if err != nil {
+		return err
+	}
+	v.registry.Register(v.img)
+	return nil
+}
+
+// commitHook returns the OSD's commit callback (nil if non-transactional).
+func (v *Volume) commitHook() func() error {
+	return func() error { return v.commit() }
+}
+
+// commit logs all dirty metadata pages and forces them home.
+func (v *Volume) commit() error {
+	if v.log == nil {
+		return nil
+	}
+	v.commitMu.Lock()
+	defer v.commitMu.Unlock()
+	dirty := v.pg.DirtyPages()
+	if len(dirty) == 0 {
+		return nil
+	}
+	txn := v.log.Begin()
+	for pno, data := range dirty {
+		txn.LogPage(pno, data)
+	}
+	err := txn.Commit()
+	if errors.Is(err, wal.ErrFull) {
+		// The completed operation's pages are a consistent state; flush
+		// them home, reset the log, and the commit becomes a no-op.
+		if err := v.pg.FlushDirty(); err != nil {
+			return err
+		}
+		if err := v.dev.Sync(); err != nil {
+			return err
+		}
+		return v.log.Checkpoint()
+	}
+	if err != nil {
+		return err
+	}
+	// Force policy: write the committed pages home now.
+	if err := v.pg.FlushDirty(); err != nil {
+		return err
+	}
+	if v.log.Used() > v.log.Capacity()/2 {
+		if err := v.dev.Sync(); err != nil {
+			return err
+		}
+		return v.log.Checkpoint()
+	}
+	return nil
+}
+
+// Allocator exposes the buddy allocator (experiments, fsck).
+func (v *Volume) Allocator() *buddy.Allocator { return v.ba }
+
+// Pager exposes the buffer cache (experiments, fsck).
+func (v *Volume) Pager() *pager.Pager { return v.pg }
+
+// WAL returns the log, or nil when non-transactional.
+func (v *Volume) WAL() *wal.Log { return v.log }
+
+// Registry exposes the index-store registry (plug-in extension point).
+func (v *Volume) Registry() *index.Registry { return v.registry }
+
+// Fulltext returns the full-text adapter (for lazy indexing control).
+func (v *Volume) Fulltext() *index.Fulltext { return v.ft }
+
+// Images returns the image plug-in index.
+func (v *Volume) Images() *index.ImageIndex { return v.img }
+
+// readSnapshot loads the allocator snapshot region.
+func (v *Volume) readSnapshot() ([]byte, error) {
+	bs := v.dev.BlockSize()
+	buf := make([]byte, bs)
+	if err := v.dev.ReadBlock(v.snapStart, buf); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	if n > (v.snapBlocks*uint64(bs))-8 {
+		return nil, fmt.Errorf("%w: snapshot length %d", ErrBadSuperblock, n)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, buf[8:min(int(n)+8, bs)]...)
+	blk := v.snapStart + 1
+	for uint64(len(out)) < n {
+		if err := v.dev.ReadBlock(blk, buf); err != nil {
+			return nil, err
+		}
+		remain := int(n) - len(out)
+		out = append(out, buf[:min(remain, bs)]...)
+		blk++
+	}
+	return out, nil
+}
+
+// writeSnapshot persists the allocator state into the snapshot region.
+func (v *Volume) writeSnapshot() error {
+	snap := v.ba.Snapshot()
+	bs := v.dev.BlockSize()
+	capacity := v.snapBlocks*uint64(bs) - 8
+	if uint64(len(snap)) > capacity {
+		return fmt.Errorf("core: allocator snapshot %d bytes exceeds region %d", len(snap), capacity)
+	}
+	buf := make([]byte, bs)
+	binary.LittleEndian.PutUint64(buf, uint64(len(snap)))
+	n := copy(buf[8:], snap)
+	if err := v.dev.WriteBlock(v.snapStart, buf); err != nil {
+		return err
+	}
+	blk := v.snapStart + 1
+	for n < len(snap) {
+		for i := range buf {
+			buf[i] = 0
+		}
+		m := copy(buf, snap[n:])
+		if err := v.dev.WriteBlock(blk, buf); err != nil {
+			return err
+		}
+		n += m
+		blk++
+	}
+	return nil
+}
+
+// Sync flushes all state to the device without closing.
+func (v *Volume) Sync() error {
+	if err := v.commit(); err != nil {
+		return err
+	}
+	if err := v.pg.Sync(); err != nil {
+		return err
+	}
+	return v.dev.Sync()
+}
+
+// Close cleanly shuts the volume down: flush, snapshot the allocator,
+// mark clean. The volume must not be used afterwards.
+func (v *Volume) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	if err := v.ft.Inner().Close(); err != nil && err != fulltext.ErrClosed {
+		return err
+	}
+	if err := v.Sync(); err != nil {
+		return err
+	}
+	if v.log != nil {
+		if err := v.log.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	if err := v.writeSnapshot(); err != nil {
+		return err
+	}
+	if err := v.writeSuperblock(true); err != nil {
+		return err
+	}
+	if err := v.dev.Sync(); err != nil {
+		return err
+	}
+	v.closed = true
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,214 @@
+package dsearch
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/hierfs"
+)
+
+func newFS(t *testing.T) *hierfs.FS {
+	t.Helper()
+	dev := blockdev.NewMem(32768, blockdev.DefaultBlockSize)
+	fs, err := hierfs.Mkfs(dev, hierfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFileDeviceRoundtrip(t *testing.T) {
+	fs := newFS(t)
+	dev, err := NewFileDevice(fs, "/dev.img", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, dev.BlockSize())
+	p[0] = 42
+	if err := dev.WriteBlock(7, p); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, dev.BlockSize())
+	if err := dev.ReadBlock(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Error("file device data mismatch")
+	}
+	// Unwritten blocks read as zeros (sparse file).
+	if err := dev.ReadBlock(50, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Error("sparse block not zero")
+	}
+	if err := dev.ReadBlock(64, got); !errors.Is(err, blockdev.ErrOutOfRange) {
+		t.Errorf("out of range = %v", err)
+	}
+	if err := dev.WriteBlock(0, make([]byte, 3)); !errors.Is(err, blockdev.ErrBadLength) {
+		t.Errorf("bad length = %v", err)
+	}
+}
+
+func buildCorpus(t *testing.T, fs *hierfs.FS) {
+	t.Helper()
+	if err := fs.MkdirAll("/home/margo/docs", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/home/nick", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"/home/margo/docs/fs.txt":  "hierarchical file systems are dead",
+		"/home/margo/docs/bdb.txt": "berkeley db stores btrees on disk",
+		"/home/nick/notes.txt":     "lucene indexes text with segments",
+		"/home/nick/plan.txt":      "port lucene and berkeley db to the raw device",
+	}
+	for p, content := range files {
+		if err := fs.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrawlAndSearch(t *testing.T) {
+	fs := newFS(t)
+	buildCorpus(t, fs)
+	e, err := New(fs, "/index.db", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Crawl("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("crawled %d docs, want 4", n)
+	}
+	paths, err := e.Search("lucene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/home/nick/notes.txt", "/home/nick/plan.txt"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("Search(lucene) = %v", paths)
+	}
+	// Conjunction.
+	paths, err = e.Search("lucene", "berkeley")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(paths, []string{"/home/nick/plan.txt"}) {
+		t.Errorf("conjunction = %v", paths)
+	}
+	// Absent term.
+	paths, err = e.Search("zfs")
+	if err != nil || len(paths) != 0 {
+		t.Errorf("absent = %v, %v", paths, err)
+	}
+}
+
+func TestSearchBeforeCrawl(t *testing.T) {
+	fs := newFS(t)
+	e, err := New(fs, "/index.db", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search("x"); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("premature search = %v", err)
+	}
+}
+
+func TestIndexFileDoesNotIndexItself(t *testing.T) {
+	fs := newFS(t)
+	buildCorpus(t, fs)
+	e, err := New(fs, "/index.db", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Crawl("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("crawl touched the index file: %d docs", n)
+	}
+}
+
+func TestSearchToDataCountsTraversals(t *testing.T) {
+	fs := newFS(t)
+	buildCorpus(t, fs)
+	e, err := New(fs, "/index.db", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Crawl("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	paths, st, err := e.SearchToData("hierarchical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if st.SearchIndexLevels == 0 {
+		t.Error("no search-index levels recorded")
+	}
+	// /home/margo/docs/fs.txt = 4 components.
+	if st.DirLookups != 4 {
+		t.Errorf("DirLookups = %d, want 4", st.DirLookups)
+	}
+	// ≥ 4 index traversals, as §2.3 argues.
+	if got := st.IndexTraversals(); got < 4 {
+		t.Errorf("IndexTraversals = %d, want ≥ 4", got)
+	}
+}
+
+func TestLargeCorpusAcrossIndexFileIndirection(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.MkdirAll("/corpus", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Enough documents that the index btree spans many file blocks and
+	// the index file needs indirect pointers.
+	for i := 0; i < 300; i++ {
+		content := fmt.Sprintf("document number%d with shared vocabulary alpha beta gamma delta", i)
+		if err := fs.WriteFile(fmt.Sprintf("/corpus/d%03d.txt", i), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(fs, "/index.db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Crawl("/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("crawled %d", n)
+	}
+	paths, err := e.Search("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 300 {
+		t.Errorf("alpha in %d docs, want 300", len(paths))
+	}
+	paths, err = e.Search("number123")
+	if err != nil || len(paths) != 1 {
+		t.Errorf("number123 = %v, %v", paths, err)
+	}
+	// The engine's page reads went through the hierfs file: the file
+	// system recorded pointer-walk work on behalf of the index.
+	if fs.Stats().IndirectHops == 0 {
+		t.Error("index file I/O never walked the file's physical index")
+	}
+}

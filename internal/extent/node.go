@@ -1,0 +1,350 @@
+package extent
+
+import (
+	"fmt"
+)
+
+// insertCellAt inserts extent e at cell index idx of the leaf at the end
+// of path, splitting the leaf (and ancestors) as needed, and maintains all
+// subtree byte counts. Callers hold the tree lock.
+func (t *Tree) insertCellAt(path []pathElem, leafPno uint64, idx int, e Extent) error {
+	pg, err := t.pg.Acquire(leafPno)
+	if err != nil {
+		return err
+	}
+	n := nodeRef{pg.Data()}
+	if n.typ() != pageLeaf {
+		t.pg.Release(pg)
+		return fmt.Errorf("%w: insert into non-leaf %d", ErrCorrupt, leafPno)
+	}
+	if n.ncells() < t.leafCap() {
+		n.insertLeafCell(idx, e)
+		t.pg.MarkDirty(pg)
+		t.pg.Release(pg)
+		t.extents++
+		return t.bumpCounts(path, int64(e.Len))
+	}
+
+	// Leaf full: gather cells with the new one included, split in half.
+	cnt := n.ncells()
+	cells := make([]Extent, 0, cnt+1)
+	for i := 0; i < cnt; i++ {
+		cells = append(cells, n.leafCell(i))
+	}
+	cells = append(cells[:idx], append([]Extent{e}, cells[idx:]...)...)
+	mid := len(cells) / 2
+
+	rightPno, err := t.ba.Alloc(1)
+	if err != nil {
+		t.pg.Release(pg)
+		return err
+	}
+	rpg, err := t.pg.AcquireZero(rightPno)
+	if err != nil {
+		t.pg.Release(pg)
+		return err
+	}
+	rn := nodeRef{rpg.Data()}
+	rn.data[offType] = pageLeaf
+	for i := mid; i < len(cells); i++ {
+		rn.setLeafCell(i-mid, cells[i])
+	}
+	rn.setNCells(len(cells) - mid)
+
+	oldNext := n.next()
+	// Rewrite left leaf in place.
+	for i := 0; i < mid; i++ {
+		n.setLeafCell(i, cells[i])
+	}
+	n.setNCells(mid)
+
+	// Chain: left <-> right <-> oldNext.
+	rn.setNext(oldNext)
+	rn.setPrev(leafPno)
+	n.setNext(rightPno)
+
+	leftSum := n.leafSum()
+	rightSum := rn.leafSum()
+	t.pg.MarkDirty(pg)
+	t.pg.MarkDirty(rpg)
+	t.pg.Release(rpg)
+	t.pg.Release(pg)
+	if oldNext != 0 {
+		npg, err := t.pg.Acquire(oldNext)
+		if err != nil {
+			return err
+		}
+		nodeRef{npg.Data()}.setPrev(rightPno)
+		t.pg.MarkDirty(npg)
+		t.pg.Release(npg)
+	}
+	t.extents++
+	t.addStat(func(s *Stats) { s.Splits++ })
+	return t.propagateSplit(path, leafPno, leftSum, rightPno, rightSum)
+}
+
+// propagateSplit records in the parent that child leftPno now holds
+// leftSum bytes and a new sibling rightPno with rightSum bytes follows it,
+// splitting ancestors as necessary. Counts above the split level are
+// corrected by the byte delta implied by the sums.
+func (t *Tree) propagateSplit(path []pathElem, leftPno uint64, leftSum uint64, rightPno uint64, rightSum uint64) error {
+	if len(path) == 0 {
+		// Split the root: new internal root with the two children.
+		newRoot, err := t.ba.Alloc(1)
+		if err != nil {
+			return err
+		}
+		pg, err := t.pg.AcquireZero(newRoot)
+		if err != nil {
+			return err
+		}
+		n := nodeRef{pg.Data()}
+		n.data[offType] = pageInternal
+		n.setChildCell(0, childEntry{leftPno, leftSum})
+		n.setChildCell(1, childEntry{rightPno, rightSum})
+		n.setNCells(2)
+		t.pg.MarkDirty(pg)
+		t.pg.Release(pg)
+		t.root = newRoot
+		t.height++
+		return nil
+	}
+
+	pe := path[len(path)-1]
+	pg, err := t.pg.Acquire(pe.pno)
+	if err != nil {
+		return err
+	}
+	n := nodeRef{pg.Data()}
+	old := n.childCell(pe.idx)
+	if old.child != leftPno {
+		t.pg.Release(pg)
+		return fmt.Errorf("%w: parent cell %d points to %d, want %d", ErrCorrupt, pe.idx, old.child, leftPno)
+	}
+	delta := int64(leftSum+rightSum) - int64(old.bytes)
+	n.setChildCell(pe.idx, childEntry{leftPno, leftSum})
+
+	if n.ncells() < t.internalCap() {
+		n.insertChildCell(pe.idx+1, childEntry{rightPno, rightSum})
+		t.pg.MarkDirty(pg)
+		t.pg.Release(pg)
+		return t.bumpCounts(path[:len(path)-1], delta)
+	}
+
+	// Parent full: split it too.
+	cnt := n.ncells()
+	entries := make([]childEntry, 0, cnt+1)
+	for i := 0; i < cnt; i++ {
+		entries = append(entries, n.childCell(i))
+	}
+	at := pe.idx + 1
+	entries = append(entries[:at], append([]childEntry{{rightPno, rightSum}}, entries[at:]...)...)
+	mid := len(entries) / 2
+
+	newRight, err := t.ba.Alloc(1)
+	if err != nil {
+		t.pg.Release(pg)
+		return err
+	}
+	rpg, err := t.pg.AcquireZero(newRight)
+	if err != nil {
+		t.pg.Release(pg)
+		return err
+	}
+	rn := nodeRef{rpg.Data()}
+	rn.data[offType] = pageInternal
+	for i := mid; i < len(entries); i++ {
+		rn.setChildCell(i-mid, entries[i])
+	}
+	rn.setNCells(len(entries) - mid)
+
+	for i := 0; i < mid; i++ {
+		n.setChildCell(i, entries[i])
+	}
+	n.setNCells(mid)
+
+	leftTotal := n.childSum()
+	rightTotal := rn.childSum()
+	t.pg.MarkDirty(pg)
+	t.pg.MarkDirty(rpg)
+	t.pg.Release(rpg)
+	t.pg.Release(pg)
+	t.addStat(func(s *Stats) { s.Splits++ })
+	return t.propagateSplit(path[:len(path)-1], pe.pno, leftTotal, newRight, rightTotal)
+}
+
+// removeCellAt deletes the cell at idx of the leaf at the end of path,
+// maintaining counts and lazily merging underfull nodes. The extent's
+// storage is NOT freed here (callers free allocations).
+func (t *Tree) removeCellAt(path []pathElem, leafPno uint64, idx int) error {
+	pg, err := t.pg.Acquire(leafPno)
+	if err != nil {
+		return err
+	}
+	n := nodeRef{pg.Data()}
+	e := n.leafCell(idx)
+	n.removeLeafCell(idx)
+	t.pg.MarkDirty(pg)
+	underfull := n.ncells() < t.leafCap()/4
+	t.pg.Release(pg)
+	t.extents--
+	if err := t.bumpCounts(path, -int64(e.Len)); err != nil {
+		return err
+	}
+	if underfull && len(path) > 0 {
+		return t.maybeMerge(path, leafPno)
+	}
+	return nil
+}
+
+// maybeMerge merges the node at nodePno with an adjacent sibling when
+// their combined cells fit in one page (lazy, merge-only rebalancing).
+func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
+	pe := path[len(path)-1]
+	ppg, err := t.pg.Acquire(pe.pno)
+	if err != nil {
+		return err
+	}
+	pn := nodeRef{ppg.Data()}
+	cnt := pn.ncells()
+	if pn.childCell(pe.idx).child != nodePno {
+		t.pg.Release(ppg)
+		return fmt.Errorf("%w: stale merge path", ErrCorrupt)
+	}
+
+	type pair struct{ li, ri int }
+	var pairs []pair
+	if pe.idx+1 < cnt {
+		pairs = append(pairs, pair{pe.idx, pe.idx + 1})
+	}
+	if pe.idx > 0 {
+		pairs = append(pairs, pair{pe.idx - 1, pe.idx})
+	}
+
+	for _, pr := range pairs {
+		left := pn.childCell(pr.li)
+		right := pn.childCell(pr.ri)
+		merged, err := t.tryMergeChildren(left.child, right.child)
+		if err != nil {
+			t.pg.Release(ppg)
+			return err
+		}
+		if !merged {
+			continue
+		}
+		// Parent: left entry absorbs right's bytes; right entry removed.
+		pn.setChildCell(pr.li, childEntry{left.child, left.bytes + right.bytes})
+		pn.removeChildCell(pr.ri)
+		t.pg.MarkDirty(ppg)
+		t.addStat(func(s *Stats) { s.Merges++ })
+
+		rootSingle := pe.pno == t.root && pn.ncells() == 1
+		var newRoot uint64
+		if rootSingle {
+			newRoot = pn.childCell(0).child
+		}
+		underfull := pn.ncells() < t.internalCap()/4
+		t.pg.Release(ppg)
+
+		if err := t.freePage(right.child); err != nil {
+			return err
+		}
+		if rootSingle {
+			if err := t.freePage(pe.pno); err != nil {
+				return err
+			}
+			t.root = newRoot
+			t.height--
+			return nil
+		}
+		if underfull && len(path) > 1 {
+			return t.maybeMerge(path[:len(path)-1], pe.pno)
+		}
+		return nil
+	}
+	t.pg.Release(ppg)
+	return nil
+}
+
+// tryMergeChildren merges rightPno's cells into leftPno if they fit.
+func (t *Tree) tryMergeChildren(leftPno, rightPno uint64) (bool, error) {
+	lpg, err := t.pg.Acquire(leftPno)
+	if err != nil {
+		return false, err
+	}
+	ln := nodeRef{lpg.Data()}
+	rpg, err := t.pg.Acquire(rightPno)
+	if err != nil {
+		t.pg.Release(lpg)
+		return false, err
+	}
+	rn := nodeRef{rpg.Data()}
+	if ln.typ() != rn.typ() {
+		t.pg.Release(rpg)
+		t.pg.Release(lpg)
+		return false, fmt.Errorf("%w: merge type mismatch", ErrCorrupt)
+	}
+	var capacity int
+	if ln.typ() == pageLeaf {
+		capacity = t.leafCap()
+	} else {
+		capacity = t.internalCap()
+	}
+	if ln.ncells()+rn.ncells() > capacity {
+		t.pg.Release(rpg)
+		t.pg.Release(lpg)
+		return false, nil
+	}
+	base := ln.ncells()
+	if ln.typ() == pageLeaf {
+		for i := 0; i < rn.ncells(); i++ {
+			ln.setLeafCell(base+i, rn.leafCell(i))
+		}
+		ln.setNCells(base + rn.ncells())
+		next := rn.next()
+		ln.setNext(next)
+		if next != 0 {
+			npg, err := t.pg.Acquire(next)
+			if err != nil {
+				t.pg.Release(rpg)
+				t.pg.Release(lpg)
+				return false, err
+			}
+			nodeRef{npg.Data()}.setPrev(leftPno)
+			t.pg.MarkDirty(npg)
+			t.pg.Release(npg)
+		}
+	} else {
+		for i := 0; i < rn.ncells(); i++ {
+			ln.setChildCell(base+i, rn.childCell(i))
+		}
+		ln.setNCells(base + rn.ncells())
+	}
+	t.pg.MarkDirty(lpg)
+	t.pg.Release(rpg)
+	t.pg.Release(lpg)
+	return true, nil
+}
+
+func (t *Tree) freePage(pno uint64) error {
+	if err := t.pg.Invalidate(pno); err != nil {
+		return err
+	}
+	return t.ba.Free(pno, 1)
+}
+
+// setLeafCellLen updates the Len of one cell and fixes counts along path.
+func (t *Tree) setLeafCellLen(path []pathElem, leafPno uint64, idx int, newLen uint32) error {
+	pg, err := t.pg.Acquire(leafPno)
+	if err != nil {
+		return err
+	}
+	n := nodeRef{pg.Data()}
+	e := n.leafCell(idx)
+	delta := int64(newLen) - int64(e.Len)
+	e.Len = newLen
+	n.setLeafCell(idx, e)
+	t.pg.MarkDirty(pg)
+	t.pg.Release(pg)
+	return t.bumpCounts(path, delta)
+}

@@ -1,0 +1,90 @@
+// Package fulltext implements the full-text index store hFAD uses for
+// FULLTEXT-tagged search, substituting for the Lucene port the paper
+// describes ("we use Lucene for full-text search indices, and we use
+// background threads to perform lazy full-text indexing").
+//
+// The design follows Lucene's segment model: documents are analyzed into
+// an in-memory buffer which is flushed as immutable on-device segments
+// (btree-backed, term → delta-encoded postings); segments are merged by
+// compaction; deletes are tombstones scoped to the segments that existed
+// at delete time, so re-added documents are not hidden by their own
+// tombstones. A background indexer provides the paper's lazy indexing;
+// experiment E9 measures the write-latency/freshness trade.
+package fulltext
+
+import "strings"
+
+// stopwords are excluded from the index; the list is the usual tiny
+// English core, enough to keep postings for function words from dominating.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "from": true,
+	"has": true, "have": true, "he": true, "in": true, "is": true,
+	"it": true, "its": true, "of": true, "on": true, "or": true,
+	"that": true, "the": true, "this": true, "to": true, "was": true,
+	"were": true, "will": true, "with": true,
+}
+
+// maxTokenLen truncates pathological tokens.
+const maxTokenLen = 64
+
+// Tokenize analyzes text into index terms: lower-cased alphanumeric runs,
+// stopwords removed, light suffix stripping applied. The same analyzer is
+// used at index and query time so terms always agree.
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := b.String()
+		b.Reset()
+		if len(tok) > maxTokenLen {
+			tok = tok[:maxTokenLen]
+		}
+		if stopwords[tok] {
+			return
+		}
+		tok = stem(tok)
+		if tok != "" && !stopwords[tok] {
+			out = append(out, tok)
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// stem applies a deliberately light suffix stripper (a fraction of Porter):
+// plural -ies/-es/-s and verbal -ing/-ed, with length guards so short words
+// pass through unchanged. Light stemming keeps recall reasonable without
+// the full algorithm's edge cases.
+func stem(tok string) string {
+	n := len(tok)
+	switch {
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(tok, "sses"):
+		return tok[:n-2]
+	case n > 3 && strings.HasSuffix(tok, "es") && !strings.HasSuffix(tok, "ses"):
+		return tok[:n-1] // "boxes" -> "boxe" is avoided below; keep -e form
+	case n > 3 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") && !strings.HasSuffix(tok, "us"):
+		return tok[:n-1]
+	case n > 5 && strings.HasSuffix(tok, "ing"):
+		return tok[:n-3]
+	case n > 4 && strings.HasSuffix(tok, "ed"):
+		return tok[:n-2]
+	default:
+		return tok
+	}
+}

@@ -1,0 +1,176 @@
+package hierfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+// TestFilesInheritDirectoryGroup verifies the FFS placement policy: files
+// cluster into their parent directory's cylinder group; directories
+// spread across groups.
+func TestFilesInheritDirectoryGroup(t *testing.T) {
+	dev := blockdev.NewMem(16384, blockdev.DefaultBlockSize)
+	fs, err := Mkfs(dev, Config{NGroups: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Write files alternating between the two directories.
+	for i := 0; i < 10; i++ {
+		for _, d := range []string{"/a", "/b"} {
+			p := fmt.Sprintf("%s/f%d", d, i)
+			if err := fs.WriteFile(p, bytes.Repeat([]byte("x"), 8192), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Collect each file's first physical block and check they cluster by
+	// directory, not by creation order.
+	groupOf := func(p string) uint64 {
+		ino, err := fs.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := fs.readInode(ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs.groupOf(in.Direct[0])
+	}
+	ga := groupOf("/a/f0")
+	gb := groupOf("/b/f0")
+	for i := 1; i < 10; i++ {
+		if g := groupOf(fmt.Sprintf("/a/f%d", i)); g != ga {
+			t.Errorf("/a/f%d in group %d, dir group %d", i, g, ga)
+		}
+		if g := groupOf(fmt.Sprintf("/b/f%d", i)); g != gb {
+			t.Errorf("/b/f%d in group %d, dir group %d", i, g, gb)
+		}
+	}
+	// Two directories created back to back land in different groups
+	// (inode-derived spread); if they collide the test setup is moot.
+	if ga == gb {
+		t.Skip("directories landed in the same group; spread policy is probabilistic by ino")
+	}
+}
+
+// TestGroupSurvivesRemount: the Group field persists in the inode.
+func TestGroupSurvivesRemount(t *testing.T) {
+	dev := blockdev.NewMem(8192, blockdev.DefaultBlockSize)
+	fs, err := Mkfs(dev, Config{NGroups: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ino, _ := fs.Lookup("/d/f")
+	in, _ := fs.readInode(ino)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := fs2.readInode(ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.Group != in.Group {
+		t.Errorf("group %d after remount, was %d", in2.Group, in.Group)
+	}
+	// Appending after remount stays in the same group.
+	if err := fs2.WriteAtIno(ino, bytes.Repeat([]byte("y"), 50000), 1); err != nil {
+		t.Fatal(err)
+	}
+	in3, _ := fs2.readInode(ino)
+	for i := 0; i < ndirect; i++ {
+		if in3.Direct[i] != 0 && fs2.groupOf(in3.Direct[i]) != uint64(in.Group) {
+			t.Errorf("block %d placed in group %d, want %d", i, fs2.groupOf(in3.Direct[i]), in.Group)
+		}
+	}
+}
+
+// TestDoubleIndirectTruncatePartial shrinks a file that uses the double
+// indirect region down into the single-indirect region and verifies both
+// content and block reclamation.
+func TestDoubleIndirectTruncatePartial(t *testing.T) {
+	dev := blockdev.NewMem(32768, blockdev.DefaultBlockSize)
+	fs, err := Mkfs(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := blockdev.DefaultBlockSize
+	// direct (12 blocks) + indirect (512) = 524 blocks; write 600 blocks
+	// to enter double-indirect territory.
+	size := 600 * bs
+	data := bytes.Repeat([]byte("Z"), size)
+	if err := fs.WriteFile("/big", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to 100 blocks (single-indirect range).
+	target := uint64(100 * bs)
+	if err := fs.Truncate("/big", target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(got)) != target || !bytes.Equal(got, data[:target]) {
+		t.Fatal("content wrong after deep truncate")
+	}
+	ino, _ := fs.Lookup("/big")
+	in, _ := fs.readInode(ino)
+	if in.DIndirect != 0 {
+		t.Error("double-indirect root not freed")
+	}
+	if in.Indirect == 0 {
+		t.Error("single-indirect unexpectedly freed")
+	}
+	// Regrow past the old size — must reuse freed space without error.
+	if err := fs.WriteAtIno(ino, data, 0); err != nil {
+		t.Fatalf("regrow: %v", err)
+	}
+	got, _ = fs.ReadFile("/big")
+	if !bytes.Equal(got, data) {
+		t.Fatal("content wrong after regrow")
+	}
+}
+
+// TestReadAtIsDirRejected and write-path mode checks.
+func TestDirDataOpsRejected(t *testing.T) {
+	dev := blockdev.NewMem(4096, blockdev.DefaultBlockSize)
+	fs, err := Mkfs(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := fs.ReadAt("/d", buf, 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("ReadAt(dir) = %v", err)
+	}
+	if err := fs.WriteAt("/d", buf, 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("WriteAt(dir) = %v", err)
+	}
+	if err := fs.Truncate("/d", 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Truncate(dir) = %v", err)
+	}
+	_ = io.EOF
+}

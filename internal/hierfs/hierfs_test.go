@@ -1,0 +1,419 @@
+package hierfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func newFS(t *testing.T, blocks uint64) (*FS, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(blocks, blockdev.DefaultBlockSize)
+	fs, err := Mkfs(dev, Config{})
+	if err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	return fs, dev
+}
+
+func TestMkfsAndRootStat(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	info, err := fs.Stat("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir() || info.Ino != rootIno {
+		t.Errorf("root = %+v", info)
+	}
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	if err := fs.WriteFile("/f.txt", []byte("ffs lives"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ffs lives" {
+		t.Errorf("ReadFile = %q", got)
+	}
+}
+
+func TestMkdirHierarchy(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	if err := fs.MkdirAll("/home/margo/photos", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/home/margo/photos/p1.jpg", []byte("jpeg"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/home/margo/photos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "p1.jpg" {
+		t.Errorf("entries = %+v", entries)
+	}
+	if _, err := fs.Lookup("/home/nick"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing lookup = %v", err)
+	}
+}
+
+func TestLargeFileIndirectBlocks(t *testing.T) {
+	fs, _ := newFS(t, 16384) // 64 MiB
+	// 12 direct blocks = 48 KiB; write 5 MiB to force double-indirect use.
+	big := bytes.Repeat([]byte("ABCDEFGH"), 5*1024*1024/8)
+	if err := fs.WriteFile("/big", big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large file corrupted")
+	}
+	if fs.Stats().IndirectHops == 0 {
+		t.Error("no indirect traversals recorded for a 5 MiB file")
+	}
+	// Sparse read inside.
+	buf := make([]byte, 100)
+	if _, err := fs.ReadAt("/big", buf, 3*1024*1024); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, big[3*1024*1024:3*1024*1024+100]) {
+		t.Error("mid-file read mismatch")
+	}
+}
+
+func TestTruncateFreesBlocks(t *testing.T) {
+	fs, _ := newFS(t, 8192)
+	data := bytes.Repeat([]byte("x"), 500000)
+	if err := fs.WriteFile("/t", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allocs := fs.Stats().BlockAllocs
+	if err := fs.Truncate("/t", 1000); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/t")
+	if info.Size != 1000 {
+		t.Errorf("Size = %d", info.Size)
+	}
+	// Rewrite: freed blocks must be reusable without growing allocations
+	// unboundedly.
+	if err := fs.WriteFile("/t2", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = allocs
+	got, _ := fs.ReadFile("/t")
+	if len(got) != 1000 {
+		t.Errorf("truncated read = %d bytes", len(got))
+	}
+}
+
+func TestRemoveAndReuse(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	for i := 0; i < 50; i++ {
+		p := fmt.Sprintf("/f%d", i)
+		if err := fs.WriteFile(p, []byte("data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := fs.Remove(fmt.Sprintf("/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := fs.ReadDir("/")
+	if len(entries) != 0 {
+		t.Errorf("root not empty: %+v", entries)
+	}
+	// Inodes must be reusable.
+	for i := 0; i < 50; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/g%d", i), []byte("x"), 0o644); err != nil {
+			t.Fatalf("reuse create %d: %v", i, err)
+		}
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty = %v", err)
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove missing = %v", err)
+	}
+}
+
+func TestHardLink(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	if err := fs.WriteFile("/a", []byte("linked"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := fs.Stat("/a")
+	ib, _ := fs.Stat("/b")
+	if ia.Ino != ib.Ino {
+		t.Error("link has different inode")
+	}
+	if ia.Nlink != 2 {
+		t.Errorf("nlink = %d", ia.Nlink)
+	}
+	if err := fs.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/b")
+	if err != nil || string(got) != "linked" {
+		t.Errorf("after unlink = %q, %v", got, err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	if err := fs.MkdirAll("/src", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/dst", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/src/f", []byte("moving"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/src/f", "/dst/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/src/f"); !errors.Is(err, ErrNotExist) {
+		t.Error("old name survives")
+	}
+	got, _ := fs.ReadFile("/dst/g")
+	if string(got) != "moving" {
+		t.Errorf("moved = %q", got)
+	}
+	// Renaming a directory moves the whole subtree with one entry edit.
+	if err := fs.WriteFile("/dst/h", []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/dst", "/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/renamed/g")
+	if err != nil || string(got) != "moving" {
+		t.Errorf("after dir rename = %q, %v", got, err)
+	}
+}
+
+func TestInsertAtShiftsTail(t *testing.T) {
+	fs, _ := newFS(t, 8192)
+	if err := fs.WriteFile("/doc", []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.InsertAt("/doc", 5, []byte(" brave")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/doc")
+	if string(got) != "hello brave world" {
+		t.Errorf("after insert = %q", got)
+	}
+	if fs.Stats().ShiftBytes != 6 { // " world"
+		t.Errorf("ShiftBytes = %d, want 6", fs.Stats().ShiftBytes)
+	}
+	// The tail shift grows linearly with file size — the O(n) baseline.
+	big := bytes.Repeat([]byte("z"), 200000)
+	if err := fs.WriteFile("/big", big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Stats().ShiftBytes
+	if err := fs.InsertAt("/big", 10, []byte("INS")); err != nil {
+		t.Fatal(err)
+	}
+	shifted := fs.Stats().ShiftBytes - before
+	if shifted != 200000-10 {
+		t.Errorf("shifted %d bytes, want %d", shifted, 200000-10)
+	}
+	if err := fs.InsertAt("/big", uint64(len(big)+100), []byte("x")); !errors.Is(err, ErrInvalid) {
+		t.Errorf("insert beyond EOF = %v", err)
+	}
+}
+
+func TestDeleteRangeAtShiftsTail(t *testing.T) {
+	fs, _ := newFS(t, 8192)
+	if err := fs.WriteFile("/doc", []byte("hello cruel world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.DeleteRangeAt("/doc", 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/doc")
+	if string(got) != "hello world" {
+		t.Errorf("after delete-range = %q", got)
+	}
+}
+
+func TestPathResolutionCountsLockAcquires(t *testing.T) {
+	fs, _ := newFS(t, 8192)
+	if err := fs.MkdirAll("/a/b/c/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/c/d/leaf", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	if _, err := fs.Lookup("/a/b/c/d/leaf"); err != nil {
+		t.Fatal(err)
+	}
+	s := fs.Stats()
+	if s.DirLookups != 5 {
+		t.Errorf("DirLookups = %d, want 5", s.DirLookups)
+	}
+	if s.LockAcquires != 5 {
+		t.Errorf("LockAcquires = %d, want 5 (every ancestor locked)", s.LockAcquires)
+	}
+}
+
+func TestGroupPreferredAllocation(t *testing.T) {
+	fs, _ := newFS(t, 16384)
+	if err := fs.WriteFile("/clustered", bytes.Repeat([]byte("y"), 100000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := fs.Stats()
+	if s.BlockAllocs == 0 {
+		t.Fatal("no allocations")
+	}
+	if s.GroupHits < s.BlockAllocs*3/4 {
+		t.Errorf("only %d/%d allocations hit the preferred group", s.GroupHits, s.BlockAllocs)
+	}
+}
+
+func TestMountReopens(t *testing.T) {
+	dev := blockdev.NewMem(8192, blockdev.DefaultBlockSize)
+	fs, err := Mkfs(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/persist/here", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/persist/here/f", []byte("durable ffs"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(dev, Config{})
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	got, err := fs2.ReadFile("/persist/here/f")
+	if err != nil || string(got) != "durable ffs" {
+		t.Errorf("remounted = %q, %v", got, err)
+	}
+	// Mounting garbage fails.
+	if _, err := Mount(blockdev.NewMem(64, blockdev.DefaultBlockSize), Config{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mount garbage = %v", err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	if err := fs.MkdirAll("/w/x", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/x/1", []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/2", []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	if err := fs.Walk("/", func(p string, info FileInfo) error {
+		paths = append(paths, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/w", "/w/2", "/w/x", "/w/x/1"}
+	if len(paths) != len(want) {
+		t.Fatalf("Walk = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("walk[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentFileOps(t *testing.T) {
+	fs, _ := newFS(t, 16384)
+	if err := fs.MkdirAll("/con", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				p := fmt.Sprintf("/con/w%d-f%d", w, i)
+				if err := fs.WriteFile(p, []byte(p), 0o644); err != nil {
+					t.Errorf("WriteFile: %v", err)
+					return
+				}
+				got, err := fs.ReadFile(p)
+				if err != nil || string(got) != p {
+					t.Errorf("ReadFile(%s) = %q, %v", p, got, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	entries, _ := fs.ReadDir("/con")
+	if len(entries) != 120 {
+		t.Errorf("entries = %d, want 120", len(entries))
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	fs, _ := newFS(t, 128) // tiny: ~homeopathic data region
+	big := bytes.Repeat([]byte("x"), 1<<20)
+	err := fs.WriteFile("/huge", big, 0o644)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Errorf("overfill = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestReadDirNotDir(t *testing.T) {
+	fs, _ := newFS(t, 4096)
+	if err := fs.WriteFile("/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadDir("/f"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir(file) = %v", err)
+	}
+	if _, err := fs.Lookup("/f/child"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("lookup through file = %v", err)
+	}
+}

@@ -1,0 +1,577 @@
+package hierfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+)
+
+// DirEntry is one directory entry.
+type DirEntry struct {
+	Name string
+	Ino  uint64
+}
+
+// FileInfo is the stat result.
+type FileInfo struct {
+	Ino   uint64
+	Mode  uint32
+	Size  uint64
+	Nlink uint32
+	Atime int64
+	Mtime int64
+	Ctime int64
+}
+
+// IsDir reports whether the info describes a directory.
+func (fi FileInfo) IsDir() bool { return fi.Mode&ModeDir != 0 }
+
+func cleanPath(p string) (string, error) {
+	if p == "" {
+		return "", fmt.Errorf("empty path: %w", ErrInvalid)
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p), nil
+}
+
+// components splits a cleaned path into its parts ("/a/b" → [a b]).
+func components(p string) []string {
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+// readDirEntries decodes a directory's entry list. Caller holds at least
+// a read lock on the directory inode.
+func (f *FS) readDirEntries(ino uint64, in *inode) ([]DirEntry, error) {
+	data := make([]byte, in.Size)
+	if in.Size > 0 {
+		if _, err := f.readInodeData(ino, in, data, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	var out []DirEntry
+	for off := 0; off < len(data); {
+		if off+10 > len(data) {
+			return nil, fmt.Errorf("%w: truncated dirent", ErrCorrupt)
+		}
+		entIno := binary.LittleEndian.Uint64(data[off:])
+		nameLen := int(binary.LittleEndian.Uint16(data[off+8:]))
+		off += 10
+		if off+nameLen > len(data) {
+			return nil, fmt.Errorf("%w: dirent name overruns", ErrCorrupt)
+		}
+		out = append(out, DirEntry{Name: string(data[off : off+nameLen]), Ino: entIno})
+		off += nameLen
+	}
+	return out, nil
+}
+
+// writeDirEntries replaces a directory's entry list. Caller holds the
+// directory's write lock.
+func (f *FS) writeDirEntries(ino uint64, in *inode, entries []DirEntry) error {
+	var buf []byte
+	var tmp [10]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(tmp[:], e.Ino)
+		binary.LittleEndian.PutUint16(tmp[8:], uint16(len(e.Name)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, e.Name...)
+	}
+	if uint64(len(buf)) < in.Size {
+		if err := f.truncateInode(ino, in, uint64(len(buf))); err != nil {
+			return err
+		}
+	}
+	if len(buf) == 0 {
+		return f.writeInode(ino, in)
+	}
+	return f.writeInodeData(ino, in, buf, 0)
+}
+
+// dirScan finds name in the directory, counting the linear-scan work.
+func (f *FS) dirScan(ino uint64, in *inode, name string) (uint64, bool, error) {
+	entries, err := f.readDirEntries(ino, in)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, e := range entries {
+		if e.Name == name {
+			f.addStat(func(s *Stats) { s.DirEntriesScanned += int64(i + 1) })
+			return e.Ino, true, nil
+		}
+	}
+	f.addStat(func(s *Stats) { s.DirEntriesScanned += int64(len(entries)) })
+	return 0, false, nil
+}
+
+// Lookup resolves a path to an inode number, read-locking every ancestor
+// directory along the way — the shared-ancestor synchronization of §2.3.
+func (f *FS) Lookup(p string) (uint64, error) {
+	c, err := cleanPath(p)
+	if err != nil {
+		return 0, err
+	}
+	cur := uint64(rootIno)
+	for _, part := range components(c) {
+		f.rlockIno(cur)
+		in, err := f.readInode(cur)
+		if err != nil {
+			f.ilocks[cur].RUnlock()
+			return 0, err
+		}
+		if in.Mode&ModeDir == 0 {
+			f.ilocks[cur].RUnlock()
+			return 0, fmt.Errorf("%s: %w", p, ErrNotDir)
+		}
+		f.addStat(func(s *Stats) { s.DirLookups++ })
+		next, found, err := f.dirScan(cur, in, part)
+		f.ilocks[cur].RUnlock()
+		if err != nil {
+			return 0, err
+		}
+		if !found {
+			return 0, fmt.Errorf("%s: %w", p, ErrNotExist)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Stat returns metadata for a path.
+func (f *FS) Stat(p string) (FileInfo, error) {
+	ino, err := f.Lookup(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return f.StatIno(ino)
+}
+
+// StatIno returns metadata for an inode.
+func (f *FS) StatIno(ino uint64) (FileInfo, error) {
+	f.rlockIno(ino)
+	defer f.ilocks[ino].RUnlock()
+	in, err := f.readInode(ino)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{
+		Ino: ino, Mode: in.Mode, Size: in.Size, Nlink: in.Nlink,
+		Atime: in.Atime, Mtime: in.Mtime, Ctime: in.Ctime,
+	}, nil
+}
+
+// createNode allocates an inode and links it under the parent.
+func (f *FS) createNode(p string, mode uint32) (uint64, error) {
+	c, err := cleanPath(p)
+	if err != nil {
+		return 0, err
+	}
+	if c == "/" {
+		return 0, fmt.Errorf("/: %w", ErrExist)
+	}
+	dir, name := path.Split(c)
+	dirIno, err := f.Lookup(dir)
+	if err != nil {
+		return 0, err
+	}
+	f.lockIno(dirIno)
+	defer f.ilocks[dirIno].Unlock()
+	din, err := f.readInode(dirIno)
+	if err != nil {
+		return 0, err
+	}
+	if din.Mode&ModeDir == 0 {
+		return 0, fmt.Errorf("%s: %w", dir, ErrNotDir)
+	}
+	if _, found, err := f.dirScan(dirIno, din, name); err != nil {
+		return 0, err
+	} else if found {
+		return 0, fmt.Errorf("%s: %w", c, ErrExist)
+	}
+	ino, err := f.allocInode()
+	if err != nil {
+		return 0, err
+	}
+	now := f.clock().UnixNano()
+	nlink := uint32(1)
+	group := uint32(din.Group) // files cluster with their directory
+	if mode&ModeDir != 0 {
+		nlink = 2
+		group = uint32(ino % f.sb.ngroups) // directories spread out
+	}
+	in := &inode{Mode: mode, Nlink: nlink, Atime: now, Mtime: now, Ctime: now, Group: group}
+	if err := f.writeInode(ino, in); err != nil {
+		return 0, err
+	}
+	entries, err := f.readDirEntries(dirIno, din)
+	if err != nil {
+		return 0, err
+	}
+	entries = append(entries, DirEntry{Name: name, Ino: ino})
+	if err := f.writeDirEntries(dirIno, din, entries); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Create makes a regular file (truncating an existing one).
+func (f *FS) Create(p string, perm uint32) (uint64, error) {
+	ino, err := f.createNode(p, ModeRegular|(perm&ModePerm))
+	if err == nil {
+		return ino, nil
+	}
+	if !errorsIs(err, ErrExist) {
+		return 0, err
+	}
+	// Exists: truncate.
+	ino, lerr := f.Lookup(p)
+	if lerr != nil {
+		return 0, lerr
+	}
+	f.lockIno(ino)
+	defer f.ilocks[ino].Unlock()
+	in, lerr := f.readInode(ino)
+	if lerr != nil {
+		return 0, lerr
+	}
+	if in.Mode&ModeDir != 0 {
+		return 0, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	if lerr := f.truncateInode(ino, in, 0); lerr != nil {
+		return 0, lerr
+	}
+	return ino, nil
+}
+
+// Mkdir creates a directory.
+func (f *FS) Mkdir(p string, perm uint32) error {
+	_, err := f.createNode(p, ModeDir|(perm&ModePerm))
+	return err
+}
+
+// MkdirAll creates p and missing parents.
+func (f *FS) MkdirAll(p string, perm uint32) error {
+	c, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, part := range components(c) {
+		cur += "/" + part
+		err := f.Mkdir(cur, perm)
+		if err != nil && !errorsIs(err, ErrExist) {
+			return err
+		}
+	}
+	info, err := f.Stat(c)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("%s: %w", c, ErrNotDir)
+	}
+	return nil
+}
+
+// ReadDir lists a directory in name order.
+func (f *FS) ReadDir(p string) ([]DirEntry, error) {
+	ino, err := f.Lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	f.rlockIno(ino)
+	defer f.ilocks[ino].RUnlock()
+	in, err := f.readInode(ino)
+	if err != nil {
+		return nil, err
+	}
+	if in.Mode&ModeDir == 0 {
+		return nil, fmt.Errorf("%s: %w", p, ErrNotDir)
+	}
+	entries, err := f.readDirEntries(ino, in)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// Remove unlinks a file or empty directory.
+func (f *FS) Remove(p string) error {
+	c, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	if c == "/" {
+		return fmt.Errorf("/: %w", ErrInvalid)
+	}
+	dir, name := path.Split(c)
+	dirIno, err := f.Lookup(dir)
+	if err != nil {
+		return err
+	}
+	f.lockIno(dirIno)
+	defer f.ilocks[dirIno].Unlock()
+	din, err := f.readInode(dirIno)
+	if err != nil {
+		return err
+	}
+	ino, found, err := f.dirScan(dirIno, din, name)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%s: %w", c, ErrNotExist)
+	}
+	f.lockIno(ino)
+	defer f.ilocks[ino].Unlock()
+	in, err := f.readInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Mode&ModeDir != 0 {
+		kids, err := f.readDirEntries(ino, in)
+		if err != nil {
+			return err
+		}
+		if len(kids) > 0 {
+			return fmt.Errorf("%s: %w", c, ErrNotEmpty)
+		}
+	}
+	entries, err := f.readDirEntries(dirIno, din)
+	if err != nil {
+		return err
+	}
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.Name != name {
+			kept = append(kept, e)
+		}
+	}
+	if err := f.writeDirEntries(dirIno, din, kept); err != nil {
+		return err
+	}
+	if in.Nlink > 1 && in.Mode&ModeDir == 0 {
+		in.Nlink--
+		return f.writeInode(ino, in)
+	}
+	return f.freeInodeData(ino, in)
+}
+
+// Link adds a hard link to an existing file.
+func (f *FS) Link(oldPath, newPath string) error {
+	ino, err := f.Lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	f.lockIno(ino)
+	in, err := f.readInode(ino)
+	if err != nil {
+		f.ilocks[ino].Unlock()
+		return err
+	}
+	if in.Mode&ModeDir != 0 {
+		f.ilocks[ino].Unlock()
+		return fmt.Errorf("%s: %w", oldPath, ErrIsDir)
+	}
+	in.Nlink++
+	if err := f.writeInode(ino, in); err != nil {
+		f.ilocks[ino].Unlock()
+		return err
+	}
+	f.ilocks[ino].Unlock()
+
+	nc, err := cleanPath(newPath)
+	if err != nil {
+		return err
+	}
+	dir, name := path.Split(nc)
+	dirIno, err := f.Lookup(dir)
+	if err != nil {
+		return err
+	}
+	f.lockIno(dirIno)
+	defer f.ilocks[dirIno].Unlock()
+	din, err := f.readInode(dirIno)
+	if err != nil {
+		return err
+	}
+	if _, found, err := f.dirScan(dirIno, din, name); err != nil {
+		return err
+	} else if found {
+		return fmt.Errorf("%s: %w", nc, ErrExist)
+	}
+	entries, err := f.readDirEntries(dirIno, din)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, DirEntry{Name: name, Ino: ino})
+	return f.writeDirEntries(dirIno, din, entries)
+}
+
+// Rename moves an entry between directories. Unlike the hFAD POSIX
+// layer's full-path index, only the two directory entry lists change —
+// this is where hierarchies are cheap, and the experiments report it.
+func (f *FS) Rename(oldPath, newPath string) error {
+	oc, err := cleanPath(oldPath)
+	if err != nil {
+		return err
+	}
+	nc, err := cleanPath(newPath)
+	if err != nil {
+		return err
+	}
+	if oc == "/" || nc == "/" || strings.HasPrefix(nc, oc+"/") {
+		return fmt.Errorf("rename %s -> %s: %w", oc, nc, ErrInvalid)
+	}
+	odir, oname := path.Split(oc)
+	ndir, nname := path.Split(nc)
+	odIno, err := f.Lookup(odir)
+	if err != nil {
+		return err
+	}
+	ndIno, err := f.Lookup(ndir)
+	if err != nil {
+		return err
+	}
+	// Lock parents in ino order to avoid deadlock.
+	first, second := odIno, ndIno
+	if first > second {
+		first, second = second, first
+	}
+	f.lockIno(first)
+	if second != first {
+		f.lockIno(second)
+	}
+	defer func() {
+		if second != first {
+			f.ilocks[second].Unlock()
+		}
+		f.ilocks[first].Unlock()
+	}()
+
+	odin, err := f.readInode(odIno)
+	if err != nil {
+		return err
+	}
+	ino, found, err := f.dirScan(odIno, odin, oname)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%s: %w", oc, ErrNotExist)
+	}
+	ndin := odin
+	if ndIno != odIno {
+		ndin, err = f.readInode(ndIno)
+		if err != nil {
+			return err
+		}
+	}
+	if _, exists, err := f.dirScan(ndIno, ndin, nname); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%s: %w", nc, ErrExist)
+	}
+	// Remove from the old directory.
+	oldEntries, err := f.readDirEntries(odIno, odin)
+	if err != nil {
+		return err
+	}
+	kept := oldEntries[:0]
+	for _, e := range oldEntries {
+		if e.Name != oname {
+			kept = append(kept, e)
+		}
+	}
+	if err := f.writeDirEntries(odIno, odin, kept); err != nil {
+		return err
+	}
+	// Add to the new directory (re-read if same dir: entries changed).
+	if ndIno == odIno {
+		ndin, err = f.readInode(ndIno)
+		if err != nil {
+			return err
+		}
+	}
+	newEntries, err := f.readDirEntries(ndIno, ndin)
+	if err != nil {
+		return err
+	}
+	newEntries = append(newEntries, DirEntry{Name: nname, Ino: ino})
+	return f.writeDirEntries(ndIno, ndin, newEntries)
+}
+
+// WriteFile creates p with contents.
+func (f *FS) WriteFile(p string, data []byte, perm uint32) error {
+	ino, err := f.Create(p, perm)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	return f.WriteAtIno(ino, data, 0)
+}
+
+// ReadFile returns the contents of p.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	info, err := f.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	out := make([]byte, info.Size)
+	if info.Size == 0 {
+		return out, nil
+	}
+	if _, err := f.ReadAtIno(info.Ino, out, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Walk visits every path under root in depth-first name order.
+func (f *FS) Walk(root string, fn func(p string, info FileInfo) error) error {
+	c, err := cleanPath(root)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat(c)
+	if err != nil {
+		return err
+	}
+	if err := fn(c, info); err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return nil
+	}
+	entries, err := f.ReadDir(c)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		child := c + "/" + e.Name
+		if c == "/" {
+			child = "/" + e.Name
+		}
+		if err := f.Walk(child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errorsIs narrows the import surface for wrapped sentinel checks.
+func errorsIs(err, target error) bool { return errors.Is(err, target) }

@@ -1,0 +1,214 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/btree"
+	"repro/internal/pager"
+)
+
+// ImageIndex is the plug-in example answering the paper's open question
+// ("should hFAD support arbitrary types of indexing through, for example,
+// a plug-in model?"). It indexes grayscale bitmaps by a 64-bit
+// average-hash signature: the image is downsampled to an 8×8 grid and each
+// cell contributes one bit (above/below the mean intensity). Lookup finds
+// exact signature matches; LookupNear finds signatures within a Hamming
+// distance, catching near-duplicate images.
+//
+// The bitmap format is deliberately minimal — width and height as
+// little-endian uint32 followed by width×height intensity bytes — enough
+// to exercise a content-addressed index without an image codec.
+const TagImage = "IMAGE"
+
+// ImageIndex implements Store over image signatures.
+type ImageIndex struct {
+	tree *btree.Tree
+}
+
+// NewImageIndex creates a fresh image index.
+func NewImageIndex(pg *pager.Pager, alloc btree.PageAllocator) (*ImageIndex, error) {
+	tr, err := btree.Create(pg, alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &ImageIndex{tree: tr}, nil
+}
+
+// OpenImageIndex loads an image index from its header page.
+func OpenImageIndex(pg *pager.Pager, alloc btree.PageAllocator, headerPno uint64) (*ImageIndex, error) {
+	tr, err := btree.Open(pg, alloc, headerPno)
+	if err != nil {
+		return nil, err
+	}
+	return &ImageIndex{tree: tr}, nil
+}
+
+// HeaderPage identifies the index for reopening.
+func (x *ImageIndex) HeaderPage() uint64 { return x.tree.HeaderPage() }
+
+// Tree exposes the underlying btree for volume checking.
+func (x *ImageIndex) Tree() *btree.Tree { return x.tree }
+
+// Tag implements Store.
+func (x *ImageIndex) Tag() string { return TagImage }
+
+// EncodeBitmap builds the minimal bitmap format from intensities.
+func EncodeBitmap(w, h int, pixels []byte) ([]byte, error) {
+	if w <= 0 || h <= 0 || len(pixels) != w*h {
+		return nil, fmt.Errorf("%w: bitmap %dx%d with %d pixels", ErrBadValue, w, h, len(pixels))
+	}
+	out := make([]byte, 8+len(pixels))
+	binary.LittleEndian.PutUint32(out, uint32(w))
+	binary.LittleEndian.PutUint32(out[4:], uint32(h))
+	copy(out[8:], pixels)
+	return out, nil
+}
+
+// Signature computes the 64-bit average hash of a bitmap.
+func Signature(bitmap []byte) (uint64, error) {
+	if len(bitmap) < 8 {
+		return 0, fmt.Errorf("%w: bitmap too short", ErrBadValue)
+	}
+	w := int(binary.LittleEndian.Uint32(bitmap))
+	h := int(binary.LittleEndian.Uint32(bitmap[4:]))
+	px := bitmap[8:]
+	if w <= 0 || h <= 0 || len(px) < w*h {
+		return 0, fmt.Errorf("%w: bitmap header %dx%d with %d pixels", ErrBadValue, w, h, len(px))
+	}
+	// Downsample to 8x8 by block averaging.
+	var cells [64]uint64
+	var counts [64]uint64
+	for y := 0; y < h; y++ {
+		cy := y * 8 / h
+		for xx := 0; xx < w; xx++ {
+			cx := xx * 8 / w
+			cells[cy*8+cx] += uint64(px[y*w+xx])
+			counts[cy*8+cx]++
+		}
+	}
+	var total uint64
+	for i := range cells {
+		if counts[i] > 0 {
+			cells[i] /= counts[i]
+		}
+		total += cells[i]
+	}
+	mean := total / 64
+	var sig uint64
+	for i, c := range cells {
+		if c > mean {
+			sig |= 1 << uint(i)
+		}
+	}
+	return sig, nil
+}
+
+func sigKey(sig uint64, oid OID) []byte {
+	var k [16]byte
+	binary.BigEndian.PutUint64(k[:], sig)
+	binary.BigEndian.PutUint64(k[8:], uint64(oid))
+	return k[:]
+}
+
+// Insert implements Store: value is a bitmap.
+func (x *ImageIndex) Insert(value []byte, oid OID) error {
+	sig, err := Signature(value)
+	if err != nil {
+		return err
+	}
+	return x.tree.Put(sigKey(sig, oid), nil)
+}
+
+// Remove implements Store. With a value, only that signature's entry is
+// removed; with an empty value (how the naming layer's reverse index
+// records content tags) every signature for the OID is removed — content
+// indexes support whole-object removal, like the full-text store.
+func (x *ImageIndex) Remove(value []byte, oid OID) error {
+	if len(value) == 0 {
+		var doomed [][]byte
+		if err := x.tree.Scan(nil, nil, func(k, _ []byte) bool {
+			if len(k) == 16 && OID(binary.BigEndian.Uint64(k[8:])) == oid {
+				doomed = append(doomed, append([]byte(nil), k...))
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, k := range doomed {
+			if err := x.tree.Delete(k); err != nil && err != btree.ErrNotFound {
+				return err
+			}
+		}
+		return nil
+	}
+	sig, err := Signature(value)
+	if err != nil {
+		return err
+	}
+	err = x.tree.Delete(sigKey(sig, oid))
+	if err == btree.ErrNotFound {
+		return nil
+	}
+	return err
+}
+
+// Lookup implements Store: exact signature matches for the query bitmap.
+func (x *ImageIndex) Lookup(value []byte) ([]OID, error) {
+	sig, err := Signature(value)
+	if err != nil {
+		return nil, err
+	}
+	var prefix [8]byte
+	binary.BigEndian.PutUint64(prefix[:], sig)
+	var out []OID
+	err = x.tree.ScanPrefix(prefix[:], func(k, v []byte) bool {
+		out = append(out, OID(binary.BigEndian.Uint64(k[8:])))
+		return true
+	})
+	return out, err
+}
+
+// Count implements Store.
+func (x *ImageIndex) Count(value []byte) (int, error) {
+	ids, err := x.Lookup(value)
+	return len(ids), err
+}
+
+// LookupNear returns OIDs whose signature is within maxDist Hamming bits
+// of the query bitmap's, ascending by distance then OID.
+func (x *ImageIndex) LookupNear(value []byte, maxDist int) ([]OID, error) {
+	sig, err := Signature(value)
+	if err != nil {
+		return nil, err
+	}
+	type hit struct {
+		dist int
+		oid  OID
+	}
+	var hits []hit
+	err = x.tree.Scan(nil, nil, func(k, v []byte) bool {
+		s := binary.BigEndian.Uint64(k[:8])
+		d := bits.OnesCount64(s ^ sig)
+		if d <= maxDist {
+			hits = append(hits, hit{d, OID(binary.BigEndian.Uint64(k[8:]))})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Insertion sort by (dist, oid); hit counts are small.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && (hits[j].dist < hits[j-1].dist ||
+			(hits[j].dist == hits[j-1].dist && hits[j].oid < hits[j-1].oid)); j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	out := make([]OID, len(hits))
+	for i, h := range hits {
+		out[i] = h.oid
+	}
+	return out, nil
+}

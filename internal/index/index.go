@@ -1,0 +1,178 @@
+// Package index implements hFAD's extensible index stores: "given one or
+// more type/value specifications, the collection of index stores must
+// return a list of object IDs matching the search terms."
+//
+// The paper argues for multiple indexing approaches behind one interface
+// ("a key/value store suffices for simple attributes, but not for
+// full-text, and neither ... is likely to be suitable for image
+// indexing"). Accordingly:
+//
+//   - KVIndex: btree-backed multimap for simple attribute tags (POSIX,
+//     USER, UDEF, APP, ...), with ordered range lookup.
+//   - Sharded: hash-shards any tag across several KVIndexes to remove the
+//     single-structure hotspot (§2.3's concurrency argument; ablated in
+//     experiment E8).
+//   - Fulltext: adapts the segmented inverted index for FULLTEXT terms.
+//   - Image: the plug-in example from the paper's open questions — an
+//     average-hash signature index over image bitmaps with Hamming-distance
+//     nearness lookup.
+//
+// The Registry maps tags to stores and is how hFAD is extended with
+// "arbitrary index types".
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/osd"
+)
+
+// Standard tags from Table 1 of the paper.
+const (
+	TagPOSIX    = "POSIX"    // pathname
+	TagFulltext = "FULLTEXT" // search term
+	TagUser     = "USER"     // logname
+	TagUDef     = "UDEF"     // manual annotations
+	TagApp      = "APP"      // application name
+	TagID       = "ID"       // object identifier (fast path)
+)
+
+// Errors.
+var (
+	ErrUnknownTag = errors.New("index: no index registered for tag")
+	ErrBadValue   = errors.New("index: malformed value")
+)
+
+// OID aliases the OSD object identifier.
+type OID = osd.OID
+
+// Store is one index store. Implementations must be safe for concurrent
+// use.
+type Store interface {
+	// Tag returns the tag this store serves.
+	Tag() string
+	// Insert associates value with oid.
+	Insert(value []byte, oid OID) error
+	// Remove disassociates value from oid.
+	Remove(value []byte, oid OID) error
+	// Lookup returns the OIDs associated with value, ascending.
+	Lookup(value []byte) ([]OID, error)
+	// Count estimates the number of OIDs for value (selectivity).
+	Count(value []byte) (int, error)
+}
+
+// Ranged is implemented by stores supporting ordered range lookup
+// (value in [lo, hi)).
+type Ranged interface {
+	RangeLookup(lo, hi []byte) ([]OID, error)
+}
+
+// Registry maps tags to stores.
+type Registry struct {
+	mu     sync.RWMutex
+	stores map[string]Store
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{stores: make(map[string]Store)}
+}
+
+// Register adds a store; registering a tag twice replaces the previous
+// store (supporting the plug-in model).
+func (r *Registry) Register(s Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stores[s.Tag()] = s
+}
+
+// Get returns the store for tag.
+func (r *Registry) Get(tag string) (Store, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.stores[tag]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTag, tag)
+	}
+	return s, nil
+}
+
+// Tags lists registered tags, sorted.
+func (r *Registry) Tags() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.stores))
+	for t := range r.stores {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IntersectOIDs intersects sorted OID slices (conjunction of naming
+// terms). Nil input yields nil.
+func IntersectOIDs(lists ...[]OID) []OID {
+	if len(lists) == 0 {
+		return nil
+	}
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		var out []OID
+		i, j := 0, 0
+		for i < len(acc) && j < len(l) {
+			switch {
+			case acc[i] == l[j]:
+				out = append(out, acc[i])
+				i++
+				j++
+			case acc[i] < l[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		acc = out
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// UnionOIDs merges sorted OID slices, deduplicating.
+func UnionOIDs(lists ...[]OID) []OID {
+	var out []OID
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// DiffOIDs returns the sorted elements of a not present in b (negation).
+func DiffOIDs(a, b []OID) []OID {
+	var out []OID
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}

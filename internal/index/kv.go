@@ -1,0 +1,260 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/pager"
+)
+
+// KVIndex is a btree-backed multimap from attribute values to OIDs: the
+// paper's "key/value store [that] suffices for simple attributes".
+//
+// Keys are stored as escape-encoded value bytes followed by the big-endian
+// OID, so entries sort by value first and then OID — giving ordered range
+// scans (dates, sizes) and duplicate values for free.
+type KVIndex struct {
+	tag  string
+	tree *btree.Tree
+
+	statMu  sync.Mutex
+	inserts int64
+	lookups int64
+}
+
+// NewKVIndex creates a fresh KV index for tag.
+func NewKVIndex(tag string, pg *pager.Pager, alloc btree.PageAllocator) (*KVIndex, error) {
+	tr, err := btree.Create(pg, alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &KVIndex{tag: tag, tree: tr}, nil
+}
+
+// OpenKVIndex loads a KV index from its tree header page.
+func OpenKVIndex(tag string, pg *pager.Pager, alloc btree.PageAllocator, headerPno uint64) (*KVIndex, error) {
+	tr, err := btree.Open(pg, alloc, headerPno)
+	if err != nil {
+		return nil, err
+	}
+	return &KVIndex{tag: tag, tree: tr}, nil
+}
+
+// HeaderPage identifies the index for reopening.
+func (x *KVIndex) HeaderPage() uint64 { return x.tree.HeaderPage() }
+
+// Tree exposes the underlying btree for volume checking.
+func (x *KVIndex) Tree() *btree.Tree { return x.tree }
+
+// Tag implements Store.
+func (x *KVIndex) Tag() string { return x.tag }
+
+// escapeValue encodes value so that the encoding of no value is a prefix
+// of another's: 0x00 bytes become 0x00 0xFF, and the encoding ends with
+// 0x00 0x01. Lexicographic order of encodings matches order of values.
+func escapeValue(v []byte) []byte {
+	out := make([]byte, 0, len(v)+2)
+	for _, b := range v {
+		if b == 0x00 {
+			out = append(out, 0x00, 0xFF)
+		} else {
+			out = append(out, b)
+		}
+	}
+	return append(out, 0x00, 0x01)
+}
+
+// entryKey is escape(value) + 8-byte big-endian OID.
+func entryKey(value []byte, oid OID) []byte {
+	k := escapeValue(value)
+	var ob [8]byte
+	binary.BigEndian.PutUint64(ob[:], uint64(oid))
+	return append(k, ob[:]...)
+}
+
+// oidFromEntry extracts the OID from an entry key.
+func oidFromEntry(k []byte) (OID, error) {
+	if len(k) < 8 {
+		return 0, fmt.Errorf("%w: entry key too short", ErrBadValue)
+	}
+	return OID(binary.BigEndian.Uint64(k[len(k)-8:])), nil
+}
+
+// DecodeEntryKey inverts entryKey, recovering the value and OID. Used by
+// fsck to verify forward/reverse index agreement.
+func DecodeEntryKey(k []byte) ([]byte, OID, error) {
+	var value []byte
+	i := 0
+	for {
+		if i >= len(k) {
+			return nil, 0, fmt.Errorf("%w: unterminated entry key", ErrBadValue)
+		}
+		if k[i] != 0x00 {
+			value = append(value, k[i])
+			i++
+			continue
+		}
+		if i+1 >= len(k) {
+			return nil, 0, fmt.Errorf("%w: dangling escape", ErrBadValue)
+		}
+		switch k[i+1] {
+		case 0xFF:
+			value = append(value, 0x00)
+			i += 2
+		case 0x01:
+			i += 2
+			if len(k)-i != 8 {
+				return nil, 0, fmt.Errorf("%w: bad OID suffix", ErrBadValue)
+			}
+			return value, OID(binary.BigEndian.Uint64(k[i:])), nil
+		default:
+			return nil, 0, fmt.Errorf("%w: bad escape byte %#x", ErrBadValue, k[i+1])
+		}
+	}
+}
+
+// Insert implements Store.
+func (x *KVIndex) Insert(value []byte, oid OID) error {
+	x.statMu.Lock()
+	x.inserts++
+	x.statMu.Unlock()
+	return x.tree.Put(entryKey(value, oid), nil)
+}
+
+// Remove implements Store. Removing an absent pair is not an error
+// (naming removal is idempotent).
+func (x *KVIndex) Remove(value []byte, oid OID) error {
+	err := x.tree.Delete(entryKey(value, oid))
+	if err == btree.ErrNotFound {
+		return nil
+	}
+	return err
+}
+
+// Lookup implements Store.
+func (x *KVIndex) Lookup(value []byte) ([]OID, error) {
+	x.statMu.Lock()
+	x.lookups++
+	x.statMu.Unlock()
+	var out []OID
+	var inner error
+	err := x.tree.ScanPrefix(escapeValue(value), func(k, v []byte) bool {
+		oid, err := oidFromEntry(k)
+		if err != nil {
+			inner = err
+			return false
+		}
+		out = append(out, oid)
+		return true
+	})
+	if inner != nil {
+		return nil, inner
+	}
+	return out, err
+}
+
+// Count implements Store.
+func (x *KVIndex) Count(value []byte) (int, error) {
+	n := 0
+	err := x.tree.ScanPrefix(escapeValue(value), func(k, v []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// RangeLookup returns OIDs whose value lies in [lo, hi), ascending by
+// value then OID. Implements Ranged.
+func (x *KVIndex) RangeLookup(lo, hi []byte) ([]OID, error) {
+	x.statMu.Lock()
+	x.lookups++
+	x.statMu.Unlock()
+	var hiKey []byte
+	if hi != nil {
+		hiKey = escapeValue(hi)
+	}
+	var out []OID
+	var inner error
+	err := x.tree.Scan(escapeValue(lo), hiKey, func(k, v []byte) bool {
+		oid, err := oidFromEntry(k)
+		if err != nil {
+			inner = err
+			return false
+		}
+		out = append(out, oid)
+		return true
+	})
+	if inner != nil {
+		return nil, inner
+	}
+	return out, err
+}
+
+// Len returns the number of (value, OID) pairs.
+func (x *KVIndex) Len() uint64 { return x.tree.Len() }
+
+// Sharded hash-partitions one tag across several stores, removing the
+// single-lock hotspot a lone btree presents under concurrent naming
+// operations — the indexing structure "with fewer hotspots" of §2.3.
+type Sharded struct {
+	tag    string
+	shards []Store
+}
+
+// NewSharded wraps the given shards (all serving the same tag).
+func NewSharded(tag string, shards []Store) *Sharded {
+	return &Sharded{tag: tag, shards: shards}
+}
+
+// Tag implements Store.
+func (s *Sharded) Tag() string { return s.tag }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+func (s *Sharded) pick(value []byte) Store {
+	h := fnv.New32a()
+	h.Write(value)
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Insert implements Store.
+func (s *Sharded) Insert(value []byte, oid OID) error {
+	return s.pick(value).Insert(value, oid)
+}
+
+// Remove implements Store.
+func (s *Sharded) Remove(value []byte, oid OID) error {
+	return s.pick(value).Remove(value, oid)
+}
+
+// Lookup implements Store.
+func (s *Sharded) Lookup(value []byte) ([]OID, error) {
+	return s.pick(value).Lookup(value)
+}
+
+// Count implements Store.
+func (s *Sharded) Count(value []byte) (int, error) {
+	return s.pick(value).Count(value)
+}
+
+// RangeLookup consults every shard and merges (ranges cross hash
+// boundaries). Implements Ranged when the shards do.
+func (s *Sharded) RangeLookup(lo, hi []byte) ([]OID, error) {
+	var lists [][]OID
+	for _, sh := range s.shards {
+		r, ok := sh.(Ranged)
+		if !ok {
+			return nil, fmt.Errorf("index: shard for %q does not support ranges", s.tag)
+		}
+		l, err := r.RangeLookup(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, l)
+	}
+	return UnionOIDs(lists...), nil
+}

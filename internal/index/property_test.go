@@ -1,0 +1,136 @@
+package index
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEntryKeyRoundtrip: encode/decode of index entry keys is the
+// identity for arbitrary values and OIDs.
+func TestQuickEntryKeyRoundtrip(t *testing.T) {
+	f := func(value []byte, oid uint64) bool {
+		k := entryKey(value, OID(oid))
+		got, gotOID, err := DecodeEntryKey(k)
+		if err != nil {
+			return false
+		}
+		if gotOID != OID(oid) {
+			return false
+		}
+		if len(value) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEscapePreservesOrder: lexicographic order of escaped values
+// matches order of raw values (required for range scans).
+func TestQuickEscapePreservesOrder(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ea, eb := escapeValue(a), escapeValue(b)
+		return bytes.Compare(a, b) == bytes.Compare(ea, eb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEscapePrefixFree: no escaped value is a strict prefix of
+// another (so lookups can never match the wrong entry).
+func TestQuickEscapePrefixFree(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		ea, eb := escapeValue(a), escapeValue(b)
+		if len(ea) < len(eb) && bytes.Equal(ea, eb[:len(ea)]) {
+			return false
+		}
+		if len(eb) < len(ea) && bytes.Equal(eb, ea[:len(eb)]) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntryKeyRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{0x01, 0x02}, // unterminated
+		{0x00},       // dangling escape
+		{0x00, 0x07}, // bad escape byte
+		append(escapeValue([]byte("v")), 1, 2, 3), // bad OID suffix
+	}
+	for _, k := range bad {
+		if _, _, err := DecodeEntryKey(k); err == nil {
+			t.Errorf("DecodeEntryKey(%x) accepted garbage", k)
+		}
+	}
+}
+
+// TestQuickSetOpsMatchMaps: Intersect/Union/Diff agree with map-based
+// set semantics on sorted deduplicated inputs.
+func TestQuickSetOpsMatchMaps(t *testing.T) {
+	normalize := func(in []uint16) []OID {
+		seen := map[OID]bool{}
+		var out []OID
+		for _, v := range in {
+			o := OID(v % 64)
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	f := func(ra, rb []uint16) bool {
+		a, b := normalize(ra), normalize(rb)
+		inA := map[OID]bool{}
+		for _, v := range a {
+			inA[v] = true
+		}
+		inB := map[OID]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		var wantI, wantU, wantD []OID
+		for _, v := range a {
+			if inB[v] {
+				wantI = append(wantI, v)
+			} else {
+				wantD = append(wantD, v)
+			}
+			wantU = append(wantU, v)
+		}
+		for _, v := range b {
+			if !inA[v] {
+				wantU = append(wantU, v)
+			}
+		}
+		sort.Slice(wantU, func(i, j int) bool { return wantU[i] < wantU[j] })
+		gotI := IntersectOIDs(a, b)
+		gotU := UnionOIDs(a, b)
+		gotD := DiffOIDs(a, b)
+		eq := func(x, y []OID) bool {
+			if len(x) == 0 && len(y) == 0 {
+				return true
+			}
+			return reflect.DeepEqual(x, y)
+		}
+		return eq(gotI, wantI) && eq(gotU, wantU) && eq(gotD, wantD)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

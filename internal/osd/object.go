@@ -1,0 +1,145 @@
+package osd
+
+import (
+	"sync"
+
+	"repro/internal/extent"
+)
+
+// Object is an open handle to a byte-addressable storage object. The
+// access interface mirrors the paper's: read and write are
+// POSIX-compatible, and insert and truncate(offset, length) are the two
+// extensions the extent representation makes cheap.
+//
+// Handles to the same OID share state; Close releases the handle.
+type Object struct {
+	s   *Store
+	oid OID
+	ext *extent.Tree
+
+	mu     sync.Mutex
+	refs   int
+	closed bool
+}
+
+// OID returns the object's identifier.
+func (o *Object) OID() OID { return o.oid }
+
+// Size returns the object's current byte size.
+func (o *Object) Size() uint64 { return o.ext.Size() }
+
+// Stat returns the object's metadata.
+func (o *Object) Stat() (Meta, error) { return o.s.Stat(o.oid) }
+
+// ExtentCount reports how many extents back the object.
+func (o *Object) ExtentCount() uint64 { return o.ext.ExtentCount() }
+
+// ExtentTree exposes the underlying tree for checking and experiments.
+func (o *Object) ExtentTree() *extent.Tree { return o.ext }
+
+// ReadAt reads len(p) bytes at offset off (io.ReaderAt semantics: returns
+// io.EOF with a short count at end of object).
+func (o *Object) ReadAt(p []byte, off uint64) (int, error) {
+	n, err := o.ext.ReadAt(p, off)
+	o.s.statMu.Lock()
+	o.s.stats.Reads++
+	o.s.statMu.Unlock()
+	return n, err
+}
+
+// WriteAt writes p at offset off, growing the object as needed; writes
+// past the end create holes (sparse objects).
+func (o *Object) WriteAt(p []byte, off uint64) error {
+	if err := o.ext.WriteAt(p, off); err != nil {
+		return err
+	}
+	o.s.statMu.Lock()
+	o.s.stats.Writes++
+	o.s.statMu.Unlock()
+	return o.afterMutate()
+}
+
+// Append writes p at the current end of the object.
+func (o *Object) Append(p []byte) error {
+	return o.WriteAt(p, o.ext.Size())
+}
+
+// InsertAt inserts p at offset off, shifting later bytes up — the paper's
+// insert call ("arguments identical to the write call, but instead of
+// overwriting bytes ... it inserts those bytes, growing the file").
+func (o *Object) InsertAt(off uint64, p []byte) error {
+	if err := o.ext.InsertAt(off, p); err != nil {
+		return err
+	}
+	o.s.statMu.Lock()
+	o.s.stats.Inserts++
+	o.s.statMu.Unlock()
+	return o.afterMutate()
+}
+
+// TruncateRange removes length bytes at offset off, shifting later bytes
+// down — the paper's two-off_t truncate ("an offset and length, indicating
+// exactly which bytes to remove from the file").
+func (o *Object) TruncateRange(off, length uint64) error {
+	if err := o.ext.DeleteRange(off, length); err != nil {
+		return err
+	}
+	o.s.statMu.Lock()
+	o.s.stats.DeleteRanges++
+	o.s.statMu.Unlock()
+	return o.afterMutate()
+}
+
+// Truncate sets the object's size (POSIX-style single-argument form).
+func (o *Object) Truncate(size uint64) error {
+	if err := o.ext.Truncate(size); err != nil {
+		return err
+	}
+	return o.afterMutate()
+}
+
+// afterMutate refreshes size/mtime in the object table and commits.
+func (o *Object) afterMutate() error {
+	size := o.ext.Size()
+	now := o.s.now()
+	if err := o.s.updateMetaNoCommit(o.oid, func(m *Meta) {
+		m.Size = size
+		m.Mtime = now
+	}); err != nil {
+		return err
+	}
+	return o.s.commit()
+}
+
+// updateMetaNoCommit is updateMeta without the commit hook, for callers
+// that batch the commit themselves.
+func (s *Store) updateMetaNoCommit(oid OID, f func(*Meta)) error {
+	v, err := s.meta.Get(oidKey(oid))
+	if err != nil {
+		return err
+	}
+	m, err := decodeMeta(v)
+	if err != nil {
+		return err
+	}
+	f(&m)
+	if err := s.meta.Put(oidKey(oid), encodeMeta(&m)); err != nil {
+		return err
+	}
+	return s.writeShadowMeta(&m)
+}
+
+// Close releases the handle; the last close detaches the shared state.
+func (o *Object) Close() error {
+	o.s.mu.Lock()
+	defer o.s.mu.Unlock()
+	if o.closed {
+		return nil
+	}
+	o.refs--
+	if o.refs <= 0 {
+		o.closed = true
+		delete(o.s.open, o.oid)
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package osd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/buddy"
+	"repro/internal/pager"
+)
+
+type env struct {
+	dev *blockdev.MemDevice
+	pg  *pager.Pager
+	ba  *buddy.Allocator
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	dev := blockdev.NewMem(16384, blockdev.DefaultBlockSize)
+	return &env{dev: dev, pg: pager.New(dev, 512, true), ba: buddy.New(1, 16383)}
+}
+
+func newStore(t *testing.T, opts Options) (*Store, *env) {
+	t.Helper()
+	e := newEnv(t)
+	s, err := Create(e.pg, e.ba, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return s, e
+}
+
+func TestCreateObjectAssignsUniqueOIDs(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	seen := map[OID]bool{}
+	for i := 0; i < 100; i++ {
+		obj, err := s.CreateObject("margo", ModeRegular|0o644)
+		if err != nil {
+			t.Fatalf("CreateObject: %v", err)
+		}
+		if seen[obj.OID()] {
+			t.Fatalf("duplicate OID %d", obj.OID())
+		}
+		seen[obj.OID()] = true
+		if err := obj.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().Objects; got != 100 {
+		t.Errorf("Objects = %d, want 100", got)
+	}
+}
+
+func TestObjectReadWrite(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	obj, err := s.CreateObject("nick", ModeRegular|0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("hfad"), 1000)
+	if err := obj.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Size() != 4000 {
+		t.Errorf("Size = %d", obj.Size())
+	}
+	got := make([]byte, 4000)
+	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+	m, err := obj.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != 4000 || m.Owner != "nick" {
+		t.Errorf("meta = %+v", m)
+	}
+}
+
+func TestInsertAndTruncateRange(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	obj, err := s.CreateObject("u", ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.InsertAt(5, []byte(" brave")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, obj.Size())
+	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "hello brave world" {
+		t.Errorf("after insert: %q", got)
+	}
+	if err := obj.TruncateRange(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, obj.Size())
+	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Errorf("after truncate-range: %q", got)
+	}
+}
+
+func TestMtimeAdvancesOnWrite(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s, _ := newStore(t, Options{Clock: clock})
+	obj, err := s.CreateObject("u", ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := obj.Stat()
+	now = now.Add(5 * time.Second)
+	if err := obj.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := obj.Stat()
+	if m2.Mtime <= m1.Mtime {
+		t.Errorf("mtime did not advance: %d -> %d", m1.Mtime, m2.Mtime)
+	}
+}
+
+func TestStatMissing(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	if _, err := s.Stat(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Stat(999) = %v, want ErrNotFound", err)
+	}
+	if _, err := s.OpenObject(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("OpenObject(999) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOpenObjectSharesState(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	obj, err := s.CreateObject("u", ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := obj.OID()
+	h2, err := s.OpenObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != obj {
+		t.Error("second handle is not the shared object")
+	}
+	if err := obj.WriteAt([]byte("shared"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := h2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "shared" {
+		t.Errorf("second handle read %q", got)
+	}
+	if err := h2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen after full close works.
+	h3, err := s.OpenObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.Size() != 6 {
+		t.Errorf("reopened size = %d", h3.Size())
+	}
+}
+
+func TestDeleteObjectFreesStorage(t *testing.T) {
+	s, e := newStore(t, Options{})
+	free0 := e.ba.FreeBlocks()
+	obj, err := s.CreateObject("u", ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.WriteAt(bytes.Repeat([]byte("z"), 200000), 0); err != nil {
+		t.Fatal(err)
+	}
+	oid := obj.OID()
+	if err := obj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteObject(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat(oid); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted object still stats")
+	}
+	// All extent blocks must return (the object table itself keeps a
+	// few pages).
+	leaked := free0 - e.ba.FreeBlocks()
+	if leaked > 8 {
+		t.Errorf("delete leaked %d blocks", leaked)
+	}
+}
+
+func TestUpdateMetaFields(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	obj, err := s.CreateObject("alice", ModeRegular|0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := obj.OID()
+	if err := s.SetMode(oid, ModeRegular|0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetOwner(oid, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTimes(oid, 111, 222); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Stat(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode != ModeRegular|0o755 || m.Owner != "bob" || m.Atime != 111 || m.Mtime != 222 {
+		t.Errorf("meta = %+v", m)
+	}
+}
+
+func TestShadowMetaMatchesTable(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	obj, err := s.CreateObject("carol", ModeRegular|0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.WriteAt([]byte("some data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obj.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := s.ShadowMeta(m.ExtentHeader)
+	if err != nil {
+		t.Fatalf("ShadowMeta: %v", err)
+	}
+	if shadow.OID != m.OID || shadow.Size != m.Size || shadow.Owner != m.Owner {
+		t.Errorf("shadow %+v != table %+v", shadow, m)
+	}
+}
+
+func TestForEachOrdered(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	for i := 0; i < 10; i++ {
+		obj, err := s.CreateObject("u", ModeRegular)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj.Close()
+	}
+	var oids []OID
+	if err := s.ForEach(func(m Meta) bool {
+		oids = append(oids, m.OID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 10 {
+		t.Fatalf("ForEach visited %d, want 10", len(oids))
+	}
+	for i := 1; i < len(oids); i++ {
+		if oids[i] <= oids[i-1] {
+			t.Fatal("ForEach not in OID order")
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	e := newEnv(t)
+	s, err := Create(e.pg, e.ba, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.CreateObject("dave", ModeRegular|0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := obj.OID()
+	if err := obj.WriteAt([]byte("durable bytes"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg2 := pager.New(e.dev, 256, true)
+	s2, err := Open(pg2, e.ba, s.HeaderPage(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	obj2, err := s2.OpenObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 13)
+	if _, err := obj2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "durable bytes" {
+		t.Errorf("reopened read %q", got)
+	}
+	// New objects must not collide with pre-restart OIDs.
+	obj3, err := s2.CreateObject("u", ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj3.OID() <= oid {
+		t.Errorf("OID sequence regressed: %d after %d", obj3.OID(), oid)
+	}
+}
+
+func TestCommitHookFires(t *testing.T) {
+	commits := 0
+	s, _ := newStore(t, Options{Commit: func() error { commits++; return nil }})
+	obj, err := s.CreateObject("u", ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commits == 0 {
+		t.Fatal("no commit after create")
+	}
+	base := commits
+	if err := obj.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if commits <= base {
+		t.Error("no commit after write")
+	}
+	if got := s.Stats().Commits; int(got) != commits {
+		t.Errorf("Stats.Commits = %d, hook ran %d times", got, commits)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	obj, _ := s.CreateObject("u", ModeRegular)
+	_ = obj.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 3)
+	_, _ = obj.ReadAt(buf, 0)
+	_ = obj.InsertAt(1, []byte("z"))
+	_ = obj.TruncateRange(0, 1)
+	st := s.Stats()
+	if st.Creates != 1 || st.Writes != 1 || st.Reads != 1 || st.Inserts != 1 || st.DeleteRanges != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSparseObject(t *testing.T) {
+	s, _ := newStore(t, Options{})
+	obj, err := s.CreateObject("u", ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.WriteAt([]byte("end"), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Size() != 1<<20+3 {
+		t.Errorf("Size = %d", obj.Size())
+	}
+	buf := make([]byte, 10)
+	if _, err := obj.ReadAt(buf, 512); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package pager provides a buffer cache of device blocks (pages) shared by
+// the B-tree, extent-tree, and WAL layers.
+//
+// Pages are pinned while in use; unpinned pages live on an LRU list and are
+// evicted under memory pressure, with dirty pages written back first. When a
+// write-ahead log governs the volume, the pager runs in no-steal mode: dirty
+// pages are never written home by eviction, only by an explicit FlushDirty
+// after the WAL has logged them (force-at-commit policy). This keeps crash
+// recovery simple: home locations only ever contain committed data.
+//
+// The cache is internally sharded by page number: a single global mutex
+// would serialize every component that touches a page, re-creating exactly
+// the shared hotspot the paper's §2.3 complains about one layer down.
+// Experiment E8 measures the index-store sharding that this makes visible.
+package pager
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/blockdev"
+)
+
+// Pager errors.
+var (
+	ErrCacheFull = errors.New("pager: cache full of pinned or unevictable pages")
+	ErrPinned    = errors.New("pager: page still pinned")
+	ErrBadPage   = errors.New("pager: bad page number")
+)
+
+// numShards partitions the page table; a power of two so the modulo is a
+// mask. 16 is comfortably above any host core count we target.
+const numShards = 16
+
+// Page is a cached device block. Callers access Data only between Acquire
+// and Release, and only under whatever higher-level latch (e.g. the B-tree
+// lock) guards the page's structure.
+type Page struct {
+	no    uint64
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in LRU when unpinned
+}
+
+// No returns the page's block number.
+func (p *Page) No() uint64 { return p.no }
+
+// Data returns the page contents. The slice is valid only while pinned.
+func (p *Page) Data() []byte { return p.data }
+
+// Stats describes cache effectiveness.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+	Cached     int
+	Dirty      int
+}
+
+type shard struct {
+	mu    sync.Mutex
+	table map[uint64]*Page
+	lru   *list.List // of *Page, front = most recent
+	dirty map[uint64]*Page
+
+	hits, misses, evictions, writebacks int64
+}
+
+// Pager is a fixed-capacity buffer cache over a block device.
+type Pager struct {
+	dev         blockdev.Device
+	capPerShard int
+	evictDirty  bool
+	shards      [numShards]shard
+}
+
+// New creates a pager over dev caching up to capacity pages.
+// evictDirty selects steal (true) or no-steal (false) eviction policy.
+func New(dev blockdev.Device, capacity int, evictDirty bool) *Pager {
+	if capacity < numShards*4 {
+		capacity = numShards * 4
+	}
+	p := &Pager{
+		dev:         dev,
+		capPerShard: capacity / numShards,
+		evictDirty:  evictDirty,
+	}
+	for i := range p.shards {
+		p.shards[i].table = make(map[uint64]*Page)
+		p.shards[i].lru = list.New()
+		p.shards[i].dirty = make(map[uint64]*Page)
+	}
+	return p
+}
+
+func (p *Pager) shardOf(no uint64) *shard {
+	return &p.shards[no&(numShards-1)]
+}
+
+// BlockSize returns the underlying device block size.
+func (p *Pager) BlockSize() int { return p.dev.BlockSize() }
+
+// Device returns the underlying device.
+func (p *Pager) Device() blockdev.Device { return p.dev }
+
+// Acquire returns the page pinned, reading it from the device on a miss.
+func (p *Pager) Acquire(no uint64) (*Page, error) {
+	return p.acquire(no, true)
+}
+
+// AcquireZero returns the page pinned with zeroed contents and does not
+// read the device. For freshly allocated pages whose on-device content is
+// garbage.
+func (p *Pager) AcquireZero(no uint64) (*Page, error) {
+	pg, err := p.acquire(no, false)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pg.data {
+		pg.data[i] = 0
+	}
+	return pg, nil
+}
+
+func (p *Pager) acquire(no uint64, read bool) (*Page, error) {
+	if no >= p.dev.NumBlocks() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadPage, no, p.dev.NumBlocks())
+	}
+	s := p.shardOf(no)
+	s.mu.Lock()
+	if pg, ok := s.table[no]; ok {
+		s.hits++
+		if pg.elem != nil {
+			s.lru.Remove(pg.elem)
+			pg.elem = nil
+		}
+		pg.pins++
+		s.mu.Unlock()
+		return pg, nil
+	}
+	s.misses++
+	if err := p.makeRoomLocked(s); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	pg := &Page{no: no, data: make([]byte, p.dev.BlockSize()), pins: 1}
+	s.table[no] = pg
+	s.mu.Unlock()
+
+	if read {
+		if err := p.dev.ReadBlock(no, pg.data); err != nil {
+			s.mu.Lock()
+			delete(s.table, no)
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	return pg, nil
+}
+
+// makeRoomLocked evicts one unpinned page if the shard is at capacity.
+func (p *Pager) makeRoomLocked(s *shard) error {
+	for len(s.table) >= p.capPerShard {
+		var victim *Page
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
+			pg := e.Value.(*Page)
+			if pg.dirty && !p.evictDirty {
+				continue
+			}
+			victim = pg
+			break
+		}
+		if victim == nil {
+			// All unpinned pages are dirty under no-steal; grow rather
+			// than fail — capacity is advisory, correctness is not.
+			return nil
+		}
+		if victim.dirty {
+			if err := p.dev.WriteBlock(victim.no, victim.data); err != nil {
+				return err
+			}
+			s.writebacks++
+			victim.dirty = false
+			delete(s.dirty, victim.no)
+		}
+		s.lru.Remove(victim.elem)
+		victim.elem = nil
+		delete(s.table, victim.no)
+		s.evictions++
+	}
+	return nil
+}
+
+// Release unpins the page. Pages must be released exactly once per Acquire.
+func (p *Pager) Release(pg *Page) {
+	s := p.shardOf(pg.no)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pg.pins <= 0 {
+		panic("pager: release of unpinned page")
+	}
+	pg.pins--
+	if pg.pins == 0 {
+		pg.elem = s.lru.PushFront(pg)
+	}
+}
+
+// MarkDirty records that the page's contents have been modified.
+// The page must be pinned.
+func (p *Pager) MarkDirty(pg *Page) {
+	s := p.shardOf(pg.no)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pg.pins <= 0 {
+		panic("pager: MarkDirty on unpinned page")
+	}
+	if !pg.dirty {
+		pg.dirty = true
+		s.dirty[pg.no] = pg
+	}
+}
+
+// DirtyPages returns the numbers and contents of all dirty pages. The WAL
+// logs these at commit. Contents are copied so the caller may hold them
+// across further mutation.
+func (p *Pager) DirtyPages() map[uint64][]byte {
+	out := make(map[uint64][]byte)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for no, pg := range s.dirty {
+			c := make([]byte, len(pg.data))
+			copy(c, pg.data)
+			out[no] = c
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// FlushDirty writes every dirty page home and marks it clean.
+func (p *Pager) FlushDirty() error {
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for no, pg := range s.dirty {
+			if err := p.dev.WriteBlock(no, pg.data); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			s.writebacks++
+			pg.dirty = false
+			delete(s.dirty, no)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// DirtyCount returns the number of dirty cached pages.
+func (p *Pager) DirtyCount() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += len(s.dirty)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Invalidate drops the page from the cache without writing it back.
+// Used when a page is freed. The page must be unpinned.
+func (p *Pager) Invalidate(no uint64) error {
+	s := p.shardOf(no)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, ok := s.table[no]
+	if !ok {
+		return nil
+	}
+	if pg.pins > 0 {
+		return fmt.Errorf("%w: page %d", ErrPinned, no)
+	}
+	if pg.elem != nil {
+		s.lru.Remove(pg.elem)
+	}
+	delete(s.table, no)
+	if pg.dirty {
+		delete(s.dirty, no)
+	}
+	return nil
+}
+
+// Sync flushes all dirty pages and syncs the device.
+func (p *Pager) Sync() error {
+	if err := p.FlushDirty(); err != nil {
+		return err
+	}
+	return p.dev.Sync()
+}
+
+// Stats returns a snapshot of cache counters aggregated across shards.
+func (p *Pager) Stats() Stats {
+	var out Stats
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		out.Writebacks += s.writebacks
+		out.Cached += len(s.table)
+		out.Dirty += len(s.dirty)
+		s.mu.Unlock()
+	}
+	return out
+}

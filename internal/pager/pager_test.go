@@ -1,0 +1,282 @@
+package pager
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func newPager(t *testing.T, blocks uint64, capacity int, evictDirty bool) (*Pager, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(blocks, 512)
+	return New(dev, capacity, evictDirty), dev
+}
+
+func TestAcquireReleaseRoundtrip(t *testing.T) {
+	p, dev := newPager(t, 32, 8, true)
+	want := make([]byte, 512)
+	want[0] = 42
+	if err := dev.WriteBlock(5, want); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Acquire(5)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if pg.Data()[0] != 42 {
+		t.Errorf("page data[0] = %d, want 42", pg.Data()[0])
+	}
+	if pg.No() != 5 {
+		t.Errorf("page no = %d, want 5", pg.No())
+	}
+	p.Release(pg)
+}
+
+func TestCacheHit(t *testing.T) {
+	p, _ := newPager(t, 32, 8, true)
+	pg, _ := p.Acquire(1)
+	p.Release(pg)
+	pg2, _ := p.Acquire(1)
+	p.Release(pg2)
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+	if pg != pg2 {
+		t.Error("cache hit returned a different Page object")
+	}
+}
+
+func TestDirtyWritebackOnFlush(t *testing.T) {
+	p, dev := newPager(t, 32, 8, true)
+	pg, _ := p.Acquire(3)
+	pg.Data()[0] = 99
+	p.MarkDirty(pg)
+	p.Release(pg)
+	if p.DirtyCount() != 1 {
+		t.Fatalf("dirty count = %d, want 1", p.DirtyCount())
+	}
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 99 {
+		t.Errorf("device byte = %d, want 99 after flush", got[0])
+	}
+	if p.DirtyCount() != 0 {
+		t.Errorf("dirty count after flush = %d, want 0", p.DirtyCount())
+	}
+}
+
+func TestEvictionWritesDirtyWhenStealAllowed(t *testing.T) {
+	p, dev := newPager(t, 256, 64, true) // 4 pages per shard
+	// Dirty one page, then fill its shard (same page number mod 16) to
+	// force eviction.
+	pg, _ := p.Acquire(0)
+	pg.Data()[0] = 7
+	p.MarkDirty(pg)
+	p.Release(pg)
+	for i := uint64(1); i <= 8; i++ {
+		q, err := p.Acquire(i * 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release(q)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Error("dirty page was evicted without writeback")
+	}
+	if p.Stats().Evictions == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+func TestNoStealKeepsDirtyPagesOffDevice(t *testing.T) {
+	p, dev := newPager(t, 256, 64, false)
+	pg, _ := p.Acquire(0)
+	pg.Data()[0] = 7
+	p.MarkDirty(pg)
+	p.Release(pg)
+	for i := uint64(1); i <= 12; i++ {
+		q, err := p.Acquire(i * 16) // same shard as page 0
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release(q)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Error("no-steal pager wrote uncommitted dirty page home")
+	}
+	// The dirty page must still be cached and intact.
+	pg2, err := p.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg2.Data()[0] != 7 {
+		t.Error("dirty page content lost under no-steal pressure")
+	}
+	p.Release(pg2)
+}
+
+func TestAcquireZeroSkipsRead(t *testing.T) {
+	p, dev := newPager(t, 32, 8, true)
+	junk := make([]byte, 512)
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	if err := dev.WriteBlock(9, junk); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.AcquireZero(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(pg)
+	for i, b := range pg.Data() {
+		if b != 0 {
+			t.Fatalf("AcquireZero data[%d] = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestAcquireOutOfRange(t *testing.T) {
+	p, _ := newPager(t, 8, 8, true)
+	if _, err := p.Acquire(100); !errors.Is(err, ErrBadPage) {
+		t.Errorf("Acquire(100) = %v, want ErrBadPage", err)
+	}
+}
+
+func TestDirtyPagesSnapshotIsCopied(t *testing.T) {
+	p, _ := newPager(t, 8, 8, true)
+	pg, _ := p.Acquire(1)
+	pg.Data()[0] = 1
+	p.MarkDirty(pg)
+	snap := p.DirtyPages()
+	pg.Data()[0] = 2 // mutate after snapshot
+	p.Release(pg)
+	if snap[1][0] != 1 {
+		t.Error("DirtyPages snapshot aliases live page data")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	p, dev := newPager(t, 8, 8, true)
+	pg, _ := p.Acquire(2)
+	pg.Data()[0] = 5
+	p.MarkDirty(pg)
+	if err := p.Invalidate(2); !errors.Is(err, ErrPinned) {
+		t.Errorf("Invalidate pinned = %v, want ErrPinned", err)
+	}
+	p.Release(pg)
+	if err := p.Invalidate(2); err != nil {
+		t.Fatalf("Invalidate: %v", err)
+	}
+	// Page gone: contents must not reach the device via Flush.
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlock(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Error("invalidated dirty page leaked to device")
+	}
+	// Invalidate of uncached page is a no-op.
+	if err := p.Invalidate(7); err != nil {
+		t.Errorf("Invalidate uncached: %v", err)
+	}
+}
+
+func TestPinnedPagesSurviveCachePressure(t *testing.T) {
+	p, _ := newPager(t, 256, 64, true) // 4 pages per shard
+	var pinned []*Page
+	for i := uint64(0); i < 4; i++ {
+		pg, err := p.Acquire(i * 16) // all in shard 0
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data()[0] = byte(i + 1)
+		pinned = append(pinned, pg)
+	}
+	// Shard is full of pins; further acquires grow past capacity but work.
+	extra, err := p.Acquire(128) // shard 0 again
+	if err != nil {
+		t.Fatalf("Acquire past pinned capacity: %v", err)
+	}
+	p.Release(extra)
+	for i, pg := range pinned {
+		if pg.Data()[0] != byte(i+1) {
+			t.Errorf("pinned page %d content lost", i)
+		}
+		p.Release(pg)
+	}
+}
+
+func TestReleasePanicsOnDoubleRelease(t *testing.T) {
+	p, _ := newPager(t, 8, 8, true)
+	pg, _ := p.Acquire(0)
+	p.Release(pg)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	p.Release(pg)
+}
+
+func TestSyncFlushes(t *testing.T) {
+	p, dev := newPager(t, 8, 8, true)
+	pg, _ := p.Acquire(1)
+	pg.Data()[0] = 42
+	p.MarkDirty(pg)
+	p.Release(pg)
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlock(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Error("Sync did not flush dirty page")
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	p, _ := newPager(t, 256, 32, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				no := uint64((w*31 + i) % 256)
+				pg, err := p.Acquire(no)
+				if err != nil {
+					t.Errorf("Acquire(%d): %v", no, err)
+					return
+				}
+				p.Release(pg)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Hits+s.Misses != 8*200 {
+		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, 8*200)
+	}
+}

@@ -1,0 +1,227 @@
+package posixfs
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"testing"
+	"time"
+
+	"repro/internal/osd"
+)
+
+func TestOpenRWRejectsDirectory(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenRW("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("OpenRW(dir) = %v", err)
+	}
+	if _, err := fs.ReadFile("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("ReadFile(dir) = %v", err)
+	}
+	if err := fs.Truncate("/d", 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Truncate(dir) = %v", err)
+	}
+}
+
+func TestCreateOverDirectoryFails(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/d", 0o644); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Create over dir = %v", err)
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	fs, _ := newFS(t)
+	f, err := fs.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(make([]byte, 4), -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative ReadAt = %v", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative WriteAt = %v", err)
+	}
+	if _, err := f.Seek(0, 99); !errors.Is(err, ErrInvalid) {
+		t.Errorf("bad whence = %v", err)
+	}
+}
+
+func TestDoubleCloseFile(t *testing.T) {
+	fs, _ := newFS(t)
+	f, err := fs.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestEmptyAndWeirdPaths(t *testing.T) {
+	fs, _ := newFS(t)
+	if _, err := fs.Stat(""); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty path = %v", err)
+	}
+	// Trailing slashes and dots clean away.
+	if err := fs.Mkdir("/x/", 0o755); err != nil {
+		t.Fatalf("trailing slash mkdir = %v", err)
+	}
+	if _, err := fs.Stat("/x/."); err != nil {
+		t.Errorf("dot path = %v", err)
+	}
+}
+
+func TestChtimes(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(1111, 0)
+	mt := time.Unix(2222, 0)
+	if err := fs.Chtimes("/f", at, mt); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := fs.Stat("/f")
+	if m.Atime != at.UnixNano() || m.Mtime != mt.UnixNano() {
+		t.Errorf("times = %d/%d", m.Atime, m.Mtime)
+	}
+}
+
+func TestIOFSInvalidNames(t *testing.T) {
+	fs, _ := newFS(t)
+	x := fs.IOFS()
+	if _, err := x.Open("/abs"); err == nil {
+		t.Error("absolute name accepted by io/fs adapter")
+	}
+	if _, err := x.Open("a/../b"); err == nil {
+		t.Error("dotdot name accepted")
+	}
+	var pe *iofs.PathError
+	_, err := x.Open("missing.txt")
+	if !errors.As(err, &pe) || !errors.Is(err, iofs.ErrNotExist) {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestIOFSDirReadPagination(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Mkdir("/p", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		if err := fs.WriteFile("/p/"+n, []byte(n), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := fs.IOFS().Open("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, ok := f.(iofs.ReadDirFile)
+	if !ok {
+		t.Fatal("directory does not implement ReadDirFile")
+	}
+	batch1, err := dir.ReadDir(2)
+	if err != nil || len(batch1) != 2 {
+		t.Fatalf("batch1 = %d, %v", len(batch1), err)
+	}
+	batch2, err := dir.ReadDir(2)
+	if err != nil || len(batch2) != 2 {
+		t.Fatalf("batch2 = %d, %v", len(batch2), err)
+	}
+	batch3, err := dir.ReadDir(10)
+	if err != nil || len(batch3) != 1 {
+		t.Fatalf("batch3 = %d, %v", len(batch3), err)
+	}
+	if _, err := dir.ReadDir(1); err != io.EOF {
+		t.Errorf("post-end ReadDir = %v, want EOF", err)
+	}
+	// Reading a directory as a file fails.
+	if _, err := f.Read(make([]byte, 4)); err == nil {
+		t.Error("Read on directory succeeded")
+	}
+}
+
+func TestRenameMissingSourceAndBadTargets(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Rename("/ghost", "/elsewhere"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing = %v", err)
+	}
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Renaming a file onto an existing directory must fail.
+	if err := fs.Rename("/f", "/d"); !errors.Is(err, ErrExist) {
+		t.Errorf("rename onto dir = %v", err)
+	}
+	// Rename to itself is a no-op.
+	if err := fs.Rename("/f", "/f"); err != nil {
+		t.Errorf("self rename = %v", err)
+	}
+}
+
+func TestLargeFileThroughPosix(t *testing.T) {
+	fs, _ := newFS(t)
+	f, err := fs.Create("/big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	for i := 0; i < 32; i++ { // 2 MiB
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Size() != 2<<20 {
+		t.Errorf("Size = %d", f.Size())
+	}
+	// Sparse extension via WriteAt.
+	if _, err := f.WriteAt([]byte("end"), 5<<20); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 5<<20+3 {
+		t.Errorf("sparse Size = %d", f.Size())
+	}
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 5<<20); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "end" {
+		t.Errorf("sparse read = %q", buf)
+	}
+	f.Close()
+	m, _ := fs.Stat("/big")
+	if m.Mode&osd.ModeRegular == 0 {
+		t.Error("mode lost")
+	}
+}
+
+func TestMkdirAllOverFileFails(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/f", 0o755); err == nil {
+		t.Error("MkdirAll over file succeeded")
+	}
+	if err := fs.MkdirAll("/f/sub", 0o755); err == nil {
+		t.Error("MkdirAll under file succeeded")
+	}
+}

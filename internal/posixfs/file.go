@@ -1,0 +1,161 @@
+package posixfs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/osd"
+)
+
+// File is an open POSIX file handle. It implements io.Reader, io.Writer,
+// io.Seeker, io.ReaderAt, io.WriterAt, and io.Closer, and additionally
+// exposes the two hFAD access extensions — Insert and TruncateRange — so
+// applications using the compatibility layer can still reach the native
+// capabilities.
+type File struct {
+	fs       *FS
+	obj      *osd.Object
+	path     string
+	pos      uint64
+	writable bool
+	closed   bool
+}
+
+// Path returns the path the file was opened by.
+func (f *File) Path() string { return f.path }
+
+// OID returns the underlying object's identifier.
+func (f *File) OID() osd.OID { return f.obj.OID() }
+
+// Object exposes the underlying OSD object (native-API escape hatch).
+func (f *File) Object() *osd.Object { return f.obj }
+
+// Size returns the current file size.
+func (f *File) Size() uint64 { return f.obj.Size() }
+
+// Stat returns the file's metadata.
+func (f *File) Stat() (osd.Meta, error) { return f.obj.Stat() }
+
+func (f *File) check(write bool) error {
+	if f.closed {
+		return fmt.Errorf("%s: file closed: %w", f.path, ErrInvalid)
+	}
+	if write && !f.writable {
+		return fmt.Errorf("%s: read-only handle: %w", f.path, ErrInvalid)
+	}
+	return nil
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	if err := f.check(false); err != nil {
+		return 0, err
+	}
+	n, err := f.obj.ReadAt(p, f.pos)
+	f.pos += uint64(n)
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.check(false); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%s: negative offset: %w", f.path, ErrInvalid)
+	}
+	return f.obj.ReadAt(p, uint64(off))
+}
+
+// Write implements io.Writer, advancing the file position.
+func (f *File) Write(p []byte) (int, error) {
+	if err := f.check(true); err != nil {
+		return 0, err
+	}
+	if err := f.obj.WriteAt(p, f.pos); err != nil {
+		return 0, err
+	}
+	f.pos += uint64(len(p))
+	return len(p), nil
+}
+
+// WriteAt implements io.WriterAt.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.check(true); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%s: negative offset: %w", f.path, ErrInvalid)
+	}
+	if err := f.obj.WriteAt(p, uint64(off)); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if err := f.check(false); err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(f.pos)
+	case io.SeekEnd:
+		base = int64(f.obj.Size())
+	default:
+		return 0, fmt.Errorf("%s: bad whence %d: %w", f.path, whence, ErrInvalid)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("%s: negative position: %w", f.path, ErrInvalid)
+	}
+	f.pos = uint64(np)
+	return np, nil
+}
+
+// Insert inserts p at offset off, shifting later bytes — the paper's
+// extension to the access interface.
+func (f *File) Insert(off uint64, p []byte) error {
+	if err := f.check(true); err != nil {
+		return err
+	}
+	return f.obj.InsertAt(off, p)
+}
+
+// TruncateRange removes length bytes at offset off — the paper's
+// two-argument truncate.
+func (f *File) TruncateRange(off, length uint64) error {
+	if err := f.check(true); err != nil {
+		return err
+	}
+	return f.obj.TruncateRange(off, length)
+}
+
+// Truncate sets the file size.
+func (f *File) Truncate(size uint64) error {
+	if err := f.check(true); err != nil {
+		return err
+	}
+	return f.obj.Truncate(size)
+}
+
+// Sync flushes volume state for durability.
+func (f *File) Sync() error {
+	if err := f.check(false); err != nil {
+		return err
+	}
+	return f.fs.vol.Sync()
+}
+
+// Close releases the handle.
+func (f *File) Close() error {
+	if f.closed {
+		return fmt.Errorf("%s: already closed: %w", f.path, ErrInvalid)
+	}
+	f.closed = true
+	return f.obj.Close()
+}

@@ -1,0 +1,193 @@
+package posixfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"path"
+	"time"
+
+	"repro/internal/osd"
+)
+
+// IOFS returns a read-only io/fs.FS view of the POSIX layer, rooted at
+// "/". It implements fs.FS, fs.ReadDirFS, fs.StatFS, and fs.ReadFileFS,
+// and passes testing/fstest.TestFS — so the standard library's tools
+// (fs.WalkDir, archive/tar, ...) operate directly on an hFAD volume.
+func (f *FS) IOFS() iofs.FS { return &ioFS{f} }
+
+type ioFS struct{ fs *FS }
+
+// toInternal maps an io/fs name ("." or "a/b") to a rooted path.
+func toInternal(name string) (string, error) {
+	if !iofs.ValidPath(name) {
+		return "", fmt.Errorf("%s: %w", name, iofs.ErrInvalid)
+	}
+	if name == "." {
+		return "/", nil
+	}
+	return "/" + name, nil
+}
+
+func (x *ioFS) Open(name string) (iofs.File, error) {
+	p, err := toInternal(name)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "open", Path: name, Err: iofs.ErrInvalid}
+	}
+	m, err := x.fs.Stat(p)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+	}
+	if m.Mode&osd.ModeDir != 0 {
+		entries, err := x.fs.ReadDir(p)
+		if err != nil {
+			return nil, &iofs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+		}
+		return &ioDir{name: path.Base(name), meta: m, entries: entries}, nil
+	}
+	file, err := x.fs.Open(p)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "open", Path: name, Err: mapErr(err)}
+	}
+	return &ioFile{name: path.Base(name), meta: m, f: file}, nil
+}
+
+func (x *ioFS) ReadDir(name string) ([]iofs.DirEntry, error) {
+	p, err := toInternal(name)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "readdir", Path: name, Err: iofs.ErrInvalid}
+	}
+	entries, err := x.fs.ReadDir(p)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "readdir", Path: name, Err: mapErr(err)}
+	}
+	out := make([]iofs.DirEntry, len(entries))
+	for i, e := range entries {
+		out[i] = dirEntry{e}
+	}
+	return out, nil
+}
+
+func (x *ioFS) Stat(name string) (iofs.FileInfo, error) {
+	p, err := toInternal(name)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "stat", Path: name, Err: iofs.ErrInvalid}
+	}
+	m, err := x.fs.Stat(p)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "stat", Path: name, Err: mapErr(err)}
+	}
+	return fileInfo{name: path.Base(name), meta: m}, nil
+}
+
+func (x *ioFS) ReadFile(name string) ([]byte, error) {
+	p, err := toInternal(name)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "readfile", Path: name, Err: iofs.ErrInvalid}
+	}
+	data, err := x.fs.ReadFile(p)
+	if err != nil {
+		return nil, &iofs.PathError{Op: "readfile", Path: name, Err: mapErr(err)}
+	}
+	return data, nil
+}
+
+func mapErr(err error) error {
+	switch {
+	case errors.Is(err, ErrNotExist):
+		return iofs.ErrNotExist
+	case errors.Is(err, ErrExist):
+		return iofs.ErrExist
+	default:
+		return err
+	}
+}
+
+// fileInfo adapts osd.Meta to fs.FileInfo.
+type fileInfo struct {
+	name string
+	meta osd.Meta
+}
+
+func (fi fileInfo) Name() string { return fi.name }
+func (fi fileInfo) Size() int64  { return int64(fi.meta.Size) }
+func (fi fileInfo) Mode() iofs.FileMode {
+	m := iofs.FileMode(fi.meta.Mode & osd.ModePermMask)
+	if fi.meta.Mode&osd.ModeDir != 0 {
+		m |= iofs.ModeDir
+	}
+	return m
+}
+func (fi fileInfo) ModTime() time.Time { return time.Unix(0, fi.meta.Mtime) }
+func (fi fileInfo) IsDir() bool        { return fi.meta.Mode&osd.ModeDir != 0 }
+func (fi fileInfo) Sys() any           { return fi.meta }
+
+// dirEntry adapts DirEntry to fs.DirEntry.
+type dirEntry struct{ e DirEntry }
+
+func (d dirEntry) Name() string { return d.e.Name }
+func (d dirEntry) IsDir() bool  { return d.e.Meta.Mode&osd.ModeDir != 0 }
+func (d dirEntry) Type() iofs.FileMode {
+	return fileInfo{d.e.Name, d.e.Meta}.Mode().Type()
+}
+func (d dirEntry) Info() (iofs.FileInfo, error) {
+	return fileInfo{d.e.Name, d.e.Meta}, nil
+}
+
+// ioFile adapts File to fs.File.
+type ioFile struct {
+	name string
+	meta osd.Meta
+	f    *File
+}
+
+func (x *ioFile) Stat() (iofs.FileInfo, error) { return fileInfo{x.name, x.meta}, nil }
+func (x *ioFile) Read(p []byte) (int, error)   { return x.f.Read(p) }
+func (x *ioFile) Close() error                 { return x.f.Close() }
+
+// Seek lets fs users with io.Seeker expectations work too.
+func (x *ioFile) Seek(offset int64, whence int) (int64, error) {
+	return x.f.Seek(offset, whence)
+}
+
+// ReadAt supports fs.File consumers that type-assert io.ReaderAt.
+func (x *ioFile) ReadAt(p []byte, off int64) (int, error) {
+	return x.f.ReadAt(p, off)
+}
+
+// ioDir adapts a directory listing to fs.ReadDirFile.
+type ioDir struct {
+	name    string
+	meta    osd.Meta
+	entries []DirEntry
+	pos     int
+}
+
+func (d *ioDir) Stat() (iofs.FileInfo, error) { return fileInfo{d.name, d.meta}, nil }
+func (d *ioDir) Read(p []byte) (int, error) {
+	return 0, &iofs.PathError{Op: "read", Path: d.name, Err: errors.New("is a directory")}
+}
+func (d *ioDir) Close() error { return nil }
+
+func (d *ioDir) ReadDir(n int) ([]iofs.DirEntry, error) {
+	if n <= 0 {
+		out := make([]iofs.DirEntry, 0, len(d.entries)-d.pos)
+		for ; d.pos < len(d.entries); d.pos++ {
+			out = append(out, dirEntry{d.entries[d.pos]})
+		}
+		return out, nil
+	}
+	if d.pos >= len(d.entries) {
+		return nil, io.EOF
+	}
+	end := d.pos + n
+	if end > len(d.entries) {
+		end = len(d.entries)
+	}
+	out := make([]iofs.DirEntry, 0, end-d.pos)
+	for ; d.pos < end; d.pos++ {
+		out = append(out, dirEntry{d.entries[d.pos]})
+	}
+	return out, nil
+}

@@ -1,0 +1,671 @@
+// Package posixfs implements the paper's POSIX compatibility layer: "we
+// support POSIX naming as a thin layer atop the native API. A naming
+// operation on POSIX path P translates into a lookup on the tag/value
+// pair: POSIX/P."
+//
+// The layer maintains two indexes over the native naming API:
+//
+//	POSIX  full cleaned path → OID     (direct lookup, the paper's scheme)
+//	PDIR   parent\x00name → OID        (directory listing)
+//
+// A POSIX path is "simply one name among many possible names": hard links
+// are just additional POSIX names on the same object, and an object whose
+// last name disappears is reclaimed. Directories are ordinary objects
+// (mode bits only — their listing lives in the PDIR index, "directories
+// also potentially map nicely onto btrees").
+//
+// The paper's prototype mounts through FUSE; stdlib-only Go substitutes an
+// in-process VFS plus an io/fs adapter (fs.FS / ReadDirFS / StatFS) that
+// passes testing/fstest.TestFS, so stdlib tools — fs.WalkDir, archive/tar
+// — run unmodified against an hFAD volume, standing in for the
+// "general-purpose tools (ls, tar)" the introduction wants preserved.
+package posixfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/osd"
+)
+
+// Errors mirror the iofs error values so errors.Is works naturally.
+var (
+	ErrNotExist  = iofs.ErrNotExist
+	ErrExist     = iofs.ErrExist
+	ErrInvalid   = iofs.ErrInvalid
+	ErrNotDir    = errors.New("posixfs: not a directory")
+	ErrIsDir     = errors.New("posixfs: is a directory")
+	ErrNotEmpty  = errors.New("posixfs: directory not empty")
+	ErrCrossLink = errors.New("posixfs: cannot hard-link a directory")
+)
+
+const pdirTag = "PDIR"
+
+// FS is a POSIX view over an hFAD volume.
+type FS struct {
+	vol *core.Volume
+	mu  sync.Mutex // serializes structural namespace changes
+}
+
+// New attaches a POSIX layer to the volume, creating the root directory
+// if absent.
+func New(vol *core.Volume) (*FS, error) {
+	fs := &FS{vol: vol}
+	if _, err := fs.lookup("/"); errors.Is(err, ErrNotExist) {
+		obj, err := vol.OSD.CreateObject("root", osd.ModeDir|0o755)
+		if err != nil {
+			return nil, err
+		}
+		defer obj.Close()
+		if err := vol.AddName(obj.OID(), index.TagPOSIX, []byte("/")); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Volume returns the underlying volume.
+func (f *FS) Volume() *core.Volume { return f.vol }
+
+// clean canonicalizes a path to a rooted, slash-separated form.
+func clean(p string) (string, error) {
+	if p == "" {
+		return "", fmt.Errorf("%w: empty path", ErrInvalid)
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	c := path.Clean(p)
+	return c, nil
+}
+
+func split(p string) (dir, name string) {
+	d, n := path.Split(p)
+	if d != "/" {
+		d = strings.TrimSuffix(d, "/")
+	}
+	return d, n
+}
+
+func pdirKey(dir, name string) []byte {
+	return append(append([]byte(dir), 0x00), name...)
+}
+
+// lookup resolves a cleaned path to an OID via the POSIX index.
+func (f *FS) lookup(p string) (core.OID, error) {
+	ids, err := f.vol.Resolve(core.TagValue{Tag: index.TagPOSIX, Value: []byte(p)})
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	return ids[0], nil
+}
+
+// Lookup resolves a path to its object ID.
+func (f *FS) Lookup(p string) (core.OID, error) {
+	c, err := clean(p)
+	if err != nil {
+		return 0, err
+	}
+	return f.lookup(c)
+}
+
+// statPath returns metadata for a path.
+func (f *FS) statPath(p string) (osd.Meta, error) {
+	oid, err := f.lookup(p)
+	if err != nil {
+		return osd.Meta{}, err
+	}
+	return f.vol.OSD.Stat(oid)
+}
+
+// Stat returns file metadata.
+func (f *FS) Stat(p string) (osd.Meta, error) {
+	c, err := clean(p)
+	if err != nil {
+		return osd.Meta{}, err
+	}
+	return f.statPath(c)
+}
+
+// requireDir errs unless p names a directory; returns its OID.
+func (f *FS) requireDir(p string) (core.OID, error) {
+	m, err := f.statPath(p)
+	if err != nil {
+		return 0, err
+	}
+	if m.Mode&osd.ModeDir == 0 {
+		return 0, fmt.Errorf("%s: %w", p, ErrNotDir)
+	}
+	return m.OID, nil
+}
+
+// Mkdir creates a directory.
+func (f *FS) Mkdir(p string, perm uint32) error {
+	c, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if c == "/" {
+		return fmt.Errorf("/: %w", ErrExist)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, name := split(c)
+	if _, err := f.requireDir(dir); err != nil {
+		return err
+	}
+	if _, err := f.lookup(c); err == nil {
+		return fmt.Errorf("%s: %w", c, ErrExist)
+	}
+	obj, err := f.vol.OSD.CreateObject("", osd.ModeDir|(perm&osd.ModePermMask))
+	if err != nil {
+		return err
+	}
+	defer obj.Close()
+	return f.link(obj.OID(), dir, name, c)
+}
+
+// MkdirAll creates p and any missing parents.
+func (f *FS) MkdirAll(p string, perm uint32) error {
+	c, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if c == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(c, "/"), "/")
+	cur := ""
+	for _, part := range parts {
+		cur = cur + "/" + part
+		err := f.Mkdir(cur, perm)
+		switch {
+		case err == nil, errors.Is(err, ErrExist):
+		default:
+			return err
+		}
+	}
+	// The final component must be a directory.
+	_, err = f.requireDir(c)
+	return err
+}
+
+// link registers the POSIX and PDIR names for oid.
+func (f *FS) link(oid core.OID, dir, name, full string) error {
+	if err := f.vol.AddName(oid, index.TagPOSIX, []byte(full)); err != nil {
+		return err
+	}
+	return f.vol.AddName(oid, pdirTag, pdirKey(dir, name))
+}
+
+// unlink removes the POSIX and PDIR names for oid.
+func (f *FS) unlink(oid core.OID, dir, name, full string) error {
+	if err := f.vol.RemoveName(oid, index.TagPOSIX, []byte(full)); err != nil {
+		return err
+	}
+	return f.vol.RemoveName(oid, pdirTag, pdirKey(dir, name))
+}
+
+// Create creates (or truncates) a regular file and opens it for writing.
+func (f *FS) Create(p string, perm uint32) (*File, error) {
+	c, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, name := split(c)
+	if _, err := f.requireDir(dir); err != nil {
+		return nil, err
+	}
+	if oid, err := f.lookup(c); err == nil {
+		// Exists: truncate, per O_CREATE|O_TRUNC semantics.
+		m, err := f.vol.OSD.Stat(oid)
+		if err != nil {
+			return nil, err
+		}
+		if m.Mode&osd.ModeDir != 0 {
+			return nil, fmt.Errorf("%s: %w", c, ErrIsDir)
+		}
+		obj, err := f.vol.OSD.OpenObject(oid)
+		if err != nil {
+			return nil, err
+		}
+		if err := obj.Truncate(0); err != nil {
+			obj.Close()
+			return nil, err
+		}
+		return &File{fs: f, obj: obj, path: c, writable: true}, nil
+	}
+	obj, err := f.vol.OSD.CreateObject("", osd.ModeRegular|(perm&osd.ModePermMask))
+	if err != nil {
+		return nil, err
+	}
+	if err := f.link(obj.OID(), dir, name, c); err != nil {
+		obj.Close()
+		return nil, err
+	}
+	return &File{fs: f, obj: obj, path: c, writable: true}, nil
+}
+
+// Open opens an existing file or directory for reading.
+func (f *FS) Open(p string) (*File, error) {
+	c, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	oid, err := f.lookup(c)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := f.vol.OSD.OpenObject(oid)
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: f, obj: obj, path: c}, nil
+}
+
+// OpenRW opens an existing regular file for reading and writing.
+func (f *FS) OpenRW(p string) (*File, error) {
+	file, err := f.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := file.obj.Stat()
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	if m.Mode&osd.ModeDir != 0 {
+		file.Close()
+		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	file.writable = true
+	return file, nil
+}
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name string
+	OID  core.OID
+	Meta osd.Meta
+}
+
+// ReadDir lists a directory in name order.
+func (f *FS) ReadDir(p string) ([]DirEntry, error) {
+	c, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.requireDir(c); err != nil {
+		return nil, err
+	}
+	st, err := f.vol.Registry().Get(pdirTag)
+	if err != nil {
+		return nil, err
+	}
+	ranged := st.(index.Ranged)
+	// All PDIR values with prefix c+\x00: range [c\x00, c\x01).
+	lo := append([]byte(c), 0x00)
+	hi := append([]byte(c), 0x01)
+	_ = ranged
+	// RangeLookup returns OIDs but we need names: scan the reverse names
+	// per OID would be awkward; instead list via the KV index range and
+	// recover names from the reverse index entries of each OID.
+	oids, err := ranged.RangeLookup(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var out []DirEntry
+	for _, oid := range oids {
+		names, err := f.vol.Names(oid)
+		if err != nil {
+			return nil, err
+		}
+		for _, tv := range names {
+			if tv.Tag != pdirTag {
+				continue
+			}
+			val := tv.Value
+			i := indexByte(val, 0x00)
+			if i < 0 || string(val[:i]) != c {
+				continue
+			}
+			m, err := f.vol.OSD.Stat(oid)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, DirEntry{Name: string(val[i+1:]), OID: oid, Meta: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Link creates an additional POSIX name (hard link) for an existing file:
+// "a data item may have many names, all equally useful and even equally
+// used."
+func (f *FS) Link(oldPath, newPath string) error {
+	oc, err := clean(oldPath)
+	if err != nil {
+		return err
+	}
+	nc, err := clean(newPath)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, err := f.statPath(oc)
+	if err != nil {
+		return err
+	}
+	if m.Mode&osd.ModeDir != 0 {
+		return fmt.Errorf("%s: %w", oc, ErrCrossLink)
+	}
+	dir, name := split(nc)
+	if _, err := f.requireDir(dir); err != nil {
+		return err
+	}
+	if _, err := f.lookup(nc); err == nil {
+		return fmt.Errorf("%s: %w", nc, ErrExist)
+	}
+	return f.link(m.OID, dir, name, nc)
+}
+
+// Remove unlinks a file or empty directory. The object is destroyed when
+// its last name disappears.
+func (f *FS) Remove(p string) error {
+	c, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if c == "/" {
+		return fmt.Errorf("/: %w", ErrInvalid)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oid, err := f.lookup(c)
+	if err != nil {
+		return err
+	}
+	m, err := f.vol.OSD.Stat(oid)
+	if err != nil {
+		return err
+	}
+	if m.Mode&osd.ModeDir != 0 {
+		entries, err := f.ReadDir(c)
+		if err != nil {
+			return err
+		}
+		if len(entries) > 0 {
+			return fmt.Errorf("%s: %w", c, ErrNotEmpty)
+		}
+	}
+	dir, name := split(c)
+	if err := f.unlink(oid, dir, name, c); err != nil {
+		return err
+	}
+	// Reclaim when the last POSIX name is gone (other tags — USER, UDEF —
+	// keep the object alive: naming is separate from access).
+	return f.maybeReclaim(oid)
+}
+
+func (f *FS) maybeReclaim(oid core.OID) error {
+	names, err := f.vol.Names(oid)
+	if err != nil {
+		return err
+	}
+	for _, tv := range names {
+		if tv.Tag == index.TagPOSIX {
+			return nil // still linked somewhere
+		}
+	}
+	if len(names) > 0 {
+		return nil // named by non-POSIX tags; keep
+	}
+	return f.vol.DeleteObject(oid)
+}
+
+// RemoveAll removes p and, recursively, any children.
+func (f *FS) RemoveAll(p string) error {
+	c, err := clean(p)
+	if err != nil {
+		return err
+	}
+	m, err := f.statPath(c)
+	if errors.Is(err, ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if m.Mode&osd.ModeDir != 0 {
+		entries, err := f.ReadDir(c)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			childPath := c + "/" + e.Name
+			if c == "/" {
+				childPath = "/" + e.Name
+			}
+			if err := f.RemoveAll(childPath); err != nil {
+				return err
+			}
+		}
+	}
+	if c == "/" {
+		return nil
+	}
+	return f.Remove(c)
+}
+
+// Rename moves a file or directory subtree. Renaming a directory rewrites
+// the POSIX names of every descendant — the honest cost of full-path keys,
+// measured in the experiments.
+func (f *FS) Rename(oldPath, newPath string) error {
+	oc, err := clean(oldPath)
+	if err != nil {
+		return err
+	}
+	nc, err := clean(newPath)
+	if err != nil {
+		return err
+	}
+	if oc == "/" || nc == "/" {
+		return fmt.Errorf("rename root: %w", ErrInvalid)
+	}
+	if nc == oc {
+		return nil
+	}
+	if strings.HasPrefix(nc, oc+"/") {
+		return fmt.Errorf("rename into own subtree: %w", ErrInvalid)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oid, err := f.lookup(oc)
+	if err != nil {
+		return err
+	}
+	m, err := f.vol.OSD.Stat(oid)
+	if err != nil {
+		return err
+	}
+	ndir, nname := split(nc)
+	if _, err := f.requireDir(ndir); err != nil {
+		return err
+	}
+	if existing, err := f.lookup(nc); err == nil {
+		// Target exists: only allow replacing a non-directory.
+		em, err := f.vol.OSD.Stat(existing)
+		if err != nil {
+			return err
+		}
+		if em.Mode&osd.ModeDir != 0 {
+			return fmt.Errorf("%s: %w", nc, ErrExist)
+		}
+		edir, ename := split(nc)
+		if err := f.unlink(existing, edir, ename, nc); err != nil {
+			return err
+		}
+		if err := f.maybeReclaim(existing); err != nil {
+			return err
+		}
+	}
+	odir, oname := split(oc)
+	if err := f.unlink(oid, odir, oname, oc); err != nil {
+		return err
+	}
+	if err := f.link(oid, ndir, nname, nc); err != nil {
+		return err
+	}
+	if m.Mode&osd.ModeDir != 0 {
+		return f.renameSubtree(oc, nc)
+	}
+	return nil
+}
+
+// renameSubtree rewrites descendant names after a directory move.
+// Children's PDIR entries still reference oldDir; move them and recurse.
+func (f *FS) renameSubtree(oldDir, newDir string) error {
+	st, err := f.vol.Registry().Get(pdirTag)
+	if err != nil {
+		return err
+	}
+	ranged := st.(index.Ranged)
+	lo := append([]byte(oldDir), 0x00)
+	hi := append([]byte(oldDir), 0x01)
+	oids, err := ranged.RangeLookup(lo, hi)
+	if err != nil {
+		return err
+	}
+	for _, oid := range oids {
+		names, err := f.vol.Names(oid)
+		if err != nil {
+			return err
+		}
+		for _, tv := range names {
+			if tv.Tag != pdirTag {
+				continue
+			}
+			i := indexByte(tv.Value, 0x00)
+			if i < 0 || string(tv.Value[:i]) != oldDir {
+				continue
+			}
+			name := string(tv.Value[i+1:])
+			oldFull := oldDir + "/" + name
+			newFull := newDir + "/" + name
+			if oldDir == "/" {
+				oldFull = "/" + name
+			}
+			if newDir == "/" {
+				newFull = "/" + name
+			}
+			if err := f.unlink(oid, oldDir, name, oldFull); err != nil {
+				return err
+			}
+			if err := f.link(oid, newDir, name, newFull); err != nil {
+				return err
+			}
+			m, err := f.vol.OSD.Stat(oid)
+			if err != nil {
+				return err
+			}
+			if m.Mode&osd.ModeDir != 0 {
+				if err := f.renameSubtree(oldFull, newFull); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Truncate sets a file's size.
+func (f *FS) Truncate(p string, size uint64) error {
+	file, err := f.OpenRW(p)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return file.obj.Truncate(size)
+}
+
+// Chmod updates permission bits, preserving the type bits.
+func (f *FS) Chmod(p string, perm uint32) error {
+	m, err := f.Stat(p)
+	if err != nil {
+		return err
+	}
+	return f.vol.OSD.SetMode(m.OID, (m.Mode&^osd.ModePermMask)|(perm&osd.ModePermMask))
+}
+
+// Chtimes updates access and modification times (unix nanoseconds).
+func (f *FS) Chtimes(p string, atime, mtime time.Time) error {
+	m, err := f.Stat(p)
+	if err != nil {
+		return err
+	}
+	return f.vol.OSD.SetTimes(m.OID, atime.UnixNano(), mtime.UnixNano())
+}
+
+// WriteFile creates p with the given contents.
+func (f *FS) WriteFile(p string, data []byte, perm uint32) error {
+	file, err := f.Create(p, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := file.Write(data); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// ReadFile returns the contents of p.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	file, err := f.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	m, err := file.obj.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if m.Mode&osd.ModeDir != 0 {
+		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	out := make([]byte, file.obj.Size())
+	if len(out) == 0 {
+		return out, nil
+	}
+	if _, err := file.obj.ReadAt(out, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,604 @@
+package posixfs
+
+import (
+	"archive/tar"
+	"bytes"
+	"errors"
+	"io"
+	iofs "io/fs"
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+func newFS(t *testing.T) (*FS, *core.Volume) {
+	t.Helper()
+	dev := blockdev.NewMem(32768, blockdev.DefaultBlockSize)
+	vol, err := core.Create(dev, core.Options{})
+	if err != nil {
+		t.Fatalf("Create volume: %v", err)
+	}
+	fs, err := New(vol)
+	if err != nil {
+		t.Fatalf("New FS: %v", err)
+	}
+	return fs, vol
+}
+
+func TestCreateWriteReadFile(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/hello.txt", []byte("hello hFAD"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello hFAD" {
+		t.Errorf("ReadFile = %q", got)
+	}
+	m, err := fs.Stat("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != 10 {
+		t.Errorf("Size = %d", m.Size)
+	}
+}
+
+func TestMkdirAndReadDir(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Mkdir("/docs", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/docs/a.txt", []byte("a"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/docs/b.txt", []byte("b"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "a.txt" || entries[1].Name != "b.txt" {
+		t.Errorf("ReadDir = %+v", entries)
+	}
+	// Root listing contains /docs.
+	rootEntries, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootEntries) != 1 || rootEntries[0].Name != "docs" {
+		t.Errorf("root ReadDir = %+v", rootEntries)
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Mkdir("/a/b", 0o755); !errors.Is(err, ErrNotExist) {
+		t.Errorf("mkdir missing parent = %v", err)
+	}
+	if err := fs.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/a", 0o755); !errors.Is(err, ErrExist) {
+		t.Errorf("mkdir existing = %v", err)
+	}
+	if err := fs.WriteFile("/f", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/f/sub", 0o755); !errors.Is(err, ErrNotDir) {
+		t.Errorf("mkdir under file = %v", err)
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.MkdirAll("/x/y/z", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.Stat("/x/y/z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode&0o40000 == 0 {
+		t.Error("z is not a directory")
+	}
+	// Idempotent.
+	if err := fs.MkdirAll("/x/y/z", 0o755); err != nil {
+		t.Errorf("repeat MkdirAll = %v", err)
+	}
+}
+
+func TestFileSeekReadWrite(t *testing.T) {
+	fs, _ := newFS(t)
+	f, err := fs.Create("/seek.bin", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := f.Seek(2, io.SeekStart); err != nil || pos != 2 {
+		t.Fatalf("Seek = %d, %v", pos, err)
+	}
+	buf := make([]byte, 3)
+	if _, err := f.Read(buf); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "234" {
+		t.Errorf("read after seek = %q", buf)
+	}
+	if pos, _ := f.Seek(-2, io.SeekEnd); pos != 8 {
+		t.Errorf("SeekEnd = %d", pos)
+	}
+	if pos, _ := f.Seek(1, io.SeekCurrent); pos != 9 {
+		t.Errorf("SeekCurrent = %d", pos)
+	}
+	if _, err := f.Seek(-100, io.SeekStart); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative seek = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(buf); !errors.Is(err, ErrInvalid) {
+		t.Errorf("read after close = %v", err)
+	}
+}
+
+func TestInsertAndTruncateRangeThroughPOSIX(t *testing.T) {
+	fs, _ := newFS(t)
+	f, err := fs.Create("/doc.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(5, []byte(" brave new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/doc.txt")
+	if string(got) != "hello brave new world" {
+		t.Errorf("after insert: %q", got)
+	}
+	f2, err := fs.OpenRW("/doc.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.TruncateRange(5, 10); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	got, _ = fs.ReadFile("/doc.txt")
+	if string(got) != "hello world" {
+		t.Errorf("after truncate-range: %q", got)
+	}
+}
+
+func TestReadOnlyHandleRejectsWrites(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/ro.txt", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/ro.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrInvalid) {
+		t.Errorf("write on read-only = %v", err)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs, vol := newFS(t)
+	if err := fs.WriteFile("/original", []byte("shared bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/original", "/alias"); err != nil {
+		t.Fatal(err)
+	}
+	// Same object behind both names.
+	m1, _ := fs.Stat("/original")
+	m2, _ := fs.Stat("/alias")
+	if m1.OID != m2.OID {
+		t.Fatalf("link points at different object: %d vs %d", m1.OID, m2.OID)
+	}
+	// Write through one name, read through the other.
+	f, err := fs.OpenRW("/alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("SHARED"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, _ := fs.ReadFile("/original")
+	if string(got) != "SHARED bytes" {
+		t.Errorf("through original: %q", got)
+	}
+	// Removing one name keeps the object; removing both reclaims it.
+	if err := fs.Remove("/original"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/alias"); err != nil {
+		t.Errorf("alias lost after removing original: %v", err)
+	}
+	if err := fs.Remove("/alias"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol.OSD.Stat(m1.OID); err == nil {
+		t.Error("object not reclaimed after last unlink")
+	}
+	// Directories cannot be hard-linked.
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/d", "/d2"); !errors.Is(err, ErrCrossLink) {
+		t.Errorf("dir link = %v", err)
+	}
+}
+
+func TestNonPosixNamesKeepObjectAlive(t *testing.T) {
+	fs, vol := newFS(t)
+	if err := fs.WriteFile("/tagged", []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := fs.Stat("/tagged")
+	if err := vol.AddName(m.OID, index.TagUDef, []byte("important")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/tagged"); err != nil {
+		t.Fatal(err)
+	}
+	// Path is gone but the object survives, reachable by tag.
+	if _, err := fs.Stat("/tagged"); !errors.Is(err, ErrNotExist) {
+		t.Error("path still resolves")
+	}
+	ids, err := vol.Resolve(core.TV("UDEF", "important"))
+	if err != nil || len(ids) != 1 || ids[0] != m.OID {
+		t.Errorf("tag resolve = %v, %v", ids, err)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/dir/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/dir"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty dir = %v", err)
+	}
+	if err := fs.Remove("/dir/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/gone"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove missing = %v", err)
+	}
+	if err := fs.Remove("/"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("remove root = %v", err)
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	fs, _ := newFS(t)
+	for _, p := range []string{"/t/a/b", "/t/c"} {
+		if err := fs.MkdirAll(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.WriteFile("/t/a/b/deep.txt", []byte("d"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll("/t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/t"); !errors.Is(err, ErrNotExist) {
+		t.Error("subtree survived RemoveAll")
+	}
+	if err := fs.RemoveAll("/missing"); err != nil {
+		t.Errorf("RemoveAll missing = %v", err)
+	}
+}
+
+func TestRenameFile(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/old.txt", []byte("contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/old.txt", "/sub/new.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/old.txt"); !errors.Is(err, ErrNotExist) {
+		t.Error("old path survives")
+	}
+	got, err := fs.ReadFile("/sub/new.txt")
+	if err != nil || string(got) != "contents" {
+		t.Errorf("new path = %q, %v", got, err)
+	}
+	// Rename onto an existing file replaces it.
+	if err := fs.WriteFile("/other", []byte("loser"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/sub/new.txt", "/other"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("/other")
+	if string(got) != "contents" {
+		t.Errorf("replaced = %q", got)
+	}
+}
+
+func TestRenameDirectorySubtree(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.MkdirAll("/proj/src/pkg", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/proj/src/pkg/main.go", []byte("package main"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/proj/readme", []byte("readme"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/proj", "/project"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/project/src/pkg/main.go")
+	if err != nil || string(got) != "package main" {
+		t.Errorf("deep path after rename = %q, %v", got, err)
+	}
+	if _, err := fs.Stat("/proj/readme"); !errors.Is(err, ErrNotExist) {
+		t.Error("old subtree path survives")
+	}
+	entries, _ := fs.ReadDir("/project")
+	if len(entries) != 2 {
+		t.Errorf("renamed dir entries = %+v", entries)
+	}
+	// Invalid renames.
+	if err := fs.Rename("/project", "/project/self"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("rename into self = %v", err)
+	}
+	if err := fs.Rename("/", "/x"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("rename root = %v", err)
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/f", []byte("long original content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/f")
+	if string(got) != "new" {
+		t.Errorf("after re-create = %q", got)
+	}
+}
+
+func TestChmodChtimes(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/f", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chmod("/f", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := fs.Stat("/f")
+	if m.Mode&0o7777 != 0o755 {
+		t.Errorf("mode = %o", m.Mode&0o7777)
+	}
+	if m.Mode&0o100000 == 0 {
+		t.Error("chmod clobbered the type bits")
+	}
+}
+
+func TestPathCleaning(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.WriteFile("/a.txt", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/a.txt", "a.txt", "//a.txt", "/./a.txt", "/sub/../a.txt"} {
+		if _, err := fs.Stat(p); err != nil {
+			t.Errorf("Stat(%q) = %v", p, err)
+		}
+	}
+}
+
+func TestIOFSConformance(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.MkdirAll("/dir/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"/top.txt":       "top level",
+		"/dir/mid.txt":   "middle",
+		"/dir/sub/lo.go": "package lo",
+	}
+	for p, content := range files {
+		if err := fs.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fstest.TestFS(fs.IOFS(), "top.txt", "dir/mid.txt", "dir/sub/lo.go"); err != nil {
+		t.Fatalf("fstest.TestFS: %v", err)
+	}
+}
+
+func TestWalkDirOverVolume(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.MkdirAll("/w/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/a/1.txt", []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/2.txt", []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var visited []string
+	err := iofs.WalkDir(fs.IOFS(), ".", func(p string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		visited = append(visited, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{".", "w", "w/2.txt", "w/a", "w/a/1.txt"}
+	if len(visited) != len(want) {
+		t.Fatalf("WalkDir visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Errorf("visited[%d] = %q, want %q", i, visited[i], want[i])
+		}
+	}
+}
+
+// TestTarOverVolume archives an hFAD volume with the stdlib tar writer —
+// the introduction's "tools that could operate on application data
+// without knowing about its internals".
+func TestTarOverVolume(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.MkdirAll("/photos", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/photos/trip.jpg", bytes.Repeat([]byte("JPEG"), 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/notes.txt", []byte("remember the milk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	err := iofs.WalkDir(fs.IOFS(), ".", func(p string, d iofs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		hdr, err := tar.FileInfoHeader(info, "")
+		if err != nil {
+			return err
+		}
+		hdr.Name = p
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		data, err := iofs.ReadFile(fs.IOFS(), p)
+		if err != nil {
+			return err
+		}
+		_, err = tw.Write(data)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read the archive back and verify contents.
+	tr := tar.NewReader(&buf)
+	found := map[string]int64{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		found[hdr.Name] = hdr.Size
+	}
+	if found["notes.txt"] != 17 || found["photos/trip.jpg"] != 400 {
+		t.Errorf("archive contents = %v", found)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dev := blockdev.NewMem(32768, blockdev.DefaultBlockSize)
+	vol, err := core.Create(dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/c.txt", []byte("durable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	vol2, err := core.Open(dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := New(vol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("/a/b/c.txt")
+	if err != nil || string(got) != "durable" {
+		t.Errorf("reopened = %q, %v", got, err)
+	}
+}
+
+func TestFsckAfterHeavyNamespaceChurn(t *testing.T) {
+	fs, vol := newFS(t)
+	if err := fs.MkdirAll("/churn/x", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p := "/churn/x/f" + string(rune('a'+i%26))
+		if err := fs.WriteFile(p, []byte("data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := fs.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fs.Rename("/churn/x", "/churn/y"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := vol.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("fsck: %v", rep.Problems)
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Store(0)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Store(0) = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGroupSnapshotDelta(t *testing.T) {
+	g := NewGroup()
+	g.Counter("reads").Add(10)
+	g.Counter("writes").Add(3)
+	base := g.Snapshot()
+	g.Counter("reads").Add(5)
+	g.Counter("seeks").Add(2)
+	d := g.Delta(base)
+	if d["reads"] != 5 {
+		t.Errorf("delta reads = %d, want 5", d["reads"])
+	}
+	if d["writes"] != 0 {
+		t.Errorf("delta writes = %d, want 0", d["writes"])
+	}
+	if d["seeks"] != 2 {
+		t.Errorf("delta seeks = %d, want 2", d["seeks"])
+	}
+}
+
+func TestGroupCounterIdentity(t *testing.T) {
+	g := NewGroup()
+	a := g.Counter("x")
+	b := g.Counter("x")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines, want 5: %q", len(lines), out)
+	}
+	// Columns must align: "value" column starts at same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatalf("header missing value column: %q", lines[1])
+	}
+	if got := strings.Index(lines[3], "1"); got != idx {
+		t.Errorf("row 1 value misaligned: col %d, want %d", got, idx)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{1234567, "1234567"},
+		{123.456, "123.5"},
+		{3.14159, "3.14"},
+		{0.001234, "0.0012"},
+		{-42, "-42"},
+		{-123.46, "-123.5"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int64{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := MediaLibrary(42, MediaLibraryConfig{Photos: 50})
+	b := MediaLibrary(42, MediaLibraryConfig{Photos: 50})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := MediaLibrary(43, MediaLibraryConfig{Photos: 50})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical libraries")
+	}
+}
+
+func TestMediaLibraryShape(t *testing.T) {
+	lib := MediaLibrary(7, MediaLibraryConfig{Photos: 1000, People: 10, Places: 5})
+	if len(lib) != 1000 {
+		t.Fatalf("photos = %d", len(lib))
+	}
+	persons := map[string]int{}
+	for _, p := range lib {
+		persons[p.Person]++
+		if !strings.HasPrefix(p.Dir, "/photos/2") {
+			t.Fatalf("dir = %q", p.Dir)
+		}
+		if p.Size < 4<<10 || p.Size > 256<<10 {
+			t.Fatalf("size = %d out of clamp", p.Size)
+		}
+		if len(p.Date) != 10 || p.Date[4] != '-' {
+			t.Fatalf("date = %q", p.Date)
+		}
+		if p.Path() != p.Dir+"/"+p.Name {
+			t.Fatal("Path() broken")
+		}
+	}
+	if len(persons) < 3 {
+		t.Errorf("only %d distinct people", len(persons))
+	}
+	// Zipf skew: the most common person appears much more than the rarest.
+	max, min := 0, 1<<30
+	for _, n := range persons {
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	if max < 4*min {
+		t.Errorf("person distribution not skewed: max=%d min=%d", max, min)
+	}
+}
+
+func TestDocCorpus(t *testing.T) {
+	docs := DocCorpus(11, DocCorpusConfig{Docs: 100})
+	if len(docs) != 100 {
+		t.Fatal("wrong count")
+	}
+	if !strings.Contains(docs[0].Text, "marker0") {
+		t.Error("doc 0 missing marker")
+	}
+	if strings.Contains(docs[1].Text, "marker1 ") {
+		t.Error("doc 1 should not carry a marker")
+	}
+	if len(strings.Fields(docs[5].Text)) < 100 {
+		t.Errorf("doc too short: %d words", len(strings.Fields(docs[5].Text)))
+	}
+}
+
+func TestPathTree(t *testing.T) {
+	tree := NewPathTree(3, 3, 4)
+	wantDirs := 4 + 16 + 64
+	if len(tree.Dirs) != wantDirs {
+		t.Errorf("dirs = %d, want %d", len(tree.Dirs), wantDirs)
+	}
+	if len(tree.Leaves) != 64 {
+		t.Errorf("leaves = %d, want 64", len(tree.Leaves))
+	}
+	// Parents precede children.
+	seen := map[string]bool{"": true}
+	for _, d := range tree.Dirs {
+		parent := d[:strings.LastIndex(d, "/")]
+		if !seen[parent] {
+			t.Fatalf("dir %q appears before its parent", d)
+		}
+		seen[d] = true
+	}
+	for _, l := range tree.Leaves {
+		if strings.Count(l, "/") != 4 { // 3 dirs + file
+			t.Errorf("leaf depth wrong: %q", l)
+		}
+	}
+}
+
+func TestDeepPath(t *testing.T) {
+	dirs, file := DeepPath(5, 16)
+	if len(dirs) != 16 {
+		t.Fatalf("dirs = %d", len(dirs))
+	}
+	if strings.Count(file, "/") != 17 {
+		t.Errorf("file depth = %d: %q", strings.Count(file, "/"), file)
+	}
+	if !strings.HasPrefix(file, dirs[len(dirs)-1]+"/") {
+		t.Error("file not under deepest dir")
+	}
+}
+
+func TestLognormalClamp(t *testing.T) {
+	r := NewRng(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Lognormal(10, 2, 100, 5000)
+		if v < 100 || v > 5000 {
+			t.Fatalf("lognormal %d out of clamp", v)
+		}
+	}
+}
+
+func TestBytesDeterministic(t *testing.T) {
+	a := NewRng(9).Bytes(100)
+	b := NewRng(9).Bytes(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Bytes not deterministic")
+		}
+	}
+	if len(a) != 100 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRng(1)
+	z := r.NewZipf(100)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[50]*2 {
+		t.Errorf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+}
