@@ -17,6 +17,7 @@ import (
 	"repro/internal/dsearch"
 	"repro/internal/extent"
 	"repro/internal/hierfs"
+	"repro/internal/index"
 	"repro/internal/pager"
 	"repro/internal/workload"
 )
@@ -671,6 +672,132 @@ func BenchmarkE10_TransactionalOSD(b *testing.B) {
 			st.Close()
 		})
 	}
+}
+
+// BenchmarkE11_SelectiveAnd is the streaming-engine exhibit: a
+// conjunction of a broad tag (many objects) with a selective one (a
+// handful). The slice baseline reproduces the old evaluator — materialize
+// both posting lists, intersect — while the iterator engine seeks the
+// broad index once per candidate. The oids-materialized/op metric counts
+// how many OIDs each strategy pulled out of the indexes.
+func BenchmarkE11_SelectiveAnd(b *testing.B) {
+	const broad = 20000
+	const rareEvery = 2000                                           // 10 selective hits
+	st, err := hfad.Create(hfad.NewMemDevice(1<<17), hfad.Options{}) // 512 MiB
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < broad; i++ {
+		obj, err := st.CreateObject("u")
+		if err != nil {
+			b.Fatal(err)
+		}
+		oid := obj.OID()
+		obj.Close()
+		if err := st.Tag(oid, hfad.TagUDef, "common"); err != nil {
+			b.Fatal(err)
+		}
+		if i%rareEvery == 0 {
+			if err := st.Tag(oid, hfad.TagUDef, "rare"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	q := hfad.And{Kids: []hfad.Query{
+		hfad.Term{Tag: hfad.TagUDef, Value: []byte("common")},
+		hfad.Term{Tag: hfad.TagUDef, Value: []byte("rare")},
+	}}
+
+	b.Run("slices", func(b *testing.B) {
+		udef, err := st.Volume().Registry().Get(hfad.TagUDef)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var materialized int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The pre-iterator evaluator: full Lookup per term, then
+			// slice intersection.
+			common, err := udef.Lookup([]byte("common"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rare, err := udef.Lookup([]byte("rare"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := index.IntersectOIDs(rare, common)
+			if len(ids) != broad/rareEvery {
+				b.Fatalf("got %d ids", len(ids))
+			}
+			materialized += int64(len(common) + len(rare))
+		}
+		b.ReportMetric(float64(materialized)/float64(b.N), "oids-materialized/op")
+	})
+	b.Run("iterators", func(b *testing.B) {
+		var materialized int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ids, steps, err := st.Profile(q, hfad.Page{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ids) != broad/rareEvery {
+				b.Fatalf("got %d ids", len(ids))
+			}
+			for _, s := range steps {
+				materialized += s.Steps
+			}
+		}
+		b.ReportMetric(float64(materialized)/float64(b.N), "oids-materialized/op")
+	})
+	b.Run("iterators-limit1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ids, err := st.QueryPage(q, hfad.Page{Limit: 1})
+			if err != nil || len(ids) != 1 {
+				b.Fatalf("page = %v, %v", ids, err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12_PaginatedQuery pages through a broad tag with Limit/After
+// versus materializing the full result each time — the "directory too big
+// to list" workload a search-based namespace must serve.
+func BenchmarkE12_PaginatedQuery(b *testing.B) {
+	const n = 10000
+	const pageSize = 20
+	st := newStore(b, hfad.Options{})
+	defer st.Close()
+	for i := 0; i < n; i++ {
+		obj, err := st.CreateObject("u")
+		if err != nil {
+			b.Fatal(err)
+		}
+		oid := obj.OID()
+		obj.Close()
+		if err := st.Tag(oid, hfad.TagUDef, "bulk"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	term := hfad.Term{Tag: hfad.TagUDef, Value: []byte("bulk")}
+	b.Run("full-materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ids, err := st.Query(term)
+			if err != nil || len(ids) != n {
+				b.Fatalf("query = %d, %v", len(ids), err)
+			}
+		}
+	})
+	b.Run("first-page", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ids, err := st.QueryPage(term, hfad.Page{Limit: pageSize})
+			if err != nil || len(ids) != pageSize {
+				b.Fatalf("page = %d, %v", len(ids), err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblation_MaxExtentBytes measures the DESIGN.md decision that

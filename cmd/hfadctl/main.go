@@ -74,6 +74,12 @@ commands:
   untag PATH TAG VALUE         remove a name
   names PATH                   list all names of the file's object
   find TAG VALUE [TAG VALUE]   resolve a naming vector (conjunction)
+  findn LIMIT AFTER TAG VALUE [TAG VALUE]
+                               paginated find: at most LIMIT results with
+                               OID > AFTER (streaming, no full evaluation)
+  explain TAG VALUE [TAG VALUE]
+                               run the conjunction and print the executed
+                               plan: iterator order, estimates, seeks
   search TERM...               full-text conjunction over indexed files
   index PATH                   full-text index a file's contents
   insert PATH OFF TEXT         insert bytes mid-file (native API)
@@ -247,6 +253,59 @@ func execute(st *hfad.Store, cmd []string) error {
 		ids, err := st.Find(pairs...)
 		if err != nil {
 			return err
+		}
+		fmt.Printf("-> %v\n", ids)
+		return nil
+	case "findn":
+		if err := need(4); err != nil {
+			return err
+		}
+		var limit int
+		var after uint64
+		if _, err := fmt.Sscanf(cmd[1], "%d", &limit); err != nil {
+			return fmt.Errorf("bad LIMIT %q: %w", cmd[1], err)
+		}
+		if _, err := fmt.Sscanf(cmd[2], "%d", &after); err != nil {
+			return fmt.Errorf("bad AFTER %q: %w", cmd[2], err)
+		}
+		if len(cmd[3:])%2 != 0 {
+			return fmt.Errorf("findn wants TAG VALUE pairs")
+		}
+		var pairs []hfad.TagValue
+		for i := 3; i < len(cmd); i += 2 {
+			pairs = append(pairs, hfad.TV(cmd[i], cmd[i+1]))
+		}
+		ids, err := st.FindPage(hfad.Page{Limit: limit, After: hfad.OID(after)}, pairs...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-> %v\n", ids)
+		return nil
+	case "explain":
+		if err := need(2); err != nil {
+			return err
+		}
+		if len(cmd[1:])%2 != 0 {
+			return fmt.Errorf("explain wants TAG VALUE pairs")
+		}
+		var kids []hfad.Query
+		for i := 1; i < len(cmd); i += 2 {
+			kids = append(kids, hfad.Term{Tag: cmd[i], Value: []byte(cmd[i+1])})
+		}
+		ids, steps, err := st.Profile(hfad.And{Kids: kids}, hfad.Page{})
+		if err != nil {
+			return err
+		}
+		for i, s := range steps {
+			role := "drives"
+			if i > 0 {
+				role = "seeked"
+			}
+			if s.Negated {
+				role = "subtracted"
+			}
+			fmt.Printf("%d. %-30s est=%-6d seeks=%-4d emitted=%-4d %s\n",
+				i+1, s.Rendered, s.Estimate, s.Seeks, s.Steps, role)
 		}
 		fmt.Printf("-> %v\n", ids)
 		return nil

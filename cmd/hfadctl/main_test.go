@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+// TestDemoScript smoke-tests the whole command surface against a fresh
+// in-memory volume — the same script `hfadctl demo` runs.
+func TestDemoScript(t *testing.T) {
+	if err := runScript(demoScript()); err != nil {
+		t.Fatalf("demo script: %v", err)
+	}
+}
+
+// TestQueryCommands covers the streaming-engine commands (findn paging,
+// explain) plus error paths the demo script does not reach.
+func TestQueryCommands(t *testing.T) {
+	script := [][]string{
+		{"mkdir", "/d"},
+		{"write", "/d/a", "alpha"},
+		{"write", "/d/b", "beta"},
+		{"write", "/d/c", "gamma"},
+		{"tag", "/d/a", "UDEF", "x"},
+		{"tag", "/d/b", "UDEF", "x"},
+		{"tag", "/d/c", "UDEF", "x"},
+		{"findn", "2", "0", "UDEF", "x"},
+		{"findn", "10", "2", "UDEF", "x"},
+		{"explain", "UDEF", "x", "POSIX", "/d/a"},
+	}
+	if err := runScript(script); err != nil {
+		t.Fatalf("query commands: %v", err)
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	for _, script := range [][][]string{
+		{{"bogus"}},
+		{{"findn", "zap", "0", "UDEF", "x"}},
+		{{"findn", "1", "0", "UDEF"}},
+		{{"explain", "UDEF"}},
+		{{"cat", "/missing"}},
+	} {
+		if err := runScript(script); err == nil {
+			t.Errorf("script %v succeeded, want error", script)
+		}
+	}
+}

@@ -64,6 +64,12 @@ type (
 	// Search is an iterative query refinement (the semantic-FS "current
 	// directory").
 	Search = core.Search
+	// Page bounds a query: at most Limit results (0 = all) with OIDs
+	// strictly greater than After — streaming pagination, not
+	// compute-all-and-slice.
+	Page = core.Page
+	// PlanStep is one element of an Explain or Profile plan.
+	PlanStep = core.PlanStep
 )
 
 // Standard tags (Table 1 of the paper).
@@ -202,6 +208,21 @@ func (s *Store) FindOne(pairs ...TagValue) (OID, error) { return s.vol.ResolveOn
 // Query evaluates a boolean query tree with selectivity-ordered planning.
 func (s *Store) Query(q Query) ([]OID, error) { return s.vol.Query(q) }
 
+// QueryPage evaluates q bounded by p: the streaming engine stops after
+// p.Limit results and seeks past p.After instead of materializing the
+// full answer.
+func (s *Store) QueryPage(q Query, p Page) ([]OID, error) { return s.vol.QueryPage(q, p) }
+
+// FindPage resolves a naming vector bounded by p — Find for result sets
+// too large to list at once.
+func (s *Store) FindPage(p Page, pairs ...TagValue) ([]OID, error) {
+	qs := make([]Query, len(pairs))
+	for i, pair := range pairs {
+		qs[i] = Term{Tag: pair.Tag, Value: pair.Value}
+	}
+	return s.vol.QueryPage(And{Kids: qs}, p)
+}
+
 // NewSearch starts an iterative search refinement.
 func (s *Store) NewSearch() *Search { return s.vol.NewSearch() }
 
@@ -241,4 +262,9 @@ func (s *Store) Check() (*core.CheckReport, error) { return s.vol.Check() }
 
 // Explain returns the planner's evaluation order for a query without
 // executing it.
-func (s *Store) Explain(q Query) ([]core.PlanStep, error) { return s.vol.Explain(q) }
+func (s *Store) Explain(q Query) ([]PlanStep, error) { return s.vol.Explain(q) }
+
+// Profile executes a (bounded) query and returns the results together
+// with the executed plan: per-leaf selectivity estimates plus the seek
+// and emit counts the streaming iterators actually performed.
+func (s *Store) Profile(q Query, p Page) ([]OID, []PlanStep, error) { return s.vol.Profile(q, p) }

@@ -211,3 +211,69 @@ func TestOpenGarbageFails(t *testing.T) {
 		t.Error("sanity")
 	}
 }
+
+// TestPaginationAndProfilePublic covers the streaming-engine surface:
+// QueryPage / FindPage bounded results and Profile's executed plan.
+func TestPaginationAndProfilePublic(t *testing.T) {
+	st := newStore(t, hfad.Options{})
+	defer st.Close()
+	var all []hfad.OID
+	for i := 0; i < 25; i++ {
+		obj, err := st.CreateObject("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oid := obj.OID()
+		obj.Close()
+		if err := st.Tag(oid, hfad.TagUDef, "bulk"); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			if err := st.Tag(oid, hfad.TagUDef, "pick"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		all = append(all, oid)
+	}
+	term := hfad.Term{Tag: hfad.TagUDef, Value: []byte("bulk")}
+
+	// Page through everything with Limit/After.
+	var walked []hfad.OID
+	var after hfad.OID
+	for {
+		page, err := st.QueryPage(term, hfad.Page{Limit: 8, After: after})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		walked = append(walked, page...)
+		after = page[len(page)-1]
+	}
+	if !reflect.DeepEqual(walked, all) {
+		t.Errorf("paged walk = %v, want %v", walked, all)
+	}
+
+	// FindPage bounds a naming-vector conjunction.
+	page, err := st.FindPage(hfad.Page{Limit: 2}, hfad.TV(hfad.TagUDef, "bulk"), hfad.TV(hfad.TagUDef, "pick"))
+	if err != nil || len(page) != 2 {
+		t.Fatalf("FindPage = %v, %v", page, err)
+	}
+
+	// Profile reports the executed plan: the selective term drives, the
+	// broad one is seeked.
+	ids, steps, err := st.Profile(hfad.And{Kids: []hfad.Query{
+		term,
+		hfad.Term{Tag: hfad.TagUDef, Value: []byte("pick")},
+	}}, hfad.Page{})
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("Profile = %v, %v", ids, err)
+	}
+	if len(steps) != 2 || steps[0].Estimate > steps[1].Estimate {
+		t.Errorf("plan not in selectivity order: %+v", steps)
+	}
+	if steps[1].Seeks == 0 {
+		t.Errorf("broad term was not seeked: %+v", steps[1])
+	}
+}

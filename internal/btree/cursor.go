@@ -314,6 +314,130 @@ func (t *Tree) materialize(p pageRef, idx int, pg *pager.Page) ([]byte, []byte, 
 	return k, v, nil
 }
 
+// Cursor streams the keys of [lo, hi) in ascending order without
+// materializing the range, one Next call per entry. It is the substrate
+// for the index layer's streaming query iterators: an intersection over a
+// selective term Seeks a cursor over a broad one instead of scanning it.
+//
+// A cursor holds no tree lock between calls; each Next/Seek briefly takes
+// the tree's read lock. The cursor caches its leaf position and the tree
+// generation it was taken under — if the tree mutates between calls the
+// cursor transparently re-seeks past the last key it returned, so
+// iteration stays correct (never duplicating or going backwards) at the
+// cost of one extra descent per interleaved write. A cursor is not safe
+// for concurrent use by multiple goroutines.
+type Cursor struct {
+	t  *Tree
+	hi []byte // exclusive upper bound; nil = none
+
+	leaf    uint64 // current leaf page; meaningful only when primed
+	idx     int    // next cell index within leaf
+	gen     uint64 // tree generation at which (leaf, idx) was taken
+	primed  bool   // position established
+	done    bool   // iteration exhausted
+	resumed bool   // position re-derived from last; skip keys <= last
+
+	target []byte // pending seek key (first key >= target), nil = first
+	last   []byte // last key returned, for repositioning after writes
+}
+
+// NewCursor returns a cursor over [lo, hi). A nil lo starts at the first
+// key; a nil hi iterates to the end.
+func (t *Tree) NewCursor(lo, hi []byte) *Cursor {
+	c := &Cursor{t: t}
+	if lo != nil {
+		c.target = append([]byte(nil), lo...)
+	}
+	if hi != nil {
+		c.hi = append([]byte(nil), hi...)
+	}
+	return c
+}
+
+// NewPrefixCursor returns a cursor over every key beginning with prefix.
+func (t *Tree) NewPrefixCursor(prefix []byte) *Cursor {
+	return t.NewCursor(prefix, prefixEnd(prefix))
+}
+
+// Seek repositions the cursor so the following Next returns the first key
+// >= key (within the cursor's upper bound). Seeking backwards is allowed.
+func (c *Cursor) Seek(key []byte) {
+	c.target = append(c.target[:0], key...)
+	c.primed = false
+	c.done = false
+	c.resumed = false
+	c.last = nil
+}
+
+// Next returns the next key/value in order, or ok=false when the range is
+// exhausted. The returned slices are copies and may be retained.
+func (c *Cursor) Next() ([]byte, []byte, bool, error) {
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	if c.done {
+		return nil, nil, false, nil
+	}
+	if !c.primed || c.gen != c.t.gen {
+		start := c.target
+		if c.last != nil {
+			// Re-derive the position from the last key we handed out.
+			start = c.last
+			c.resumed = true
+		}
+		leaf, idx, err := c.t.seekLeaf(start)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		c.leaf, c.idx, c.gen, c.primed = leaf, idx, c.t.gen, true
+	}
+	for c.leaf != 0 {
+		pg, err := c.t.pg.Acquire(c.leaf)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		p := pageRef{pg.Data()}
+		n := p.ncells()
+		for ; c.idx < n; c.idx++ {
+			cell, err := p.decodeCell(c.idx)
+			if err != nil {
+				c.t.pg.Release(pg)
+				return nil, nil, false, err
+			}
+			if c.hi != nil && bytes.Compare(cell.key, c.hi) >= 0 {
+				c.t.pg.Release(pg)
+				c.done = true
+				return nil, nil, false, nil
+			}
+			if c.resumed {
+				if bytes.Compare(cell.key, c.last) <= 0 {
+					continue // already returned before the re-seek
+				}
+				c.resumed = false
+			}
+			k := append([]byte(nil), cell.key...)
+			c.idx++
+			c.last = k
+			if cell.overflow == 0 {
+				v := append([]byte(nil), cell.val...)
+				c.t.pg.Release(pg)
+				return k, v, true, nil
+			}
+			ovf, total := cell.overflow, cell.totalLen
+			c.t.pg.Release(pg)
+			v, err := c.t.readOverflow(ovf, total)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return k, v, true, nil
+		}
+		next := p.ptrA()
+		c.t.pg.Release(pg)
+		c.leaf, c.idx = next, 0
+	}
+	c.done = true
+	return nil, nil, false, nil
+}
+
 // Count returns the number of keys in [lo, hi).
 func (t *Tree) Count(lo, hi []byte) (uint64, error) {
 	var n uint64

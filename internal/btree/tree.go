@@ -43,6 +43,7 @@ type Tree struct {
 	root   uint64
 	height int // 1 = root is a leaf
 	nkeys  uint64
+	gen    uint64 // bumped on every mutation; lets cursors detect staleness
 
 	statMu sync.Mutex
 	stats  Stats
@@ -287,6 +288,7 @@ func (t *Tree) Put(key, val []byte) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.gen++
 
 	path, leafPno, err := t.descend(key)
 	if err != nil {
@@ -599,6 +601,7 @@ func (t *Tree) splitInternalAndInsert(pg *pager.Page, pno uint64, idx int, sep [
 func (t *Tree) Delete(key []byte) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.gen++
 
 	path, leafPno, err := t.descend(key)
 	if err != nil {
@@ -870,6 +873,7 @@ func (t *Tree) Sync() error {
 func (t *Tree) Drop() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.gen++
 
 	var freeWalk func(pno uint64, level int) error
 	freeWalk = func(pno uint64, level int) error {

@@ -57,6 +57,15 @@ func parseRevKey(k []byte) (TagValue, error) {
 // tag the value is document text to analyze; its reverse entry records
 // only the tag (the text itself is not a recoverable name).
 func (v *Volume) AddName(oid OID, tag string, value []byte) error {
+	unlock, err := v.rlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return v.addNameLocked(oid, tag, value)
+}
+
+func (v *Volume) addNameLocked(oid OID, tag string, value []byte) error {
 	st, err := v.registry.Get(tag)
 	if err != nil {
 		return err
@@ -76,6 +85,11 @@ func (v *Volume) AddName(oid OID, tag string, value []byte) error {
 
 // RemoveName detaches a (tag, value) name.
 func (v *Volume) RemoveName(oid OID, tag string, value []byte) error {
+	unlock, err := v.rlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	st, err := v.registry.Get(tag)
 	if err != nil {
 		return err
@@ -95,6 +109,15 @@ func (v *Volume) RemoveName(oid OID, tag string, value []byte) error {
 
 // Names lists all names attached to the object.
 func (v *Volume) Names(oid OID) ([]TagValue, error) {
+	unlock, err := v.rlock()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	return v.namesLocked(oid)
+}
+
+func (v *Volume) namesLocked(oid OID) ([]TagValue, error) {
 	var out []TagValue
 	var inner error
 	err := v.reverse.ScanPrefix(revPrefix(oid), func(k, _ []byte) bool {
@@ -116,7 +139,16 @@ func (v *Volume) Names(oid OID) ([]TagValue, error) {
 // "only the identifier for the data in the OSD layer must be unique" —
 // once the names are gone, the object is unreachable except by ID).
 func (v *Volume) RemoveAllNames(oid OID) error {
-	names, err := v.Names(oid)
+	unlock, err := v.rlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return v.removeAllNamesLocked(oid)
+}
+
+func (v *Volume) removeAllNamesLocked(oid OID) error {
+	names, err := v.namesLocked(oid)
 	if err != nil {
 		return err
 	}
@@ -137,7 +169,12 @@ func (v *Volume) RemoveAllNames(oid OID) error {
 
 // DeleteObject removes all names and destroys the object.
 func (v *Volume) DeleteObject(oid OID) error {
-	if err := v.RemoveAllNames(oid); err != nil {
+	unlock, err := v.rlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if err := v.removeAllNamesLocked(oid); err != nil {
 		return err
 	}
 	return v.OSD.DeleteObject(oid)
@@ -162,8 +199,17 @@ func (v *Volume) Resolve(pairs ...TagValue) ([]OID, error) {
 
 // ResolveOne resolves to exactly one object, erring on zero results; with
 // multiple results the lowest OID wins (callers wanting sets use Resolve).
+// The streaming engine stops after the first match instead of computing
+// the full conjunction.
 func (v *Volume) ResolveOne(pairs ...TagValue) (OID, error) {
-	ids, err := v.Resolve(pairs...)
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("%w: empty naming vector", ErrQuery)
+	}
+	qs := make([]Query, len(pairs))
+	for i, p := range pairs {
+		qs[i] = Term{p.Tag, p.Value}
+	}
+	ids, err := v.QueryPage(And{qs}, Page{Limit: 1})
 	if err != nil {
 		return 0, err
 	}
@@ -210,25 +256,61 @@ func (And) isQuery()   {}
 func (Or) isQuery()    {}
 func (Not) isQuery()   {}
 
+// Page bounds a query's result set: at most Limit OIDs (0 = unlimited)
+// strictly greater than After (0 = from the start). Because the engine
+// evaluates queries as streaming iterators, a Limit stops evaluation after
+// Limit results and an After seeks past the skipped prefix instead of
+// recomputing and slicing the full answer — "naming operations can return
+// multiple items" without ever materializing all of them.
+type Page struct {
+	Limit int
+	After OID
+}
+
 // Query plans and executes q, returning matching OIDs ascending.
 //
 // Planning is deliberately small (another §4 question — "should they
 // include full-fledged query optimizers?" — answered with just
-// selectivity ordering): And terms are evaluated cheapest-estimated-first
-// so intersections shrink early.
+// selectivity ordering): And terms are composed cheapest-estimated-first
+// so the most selective iterator drives the intersection and the broad
+// ones are seeked, not scanned.
 func (v *Volume) Query(q Query) ([]OID, error) {
-	ids, err := v.eval(q)
+	return v.QueryPage(q, Page{})
+}
+
+// QueryPage executes q bounded by p, streaming out at most p.Limit OIDs
+// greater than p.After.
+func (v *Volume) QueryPage(q Query, p Page) ([]OID, error) {
+	unlock, err := v.rlock()
 	if err != nil {
 		return nil, err
 	}
-	return ids, nil
+	defer unlock()
+	it, err := v.evalIter(q, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return drainPage(it, p)
 }
 
-func (v *Volume) eval(q Query) ([]OID, error) {
+// evalIter compiles q into a streaming iterator tree. When prof is
+// non-nil every leaf iterator is wrapped with work accounting and
+// recorded, in composition order, for Profile output.
+func (v *Volume) evalIter(q Query, prof *profiler, negated bool) (index.Iterator, error) {
+	return v.evalIterCost(q, prof, negated, -1)
+}
+
+// evalIterCost is evalIter with an optional pre-computed selectivity
+// estimate (-1 = unknown), so a leaf whose cost the And planner already
+// paid for is not re-estimated for its PlanStep — estimation is a capped
+// prefix scan, exactly the work the engine exists to avoid.
+func (v *Volume) evalIterCost(q Query, prof *profiler, negated bool, cost int) (index.Iterator, error) {
 	switch qq := q.(type) {
 	case Term:
-		return v.evalTerm(qq)
+		return v.termIter(qq, prof, negated, cost)
 	case Range:
+		// Range results come off the index ordered by value, not OID, so
+		// they are materialized and re-sorted before joining the stream.
 		st, err := v.registry.Get(qq.Tag)
 		if err != nil {
 			return nil, err
@@ -241,25 +323,32 @@ func (v *Volume) eval(q Query) ([]OID, error) {
 		if err != nil {
 			return nil, err
 		}
-		return dedupSorted(ids), nil
+		it := index.NewSliceIter(index.DedupOIDs(ids))
+		if prof == nil {
+			return it, nil
+		}
+		if cost < 0 {
+			cost = v.estimate(qq)
+		}
+		return index.Counted(it, prof.leaf(renderQuery(qq), cost, negated)), nil
 	case Or:
 		if len(qq.Kids) == 0 {
 			return nil, fmt.Errorf("%w: empty Or", ErrQuery)
 		}
-		var lists [][]OID
+		its := make([]index.Iterator, 0, len(qq.Kids))
 		for _, kid := range qq.Kids {
 			if _, isNot := kid.(Not); isNot {
 				return nil, fmt.Errorf("%w: Not inside Or is unbounded", ErrQuery)
 			}
-			l, err := v.eval(kid)
+			it, err := v.evalIter(kid, prof, negated)
 			if err != nil {
 				return nil, err
 			}
-			lists = append(lists, l)
+			its = append(its, it)
 		}
-		return index.UnionOIDs(lists...), nil
+		return index.Union(its...), nil
 	case And:
-		return v.evalAnd(qq)
+		return v.andIter(qq, prof)
 	case Not:
 		return nil, fmt.Errorf("%w: bare Not is unbounded", ErrQuery)
 	default:
@@ -267,7 +356,10 @@ func (v *Volume) eval(q Query) ([]OID, error) {
 	}
 }
 
-func (v *Volume) evalTerm(t Term) ([]OID, error) {
+// termIter builds the leaf iterator for one naming term. cost is the
+// planner's already-computed estimate, or -1 if none was needed.
+func (v *Volume) termIter(t Term, prof *profiler, negated bool, cost int) (index.Iterator, error) {
+	var it index.Iterator
 	if t.Tag == index.TagID {
 		// FastPath: "a special tag, ID, indicates that the value is
 		// actually a unique object ID".
@@ -276,35 +368,36 @@ func (v *Volume) evalTerm(t Term) ([]OID, error) {
 			return nil, err
 		}
 		if _, err := v.OSD.Stat(oid); err != nil {
-			return nil, nil // nonexistent: empty result, not an error
+			it = index.NewEmptyIter() // nonexistent: empty result, not an error
+		} else {
+			it = index.NewSliceIter([]OID{oid})
 		}
-		return []OID{oid}, nil
+	} else {
+		st, err := v.registry.Get(t.Tag)
+		if err != nil {
+			return nil, err
+		}
+		it, err = index.IterFor(st, t.Value)
+		if err != nil {
+			return nil, err
+		}
+		// Defensive: plug-in stores must emit ascending unique OIDs; a
+		// dedup wrapper makes adjacent duplicates harmless anyway.
+		it = index.Deduped(it)
 	}
-	st, err := v.registry.Get(t.Tag)
-	if err != nil {
-		return nil, err
+	if prof == nil {
+		return it, nil // skip the estimate: it costs an index Count
 	}
-	ids, err := st.Lookup(t.Value)
-	if err != nil {
-		return nil, err
+	if cost < 0 {
+		cost = v.estimate(t)
 	}
-	return dedupSorted(ids), nil
+	return index.Counted(it, prof.leaf(renderQuery(t), cost, negated)), nil
 }
 
-func parseOIDValue(v []byte) (OID, error) {
-	if len(v) == 8 {
-		return OID(binary.BigEndian.Uint64(v)), nil
-	}
-	n, err := strconv.ParseUint(string(v), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("%w: bad ID value %q", ErrQuery, v)
-	}
-	return OID(n), nil
-}
-
-// evalAnd orders positive children by estimated selectivity, intersects
-// incrementally, then subtracts Not children.
-func (v *Volume) evalAnd(a And) ([]OID, error) {
+// andIter orders positive children by estimated selectivity and composes a
+// leapfrog intersection driven by the cheapest one; Not children are
+// unioned and subtracted from the stream.
+func (v *Volume) andIter(a And, prof *profiler) (index.Iterator, error) {
 	if len(a.Kids) == 0 {
 		return nil, fmt.Errorf("%w: empty And", ErrQuery)
 	}
@@ -325,45 +418,147 @@ func (v *Volume) evalAnd(a And) ([]OID, error) {
 		return nil, fmt.Errorf("%w: And with only negations is unbounded", ErrQuery)
 	}
 	sort.SliceStable(pos, func(i, j int) bool { return pos[i].cost < pos[j].cost })
-	acc, err := v.eval(pos[0].q)
-	if err != nil {
-		return nil, err
-	}
-	for _, p := range pos[1:] {
-		if len(acc) == 0 {
-			return nil, nil
-		}
-		next, err := v.eval(p.q)
+	its := make([]index.Iterator, len(pos))
+	for i, p := range pos {
+		it, err := v.evalIterCost(p.q, prof, false, p.cost)
 		if err != nil {
 			return nil, err
 		}
-		acc = index.IntersectOIDs(acc, next)
+		its[i] = it
 	}
-	for _, nq := range neg {
-		if len(acc) == 0 {
-			return nil, nil
-		}
-		ex, err := v.eval(nq)
+	out := index.Intersect(its...)
+	if len(neg) == 0 {
+		return out, nil
+	}
+	negIts := make([]index.Iterator, len(neg))
+	for i, nq := range neg {
+		it, err := v.evalIter(nq, prof, true)
 		if err != nil {
 			return nil, err
 		}
-		acc = index.DiffOIDs(acc, ex)
+		negIts[i] = it
 	}
-	return acc, nil
+	return index.Diff(out, index.Union(negIts...)), nil
 }
 
-// PlanStep describes one element of an And plan: the subquery rendered,
-// its selectivity estimate, and its execution position.
+// drainPage materializes a page of an iterator's stream.
+func drainPage(it index.Iterator, p Page) ([]OID, error) {
+	var (
+		out []OID
+		v   OID
+		ok  bool
+		err error
+	)
+	if p.After != 0 {
+		if p.After == ^OID(0) {
+			return nil, nil
+		}
+		v, ok, err = it.Seek(p.After + 1)
+	} else {
+		v, ok, err = it.Next()
+	}
+	for {
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+		if p.Limit > 0 && len(out) >= p.Limit {
+			return out, nil
+		}
+		v, ok, err = it.Next()
+	}
+}
+
+func parseOIDValue(v []byte) (OID, error) {
+	if len(v) == 8 {
+		return OID(binary.BigEndian.Uint64(v)), nil
+	}
+	n, err := strconv.ParseUint(string(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad ID value %q", ErrQuery, v)
+	}
+	return OID(n), nil
+}
+
+// PlanStep describes one element of a query plan: the subquery rendered,
+// its selectivity estimate, and its execution position. Profile
+// additionally fills the iterator work counters: Seeks is how often the
+// step's iterator was skipped forward by its intersection partners, Steps
+// how many OIDs it actually surfaced — together they show a selective And
+// seeking past a broad index instead of scanning it.
 type PlanStep struct {
 	Rendered string
 	Estimate int
 	Negated  bool
+	Seeks    int64
+	Steps    int64
 }
 
-// Explain returns the evaluation order the planner would use for q
-// without executing it — answering §4's "how much control should [index
-// stores] expose to filesystem clients?" with at least visibility.
-// Only And nodes reorder; other shapes return a single step.
+// profiler collects one IterStats per leaf iterator, in the order the
+// engine composed them.
+type profiler struct {
+	steps []*profStep
+}
+
+type profStep struct {
+	rendered string
+	estimate int
+	negated  bool
+	stats    *index.IterStats
+}
+
+// leaf registers a leaf step and returns its stats sink; nil-safe (a nil
+// profiler returns a nil sink, which index.Counted ignores).
+func (p *profiler) leaf(rendered string, estimate int, negated bool) *index.IterStats {
+	if p == nil {
+		return nil
+	}
+	st := &index.IterStats{}
+	p.steps = append(p.steps, &profStep{rendered, estimate, negated, st})
+	return st
+}
+
+// Profile executes q bounded by p and returns both the results and the
+// executed plan: one step per leaf iterator in composition order
+// (selectivity order inside each And, negations last), with the seek and
+// emit counts the streaming engine actually performed. It is Explain with
+// receipts.
+func (v *Volume) Profile(q Query, p Page) ([]OID, []PlanStep, error) {
+	unlock, err := v.rlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer unlock()
+	prof := &profiler{}
+	it, err := v.evalIter(q, prof, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids, err := drainPage(it, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	steps := make([]PlanStep, len(prof.steps))
+	for i, s := range prof.steps {
+		steps[i] = PlanStep{
+			Rendered: s.rendered,
+			Estimate: s.estimate,
+			Negated:  s.negated,
+			Seeks:    s.stats.Seeks,
+			Steps:    s.stats.Steps,
+		}
+	}
+	return ids, steps, nil
+}
+
+// Explain returns the evaluation order the engine would compose iterators
+// in for q, without executing it — answering §4's "how much control
+// should [index stores] expose to filesystem clients?" with at least
+// visibility. Only And nodes reorder; other shapes return a single step.
+// Use Profile for the executed plan with seek counts.
 func (v *Volume) Explain(q Query) ([]PlanStep, error) {
 	a, ok := q.(And)
 	if !ok {
@@ -468,17 +663,6 @@ func (v *Volume) estimate(q Query) int {
 	}
 }
 
-func dedupSorted(ids []OID) []OID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := ids[:0]
-	for i, v := range ids {
-		if i == 0 || v != ids[i-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
 // --- iterative search refinement (§4: "extend the notion of a 'current
 // directory' to be an iterative refinement of a search") ---
 
@@ -534,11 +718,18 @@ func (s *Search) Query() Query {
 // Results evaluates the current refinement; the root scope errs (an
 // unrefined search would enumerate the volume — use OSD.ForEach for that).
 func (s *Search) Results() ([]OID, error) {
+	return s.ResultsPage(Page{})
+}
+
+// ResultsPage evaluates the current refinement bounded by p — paging
+// through a "directory" whose contents are a query, without ever
+// materializing the whole listing.
+func (s *Search) ResultsPage(p Page) ([]OID, error) {
 	q := s.Query()
 	if q == nil {
 		return nil, fmt.Errorf("%w: unrefined search", ErrQuery)
 	}
-	return s.vol.Query(q)
+	return s.vol.QueryPage(q, p)
 }
 
 // --- content indexing (the paper's lazy full-text path) ---
@@ -546,17 +737,27 @@ func (s *Search) Results() ([]OID, error) {
 // IndexContent reads the object's bytes and indexes them as full text,
 // synchronously.
 func (v *Volume) IndexContent(oid OID) error {
+	unlock, err := v.rlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	text, err := v.readObjectText(oid)
 	if err != nil {
 		return err
 	}
-	return v.AddName(oid, index.TagFulltext, text)
+	return v.addNameLocked(oid, index.TagFulltext, text)
 }
 
 // IndexContentLazy queues the object for the background indexer ("we use
 // background threads to perform lazy full-text indexing"). The caller
 // must have started the indexer via StartLazyIndexing.
 func (v *Volume) IndexContentLazy(oid OID) error {
+	unlock, err := v.rlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	text, err := v.readObjectText(oid)
 	if err != nil {
 		return err

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// populateTagged creates n objects all tagged (UDEF, common); every
+// rareEvery-th also gets (UDEF, rare). Returns the rare OIDs ascending.
+func populateTagged(t *testing.T, v *Volume, n, rareEvery int) []OID {
+	t.Helper()
+	var rare []OID
+	for i := 0; i < n; i++ {
+		oid := mustCreateObject(t, v, "u", "")
+		if err := v.AddName(oid, "UDEF", []byte("common")); err != nil {
+			t.Fatal(err)
+		}
+		if rareEvery > 0 && i%rareEvery == 0 {
+			if err := v.AddName(oid, "UDEF", []byte("rare")); err != nil {
+				t.Fatal(err)
+			}
+			rare = append(rare, oid)
+		}
+	}
+	return rare
+}
+
+func TestQueryPageLimitAndAfter(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	populateTagged(t, v, 30, 1) // every object is also "rare"
+	full, err := v.Query(Term{"UDEF", []byte("common")})
+	if err != nil || len(full) != 30 {
+		t.Fatalf("full query = %d ids, %v", len(full), err)
+	}
+	// Limit returns the first n.
+	got, err := v.QueryPage(Term{"UDEF", []byte("common")}, Page{Limit: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, full[:7]) {
+		t.Errorf("Limit page = %v, want %v", got, full[:7])
+	}
+	// Paging with After walks the whole set exactly once.
+	var walked []OID
+	var after OID
+	for {
+		page, err := v.QueryPage(Term{"UDEF", []byte("common")}, Page{Limit: 4, After: after})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		walked = append(walked, page...)
+		after = page[len(page)-1]
+	}
+	if !reflect.DeepEqual(walked, full) {
+		t.Errorf("paged walk = %v, want %v", walked, full)
+	}
+	// After past the end is empty; the max-OID sentinel cannot overflow.
+	if page, err := v.QueryPage(Term{"UDEF", []byte("common")}, Page{After: full[len(full)-1]}); err != nil || len(page) != 0 {
+		t.Errorf("page after last = %v, %v", page, err)
+	}
+	if page, err := v.QueryPage(Term{"UDEF", []byte("common")}, Page{After: ^OID(0)}); err != nil || len(page) != 0 {
+		t.Errorf("page after max OID = %v, %v", page, err)
+	}
+}
+
+func TestQueryPagePagesConjunction(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	rare := populateTagged(t, v, 40, 5) // 8 rare
+	q := And{[]Query{
+		Term{"UDEF", []byte("common")},
+		Term{"UDEF", []byte("rare")},
+	}}
+	first, err := v.QueryPage(q, Page{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, rare[:3]) {
+		t.Errorf("first page = %v, want %v", first, rare[:3])
+	}
+	rest, err := v.QueryPage(q, Page{After: first[len(first)-1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rest, rare[3:]) {
+		t.Errorf("rest = %v, want %v", rest, rare[3:])
+	}
+}
+
+// TestProfileSelectiveAndSeeks is the tentpole's proof at test
+// granularity: in a conjunction of a broad tag with a selective one, the
+// broad iterator is seeked once per candidate — it must not emit anywhere
+// near its full posting list.
+func TestProfileSelectiveAndSeeks(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	const n, rareEvery = 200, 100 // 200 common, 2 rare
+	rare := populateTagged(t, v, n, rareEvery)
+	ids, steps, err := v.Profile(And{[]Query{
+		Term{"UDEF", []byte("common")},
+		Term{"UDEF", []byte("rare")},
+	}}, Page{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, rare) {
+		t.Fatalf("profile results = %v, want %v", ids, rare)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %+v", steps)
+	}
+	// Composition order: rare drives, common is seeked.
+	if !strings.Contains(steps[0].Rendered, "rare") || !strings.Contains(steps[1].Rendered, "common") {
+		t.Fatalf("iterator order wrong: %+v", steps)
+	}
+	if steps[0].Steps != int64(len(rare)) {
+		t.Errorf("rare side emitted %d OIDs, want %d", steps[0].Steps, len(rare))
+	}
+	common := steps[1]
+	if common.Seeks == 0 || common.Steps > int64(2*len(rare)) {
+		t.Errorf("common side: %d seeks / %d steps — it was scanned, not seeked (n=%d)",
+			common.Seeks, common.Steps, n)
+	}
+}
+
+// TestProfileLimitShortCircuits: with Limit 1 over a broad single term,
+// evaluation must stop after one emission.
+func TestProfileLimitShortCircuits(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	populateTagged(t, v, 100, 0)
+	ids, steps, err := v.Profile(Term{"UDEF", []byte("common")}, Page{Limit: 1})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("profile = %v, %v", ids, err)
+	}
+	if steps[0].Steps != 1 {
+		t.Errorf("limit-1 query emitted %d OIDs from the index", steps[0].Steps)
+	}
+}
+
+func TestProfileNegation(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	rare := populateTagged(t, v, 20, 4) // 5 rare
+	ids, steps, err := v.Profile(And{[]Query{
+		Term{"UDEF", []byte("common")},
+		Not{Term{"UDEF", []byte("rare")}},
+	}}, Page{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 20-len(rare) {
+		t.Errorf("negation results = %d, want %d", len(ids), 20-len(rare))
+	}
+	if len(steps) != 2 || steps[0].Negated || !steps[1].Negated {
+		t.Errorf("steps = %+v; negated leaf must come last", steps)
+	}
+}
+
+func TestSearchResultsPage(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	populateTagged(t, v, 12, 1)
+	s := v.NewSearch().Refine(Term{"UDEF", []byte("common")})
+	page, err := s.ResultsPage(Page{Limit: 5})
+	if err != nil || len(page) != 5 {
+		t.Fatalf("ResultsPage = %v, %v", page, err)
+	}
+	next, err := s.ResultsPage(Page{Limit: 100, After: page[len(page)-1]})
+	if err != nil || len(next) != 7 {
+		t.Fatalf("second page = %v, %v", next, err)
+	}
+	if _, err := v.NewSearch().ResultsPage(Page{Limit: 1}); !errors.Is(err, ErrQuery) {
+		t.Errorf("unrefined ResultsPage = %v", err)
+	}
+}
+
+// TestConcurrentFinds exercises the RWMutex read path: many goroutines
+// resolving names in parallel while writers keep tagging.
+func TestConcurrentFinds(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	const users = 16
+	oids := make([]OID, users)
+	for i := range oids {
+		oids[i] = mustCreateObject(t, v, "u", "")
+		if err := v.AddName(oids[i], index.TagUser, []byte(fmt.Sprintf("u%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				u := (g*50 + i) % users
+				ids, err := v.Resolve(TV(index.TagUser, fmt.Sprintf("u%02d", u)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(ids) != 1 || ids[0] != oids[u] {
+					errs <- fmt.Errorf("resolve u%02d = %v, want %d", u, ids, oids[u])
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := v.AddName(oids[i%users], "UDEF", []byte(fmt.Sprintf("w%d-%d", g, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestOperationsAfterCloseFail(t *testing.T) {
+	v, _ := newVolume(t, Options{})
+	oid := mustCreateObject(t, v, "u", "")
+	if err := v.AddName(oid, index.TagUser, []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Query(Term{index.TagUser, []byte("u")}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Query after close = %v, want ErrClosed", err)
+	}
+	if err := v.AddName(oid, index.TagUser, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddName after close = %v, want ErrClosed", err)
+	}
+	if _, err := v.Names(oid); !errors.Is(err, ErrClosed) {
+		t.Errorf("Names after close = %v, want ErrClosed", err)
+	}
+	// The lazy path must be fenced too: a post-Close enqueue would write
+	// a reverse entry the clean-marked volume silently drops.
+	if err := v.IndexContentLazy(oid); !errors.Is(err, ErrClosed) {
+		t.Errorf("IndexContentLazy after close = %v, want ErrClosed", err)
+	}
+}

@@ -47,6 +47,7 @@ var (
 	ErrTooSmall      = errors.New("core: device too small")
 	ErrQuery         = errors.New("core: invalid query")
 	ErrNotFound      = errors.New("core: not found")
+	ErrClosed        = errors.New("core: volume closed")
 )
 
 // OID aliases the OSD identifier.
@@ -128,7 +129,24 @@ type Volume struct {
 
 	commitMu sync.Mutex
 	closed   bool
-	mu       sync.Mutex
+	// mu is the volume lifecycle lock: naming and query operations hold
+	// it shared — so any number of Finds/Queries (and index mutations,
+	// which serialize on their own tree locks) proceed in parallel —
+	// while Close holds it exclusively to fence them out. Nothing holds
+	// it across a whole query's evaluation wait points except the query
+	// itself; iterators take per-tree read locks per step.
+	mu sync.RWMutex
+}
+
+// rlock takes the shared lifecycle lock, failing once the volume is
+// closed. Callers defer the returned unlock.
+func (v *Volume) rlock() (func(), error) {
+	v.mu.RLock()
+	if v.closed {
+		v.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	return v.mu.RUnlock, nil
 }
 
 // pageAlloc adapts the buddy allocator for btrees.

@@ -50,6 +50,19 @@ func (f *Fulltext) Lookup(value []byte) ([]OID, error) {
 	return out, nil
 }
 
+// Iter implements Iterable. Postings live in in-memory maps plus
+// sorted-by-term segment trees, so a per-term stream in docID order has no
+// cheaper form than the merged posting list; Lookup materializes it once
+// and the slice iterator then supports Seek by binary search, which is
+// what the intersection engine needs.
+func (f *Fulltext) Iter(value []byte) (Iterator, error) {
+	ids, err := f.Lookup(value)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceIter(ids), nil
+}
+
 // Count implements Store using document frequency.
 func (f *Fulltext) Count(value []byte) (int, error) {
 	terms := fulltext.Tokenize(string(value))

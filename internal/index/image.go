@@ -176,6 +176,39 @@ func (x *ImageIndex) Count(value []byte) (int, error) {
 	return len(ids), err
 }
 
+// imageIter streams exact-signature matches off a prefix cursor.
+type imageIter struct {
+	cur *btree.Cursor
+	sig uint64
+}
+
+// Iter implements Iterable for exact signature matches.
+func (x *ImageIndex) Iter(value []byte) (Iterator, error) {
+	sig, err := Signature(value)
+	if err != nil {
+		return nil, err
+	}
+	var prefix [8]byte
+	binary.BigEndian.PutUint64(prefix[:], sig)
+	return &imageIter{cur: x.tree.NewPrefixCursor(prefix[:]), sig: sig}, nil
+}
+
+func (it *imageIter) Next() (OID, bool, error) {
+	k, _, ok, err := it.cur.Next()
+	if !ok || err != nil {
+		return 0, false, err
+	}
+	if len(k) != 16 {
+		return 0, false, fmt.Errorf("%w: image key length %d", ErrBadValue, len(k))
+	}
+	return OID(binary.BigEndian.Uint64(k[8:])), true, nil
+}
+
+func (it *imageIter) Seek(oid OID) (OID, bool, error) {
+	it.cur.Seek(sigKey(it.sig, oid))
+	return it.Next()
+}
+
 // LookupNear returns OIDs whose signature is within maxDist Hamming bits
 // of the query bitmap's, ascending by distance then OID.
 func (x *ImageIndex) LookupNear(value []byte, maxDist int) ([]OID, error) {

@@ -142,20 +142,45 @@ func IntersectOIDs(lists ...[]OID) []OID {
 	return acc
 }
 
-// UnionOIDs merges sorted OID slices, deduplicating.
+// UnionOIDs merges sorted OID slices, deduplicating. Inputs are already
+// ascending (every index store returns sorted lists), so this is a k-way
+// merge — O(n·k) with no re-sort — rather than append-all-and-sort.
 func UnionOIDs(lists ...[]OID) []OID {
+	idx := make([]int, len(lists))
 	var out []OID
-	for _, l := range lists {
-		out = append(out, l...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	dedup := out[:0]
-	for i, v := range out {
-		if i == 0 || v != out[i-1] {
-			dedup = append(dedup, v)
+	for {
+		best, m := -1, OID(0)
+		for i, l := range lists {
+			if idx[i] < len(l) && (best < 0 || l[idx[i]] < m) {
+				best, m = i, l[idx[i]]
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != m {
+			out = append(out, m)
+		}
+		for i, l := range lists {
+			for idx[i] < len(l) && l[idx[i]] == m {
+				idx[i]++
+			}
 		}
 	}
-	return dedup
+}
+
+// DedupOIDs sorts ids ascending and removes duplicates, in place. Use it
+// for OID lists that arrive in index order (value-major, e.g. RangeLookup
+// results) where UnionOIDs' ascending-input precondition does not hold.
+func DedupOIDs(ids []OID) []OID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || v != ids[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // DiffOIDs returns the sorted elements of a not present in b (negation).

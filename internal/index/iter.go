@@ -1,0 +1,373 @@
+package index
+
+import "sort"
+
+// Iterator streams the ascending OID posting list of one query subtree.
+// It is the unit of composition for the streaming query engine: instead of
+// materializing a full []OID per term and intersecting slices, the
+// evaluator composes iterators and pulls results on demand, so a
+// conjunction of a million-entry tag with a 3-entry tag does ~3 seeks
+// rather than a million-element scan, and a Limit-n query stops after n.
+//
+// Iterators are single-use and not safe for concurrent use. Seek never
+// moves backwards relative to emitted results when driven by the engine
+// (the engine only seeks forward), but implementations must tolerate any
+// target.
+type Iterator interface {
+	// Next returns the next OID in ascending order; ok=false when the
+	// stream is exhausted.
+	Next() (OID, bool, error)
+	// Seek returns the first OID >= oid, skipping everything before it;
+	// ok=false when no such OID exists.
+	Seek(oid OID) (OID, bool, error)
+}
+
+// Iterable is implemented by stores that can stream a posting list for a
+// value without materializing it. Stores lacking it fall back to
+// Lookup + SliceIter.
+type Iterable interface {
+	Iter(value []byte) (Iterator, error)
+}
+
+// IterStats counts the work one iterator (or a composed tree of them)
+// performed; the query profiler attaches one per leaf term to report how
+// many OIDs each index actually surfaced versus seeked past.
+type IterStats struct {
+	Seeks int64 // Seek calls issued
+	Steps int64 // OIDs emitted (materialized) by this iterator
+}
+
+// IterFor streams the posting list for value from any Store, preferring a
+// native streaming iterator and falling back to a materialized lookup.
+func IterFor(st Store, value []byte) (Iterator, error) {
+	if it, ok := st.(Iterable); ok {
+		return it.Iter(value)
+	}
+	ids, err := st.Lookup(value)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceIter(DedupOIDs(ids)), nil
+}
+
+// --- primitive iterators ---
+
+// emptyIter is the zero-result iterator.
+type emptyIter struct{}
+
+func (emptyIter) Next() (OID, bool, error)    { return 0, false, nil }
+func (emptyIter) Seek(OID) (OID, bool, error) { return 0, false, nil }
+
+// NewEmptyIter returns an iterator with no results.
+func NewEmptyIter() Iterator { return emptyIter{} }
+
+// sliceIter iterates a sorted, deduplicated OID slice.
+type sliceIter struct {
+	s []OID
+	i int
+}
+
+// NewSliceIter wraps an ascending, duplicate-free OID slice.
+func NewSliceIter(s []OID) Iterator { return &sliceIter{s: s} }
+
+func (it *sliceIter) Next() (OID, bool, error) {
+	if it.i >= len(it.s) {
+		return 0, false, nil
+	}
+	v := it.s[it.i]
+	it.i++
+	return v, true, nil
+}
+
+func (it *sliceIter) Seek(oid OID) (OID, bool, error) {
+	// Binary search within the unconsumed tail.
+	it.i += sort.Search(len(it.s)-it.i, func(j int) bool { return it.s[it.i+j] >= oid })
+	return it.Next()
+}
+
+// countedIter wraps an iterator with work accounting.
+type countedIter struct {
+	it Iterator
+	st *IterStats
+}
+
+// Counted attaches stats accounting to an iterator.
+func Counted(it Iterator, st *IterStats) Iterator {
+	if st == nil {
+		return it
+	}
+	return &countedIter{it, st}
+}
+
+func (c *countedIter) Next() (OID, bool, error) {
+	v, ok, err := c.it.Next()
+	if ok {
+		c.st.Steps++
+	}
+	return v, ok, err
+}
+
+func (c *countedIter) Seek(oid OID) (OID, bool, error) {
+	c.st.Seeks++
+	v, ok, err := c.it.Seek(oid)
+	if ok {
+		c.st.Steps++
+	}
+	return v, ok, err
+}
+
+// dedupIter suppresses adjacent duplicates (defensive wrapper for stores
+// whose Lookup contract is not duplicate-free).
+type dedupIter struct {
+	it      Iterator
+	last    OID
+	started bool
+}
+
+// Deduped suppresses adjacent duplicate OIDs from an ascending iterator.
+func Deduped(it Iterator) Iterator { return &dedupIter{it: it} }
+
+func (d *dedupIter) Next() (OID, bool, error) {
+	for {
+		v, ok, err := d.it.Next()
+		if !ok || err != nil {
+			return v, ok, err
+		}
+		if d.started && v == d.last {
+			continue
+		}
+		d.last, d.started = v, true
+		return v, true, nil
+	}
+}
+
+func (d *dedupIter) Seek(oid OID) (OID, bool, error) {
+	v, ok, err := d.it.Seek(oid)
+	if !ok || err != nil {
+		return v, ok, err
+	}
+	d.last, d.started = v, true
+	return v, true, nil
+}
+
+// --- composition ---
+
+// intersectIter is a leapfrog intersection: it keeps all children aligned
+// on a candidate OID, seeking the laggards to the current maximum. Work is
+// proportional to the smallest child times the seek cost, not to the sum
+// of posting-list lengths.
+type intersectIter struct {
+	its []Iterator
+}
+
+// Intersect returns the conjunction of the given ascending iterators.
+// Callers should pass the most selective iterator first; it drives the
+// candidates.
+func Intersect(its ...Iterator) Iterator {
+	switch len(its) {
+	case 0:
+		return NewEmptyIter()
+	case 1:
+		return its[0]
+	}
+	return &intersectIter{its}
+}
+
+// align advances all children to the smallest common OID >= x.
+func (it *intersectIter) align(x OID, ok bool) (OID, bool, error) {
+	if !ok {
+		return 0, false, nil
+	}
+	// Round-robin until every child agrees on x.
+	agreed := 1 // its[0] (or whichever produced x) is at x
+	i := 1
+	for agreed < len(it.its) {
+		y, ok, err := it.its[i].Seek(x)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			return 0, false, nil
+		}
+		if y > x {
+			x = y
+			agreed = 1 // this child defines the new candidate
+		} else {
+			agreed++
+		}
+		i++
+		if i == len(it.its) {
+			i = 0
+		}
+	}
+	return x, true, nil
+}
+
+func (it *intersectIter) Next() (OID, bool, error) {
+	x, ok, err := it.its[0].Next()
+	if err != nil {
+		return 0, false, err
+	}
+	return it.align(x, ok)
+}
+
+func (it *intersectIter) Seek(oid OID) (OID, bool, error) {
+	x, ok, err := it.its[0].Seek(oid)
+	if err != nil {
+		return 0, false, err
+	}
+	return it.align(x, ok)
+}
+
+// unionIter is a k-way sorted merge with deduplication.
+type unionIter struct {
+	its    []Iterator
+	heads  []OID
+	live   []bool
+	primed bool
+}
+
+// Union returns the deduplicated disjunction of the given ascending
+// iterators.
+func Union(its ...Iterator) Iterator {
+	switch len(its) {
+	case 0:
+		return NewEmptyIter()
+	case 1:
+		return its[0]
+	}
+	return &unionIter{its: its, heads: make([]OID, len(its)), live: make([]bool, len(its))}
+}
+
+func (u *unionIter) prime() error {
+	for i, it := range u.its {
+		v, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		u.heads[i], u.live[i] = v, ok
+	}
+	u.primed = true
+	return nil
+}
+
+func (u *unionIter) Next() (OID, bool, error) {
+	if !u.primed {
+		if err := u.prime(); err != nil {
+			return 0, false, err
+		}
+	}
+	min, any := OID(0), false
+	for i, ok := range u.live {
+		if ok && (!any || u.heads[i] < min) {
+			min, any = u.heads[i], true
+		}
+	}
+	if !any {
+		return 0, false, nil
+	}
+	// Advance every child sitting on min (dedup across children).
+	for i, ok := range u.live {
+		if ok && u.heads[i] == min {
+			v, ok2, err := u.its[i].Next()
+			if err != nil {
+				return 0, false, err
+			}
+			u.heads[i], u.live[i] = v, ok2
+		}
+	}
+	return min, true, nil
+}
+
+func (u *unionIter) Seek(oid OID) (OID, bool, error) {
+	for i, it := range u.its {
+		if u.primed && (!u.live[i] || u.heads[i] >= oid) {
+			continue // already at or past the target
+		}
+		v, ok, err := it.Seek(oid)
+		if err != nil {
+			return 0, false, err
+		}
+		u.heads[i], u.live[i] = v, ok
+	}
+	u.primed = true
+	min, any := OID(0), false
+	for i, ok := range u.live {
+		if ok && (!any || u.heads[i] < min) {
+			min, any = u.heads[i], true
+		}
+	}
+	if !any {
+		return 0, false, nil
+	}
+	for i, ok := range u.live {
+		if ok && u.heads[i] == min {
+			v, ok2, err := u.its[i].Next()
+			if err != nil {
+				return 0, false, err
+			}
+			u.heads[i], u.live[i] = v, ok2
+		}
+	}
+	return min, true, nil
+}
+
+// diffIter subtracts neg from pos, seeking neg forward only as far as the
+// candidates demand.
+type diffIter struct {
+	pos, neg Iterator
+	negHead  OID
+	negLive  bool
+	primed   bool
+}
+
+// Diff returns the ascending elements of pos not present in neg.
+func Diff(pos, neg Iterator) Iterator { return &diffIter{pos: pos, neg: neg} }
+
+func (d *diffIter) filter(x OID, ok bool, err error) (OID, bool, error) {
+	for {
+		if err != nil || !ok {
+			return 0, false, err
+		}
+		if !d.primed || (d.negLive && d.negHead < x) {
+			d.negHead, d.negLive, err = d.neg.Seek(x)
+			if err != nil {
+				return 0, false, err
+			}
+			d.primed = true
+		}
+		if !d.negLive || d.negHead != x {
+			return x, true, nil
+		}
+		x, ok, err = d.pos.Next()
+	}
+}
+
+func (d *diffIter) Next() (OID, bool, error) {
+	x, ok, err := d.pos.Next()
+	return d.filter(x, ok, err)
+}
+
+func (d *diffIter) Seek(oid OID) (OID, bool, error) {
+	x, ok, err := d.pos.Seek(oid)
+	return d.filter(x, ok, err)
+}
+
+// Drain materializes an iterator into a slice: at most limit results when
+// limit > 0, everything otherwise.
+func Drain(it Iterator, limit int) ([]OID, error) {
+	var out []OID
+	for {
+		v, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+		if limit > 0 && len(out) >= limit {
+			return out, nil
+		}
+	}
+}

@@ -156,12 +156,55 @@ func (x *KVIndex) Lookup(value []byte) ([]OID, error) {
 	return out, err
 }
 
-// Count implements Store.
+// kvIter streams the OIDs for one value straight off a btree cursor; Seek
+// jumps the cursor to the entry key (value, oid) so a selective
+// intersection partner skips the posting list instead of scanning it.
+type kvIter struct {
+	cur    *btree.Cursor
+	prefix []byte // escape-encoded value, the key prefix of every entry
+}
+
+// Iter implements Iterable: a streaming, seekable posting list for value.
+func (x *KVIndex) Iter(value []byte) (Iterator, error) {
+	x.statMu.Lock()
+	x.lookups++
+	x.statMu.Unlock()
+	pfx := escapeValue(value)
+	return &kvIter{cur: x.tree.NewPrefixCursor(pfx), prefix: pfx}, nil
+}
+
+func (it *kvIter) Next() (OID, bool, error) {
+	k, _, ok, err := it.cur.Next()
+	if !ok || err != nil {
+		return 0, false, err
+	}
+	oid, err := oidFromEntry(k)
+	if err != nil {
+		return 0, false, err
+	}
+	return oid, true, nil
+}
+
+func (it *kvIter) Seek(oid OID) (OID, bool, error) {
+	var ob [8]byte
+	binary.BigEndian.PutUint64(ob[:], uint64(oid))
+	it.cur.Seek(append(append([]byte(nil), it.prefix...), ob[:]...))
+	return it.Next()
+}
+
+// countCap bounds the work a selectivity estimate may do. The planner
+// only needs the relative order of posting-list sizes, so every list
+// longer than the cap estimates as "at least countCap" instead of paying
+// a full prefix scan — otherwise estimating a broad term would cost the
+// very scan the streaming engine exists to avoid.
+const countCap = 1024
+
+// Count implements Store. Exact up to countCap, saturating above it.
 func (x *KVIndex) Count(value []byte) (int, error) {
 	n := 0
 	err := x.tree.ScanPrefix(escapeValue(value), func(k, v []byte) bool {
 		n++
-		return true
+		return n < countCap
 	})
 	return n, err
 }
@@ -241,10 +284,18 @@ func (s *Sharded) Count(value []byte) (int, error) {
 	return s.pick(value).Count(value)
 }
 
+// Iter implements Iterable: one value hashes to one shard, so streaming
+// delegates to it.
+func (s *Sharded) Iter(value []byte) (Iterator, error) {
+	return IterFor(s.pick(value), value)
+}
+
 // RangeLookup consults every shard and merges (ranges cross hash
-// boundaries). Implements Ranged when the shards do.
+// boundaries). Implements Ranged when the shards do. Shards return OIDs
+// in value-major order, so the combined list is sorted and deduplicated
+// rather than k-way merged (UnionOIDs needs ascending inputs).
 func (s *Sharded) RangeLookup(lo, hi []byte) ([]OID, error) {
-	var lists [][]OID
+	var all []OID
 	for _, sh := range s.shards {
 		r, ok := sh.(Ranged)
 		if !ok {
@@ -254,7 +305,7 @@ func (s *Sharded) RangeLookup(lo, hi []byte) ([]OID, error) {
 		if err != nil {
 			return nil, err
 		}
-		lists = append(lists, l)
+		all = append(all, l...)
 	}
-	return UnionOIDs(lists...), nil
+	return DedupOIDs(all), nil
 }

@@ -1,0 +1,183 @@
+package index
+
+import (
+	"encoding/binary"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Table-driven edge cases for the sorted-OID set operations the slice
+// paths (Or evaluation, sharded range merge, fsck) still rely on.
+
+func TestIntersectOIDsTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		lists [][]OID
+		want  []OID
+	}{
+		{"no-lists", nil, nil},
+		{"single", [][]OID{{1, 2, 3}}, []OID{1, 2, 3}},
+		{"single-empty", [][]OID{{}}, []OID{}},
+		{"both-empty", [][]OID{{}, {}}, nil},
+		{"one-empty", [][]OID{{1, 2}, {}}, nil},
+		{"disjoint", [][]OID{{1, 3, 5}, {2, 4, 6}}, nil},
+		{"full-overlap", [][]OID{{1, 2, 3}, {1, 2, 3}}, []OID{1, 2, 3}},
+		{"partial", [][]OID{{1, 2, 3, 4}, {2, 4, 8}}, []OID{2, 4}},
+		{"three-way", [][]OID{{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}, []OID{3}},
+		{"narrowing-short-circuit", [][]OID{{1}, {2}, {1}}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := IntersectOIDs(tc.lists...)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("IntersectOIDs(%v) = %v, want %v", tc.lists, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnionOIDsTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		lists [][]OID
+		want  []OID
+	}{
+		{"no-lists", nil, nil},
+		{"single", [][]OID{{1, 2, 3}}, []OID{1, 2, 3}},
+		{"all-empty", [][]OID{{}, nil}, nil},
+		{"disjoint", [][]OID{{1, 3}, {2, 4}}, []OID{1, 2, 3, 4}},
+		{"full-overlap", [][]OID{{1, 2}, {1, 2}}, []OID{1, 2}},
+		{"dups-within-list", [][]OID{{1, 1, 2}, {2, 2, 3}}, []OID{1, 2, 3}},
+		{"three-way", [][]OID{{5}, {1, 9}, {3, 5, 9}}, []OID{1, 3, 5, 9}},
+		{"one-empty", [][]OID{nil, {7}}, []OID{7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := UnionOIDs(tc.lists...)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("UnionOIDs(%v) = %v, want %v", tc.lists, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiffOIDsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []OID
+		want []OID
+	}{
+		{"both-empty", nil, nil, nil},
+		{"empty-a", nil, []OID{1}, nil},
+		{"empty-b", []OID{1, 2}, nil, []OID{1, 2}},
+		{"disjoint", []OID{1, 3}, []OID{2, 4}, []OID{1, 3}},
+		{"full-overlap", []OID{1, 2}, []OID{1, 2}, nil},
+		{"partial", []OID{1, 2, 3, 4}, []OID{2, 4}, []OID{1, 3}},
+		{"b-superset", []OID{2}, []OID{1, 2, 3}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DiffOIDs(tc.a, tc.b)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("DiffOIDs(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// decodeOIDLists splits fuzz bytes into two sorted deduplicated OID lists
+// (the set ops' documented input contract).
+func decodeOIDLists(data []byte) ([]OID, []OID) {
+	split := 0
+	if len(data) > 0 {
+		split = int(data[0]) % (len(data) + 1)
+		data = data[1:]
+		if split > len(data) {
+			split = len(data)
+		}
+	}
+	mk := func(b []byte) []OID {
+		seen := map[OID]bool{}
+		var out []OID
+		for len(b) >= 2 {
+			v := OID(binary.LittleEndian.Uint16(b)) % 64 // small domain → real collisions
+			b = b[2:]
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	return mk(data[:split]), mk(data[split:])
+}
+
+// FuzzOIDSetOps cross-checks the merge-based set operations against a
+// map-based oracle on arbitrary sorted inputs.
+func FuzzOIDSetOps(f *testing.F) {
+	f.Add([]byte{4, 1, 0, 2, 0, 3, 0, 2, 0, 4, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{})
+	f.Add([]byte{2, 9, 0, 9, 0, 9, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeOIDLists(data)
+		inA := map[OID]bool{}
+		for _, v := range a {
+			inA[v] = true
+		}
+		inB := map[OID]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		var wantI, wantU, wantD []OID
+		for v := OID(0); v < 64; v++ {
+			if inA[v] && inB[v] {
+				wantI = append(wantI, v)
+			}
+			if inA[v] || inB[v] {
+				wantU = append(wantU, v)
+			}
+			if inA[v] && !inB[v] {
+				wantD = append(wantD, v)
+			}
+		}
+		check := func(op string, got, want []OID) {
+			t.Helper()
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s(%v, %v) = %v, want %v", op, a, b, got, want)
+			}
+		}
+		check("IntersectOIDs", IntersectOIDs(a, b), wantI)
+		check("UnionOIDs", UnionOIDs(a, b), wantU)
+		check("DiffOIDs", DiffOIDs(a, b), wantD)
+
+		// The streaming iterators must agree with the slice ops.
+		itDrain := func(it Iterator) []OID {
+			out, err := Drain(it, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		check("Intersect", itDrain(Intersect(NewSliceIter(a), NewSliceIter(b))), wantI)
+		check("Union", itDrain(Union(NewSliceIter(a), NewSliceIter(b))), wantU)
+		check("Diff", itDrain(Diff(NewSliceIter(a), NewSliceIter(b))), wantD)
+	})
+}
+
+func TestDedupOIDsUnsortedInput(t *testing.T) {
+	// Value-major order with non-adjacent duplicates — the shape
+	// RangeLookup produces for an object carrying several in-range values.
+	got := DedupOIDs([]OID{5, 9, 2, 5, 9, 1})
+	if !reflect.DeepEqual(got, []OID{1, 2, 5, 9}) {
+		t.Errorf("DedupOIDs = %v", got)
+	}
+	if got := DedupOIDs(nil); got != nil {
+		t.Errorf("DedupOIDs(nil) = %v", got)
+	}
+}

@@ -330,6 +330,12 @@ func (f *FS) ReadDir(p string) ([]DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	// RangeLookup yields one OID per (value, OID) index entry in name
+	// order, so an object hard-linked into this directory under several
+	// names appears once per name, at non-adjacent positions — and the
+	// name-recovery loop below already emits every matching name.
+	// Sort-dedup or each link is listed twice.
+	oids = index.DedupOIDs(oids)
 	var out []DirEntry
 	for _, oid := range oids {
 		names, err := f.vol.Names(oid)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	iofs "io/fs"
+	"reflect"
 	"testing"
 	"testing/fstest"
 
@@ -600,5 +601,42 @@ func TestFsckAfterHeavyNamespaceChurn(t *testing.T) {
 	}
 	if !rep.Ok() {
 		t.Errorf("fsck: %v", rep.Problems)
+	}
+}
+
+// TestReadDirHardLinkNoDuplicates: an object hard-linked into the same
+// directory under two names must list each name exactly once (regression:
+// the PDIR range lookup yields the OID once per name, and the
+// name-recovery loop then emitted every name per occurrence — listing
+// both links twice). The interleaving file makes the duplicate OIDs
+// non-adjacent in the name-ordered range result, so adjacent-only
+// deduplication also fails this test.
+func TestReadDirHardLinkNoDuplicates(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/aaa", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/bbb", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Link aaa as ccc: the PDIR range now yields aaa's OID at positions
+	// 0 ("aaa") and 2 ("ccc"), with bbb's in between.
+	if err := fs.Link("/d/aaa", "/d/ccc"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	want := []string{"aaa", "bbb", "ccc"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("ReadDir = %v, want %v", names, want)
 	}
 }
