@@ -9,9 +9,12 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/hfad"
+	"repro/internal/bench"
 	"repro/internal/blockdev"
 	"repro/internal/buddy"
 	"repro/internal/dsearch"
@@ -672,6 +675,184 @@ func BenchmarkE10_TransactionalOSD(b *testing.B) {
 			st.Close()
 		})
 	}
+}
+
+// newSyncCostStore builds a transactional store (16 MiB log) over
+// bench.SyncCostDevice — a device with a flush cost per sync, the same
+// model the E13/E14 hfadbench runners measure against.
+func newSyncCostStore(b *testing.B, opts hfad.Options) *hfad.Store {
+	b.Helper()
+	st, err := bench.NewSyncCostStore(1<<15, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkE13_GroupCommit is the group-commit exhibit: N concurrent
+// writers ingest (create + append + tag) against a wal-on volume. The
+// group path shares one log append + one sync per batch of concurrent
+// commits; the serialized-* variants reproduce the pre-group-commit
+// pipeline (full dirty-cache scan, force-at-commit, one sync per op,
+// commits serialized) for the A/B. syncs/op is the amortization receipt:
+// ≈1 for the serialized path, ≪1 for group commit under concurrency.
+func BenchmarkE13_GroupCommit(b *testing.B) {
+	payload := workload.NewRng(13).Bytes(512)
+	run := func(b *testing.B, writers int, serial bool) {
+		opts := hfad.Options{Transactional: true, SerialCommit: serial}
+		st := newSyncCostStore(b, opts)
+		syncs0 := st.Volume().WAL().Stats().Syncs
+		var syncs int64
+		b.ResetTimer()
+		// Work in rounds so the device stays in steady state at any b.N.
+		const roundSize = 2048
+		remaining := b.N
+		for remaining > 0 {
+			n := remaining
+			if n > roundSize {
+				n = roundSize
+			}
+			remaining -= n
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > int64(n) {
+							return
+						}
+						obj, err := st.CreateObject("w")
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := obj.Append(payload); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := st.Tag(obj.OID(), hfad.TagUDef, fmt.Sprintf("g:%d", i%10)); err != nil {
+							b.Error(err)
+							return
+						}
+						obj.Close()
+					}
+				}(w)
+			}
+			wg.Wait()
+			if remaining > 0 {
+				b.StopTimer()
+				syncs += st.Volume().WAL().Stats().Syncs - syncs0
+				st.Close()
+				st = newSyncCostStore(b, opts)
+				syncs0 = st.Volume().WAL().Stats().Syncs
+				b.StartTimer()
+			}
+		}
+		b.StopTimer()
+		syncs += st.Volume().WAL().Stats().Syncs - syncs0
+		st.Close()
+		b.ReportMetric(float64(syncs)/float64(b.N), "syncs/op")
+	}
+	for _, writers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("writers-%d", writers), func(b *testing.B) {
+			run(b, writers, false)
+		})
+	}
+	for _, writers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("serialized-writers-%d", writers), func(b *testing.B) {
+			run(b, writers, true)
+		})
+	}
+}
+
+// BenchmarkE14_BatchedIngest measures per-object ingest cost when the
+// Batch API composes create + append + tag + index-content into one
+// commit unit (one write set, one group enqueue, batched index
+// multi-puts) versus issuing the same four operations individually (four
+// transactions per object).
+func BenchmarkE14_BatchedIngest(b *testing.B) {
+	text := []byte(workload.DocCorpus(14, workload.DocCorpusConfig{Docs: 1, WordsPer: 40})[0].Text)
+	opts := hfad.Options{Transactional: true}
+	const roundSize = 2048
+	ingestOne := func(st *hfad.Store, i int) error {
+		obj, err := st.CreateObject("u")
+		if err != nil {
+			return err
+		}
+		defer obj.Close()
+		if err := obj.Append(text); err != nil {
+			return err
+		}
+		if err := st.Tag(obj.OID(), hfad.TagUDef, fmt.Sprintf("lot:%d", i%50)); err != nil {
+			return err
+		}
+		return st.IndexContent(obj.OID())
+	}
+	b.Run("unbatched", func(b *testing.B) {
+		st := newSyncCostStore(b, opts)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%roundSize == 0 {
+				b.StopTimer()
+				st.Close()
+				st = newSyncCostStore(b, opts)
+				b.StartTimer()
+			}
+			if err := ingestOne(st, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st.Close()
+	})
+	b.Run("batched-64", func(b *testing.B) {
+		st := newSyncCostStore(b, opts)
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			if done > 0 && done%roundSize == 0 {
+				b.StopTimer()
+				st.Close()
+				st = newSyncCostStore(b, opts)
+				b.StartTimer()
+			}
+			n := b.N - done
+			if n > 64 {
+				n = 64
+			}
+			err := st.Batch(func(bb *hfad.Batch) error {
+				for i := 0; i < n; i++ {
+					obj, err := bb.CreateObject("u")
+					if err != nil {
+						return err
+					}
+					if err := bb.Append(obj, text); err != nil {
+						obj.Close()
+						return err
+					}
+					if err := bb.Tag(obj.OID(), hfad.TagUDef, fmt.Sprintf("lot:%d", (done+i)%50)); err != nil {
+						obj.Close()
+						return err
+					}
+					if err := bb.IndexContent(obj.OID()); err != nil {
+						obj.Close()
+						return err
+					}
+					obj.Close()
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			done += n
+		}
+		b.StopTimer()
+		st.Close()
+	})
 }
 
 // BenchmarkE11_SelectiveAnd is the streaming-engine exhibit: a

@@ -70,6 +70,9 @@ type (
 	Page = core.Page
 	// PlanStep is one element of an Explain or Profile plan.
 	PlanStep = core.PlanStep
+	// Batch composes several mutations into one commit unit (see
+	// Store.Batch).
+	Batch = core.Batch
 )
 
 // Standard tags (Table 1 of the paper).
@@ -91,6 +94,11 @@ type Options struct {
 	// Transactional turns on write-ahead logging: every metadata
 	// operation commits atomically and crashes recover by log replay.
 	Transactional bool
+	// WALBlocks sizes the log region (default 256 blocks = 1 MiB). Size
+	// it for the ingest burst: the background checkpointer drains the log
+	// when it passes its high-water mark, and a bigger region means fewer
+	// checkpoint pauses on sustained writes.
+	WALBlocks uint64
 	// CachePages sizes the buffer cache (default 1024 pages).
 	CachePages int
 	// IndexShards spreads the USER/UDEF/APP indexes over several btrees
@@ -102,6 +110,10 @@ type Options struct {
 	// FulltextFlushDocs buffers this many documents before writing a
 	// segment (default 512).
 	FulltextFlushDocs int
+	// SerialCommit reproduces the pre-group-commit write path (one sync
+	// per operation, full dirty-cache scan, commits serialized). It is a
+	// measurement baseline for experiment E13; leave it off.
+	SerialCommit bool
 	// Clock injects timestamps; nil uses time.Now.
 	Clock func() time.Time
 }
@@ -109,6 +121,8 @@ type Options struct {
 func (o Options) toCore() core.Options {
 	return core.Options{
 		Transactional:  o.Transactional,
+		WALBlocks:      o.WALBlocks,
+		SerialCommit:   o.SerialCommit,
 		CachePages:     o.CachePages,
 		IndexShards:    o.IndexShards,
 		ExtentConfig:   extent.Config{MaxExtentBytes: o.MaxExtentBytes},
@@ -222,6 +236,43 @@ func (s *Store) FindPage(p Page, pairs ...TagValue) ([]OID, error) {
 	}
 	return s.vol.QueryPage(And{Kids: qs}, p)
 }
+
+// Batch runs fn and commits everything it did — object creation,
+// appends, tagging, content indexing — as one transaction: one write
+// set, one group-commit enqueue, at most one device sync (shared with
+// concurrent committers), and batched multi-puts into the tag indexes.
+// This is the bulk-ingest path:
+//
+//	err := st.Batch(func(b *hfad.Batch) error {
+//		for _, doc := range docs {
+//			obj, err := b.CreateObject("ingest")
+//			if err != nil {
+//				return err
+//			}
+//			if err := b.Append(obj, doc.Data); err != nil {
+//				return err
+//			}
+//			if err := b.Tag(obj.OID(), hfad.TagUDef, doc.Label); err != nil {
+//				return err
+//			}
+//			obj.Close()
+//		}
+//		return nil
+//	})
+//
+// A non-nil error from fn skips the buffered tag puts and is returned —
+// but it is not a rollback: mutations fn already applied persist
+// (redo-only storage has no undo). Run independent batches from
+// independent goroutines; a single Batch is not for concurrent use.
+//
+// Inside fn, touch the volume ONLY through the Batch's own methods and
+// direct object reads (OpenObject/ReadAt/Stat). The Store's mutating
+// methods (Tag, CreateObject, object writes, ...) would open a nested
+// transaction bracket, and its query methods (Find, Query, Names, ...)
+// would re-acquire the lifecycle lock recursively — either can deadlock
+// against a concurrent checkpoint or Close. Queries before or after the
+// batch see its names once it commits.
+func (s *Store) Batch(fn func(*Batch) error) error { return s.vol.Batch(fn) }
 
 // NewSearch starts an iterative search refinement.
 func (s *Store) NewSearch() *Search { return s.vol.NewSearch() }

@@ -2,6 +2,7 @@ package hfad_test
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"reflect"
 	"testing"
@@ -275,5 +276,58 @@ func TestPaginationAndProfilePublic(t *testing.T) {
 	}
 	if steps[1].Seeks == 0 {
 		t.Errorf("broad term was not seeked: %+v", steps[1])
+	}
+}
+
+func TestBatchPublicAPI(t *testing.T) {
+	st, err := hfad.Create(hfad.NewMemDevice(1<<13), hfad.Options{Transactional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var oids []hfad.OID
+	err = st.Batch(func(b *hfad.Batch) error {
+		for i := 0; i < 8; i++ {
+			obj, err := b.CreateObject("bulk")
+			if err != nil {
+				return err
+			}
+			if err := b.Append(obj, []byte(fmt.Sprintf("bulk doc %d marker%d", i, i))); err != nil {
+				return err
+			}
+			if err := b.Tag(obj.OID(), hfad.TagUDef, "bulk"); err != nil {
+				return err
+			}
+			if err := b.IndexContent(obj.OID()); err != nil {
+				return err
+			}
+			oids = append(oids, obj.OID())
+			obj.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	ids, err := st.Find(hfad.TV(hfad.TagUDef, "bulk"))
+	if err != nil || len(ids) != 8 {
+		t.Fatalf("Find = %v, %v", ids, err)
+	}
+	ids, err = st.Find(hfad.TV(hfad.TagFulltext, "marker5"), hfad.TV(hfad.TagUDef, "bulk"))
+	if err != nil || len(ids) != 1 || ids[0] != oids[5] {
+		t.Fatalf("conjunction = %v, %v", ids, err)
+	}
+	// Objects created in a batch read back through the normal path.
+	obj, err := st.OpenObject(oids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	buf := make([]byte, 10)
+	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[:4]) != "bulk" {
+		t.Errorf("batch-created object content = %q", buf)
 	}
 }

@@ -71,6 +71,8 @@ func All() []Runner {
 		{"E8", "index sharding ablation", RunE8},
 		{"E9", "lazy full-text indexing", RunE9},
 		{"E10", "transactional OSD overhead", RunE10},
+		{"E13", "group-commit concurrent ingest", RunE13},
+		{"E14", "batched vs unbatched ingest", RunE14},
 	}
 }
 

@@ -652,3 +652,55 @@ func TestCheckDetectsCorruption(t *testing.T) {
 		t.Error("Check accepted a corrupted page")
 	}
 }
+
+func TestPutManyMatchesPut(t *testing.T) {
+	many, _ := newTree(t)
+	one, _ := newTree(t)
+	rng := rand.New(rand.NewPCG(42, 7))
+	const n = 500
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%06d", rng.IntN(n*4)))
+		vals[i] = []byte(fmt.Sprintf("val-%d", i))
+	}
+	if err := many.PutMany(keys, vals); err != nil {
+		t.Fatalf("PutMany: %v", err)
+	}
+	for i := range keys {
+		if err := one.Put(keys[i], vals[i]); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if many.Len() != one.Len() {
+		t.Fatalf("PutMany len %d != Put len %d", many.Len(), one.Len())
+	}
+	// Duplicate keys must resolve last-wins in input order, same as
+	// sequential Put.
+	for i := range keys {
+		want, err := one.Get(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := many.Get(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %q: PutMany value %q, Put value %q", keys[i], got, want)
+		}
+	}
+	if _, err := many.Check(); err != nil {
+		t.Fatalf("invariants after PutMany: %v", err)
+	}
+}
+
+func TestPutManyEmptyAndMismatch(t *testing.T) {
+	tr, _ := newTree(t)
+	if err := tr.PutMany(nil, nil); err != nil {
+		t.Errorf("empty PutMany: %v", err)
+	}
+	if err := tr.PutMany([][]byte{[]byte("a")}, nil); err == nil {
+		t.Error("mismatched lengths did not error")
+	}
+}

@@ -1,8 +1,10 @@
 package btree
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/pager"
@@ -288,6 +290,44 @@ func (t *Tree) Put(key, val []byte) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.putLocked(key, val)
+}
+
+// PutMany inserts or replaces a batch of key/value pairs under a single
+// lock acquisition. Pairs are applied in sorted key order so successive
+// descents land on the same or adjacent leaves (one descent *region* per
+// batch instead of one random walk per pair) — the batched multi-put that
+// index stores expose for group-committed ingest. Duplicate keys within
+// the batch resolve last-wins in input order.
+func (t *Tree) PutMany(keys, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("btree: PutMany got %d keys, %d vals", len(keys), len(vals))
+	}
+	for _, k := range keys {
+		if len(k) > t.MaxKeyLen() {
+			return fmt.Errorf("%w: %d > %d", ErrKeyTooBig, len(k), t.MaxKeyLen())
+		}
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return bytes.Compare(keys[order[a]], keys[order[b]]) < 0
+	})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, i := range order {
+		if err := t.putLocked(keys[i], vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putLocked is Put's body; the caller holds t.mu exclusively and has
+// validated the key length.
+func (t *Tree) putLocked(key, val []byte) error {
 	t.gen++
 
 	path, leafPno, err := t.descend(key)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"repro/internal/index"
+	"repro/internal/osd"
+)
+
+// Batch composes several mutations — object creation, appends, naming,
+// content indexing — into one commit unit: a single per-transaction write
+// set, one group-commit enqueue, one shot at a device sync (shared with
+// whatever else is in the group). Tag insertions for stores that support
+// it are additionally buffered and applied as one batched multi-put (one
+// index-lock acquisition and one sorted descent region per store) when
+// the batch commits.
+//
+// A Batch is not safe for concurrent use; run independent batches from
+// independent goroutines instead — their write sets build concurrently
+// and only the commit enqueue serializes. Buffered tag puts become
+// visible to queries when the batch commits, so a query issued inside the
+// callback does not see the batch's own names yet.
+//
+// Inside the callback, mutate the volume only through the Batch's own
+// methods: the callback runs under the batch's operation bracket, and
+// any Volume/OSD mutating method would open a nested bracket — nested
+// brackets deadlock against a pending checkpoint (see Volume.ckptMu).
+type Batch struct {
+	v    *Volume
+	puts map[index.Store][]index.Put
+	revK [][]byte
+}
+
+// Batch runs fn, then commits everything it did as one transaction.
+//
+// A non-nil error from fn skips the buffered tag multi-puts and is
+// returned — but it is not a rollback: mutations fn already applied
+// (created objects, appended bytes, immediately-inserted names) persist,
+// because redo-only storage has no undo; their pages are still committed
+// page-atomically so a later flush cannot tear them across a crash.
+//
+// The lifecycle lock is held shared for the whole batch — the same
+// acquisition order as every other writer (lifecycle, then checkpoint
+// fence), so a concurrent Close simply waits for the batch. The flip
+// side: fn must not call the Volume's naming/query methods (Find, Query,
+// Names, ...) — they would re-acquire the lifecycle lock recursively,
+// which deadlocks when a Close is pending. Inside fn, use the Batch's
+// own methods and direct object reads (OSD.OpenObject/ReadAt).
+func (v *Volume) Batch(fn func(*Batch) error) error {
+	unlock, err := v.rlock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	done := v.beginOp()
+	b := &Batch{v: v, puts: make(map[index.Store][]index.Put)}
+	err = fn(b)
+	if err == nil {
+		err = b.flush()
+	}
+	return done(err)
+}
+
+// flush applies the buffered index work: one multi-put for the reverse
+// index, then one multi-put per tag store. Reverse first: if the flush
+// dies in the middle, reverse-only leftovers are self-healing
+// (RemoveAllNames walks the reverse index and removing an absent forward
+// pair is idempotent), whereas forward-only leftovers would be
+// unreachable garbage that Find returns forever.
+func (b *Batch) flush() error {
+	if len(b.revK) > 0 {
+		vals := make([][]byte, len(b.revK))
+		if err := b.v.reverse.PutMany(b.revK, vals); err != nil {
+			return err
+		}
+	}
+	for st, puts := range b.puts {
+		if err := index.InsertAll(st, puts); err != nil {
+			return err
+		}
+	}
+	b.puts = nil
+	b.revK = nil
+	return nil
+}
+
+// CreateObject allocates a fresh regular object (mode 0644) owned by
+// owner inside the batch's transaction.
+func (b *Batch) CreateObject(owner string) (*osd.Object, error) {
+	return b.CreateObjectMode(owner, osd.ModeRegular|0o644)
+}
+
+// CreateObjectMode is CreateObject with explicit mode bits.
+func (b *Batch) CreateObjectMode(owner string, mode uint32) (*osd.Object, error) {
+	return b.v.OSD.CreateObjectDeferred(owner, mode)
+}
+
+// Append writes p at the current end of obj inside the batch's
+// transaction.
+func (b *Batch) Append(obj *osd.Object, p []byte) error {
+	return obj.AppendDeferred(p)
+}
+
+// WriteAt writes p at offset off of obj inside the batch's transaction.
+func (b *Batch) WriteAt(obj *osd.Object, p []byte, off uint64) error {
+	return obj.WriteAtDeferred(p, off)
+}
+
+// AddName attaches a (tag, value) name inside the batch's transaction.
+// For stores with batched insertion the forward put and its reverse
+// entry are both buffered and applied as multi-puts at commit; other
+// stores insert both sides immediately (still inside the same
+// transaction) — forward and reverse indexes stay symmetric even when a
+// callback error skips the buffered flush.
+func (b *Batch) AddName(oid OID, tag string, value []byte) error {
+	st, err := b.v.registry.Get(tag)
+	if err != nil {
+		return err
+	}
+	rk := revKey(oid, tag, reverseValue(tag, value))
+	if _, ok := st.(index.BatchInserter); ok {
+		// Copy: the caller may reuse the value buffer before flush.
+		c := append([]byte(nil), value...)
+		b.puts[st] = append(b.puts[st], index.Put{Value: c, OID: oid})
+		b.revK = append(b.revK, rk)
+		return nil
+	}
+	if err := st.Insert(value, oid); err != nil {
+		return err
+	}
+	return b.v.reverse.Put(rk, nil)
+}
+
+// Tag is AddName with string arguments.
+func (b *Batch) Tag(oid OID, tag, value string) error {
+	return b.AddName(oid, tag, []byte(value))
+}
+
+// IndexContent reads the object's bytes and indexes them as full text
+// inside the batch's transaction.
+func (b *Batch) IndexContent(oid OID) error {
+	text, err := b.v.readObjectText(oid)
+	if err != nil {
+		return err
+	}
+	return b.AddName(oid, index.TagFulltext, text)
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/index"
+	"repro/internal/osd"
+)
+
+func newTxnVolume(t *testing.T, opts Options) (*Volume, *blockdev.MemDevice) {
+	t.Helper()
+	opts.Transactional = true
+	dev := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	v, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, dev
+}
+
+// TestBatchComposesOneCommit: a batch of create+append+tag+index work
+// must commit as ONE WAL transaction, and everything in it must be
+// queryable afterwards.
+func TestBatchComposesOneCommit(t *testing.T) {
+	v, _ := newTxnVolume(t, Options{})
+	defer v.Close()
+
+	before := v.WAL().Stats().Commits
+	var oids []OID
+	err := v.Batch(func(b *Batch) error {
+		for i := 0; i < 10; i++ {
+			obj, err := b.CreateObject("batcher")
+			if err != nil {
+				return err
+			}
+			if err := b.Append(obj, []byte(fmt.Sprintf("payload %d with words w%d", i, i))); err != nil {
+				return err
+			}
+			if err := b.Tag(obj.OID(), index.TagUDef, "batched"); err != nil {
+				return err
+			}
+			if err := b.Tag(obj.OID(), index.TagUser, "batcher"); err != nil {
+				return err
+			}
+			if err := b.IndexContent(obj.OID()); err != nil {
+				return err
+			}
+			oids = append(oids, obj.OID())
+			obj.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if got := v.WAL().Stats().Commits - before; got != 1 {
+		t.Errorf("batch produced %d WAL commits, want 1", got)
+	}
+	ids, err := v.Resolve(TagValue{index.TagUDef, []byte("batched")}, TagValue{index.TagUser, []byte("batcher")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("resolved %d objects, want 10", len(ids))
+	}
+	// Full-text from inside the batch is searchable too.
+	ids, err = v.Resolve(TagValue{index.TagFulltext, []byte("w3")})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("fulltext resolve = %v, %v", ids, err)
+	}
+	// Names round-trip through the reverse index.
+	names, err := v.Names(oids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 { // UDEF, USER, FULLTEXT
+		t.Errorf("Names = %v, want 3 entries", names)
+	}
+}
+
+// TestBatchErrorSkipsBufferedTags: fn returning an error must surface
+// that error and skip the buffered tag multi-puts — while already
+// applied mutations persist (redo-only storage has no undo; the partial
+// pages are still committed page-atomically so a checkpoint flush can
+// never tear them across a crash).
+func TestBatchErrorSkipsBufferedTags(t *testing.T) {
+	v, _ := newTxnVolume(t, Options{})
+	defer v.Close()
+	wantErr := fmt.Errorf("boom")
+	var oid OID
+	err := v.Batch(func(b *Batch) error {
+		obj, err := b.CreateObject("doomed")
+		if err != nil {
+			return err
+		}
+		oid = obj.OID()
+		obj.Close()
+		if err := b.Tag(oid, index.TagUDef, "never-applied"); err != nil {
+			return err
+		}
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("Batch error = %v, want boom", err)
+	}
+	// The buffered tag must not have been applied...
+	ids, err := v.Resolve(TagValue{index.TagUDef, []byte("never-applied")})
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("buffered tag applied despite batch error: %v, %v", ids, err)
+	}
+	// ...while the created object persists (documented non-rollback).
+	if _, err := v.OSD.Stat(oid); err != nil {
+		t.Fatalf("created object lost: %v", err)
+	}
+}
+
+// TestBatchCrashRecoversAtomically: a committed batch must survive a
+// crash in full — recovery may not resurrect half a batch.
+func TestBatchCrashRecoversAtomically(t *testing.T) {
+	dev := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	v, err := Create(dev, Options{Transactional: true, WALBlocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oids []OID
+	if err := v.Batch(func(b *Batch) error {
+		for i := 0; i < 5; i++ {
+			obj, err := b.CreateObject("u")
+			if err != nil {
+				return err
+			}
+			if err := b.Tag(obj.OID(), index.TagUDef, fmt.Sprintf("part:%d", i)); err != nil {
+				return err
+			}
+			oids = append(oids, obj.OID())
+			obj.Close()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: reopen from the raw image without Close (pages were never
+	// forced home — recovery must replay the batch from the log).
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer v2.Close()
+	for i, oid := range oids {
+		ids, err := v2.Resolve(TagValue{index.TagUDef, []byte(fmt.Sprintf("part:%d", i))})
+		if err != nil || len(ids) != 1 || ids[0] != oid {
+			t.Fatalf("part %d lost after crash: %v, %v", i, ids, err)
+		}
+	}
+}
+
+// TestConcurrentWritersGroupCommit: independent writers ingesting
+// concurrently must all commit durably, and the group committer must
+// need no more syncs than commits.
+func TestConcurrentWritersGroupCommit(t *testing.T) {
+	v, dev := newTxnVolume(t, Options{WALBlocks: 512})
+	const writers = 8
+	const perWriter = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				obj, err := v.OSD.CreateObject("w", osd.ModeRegular)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := obj.Append([]byte("concurrent payload")); err != nil {
+					errs <- err
+					return
+				}
+				if err := v.AddName(obj.OID(), index.TagUDef, []byte(fmt.Sprintf("w%d:%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+				obj.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ws := v.WAL().Stats()
+	if ws.Syncs > ws.Commits {
+		t.Errorf("Syncs = %d > Commits = %d", ws.Syncs, ws.Commits)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			ids, err := v2.Resolve(TagValue{index.TagUDef, []byte(fmt.Sprintf("w%d:%d", w, i))})
+			if err != nil || len(ids) != 1 {
+				t.Fatalf("w%d:%d lost: %v, %v", w, i, ids, err)
+			}
+		}
+	}
+}
+
+// TestHighWaterCheckpointKeepsLogFlowing: with a deliberately tiny log,
+// sustained ingest must trigger background checkpoints (high-water mark)
+// rather than stumbling over ErrFull, and everything stays durable.
+func TestHighWaterCheckpointKeepsLogFlowing(t *testing.T) {
+	v, dev := newTxnVolume(t, Options{WALBlocks: 64})
+	for i := 0; i < 150; i++ {
+		obj, err := v.OSD.CreateObject("hw", osd.ModeRegular)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obj.Append([]byte("high water payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.AddName(obj.OID(), index.TagUDef, []byte(fmt.Sprintf("hw:%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		obj.Close()
+	}
+	if got := v.WAL().Stats().Checkpoints; got == 0 {
+		t.Error("no checkpoint despite sustained ingest against a 64-block log")
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	for i := 0; i < 150; i++ {
+		ids, err := v2.Resolve(TagValue{index.TagUDef, []byte(fmt.Sprintf("hw:%d", i))})
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("hw:%d lost: %v, %v", i, ids, err)
+		}
+	}
+}
+
+// TestBatchConcurrentCloseNoDeadlock pins the Batch/Close lock order: a
+// Close issued while a batch is running must wait for the batch and then
+// proceed — not deadlock (Batch takes the lifecycle lock, then the
+// checkpoint fence, the same order Close uses).
+func TestBatchConcurrentCloseNoDeadlock(t *testing.T) {
+	v, _ := newTxnVolume(t, Options{})
+	started := make(chan struct{})
+	batchDone := make(chan error, 1)
+	closeDone := make(chan error, 1)
+	go func() {
+		batchDone <- v.Batch(func(b *Batch) error {
+			close(started)
+			for i := 0; i < 50; i++ {
+				obj, err := b.CreateObject("racer")
+				if err != nil {
+					return err
+				}
+				if err := b.Tag(obj.OID(), index.TagUDef, fmt.Sprintf("r:%d", i)); err != nil {
+					return err
+				}
+				obj.Close()
+			}
+			return nil
+		})
+	}()
+	<-started
+	go func() { closeDone <- v.Close() }()
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-batchDone:
+			if err != nil && err != ErrClosed {
+				t.Fatalf("batch: %v", err)
+			}
+		case err := <-closeDone:
+			if err != nil {
+				t.Fatalf("close: %v", err)
+			}
+		case <-timeout:
+			t.Fatal("Batch/Close deadlocked")
+		}
+	}
+}
+
+// TestDirtyHighWaterTriggersCheckpoint: with a log far larger than the
+// cache, sustained ingest must still checkpoint when dirty pages pass
+// the cache high-water mark — no-steal cannot evict them, so without the
+// drain the cache would grow with the log instead of CachePages.
+func TestDirtyHighWaterTriggersCheckpoint(t *testing.T) {
+	dev := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	v, err := Create(dev, Options{Transactional: true, WALBlocks: 4096, CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	payload := make([]byte, 4096)
+	for i := 0; i < 120; i++ {
+		obj, err := v.OSD.CreateObject("hw", osd.ModeRegular)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obj.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		obj.Close()
+	}
+	// The 16 MiB log is nowhere near its own high-water mark; only the
+	// dirty-page trigger can have fired.
+	if used, c := v.WAL().Used(), v.WAL().Capacity(); used*3 >= c*2 {
+		t.Fatalf("test premise broken: log %d/%d already past high water", used, c)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for v.WAL().Stats().Checkpoints == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v.WAL().Stats().Checkpoints == 0 {
+		t.Error("no checkpoint despite dirty pages far past the cache capacity")
+	}
+}
+
+// TestReformatDoesNotResurrectOldLog: Create over a device that held an
+// earlier transactional volume must terminate the stale log region —
+// a crash right after the format (before the first new commit) must not
+// let recovery replay the previous generation over the fresh volume.
+func TestReformatDoesNotResurrectOldLog(t *testing.T) {
+	dev := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	v, err := Create(dev, Options{Transactional: true, WALBlocks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		oid := mustCreateObject(t, v, "old", "previous generation")
+		if err := v.AddName(oid, index.TagUDef, []byte(fmt.Sprintf("oldgen:%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the log region holds the old generation's committed
+	// records. Reformat, then "crash" (no clean shutdown) and reopen.
+	v2, err := Create(dev, Options{Transactional: true, WALBlocks: 128})
+	if err != nil {
+		t.Fatalf("reformat: %v", err)
+	}
+	_ = v2
+	v3, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatalf("dirty open after reformat: %v", err)
+	}
+	defer v3.Close()
+	rep, err := v3.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("fsck after reformat+crash: %v", rep.Problems)
+	}
+	ids, err := v3.Resolve(TagValue{index.TagUDef, []byte("oldgen:0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("old generation resurrected after reformat: %v", ids)
+	}
+}
+
+// TestLazyIndexingTransactional: the background indexer's page writes
+// now run inside operation brackets, so lazily indexed postings are
+// WAL-committed and survive a crash without a clean close.
+func TestLazyIndexingTransactional(t *testing.T) {
+	dev := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	v, err := Create(dev, Options{Transactional: true, WALBlocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.StartLazyIndexing(64)
+	oid := mustCreateObject(t, v, "lazy", "lazily indexed unusualword")
+	if err := v.IndexContentLazy(oid); err != nil {
+		t.Fatal(err)
+	}
+	v.WaitIndexIdle()
+	// Make the postings searchable: flush the in-memory buffer to a
+	// segment (still inside the worker-free foreground path is fine —
+	// Flush itself is synchronous).
+	done := v.beginOp()
+	if err := done(v.ft.Inner().Flush()); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without Close; recovery must replay the lazy postings.
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer v2.Close()
+	ids, err := v2.Resolve(TagValue{index.TagFulltext, []byte("unusualword")})
+	if err != nil || len(ids) != 1 || ids[0] != oid {
+		t.Fatalf("lazy-indexed posting lost after crash: %v, %v", ids, err)
+	}
+}
+
+// TestSerialCommitCompatMode: the E13 baseline path must remain fully
+// functional (it is measured, so it must be correct).
+func TestSerialCommitCompatMode(t *testing.T) {
+	v, dev := newTxnVolume(t, Options{SerialCommit: true})
+	oid := mustCreateObject(t, v, "serial", "old pipeline")
+	if err := v.AddName(oid, index.TagUDef, []byte("serial")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	ids, err := v2.Resolve(TagValue{index.TagUDef, []byte("serial")})
+	if err != nil || len(ids) != 1 || ids[0] != oid {
+		t.Fatalf("serial-commit data lost: %v, %v", ids, err)
+	}
+}

@@ -62,10 +62,13 @@ func (v *Volume) AddName(oid OID, tag string, value []byte) error {
 		return err
 	}
 	defer unlock()
-	return v.addNameLocked(oid, tag, value)
+	done := v.beginOp()
+	return done(v.addNameDeferred(oid, tag, value))
 }
 
-func (v *Volume) addNameLocked(oid OID, tag string, value []byte) error {
+// addNameDeferred does the index and reverse-index work of AddName with
+// no commit; the caller owns the operation bracket.
+func (v *Volume) addNameDeferred(oid OID, tag string, value []byte) error {
 	st, err := v.registry.Get(tag)
 	if err != nil {
 		return err
@@ -73,14 +76,17 @@ func (v *Volume) addNameLocked(oid OID, tag string, value []byte) error {
 	if err := st.Insert(value, oid); err != nil {
 		return err
 	}
-	revVal := value
+	return v.reverse.Put(revKey(oid, tag, reverseValue(tag, value)), nil)
+}
+
+// reverseValue is the value recorded in the reverse index for a name:
+// content tags store only the tag (the text/bitmap is not a recoverable
+// name).
+func reverseValue(tag string, value []byte) []byte {
 	if tag == index.TagFulltext || tag == index.TagImage {
-		revVal = nil // content, not a name
+		return nil
 	}
-	if err := v.reverse.Put(revKey(oid, tag, revVal), nil); err != nil {
-		return err
-	}
-	return v.commit()
+	return value
 }
 
 // RemoveName detaches a (tag, value) name.
@@ -90,6 +96,11 @@ func (v *Volume) RemoveName(oid OID, tag string, value []byte) error {
 		return err
 	}
 	defer unlock()
+	done := v.beginOp()
+	return done(v.removeNameDeferred(oid, tag, value))
+}
+
+func (v *Volume) removeNameDeferred(oid OID, tag string, value []byte) error {
 	st, err := v.registry.Get(tag)
 	if err != nil {
 		return err
@@ -97,14 +108,10 @@ func (v *Volume) RemoveName(oid OID, tag string, value []byte) error {
 	if err := st.Remove(value, oid); err != nil {
 		return err
 	}
-	revVal := value
-	if tag == index.TagFulltext || tag == index.TagImage {
-		revVal = nil
-	}
-	if err := v.reverse.Delete(revKey(oid, tag, revVal)); err != nil && err != btree.ErrNotFound {
+	if err := v.reverse.Delete(revKey(oid, tag, reverseValue(tag, value))); err != nil && err != btree.ErrNotFound {
 		return err
 	}
-	return v.commit()
+	return nil
 }
 
 // Names lists all names attached to the object.
@@ -144,10 +151,11 @@ func (v *Volume) RemoveAllNames(oid OID) error {
 		return err
 	}
 	defer unlock()
-	return v.removeAllNamesLocked(oid)
+	done := v.beginOp()
+	return done(v.removeAllNamesDeferred(oid))
 }
 
-func (v *Volume) removeAllNamesLocked(oid OID) error {
+func (v *Volume) removeAllNamesDeferred(oid OID) error {
 	names, err := v.namesLocked(oid)
 	if err != nil {
 		return err
@@ -164,20 +172,23 @@ func (v *Volume) removeAllNamesLocked(oid OID) error {
 			return err
 		}
 	}
-	return v.commit()
+	return nil
 }
 
-// DeleteObject removes all names and destroys the object.
+// DeleteObject removes all names and destroys the object, as one commit
+// unit (name stripping and object destruction recover together or not at
+// all).
 func (v *Volume) DeleteObject(oid OID) error {
 	unlock, err := v.rlock()
 	if err != nil {
 		return err
 	}
 	defer unlock()
-	if err := v.removeAllNamesLocked(oid); err != nil {
-		return err
+	done := v.beginOp()
+	if err := v.removeAllNamesDeferred(oid); err != nil {
+		return done(err)
 	}
-	return v.OSD.DeleteObject(oid)
+	return done(v.OSD.DeleteObjectDeferred(oid))
 }
 
 // Resolve is the paper's naming operation: a vector of tag/value pairs
@@ -746,7 +757,8 @@ func (v *Volume) IndexContent(oid OID) error {
 	if err != nil {
 		return err
 	}
-	return v.addNameLocked(oid, index.TagFulltext, text)
+	done := v.beginOp()
+	return done(v.addNameDeferred(oid, index.TagFulltext, text))
 }
 
 // IndexContentLazy queues the object for the background indexer ("we use
@@ -767,7 +779,8 @@ func (v *Volume) IndexContentLazy(oid OID) error {
 	}
 	// Record the name relationship immediately; postings land when the
 	// background thread gets there.
-	return v.reverse.Put(revKey(oid, index.TagFulltext, nil), nil)
+	done := v.beginOp()
+	return done(v.reverse.Put(revKey(oid, index.TagFulltext, nil), nil))
 }
 
 // StartLazyIndexing launches the background indexer.

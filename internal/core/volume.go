@@ -15,11 +15,14 @@
 // Query), and access interfaces that manipulate an object once located
 // (Object read/write/insert/truncate-range, via the OSD layer).
 //
-// Durability: with Transactional set, every mutating operation commits its
-// dirty metadata pages to the WAL (force, no-steal), and crash recovery
-// replays committed images. Without it, the volume is flushed on Sync and
-// Close only — the paper's "the OSD may be transactional, but this is an
-// implementation decision" made concrete and measurable (experiment E10).
+// Durability: with Transactional set, every mutating operation commits
+// its own write set (the pages it dirtied, captured per transaction by
+// the pager) through the WAL's group committer — no-steal / no-force,
+// with a background checkpointer writing committed pages home when the
+// log passes its high-water mark — and crash recovery replays committed
+// images. Without it, the volume is flushed on Sync and Close only — the
+// paper's "the OSD may be transactional, but this is an implementation
+// decision" made concrete and measurable (experiments E10, E13, E14).
 package core
 
 import (
@@ -77,6 +80,11 @@ const (
 type Options struct {
 	// Transactional enables the WAL.
 	Transactional bool
+	// SerialCommit reproduces the pre-group-commit pipeline (full-cache
+	// dirty scan, one sync per operation, force pages home at commit,
+	// commits serialized on one mutex). It exists as a measurement
+	// baseline for experiment E13 — do not use it in production.
+	SerialCommit bool
 	// WALBlocks sizes the log region (default 256 blocks).
 	WALBlocks uint64
 	// SnapshotBlocks sizes the allocator snapshot region (default 64).
@@ -127,6 +135,8 @@ type Volume struct {
 	dataStart, dataBlocks uint64
 	snapStart, snapBlocks uint64
 
+	// commitMu serializes commits only in SerialCommit compatibility
+	// mode; the group-committed pipeline never takes it.
 	commitMu sync.Mutex
 	closed   bool
 	// mu is the volume lifecycle lock: naming and query operations hold
@@ -136,7 +146,27 @@ type Volume struct {
 	// it across a whole query's evaluation wait points except the query
 	// itself; iterators take per-tree read locks per step.
 	mu sync.RWMutex
+
+	// ckptMu is the checkpoint fence: every mutating operation holds it
+	// shared for its whole bracket (build write set + group commit), and
+	// the checkpointer holds it exclusively, so the log is only reset at
+	// an operation quiescent point. Operation brackets must never nest
+	// (nested RLock deadlocks against a waiting writer); compound
+	// operations compose Deferred variants under one bracket instead.
+	ckptMu sync.RWMutex
+	// ckptCh pokes the background checkpointer when a commit observes the
+	// log past its high-water mark; ckptQuit stops it; ckptDone closes
+	// when it exits.
+	ckptCh       chan struct{}
+	ckptQuit     chan struct{}
+	ckptDone     chan struct{}
+	ckptStopOnce sync.Once
 }
+
+// ckptHighWater is the fraction of log capacity past which a commit
+// triggers a background checkpoint, so long ingest runs drain the log
+// before appends hit ErrFull mid-burst.
+const ckptHighWaterNum, ckptHighWaterDen = 2, 3
 
 // rlock takes the shared lifecycle lock, failing once the volume is
 // closed. Callers defer the returned unlock.
@@ -181,11 +211,24 @@ func Create(dev blockdev.Device, opts Options) (*Volume, error) {
 	v.pg = pager.New(dev, opts.CachePages, !opts.Transactional)
 	if opts.Transactional {
 		v.log = wal.New(dev, 1, walBlocks)
+		// The device may previously have held a volume whose log region
+		// still contains CRC-valid committed records. Scan it (replaying
+		// nothing) to adopt the old generation's txn-id high-water mark,
+		// then reset the region — otherwise a crash before this volume's
+		// first commit could let recovery replay the old generation over
+		// the fresh format, and old high-id leftovers past a new tail
+		// would slip the monotonic-txid fence.
+		if _, err := v.log.Recover(nil); err != nil {
+			return nil, err
+		}
+		if err := v.log.Checkpoint(); err != nil {
+			return nil, err
+		}
 	}
 
 	var err error
 	v.OSD, err = osd.Create(v.pg, v.ba, osd.Options{
-		Commit:       v.commitHook(),
+		Begin:        v.beginHook(),
 		ExtentConfig: opts.ExtentConfig,
 		Clock:        opts.Clock,
 	})
@@ -216,12 +259,12 @@ func Create(dev blockdev.Device, opts Options) (*Volume, error) {
 	if err := v.writeSuperblock(false); err != nil {
 		return nil, err
 	}
-	if err := v.commit(); err != nil {
-		return nil, err
-	}
+	// Formatting needs no WAL pass: flushing everything home makes the
+	// fresh volume durable in one stroke.
 	if err := v.pg.Sync(); err != nil {
 		return nil, err
 	}
+	v.startCheckpointer()
 	return v, nil
 }
 
@@ -260,7 +303,7 @@ func (v *Volume) createIndexes() error {
 			v.registry.Register(index.NewSharded(tag, shards))
 		}
 	}
-	ftIdx, err := fulltext.Create(v.pg, pageAlloc{v.ba}, v.opts.FulltextConfig)
+	ftIdx, err := fulltext.Create(v.pg, pageAlloc{v.ba}, v.fulltextConfig())
 	if err != nil {
 		return err
 	}
@@ -418,7 +461,7 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	}
 
 	v.OSD, err = osd.Open(v.pg, v.ba, sb.osdHeader, osd.Options{
-		Commit:       v.commitHook(),
+		Begin:        v.beginHook(),
 		ExtentConfig: opts.ExtentConfig,
 		Clock:        opts.Clock,
 	})
@@ -453,6 +496,7 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	if err := v.writeSuperblock(false); err != nil {
 		return nil, err
 	}
+	v.startCheckpointer()
 	return v, nil
 }
 
@@ -499,7 +543,7 @@ func (v *Volume) openIndexes() error {
 	if err != nil {
 		return err
 	}
-	ftIdx, err := fulltext.Open(v.pg, pageAlloc{v.ba}, ftPno, v.opts.FulltextConfig)
+	ftIdx, err := fulltext.Open(v.pg, pageAlloc{v.ba}, ftPno, v.fulltextConfig())
 	if err != nil {
 		return err
 	}
@@ -518,16 +562,103 @@ func (v *Volume) openIndexes() error {
 	return nil
 }
 
-// commitHook returns the OSD's commit callback (nil if non-transactional).
-func (v *Volume) commitHook() func() error {
-	return func() error { return v.commit() }
+// beginHook returns the OSD's operation bracket (Options.Begin).
+func (v *Volume) beginHook() func() func(error) error {
+	return func() func(error) error { return v.beginOp() }
 }
 
-// commit logs all dirty metadata pages and forces them home.
-func (v *Volume) commit() error {
+// fulltextConfig is the user's fulltext tuning plus the volume's
+// operation bracket, so the lazy indexer's background page writes commit
+// (and respect the checkpoint fence) like any foreground operation.
+func (v *Volume) fulltextConfig() fulltext.Config {
+	cfg := v.opts.FulltextConfig
+	cfg.Bracket = v.beginHook()
+	return cfg
+}
+
+// beginOp opens the transactional bracket for one mutating operation:
+// it registers a per-transaction dirty-page capture with the pager and
+// returns the commit half, which hands the captured write set to the
+// WAL's group committer. Non-transactional volumes get a passthrough.
+//
+// Brackets must not nest (see ckptMu); compound operations call the
+// Deferred variants of sub-operations under a single bracket.
+func (v *Volume) beginOp() func(error) error {
 	if v.log == nil {
-		return nil
+		return func(err error) error { return err }
 	}
+	if v.opts.SerialCommit {
+		return func(err error) error {
+			if err != nil {
+				return err
+			}
+			return v.commitSerial()
+		}
+	}
+	v.ckptMu.RLock()
+	txn := v.pg.BeginTxn()
+	return func(opErr error) error {
+		if opErr != nil {
+			// The operation failed part-way. Its pages are already
+			// mutated in cache and redo-only logging has no undo, so
+			// commit the captured images anyway: the partial state
+			// becomes page-atomic in the log, and a later checkpoint
+			// flush cannot tear it across a crash. (The pre-PR global
+			// scan gave the same guarantee by logging leftovers with the
+			// next commit.) The operation's own error still wins; on
+			// ErrFull the checkpoint fallback flushes the same pages
+			// home durably instead, preserving the protection.
+			cerr := v.commitTxn(txn)
+			v.ckptMu.RUnlock()
+			if errors.Is(cerr, wal.ErrFull) {
+				_ = v.checkpointNow()
+			}
+			return opErr
+		}
+		err := v.commitTxn(txn)
+		v.ckptMu.RUnlock()
+		if errors.Is(err, wal.ErrFull) {
+			// This write set alone cannot fit the remaining log region.
+			// Fall back to a full checkpoint — but only after releasing
+			// the shared fence: checkpointNow quiesces all operations
+			// first, so it never flushes a neighbour's mid-operation
+			// pages home (steal) nor resets the log while a concurrent
+			// group commit is being acknowledged. Afterwards this
+			// operation's pages are durably home and the commit is moot.
+			return v.checkpointNow()
+		}
+		return err
+	}
+}
+
+// commitTxn makes one operation's write set durable through the group
+// committer: its pages plus a commit record reach the log in one
+// contiguous append shared with concurrent committers, under a single
+// device sync. The capture is closed atomically with the commit's queue
+// insertion (CommitWith), so a concurrent writer re-dirtying one of
+// these pages cannot commit its fresher image with a smaller txid.
+// Pages are not forced home (no-force); the checkpointer writes them
+// back in bulk. Returns wal.ErrFull (for the bracket's checkpoint
+// fallback) when the write set cannot fit the region.
+func (v *Volume) commitTxn(txn *pager.Txn) error {
+	wtx := v.log.Begin()
+	err := wtx.CommitWith(func(wtx *wal.Txn) {
+		for pno, data := range txn.WriteSet() {
+			wtx.LogPageOwned(pno, data)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	v.maybeTriggerCheckpoint()
+	return nil
+}
+
+// commitSerial is the pre-group-commit pipeline, kept verbatim behind
+// Options.SerialCommit as the E13 measurement baseline: scan and copy the
+// entire pager dirty set, log it, sync, and force every page home —
+// serialized on commitMu.
+func (v *Volume) commitSerial() error {
 	v.commitMu.Lock()
 	defer v.commitMu.Unlock()
 	dirty := v.pg.DirtyPages()
@@ -540,8 +671,6 @@ func (v *Volume) commit() error {
 	}
 	err := txn.Commit()
 	if errors.Is(err, wal.ErrFull) {
-		// The completed operation's pages are a consistent state; flush
-		// them home, reset the log, and the commit becomes a no-op.
 		if err := v.pg.FlushDirty(); err != nil {
 			return err
 		}
@@ -553,7 +682,6 @@ func (v *Volume) commit() error {
 	if err != nil {
 		return err
 	}
-	// Force policy: write the committed pages home now.
 	if err := v.pg.FlushDirty(); err != nil {
 		return err
 	}
@@ -564,6 +692,78 @@ func (v *Volume) commit() error {
 		return v.log.Checkpoint()
 	}
 	return nil
+}
+
+// maybeTriggerCheckpoint pokes the background checkpointer when the log
+// passes its high-water mark, or when dirty pages pile past the cache's
+// configured capacity (no-steal cannot evict them, so without a drain a
+// log sized for the ingest burst would let residency grow with WALBlocks
+// instead of CachePages). Non-blocking: if a checkpoint is already
+// pending, the poke is dropped.
+func (v *Volume) maybeTriggerCheckpoint() {
+	logHigh := v.log.Used()*ckptHighWaterDen >= v.log.Capacity()*ckptHighWaterNum
+	cacheHigh := v.pg.DirtyCount() >= v.opts.CachePages*3/4
+	if !logHigh && !cacheHigh {
+		return
+	}
+	select {
+	case v.ckptCh <- struct{}{}:
+	default:
+	}
+}
+
+// startCheckpointer launches the background checkpoint goroutine
+// (transactional volumes only).
+func (v *Volume) startCheckpointer() {
+	if v.log == nil {
+		return
+	}
+	v.ckptCh = make(chan struct{}, 1)
+	v.ckptQuit = make(chan struct{})
+	v.ckptDone = make(chan struct{})
+	go func() {
+		defer close(v.ckptDone)
+		for {
+			select {
+			case <-v.ckptQuit:
+				return
+			case <-v.ckptCh:
+				// Best effort: a failing checkpoint leaves the log as
+				// is; commits keep appending until ErrFull forces the
+				// issue on a path that can report the error.
+				_ = v.checkpointNow()
+			}
+		}
+	}()
+}
+
+// stopCheckpointer shuts the background checkpointer down and waits for
+// it to drain. Safe to call more than once; ckptCh stays valid so late
+// commit pokes remain harmless.
+func (v *Volume) stopCheckpointer() {
+	if v.ckptQuit == nil {
+		return
+	}
+	v.ckptStopOnce.Do(func() {
+		close(v.ckptQuit)
+		<-v.ckptDone
+	})
+}
+
+// checkpointNow quiesces mutating operations (checkpoint fence), writes
+// every committed-but-cached page home, syncs the device, and resets the
+// log. The fence guarantees no operation is mid-flight, so everything
+// dirty in the cache is committed state.
+func (v *Volume) checkpointNow() error {
+	v.ckptMu.Lock()
+	defer v.ckptMu.Unlock()
+	if err := v.pg.FlushDirty(); err != nil {
+		return err
+	}
+	if err := v.dev.Sync(); err != nil {
+		return err
+	}
+	return v.log.Checkpoint()
 }
 
 // Allocator exposes the buddy allocator (experiments, fsck).
@@ -638,10 +838,14 @@ func (v *Volume) writeSnapshot() error {
 	return nil
 }
 
-// Sync flushes all state to the device without closing.
+// Sync flushes all state to the device without closing. On a
+// transactional volume this is a checkpoint: it quiesces mutating
+// operations, writes every cached dirty page home, syncs the device, and
+// resets the log (committed state was already durable via the WAL; after
+// Sync it is durable in place).
 func (v *Volume) Sync() error {
-	if err := v.commit(); err != nil {
-		return err
+	if v.log != nil && !v.opts.SerialCommit {
+		return v.checkpointNow()
 	}
 	if err := v.pg.Sync(); err != nil {
 		return err
@@ -657,6 +861,7 @@ func (v *Volume) Close() error {
 	if v.closed {
 		return nil
 	}
+	v.stopCheckpointer()
 	if err := v.ft.Inner().Close(); err != nil && err != fulltext.ErrClosed {
 		return err
 	}

@@ -35,6 +35,13 @@ type Config struct {
 	FlushDocs int
 	// MaxSegments triggers automatic compaction when exceeded. Default 8.
 	MaxSegments int
+	// Bracket, when non-nil, wraps each background (lazy) indexing job in
+	// the volume's transactional operation bracket, so the worker's page
+	// writes are captured and committed like any foreground operation —
+	// and the volume's checkpoint fence quiesces the worker too. The
+	// synchronous API does not use it: those calls already run inside
+	// their caller's bracket.
+	Bracket func() func(error) error
 }
 
 func (c *Config) fill() {
@@ -552,7 +559,12 @@ func (x *Index) StartLazy(queueDepth int) {
 		for job := range x.lazyCh {
 			// Indexing failures are recorded by dropping the doc; the
 			// synchronous API is available when callers need errors.
-			_ = x.Add(job.docID, job.text)
+			if x.cfg.Bracket != nil {
+				done := x.cfg.Bracket()
+				_ = done(x.Add(job.docID, job.text))
+			} else {
+				_ = x.Add(job.docID, job.text)
+			}
 			x.lazyWG.Done()
 		}
 	}()

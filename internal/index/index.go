@@ -70,6 +70,34 @@ type Ranged interface {
 	RangeLookup(lo, hi []byte) ([]OID, error)
 }
 
+// Put is one (value, OID) association for batched insertion.
+type Put struct {
+	Value []byte
+	OID   OID
+}
+
+// BatchInserter is implemented by stores that can apply many insertions
+// under one lock acquisition / one structure descent region — the batched
+// multi-put that feeds a group-committed transaction's write set. Stores
+// without it fall back to per-pair Insert.
+type BatchInserter interface {
+	InsertMany(puts []Put) error
+}
+
+// InsertAll applies puts to st through its batched path when available,
+// falling back to per-pair Insert otherwise.
+func InsertAll(st Store, puts []Put) error {
+	if bi, ok := st.(BatchInserter); ok {
+		return bi.InsertMany(puts)
+	}
+	for _, p := range puts {
+		if err := st.Insert(p.Value, p.OID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Registry maps tags to stores.
 type Registry struct {
 	mu     sync.RWMutex

@@ -436,3 +436,74 @@ var _ Ranged = (*Sharded)(nil)
 var _ Store = (*Fulltext)(nil)
 var _ Store = (*ImageIndex)(nil)
 var _ btree.PageAllocator = pageAlloc{}
+
+func TestKVInsertManyMatchesInsert(t *testing.T) {
+	batched, _ := newKV(t, TagUDef)
+	serial, _ := newKV(t, TagUDef)
+	var puts []Put
+	for i := 0; i < 200; i++ {
+		v := []byte(fmt.Sprintf("tag:%d", i%17))
+		puts = append(puts, Put{Value: v, OID: OID(i + 1)})
+		if err := serial.Insert(v, OID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.InsertMany(puts); err != nil {
+		t.Fatalf("InsertMany: %v", err)
+	}
+	if batched.Len() != serial.Len() {
+		t.Fatalf("batched len %d != serial len %d", batched.Len(), serial.Len())
+	}
+	for i := 0; i < 17; i++ {
+		v := []byte(fmt.Sprintf("tag:%d", i))
+		got, err := batched.Lookup(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := serial.Lookup(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("value %s: batched %v, serial %v", v, got, want)
+		}
+	}
+	if err := batched.InsertMany(nil); err != nil {
+		t.Errorf("empty InsertMany: %v", err)
+	}
+}
+
+func TestShardedInsertManyRoutesLikeInsert(t *testing.T) {
+	e := newEnv(t)
+	mk := func() *Sharded {
+		var shards []Store
+		for i := 0; i < 4; i++ {
+			kv, err := NewKVIndex(TagUDef, e.pg, pageAlloc{e.ba})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, kv)
+		}
+		return NewSharded(TagUDef, shards)
+	}
+	batched, serial := mk(), mk()
+	var puts []Put
+	for i := 0; i < 120; i++ {
+		v := []byte(fmt.Sprintf("v%d", i%11))
+		puts = append(puts, Put{Value: v, OID: OID(i + 1)})
+		if err := serial.Insert(v, OID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.InsertMany(puts); err != nil {
+		t.Fatalf("InsertMany: %v", err)
+	}
+	for i := 0; i < 11; i++ {
+		v := []byte(fmt.Sprintf("v%d", i))
+		got, _ := batched.Lookup(v)
+		want, _ := serial.Lookup(v)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("value %s: batched %v, serial %v", v, got, want)
+		}
+	}
+}

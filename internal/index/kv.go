@@ -124,6 +124,23 @@ func (x *KVIndex) Insert(value []byte, oid OID) error {
 	return x.tree.Put(entryKey(value, oid), nil)
 }
 
+// InsertMany implements BatchInserter: all pairs go through one btree
+// PutMany (one tree-lock acquisition, sorted descent region).
+func (x *KVIndex) InsertMany(puts []Put) error {
+	if len(puts) == 0 {
+		return nil
+	}
+	x.statMu.Lock()
+	x.inserts += int64(len(puts))
+	x.statMu.Unlock()
+	keys := make([][]byte, len(puts))
+	vals := make([][]byte, len(puts))
+	for i, p := range puts {
+		keys[i] = entryKey(p.Value, p.OID)
+	}
+	return x.tree.PutMany(keys, vals)
+}
+
 // Remove implements Store. Removing an absent pair is not an error
 // (naming removal is idempotent).
 func (x *KVIndex) Remove(value []byte, oid OID) error {
@@ -272,6 +289,22 @@ func (s *Sharded) Insert(value []byte, oid OID) error {
 // Remove implements Store.
 func (s *Sharded) Remove(value []byte, oid OID) error {
 	return s.pick(value).Remove(value, oid)
+}
+
+// InsertMany implements BatchInserter: pairs are grouped by shard and each
+// shard receives one batched insert.
+func (s *Sharded) InsertMany(puts []Put) error {
+	groups := make(map[Store][]Put)
+	for _, p := range puts {
+		st := s.pick(p.Value)
+		groups[st] = append(groups[st], p)
+	}
+	for st, group := range groups {
+		if err := InsertAll(st, group); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Lookup implements Store.

@@ -1,8 +1,10 @@
 package osd
 
 import (
+	"fmt"
 	"sync"
 
+	"repro/internal/btree"
 	"repro/internal/extent"
 )
 
@@ -50,71 +52,111 @@ func (o *Object) ReadAt(p []byte, off uint64) (int, error) {
 // WriteAt writes p at offset off, growing the object as needed; writes
 // past the end create holes (sparse objects).
 func (o *Object) WriteAt(p []byte, off uint64) error {
+	done := o.s.beginOp()
+	return done(o.writeAt(p, off))
+}
+
+// WriteAtDeferred is WriteAt without the per-operation commit, for
+// callers composing one transaction from several mutations (core.Batch).
+func (o *Object) WriteAtDeferred(p []byte, off uint64) error {
+	return o.writeAt(p, off)
+}
+
+func (o *Object) writeAt(p []byte, off uint64) error {
 	if err := o.ext.WriteAt(p, off); err != nil {
 		return err
 	}
 	o.s.statMu.Lock()
 	o.s.stats.Writes++
 	o.s.statMu.Unlock()
-	return o.afterMutate()
+	return o.refreshMeta()
 }
 
 // Append writes p at the current end of the object.
 func (o *Object) Append(p []byte) error {
-	return o.WriteAt(p, o.ext.Size())
+	done := o.s.beginOp()
+	return done(o.writeAt(p, o.ext.Size()))
+}
+
+// AppendDeferred is Append without the per-operation commit (core.Batch).
+func (o *Object) AppendDeferred(p []byte) error {
+	return o.writeAt(p, o.ext.Size())
 }
 
 // InsertAt inserts p at offset off, shifting later bytes up — the paper's
 // insert call ("arguments identical to the write call, but instead of
 // overwriting bytes ... it inserts those bytes, growing the file").
 func (o *Object) InsertAt(off uint64, p []byte) error {
+	done := o.s.beginOp()
+	return done(o.insertAt(off, p))
+}
+
+// InsertAtDeferred is InsertAt without the per-operation commit.
+func (o *Object) InsertAtDeferred(off uint64, p []byte) error {
+	return o.insertAt(off, p)
+}
+
+func (o *Object) insertAt(off uint64, p []byte) error {
 	if err := o.ext.InsertAt(off, p); err != nil {
 		return err
 	}
 	o.s.statMu.Lock()
 	o.s.stats.Inserts++
 	o.s.statMu.Unlock()
-	return o.afterMutate()
+	return o.refreshMeta()
 }
 
 // TruncateRange removes length bytes at offset off, shifting later bytes
 // down — the paper's two-off_t truncate ("an offset and length, indicating
 // exactly which bytes to remove from the file").
 func (o *Object) TruncateRange(off, length uint64) error {
+	done := o.s.beginOp()
+	return done(o.truncateRange(off, length))
+}
+
+// TruncateRangeDeferred is TruncateRange without the per-operation commit.
+func (o *Object) TruncateRangeDeferred(off, length uint64) error {
+	return o.truncateRange(off, length)
+}
+
+func (o *Object) truncateRange(off, length uint64) error {
 	if err := o.ext.DeleteRange(off, length); err != nil {
 		return err
 	}
 	o.s.statMu.Lock()
 	o.s.stats.DeleteRanges++
 	o.s.statMu.Unlock()
-	return o.afterMutate()
+	return o.refreshMeta()
 }
 
 // Truncate sets the object's size (POSIX-style single-argument form).
 func (o *Object) Truncate(size uint64) error {
-	if err := o.ext.Truncate(size); err != nil {
-		return err
+	done := o.s.beginOp()
+	err := o.ext.Truncate(size)
+	if err == nil {
+		err = o.refreshMeta()
 	}
-	return o.afterMutate()
+	return done(err)
 }
 
-// afterMutate refreshes size/mtime in the object table and commits.
-func (o *Object) afterMutate() error {
+// refreshMeta updates size/mtime in the object table (no commit; the
+// enclosing operation bracket owns that).
+func (o *Object) refreshMeta() error {
 	size := o.ext.Size()
 	now := o.s.now()
-	if err := o.s.updateMetaNoCommit(o.oid, func(m *Meta) {
+	return o.s.updateMetaNoCommit(o.oid, func(m *Meta) {
 		m.Size = size
 		m.Mtime = now
-	}); err != nil {
-		return err
-	}
-	return o.s.commit()
+	})
 }
 
-// updateMetaNoCommit is updateMeta without the commit hook, for callers
-// that batch the commit themselves.
+// updateMetaNoCommit is updateMeta without the commit bracket, for
+// callers that batch the commit themselves.
 func (s *Store) updateMetaNoCommit(oid OID, f func(*Meta)) error {
 	v, err := s.meta.Get(oidKey(oid))
+	if err == btree.ErrNotFound {
+		return fmt.Errorf("%w: oid %d", ErrNotFound, oid)
+	}
 	if err != nil {
 		return err
 	}

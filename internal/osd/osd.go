@@ -110,9 +110,13 @@ var seqKey = []byte{}
 
 // Options configures a Store.
 type Options struct {
-	// Commit, when non-nil, is invoked after every mutating operation;
-	// the volume wires it to WAL commit. Nil means non-transactional.
-	Commit func() error
+	// Begin, when non-nil, brackets every mutating operation: it is
+	// invoked before the operation's first page mutation and returns the
+	// commit function invoked with the operation's outcome after its
+	// last. The volume wires this to per-transaction dirty-page capture
+	// and WAL group commit, so each operation logs exactly the pages it
+	// touched. Nil means non-transactional.
+	Begin func() func(error) error
 	// ExtentConfig tunes the per-object extent trees.
 	ExtentConfig extent.Config
 	// Clock supplies timestamps; nil uses time.Now. Tests inject fakes.
@@ -141,6 +145,10 @@ type Store struct {
 	mu      sync.Mutex
 	nextOID OID
 	open    map[OID]*Object
+	// seqMu orders persistSeq's snapshot-and-put: without it, two
+	// concurrent creators could persist their snapshots out of order and
+	// a stale (smaller) sequence would win, re-issuing OIDs after reopen.
+	seqMu sync.Mutex
 
 	statMu sync.Mutex
 	stats  Stats
@@ -190,19 +198,36 @@ func (a pageAlloc) FreePage(no uint64) error   { return a.ba.Free(no, 1) }
 func (s *Store) HeaderPage() uint64 { return s.meta.HeaderPage() }
 
 func (s *Store) persistSeq() error {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	s.mu.Lock()
+	next := s.nextOID
+	s.mu.Unlock()
+	// Concurrent creators may persist a value past their own allocation;
+	// the sequence only ever needs to be ≥ every issued OID, and seqMu
+	// guarantees the last write carries the largest snapshot.
 	var v [8]byte
-	binary.LittleEndian.PutUint64(v[:], uint64(s.nextOID))
+	binary.LittleEndian.PutUint64(v[:], uint64(next))
 	return s.meta.Put(seqKey, v[:])
 }
 
-func (s *Store) commit() error {
-	if s.opts.Commit == nil {
-		return nil
+// beginOp opens the transactional bracket for one mutating operation and
+// returns the function that commits (or, on a non-nil operation error,
+// aborts) it. With no Begin hook both halves are no-ops.
+func (s *Store) beginOp() func(error) error {
+	if s.opts.Begin == nil {
+		return func(err error) error { return err }
 	}
-	s.statMu.Lock()
-	s.stats.Commits++
-	s.statMu.Unlock()
-	return s.opts.Commit()
+	done := s.opts.Begin()
+	return func(opErr error) error {
+		err := done(opErr)
+		if opErr == nil && err == nil {
+			s.statMu.Lock()
+			s.stats.Commits++
+			s.statMu.Unlock()
+		}
+		return err
+	}
 }
 
 func (s *Store) now() int64 { return s.opts.Clock().UnixNano() }
@@ -221,8 +246,25 @@ func (s *Store) Stats() Stats {
 }
 
 // CreateObject allocates a fresh object owned by owner with the given
-// mode bits and returns an open handle.
+// mode bits and returns an open handle. The whole allocation commits as
+// one transaction.
 func (s *Store) CreateObject(owner string, mode uint32) (*Object, error) {
+	done := s.beginOp()
+	obj, err := s.createObject(owner, mode)
+	if err := done(err); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// CreateObjectDeferred is CreateObject without the per-operation commit;
+// callers composing several operations into one transaction (core.Batch)
+// bracket the whole composition themselves.
+func (s *Store) CreateObjectDeferred(owner string, mode uint32) (*Object, error) {
+	return s.createObject(owner, mode)
+}
+
+func (s *Store) createObject(owner string, mode uint32) (*Object, error) {
 	ext, err := extent.Create(s.pg, s.ba, s.opts.ExtentConfig)
 	if err != nil {
 		return nil, err
@@ -253,9 +295,6 @@ func (s *Store) CreateObject(owner string, mode uint32) (*Object, error) {
 	s.statMu.Lock()
 	s.stats.Creates++
 	s.statMu.Unlock()
-	if err := s.commit(); err != nil {
-		return nil, err
-	}
 	return obj, nil
 }
 
@@ -327,25 +366,8 @@ func (s *Store) SetTimes(oid OID, atime, mtime int64) error {
 }
 
 func (s *Store) updateMeta(oid OID, f func(*Meta)) error {
-	v, err := s.meta.Get(oidKey(oid))
-	if err == btree.ErrNotFound {
-		return fmt.Errorf("%w: oid %d", ErrNotFound, oid)
-	}
-	if err != nil {
-		return err
-	}
-	m, err := decodeMeta(v)
-	if err != nil {
-		return err
-	}
-	f(&m)
-	if err := s.meta.Put(oidKey(oid), encodeMeta(&m)); err != nil {
-		return err
-	}
-	if err := s.writeShadowMeta(&m); err != nil {
-		return err
-	}
-	return s.commit()
+	done := s.beginOp()
+	return done(s.updateMetaNoCommit(oid, f))
 }
 
 // shadowMetaOff is where the redundant metadata copy lives in the extent
@@ -390,6 +412,18 @@ func (s *Store) ShadowMeta(extentHeader uint64) (Meta, error) {
 // DeleteObject destroys the object and releases all its storage. Open
 // handles become invalid.
 func (s *Store) DeleteObject(oid OID) error {
+	done := s.beginOp()
+	return done(s.deleteObject(oid))
+}
+
+// DeleteObjectDeferred is DeleteObject without the per-operation commit,
+// for callers composing a larger transaction (the volume's name-stripping
+// delete, core.Batch).
+func (s *Store) DeleteObjectDeferred(oid OID) error {
+	return s.deleteObject(oid)
+}
+
+func (s *Store) deleteObject(oid OID) error {
 	m, err := s.Stat(oid)
 	if err != nil {
 		return err
@@ -417,7 +451,7 @@ func (s *Store) DeleteObject(oid OID) error {
 	s.statMu.Lock()
 	s.stats.Deletes++
 	s.statMu.Unlock()
-	return s.commit()
+	return nil
 }
 
 // ForEach visits every object's metadata in OID order.

@@ -330,8 +330,11 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 }
 
 func TestCommitHookFires(t *testing.T) {
-	commits := 0
-	s, _ := newStore(t, Options{Commit: func() error { commits++; return nil }})
+	begins, commits := 0, 0
+	s, _ := newStore(t, Options{Begin: func() func(error) error {
+		begins++
+		return func(err error) error { commits++; return err }
+	}})
 	obj, err := s.CreateObject("u", ModeRegular)
 	if err != nil {
 		t.Fatal(err)
@@ -345,6 +348,9 @@ func TestCommitHookFires(t *testing.T) {
 	}
 	if commits <= base {
 		t.Error("no commit after write")
+	}
+	if begins != commits {
+		t.Errorf("begins = %d, commits = %d: unbalanced op brackets", begins, commits)
 	}
 	if got := s.Stats().Commits; int(got) != commits {
 		t.Errorf("Stats.Commits = %d, hook ran %d times", got, commits)

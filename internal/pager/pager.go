@@ -5,8 +5,9 @@
 // evicted under memory pressure, with dirty pages written back first. When a
 // write-ahead log governs the volume, the pager runs in no-steal mode: dirty
 // pages are never written home by eviction, only by an explicit FlushDirty
-// after the WAL has logged them (force-at-commit policy). This keeps crash
-// recovery simple: home locations only ever contain committed data.
+// at checkpoint, after the WAL has logged them (no-steal / no-force). This
+// keeps crash recovery simple: home locations only ever contain committed
+// data, and committed-but-unflushed images are replayed from the log.
 //
 // The cache is internally sharded by page number: a single global mutex
 // would serialize every component that touches a page, re-creating exactly
@@ -19,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blockdev"
 )
@@ -43,6 +45,12 @@ type Page struct {
 	pins  int
 	dirty bool
 	elem  *list.Element // position in LRU when unpinned
+	// busy is non-nil while the initial device read is filling data. The
+	// page is published in the shard table before the read so concurrent
+	// acquirers of the same block find it and wait instead of pinning a
+	// half-filled page; busy is closed (under the shard lock being
+	// released) once the fill completes or fails.
+	busy chan struct{}
 }
 
 // No returns the page's block number.
@@ -76,6 +84,18 @@ type Pager struct {
 	capPerShard int
 	evictDirty  bool
 	shards      [numShards]shard
+
+	// Open dirty-capture transactions (see BeginTxn). ntxns mirrors
+	// len(txns) so MarkDirty can skip the registry entirely when no
+	// capture is open (the non-transactional hot path).
+	txnMu sync.Mutex
+	txns  map[*Txn]struct{}
+	ntxns atomic.Int32
+
+	// ndirty counts dirty cached pages, maintained at every transition
+	// so DirtyCount is lock-free — the volume consults it per commit to
+	// decide when the no-steal cache needs a checkpoint to drain.
+	ndirty atomic.Int64
 }
 
 // New creates a pager over dev caching up to capacity pages.
@@ -94,6 +114,7 @@ func New(dev blockdev.Device, capacity int, evictDirty bool) *Pager {
 		p.shards[i].lru = list.New()
 		p.shards[i].dirty = make(map[uint64]*Page)
 	}
+	p.txns = make(map[*Txn]struct{})
 	return p
 }
 
@@ -131,35 +152,62 @@ func (p *Pager) acquire(no uint64, read bool) (*Page, error) {
 		return nil, fmt.Errorf("%w: %d of %d", ErrBadPage, no, p.dev.NumBlocks())
 	}
 	s := p.shardOf(no)
-	s.mu.Lock()
-	if pg, ok := s.table[no]; ok {
-		s.hits++
-		if pg.elem != nil {
-			s.lru.Remove(pg.elem)
-			pg.elem = nil
+	for {
+		s.mu.Lock()
+		if pg, ok := s.table[no]; ok {
+			if pg.busy != nil {
+				// Another acquirer is still filling this page from the
+				// device. Wait for the fill to settle, then retry the
+				// lookup from scratch: on success we take the hit path;
+				// on failure the page is gone from the table and we
+				// perform (and report) our own read.
+				busy := pg.busy
+				s.mu.Unlock()
+				<-busy
+				continue
+			}
+			s.hits++
+			if pg.elem != nil {
+				s.lru.Remove(pg.elem)
+				pg.elem = nil
+			}
+			pg.pins++
+			s.mu.Unlock()
+			return pg, nil
 		}
-		pg.pins++
-		s.mu.Unlock()
-		return pg, nil
-	}
-	s.misses++
-	if err := p.makeRoomLocked(s); err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	pg := &Page{no: no, data: make([]byte, p.dev.BlockSize()), pins: 1}
-	s.table[no] = pg
-	s.mu.Unlock()
-
-	if read {
-		if err := p.dev.ReadBlock(no, pg.data); err != nil {
-			s.mu.Lock()
-			delete(s.table, no)
+		s.misses++
+		if err := p.makeRoomLocked(s); err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
+		pg := &Page{no: no, data: make([]byte, p.dev.BlockSize()), pins: 1}
+		if read {
+			pg.busy = make(chan struct{})
+		}
+		s.table[no] = pg
+		s.mu.Unlock()
+
+		if !read {
+			return pg, nil
+		}
+		err := p.dev.ReadBlock(no, pg.data)
+		s.mu.Lock()
+		if err != nil {
+			// The page never became valid: withdraw it. It was pinned
+			// for the whole window (so eviction and Invalidate ignored
+			// it) and waiters were parked on busy (so no one else holds
+			// a pin), which keeps the shard's capacity accounting exact.
+			delete(s.table, no)
+		}
+		busy := pg.busy
+		pg.busy = nil
+		s.mu.Unlock()
+		close(busy)
+		if err != nil {
+			return nil, err
+		}
+		return pg, nil
 	}
-	return pg, nil
 }
 
 // makeRoomLocked evicts one unpinned page if the shard is at capacity.
@@ -186,6 +234,7 @@ func (p *Pager) makeRoomLocked(s *shard) error {
 			s.writebacks++
 			victim.dirty = false
 			delete(s.dirty, victim.no)
+			p.ndirty.Add(-1)
 		}
 		s.lru.Remove(victim.elem)
 		victim.elem = nil
@@ -214,19 +263,116 @@ func (p *Pager) Release(pg *Page) {
 func (p *Pager) MarkDirty(pg *Page) {
 	s := p.shardOf(pg.no)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if pg.pins <= 0 {
+		s.mu.Unlock()
 		panic("pager: MarkDirty on unpinned page")
 	}
 	if !pg.dirty {
 		pg.dirty = true
 		s.dirty[pg.no] = pg
+		p.ndirty.Add(1)
 	}
+	s.mu.Unlock()
+	p.noteDirty(pg)
 }
 
-// DirtyPages returns the numbers and contents of all dirty pages. The WAL
-// logs these at commit. Contents are copied so the caller may hold them
-// across further mutation.
+// --- per-transaction dirty capture ---
+
+// Txn captures the pages dirtied while it is open, so a commit can log
+// exactly the pages its operation touched instead of scanning and
+// copying the whole cache's dirty set. Page images are copied at
+// MarkDirty time, under the mutator's own structure latch (B-tree lock,
+// extent lock, ...) — the only synchronization that actually guards the
+// page bytes — so a capture never observes a page mid-mutation and
+// logged images are never torn. Captures are conservative: while several
+// transactions are open concurrently, a page dirtied by any of them is
+// recorded in all of them (physical redo logging shares pages between
+// writers, so a commit must log the freshest image of every co-written
+// page, or a later commit could replay a stale image over a neighbour's
+// acknowledged change). The guarantee is per page, not per operation: a
+// capture can include one page of a concurrent writer's multi-page
+// mutation, so a crash in that window may recover a neighbour's partial
+// operation — see DESIGN.md's sharing caveat; true operation isolation
+// needs physiological logging, which page-image redo does not attempt.
+type Txn struct {
+	p     *Pager
+	mu    sync.Mutex
+	pages map[uint64][]byte // freshest captured image per page
+	done  bool
+}
+
+// BeginTxn opens a dirty-page capture. Every MarkDirty between BeginTxn
+// and WriteSet/Abort records the page image into this transaction.
+func (p *Pager) BeginTxn() *Txn {
+	t := &Txn{p: p, pages: make(map[uint64][]byte, 16)}
+	p.txnMu.Lock()
+	p.txns[t] = struct{}{}
+	p.txnMu.Unlock()
+	p.ntxns.Add(1)
+	return t
+}
+
+// noteDirty snapshots a just-dirtied page into every open capture: one
+// copy, taken while the MarkDirty caller still holds the structure latch
+// that serializes writers of this page, shared read-only by all
+// captures (buffers are never mutated after registration — the WAL and
+// every capture only read them). Txn.mu is leaf-level (never held while
+// taking a shard lock), so lock order is shard → registry → txn.
+func (p *Pager) noteDirty(pg *Page) {
+	if p.ntxns.Load() == 0 {
+		return
+	}
+	c := make([]byte, len(pg.data))
+	copy(c, pg.data)
+	p.txnMu.Lock()
+	for t := range p.txns {
+		t.mu.Lock()
+		if !t.done {
+			t.pages[pg.no] = c
+		}
+		t.mu.Unlock()
+	}
+	p.txnMu.Unlock()
+}
+
+func (p *Pager) endTxn(t *Txn) {
+	p.txnMu.Lock()
+	if _, ok := p.txns[t]; ok {
+		delete(p.txns, t)
+		p.ntxns.Add(-1)
+	}
+	p.txnMu.Unlock()
+}
+
+// WriteSet closes the capture and returns the captured page images. The
+// caller takes ownership of the map; the image buffers may be shared
+// with concurrent captures and must be treated as read-only.
+func (t *Txn) WriteSet() map[uint64][]byte {
+	t.mu.Lock()
+	t.done = true
+	out := t.pages
+	t.pages = nil
+	t.mu.Unlock()
+	t.p.endTxn(t)
+	return out
+}
+
+// Abort closes the capture without collecting images. The pages stay
+// dirty in the cache; they reach the device via a later transaction that
+// re-dirties them or via checkpoint/sync.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	t.done = true
+	t.pages = nil
+	t.mu.Unlock()
+	t.p.endTxn(t)
+}
+
+// DirtyPages returns the numbers and contents of all dirty pages.
+// Contents are copied so the caller may hold them across further
+// mutation. Commits no longer use this full-cache scan (they log
+// per-transaction write sets via BeginTxn); it remains for tests and
+// diagnostics.
 func (p *Pager) DirtyPages() map[uint64][]byte {
 	out := make(map[uint64][]byte)
 	for i := range p.shards {
@@ -255,22 +401,17 @@ func (p *Pager) FlushDirty() error {
 			s.writebacks++
 			pg.dirty = false
 			delete(s.dirty, no)
+			p.ndirty.Add(-1)
 		}
 		s.mu.Unlock()
 	}
 	return nil
 }
 
-// DirtyCount returns the number of dirty cached pages.
+// DirtyCount returns the number of dirty cached pages. Lock-free: the
+// volume checks it on every commit for the checkpoint dirty high-water.
 func (p *Pager) DirtyCount() int {
-	n := 0
-	for i := range p.shards {
-		s := &p.shards[i]
-		s.mu.Lock()
-		n += len(s.dirty)
-		s.mu.Unlock()
-	}
-	return n
+	return int(p.ndirty.Load())
 }
 
 // Invalidate drops the page from the cache without writing it back.
@@ -292,6 +433,7 @@ func (p *Pager) Invalidate(no uint64) error {
 	delete(s.table, no)
 	if pg.dirty {
 		delete(s.dirty, no)
+		p.ndirty.Add(-1)
 	}
 	return nil
 }

@@ -256,6 +256,233 @@ func TestSyncFlushes(t *testing.T) {
 	}
 }
 
+// gateDevice wraps a device and parks ReadBlock calls on a gate channel,
+// widening the miss→fill window so tests can provoke the concurrent
+// acquire race deterministically.
+type gateDevice struct {
+	blockdev.Device
+	gate chan struct{} // each ReadBlock receives once before proceeding
+}
+
+func (d *gateDevice) ReadBlock(n uint64, p []byte) error {
+	<-d.gate
+	return d.Device.ReadBlock(n, p)
+}
+
+// TestAcquireMissRaceWaitsForFill pins the fix for the read race: a page
+// was published in the shard table before ReadBlock filled it, so a
+// concurrent Acquire could pin and read garbage. With the I/O latch the
+// second acquirer must observe the fully filled page.
+func TestAcquireMissRaceWaitsForFill(t *testing.T) {
+	mem := blockdev.NewMem(32, 512)
+	want := make([]byte, 512)
+	for i := range want {
+		want[i] = 0xAB
+	}
+	if err := mem.WriteBlock(4, want); err != nil {
+		t.Fatal(err)
+	}
+	gd := &gateDevice{Device: mem, gate: make(chan struct{}, 32)}
+	p := New(gd, 64, true)
+
+	started := make(chan struct{})
+	type res struct {
+		pg  *Page
+		err error
+	}
+	results := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			started <- struct{}{}
+			pg, err := p.Acquire(4)
+			results <- res{pg, err}
+		}()
+	}
+	<-started
+	<-started
+	// Both goroutines are at (or before) the gated read; exactly one owns
+	// the fill. Release one read; the latch must make the other acquirer
+	// wait for it rather than read the zero-filled buffer.
+	gd.gate <- struct{}{}
+	gd.gate <- struct{}{} // harmless if the waiter takes the hit path
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("Acquire: %v", r.err)
+		}
+		for j, b := range r.pg.Data() {
+			if b != 0xAB {
+				t.Fatalf("acquirer %d saw unfilled byte %d at %d", i, b, j)
+			}
+		}
+		p.Release(r.pg)
+	}
+}
+
+// TestAcquireFailedReadLeavesCleanState pins the error-path fix: a failed
+// ReadBlock must fully withdraw the page — no capacity leak, no orphaned
+// pin — and later acquires of the same and other pages must work.
+func TestAcquireFailedReadLeavesCleanState(t *testing.T) {
+	mem := blockdev.NewMem(256, 512)
+	fd := blockdev.NewFault(mem)
+	p := New(fd, 64, true) // 4 pages per shard
+
+	// Trip the device so reads fail (FaultDevice fails reads only once a
+	// write fault has fired).
+	fd.SetFailReads(true)
+	fd.FailAfterWrites(0)
+	junk := make([]byte, 512)
+	if err := fd.WriteBlock(0, junk); err == nil {
+		t.Fatal("fault did not arm")
+	}
+	for i := uint64(0); i < 8; i++ {
+		if _, err := p.Acquire(i * 16); err == nil { // all shard 0
+			t.Fatalf("Acquire(%d) succeeded on dead device", i*16)
+		}
+	}
+	if got := p.Stats().Cached; got != 0 {
+		t.Fatalf("failed reads left %d pages cached", got)
+	}
+
+	fd.Disarm()
+	// The shard must still hold its full capacity: fill it to the brim and
+	// verify every page round-trips (a capacity leak would evict early or
+	// grow the table with ghosts).
+	var pages []*Page
+	for i := uint64(0); i < 4; i++ {
+		pg, err := p.Acquire(i * 16)
+		if err != nil {
+			t.Fatalf("Acquire after recovery: %v", err)
+		}
+		pages = append(pages, pg)
+	}
+	for _, pg := range pages {
+		p.Release(pg)
+	}
+	if got := p.Stats().Cached; got != 4 {
+		t.Errorf("cached = %d, want 4", got)
+	}
+}
+
+// TestAcquireFailedReadWithWaiter: a waiter parked on the I/O latch while
+// the fill fails must not end up pinning a withdrawn page; it retries and
+// reports its own device error.
+func TestAcquireFailedReadWithWaiter(t *testing.T) {
+	mem := blockdev.NewMem(32, 512)
+	fd := blockdev.NewFault(mem)
+	gd := &gateDevice{Device: fd, gate: make(chan struct{}, 8)}
+	p := New(gd, 64, true)
+
+	fd.SetFailReads(true)
+	fd.FailAfterWrites(0)
+	if err := fd.WriteBlock(0, make([]byte, 512)); err == nil {
+		t.Fatal("fault did not arm")
+	}
+
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := p.Acquire(7)
+			errs <- err
+		}()
+	}
+	gd.gate <- struct{}{}
+	gd.gate <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, blockdev.ErrInjected) {
+			t.Errorf("waiter error = %v, want ErrInjected", err)
+		}
+	}
+	if got := p.Stats().Cached; got != 0 {
+		t.Errorf("cached = %d after failed fills, want 0", got)
+	}
+}
+
+func TestTxnCapturesOwnPages(t *testing.T) {
+	p, _ := newPager(t, 64, 16, false)
+	dirty := func(no uint64) {
+		pg, err := p.Acquire(no)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data()[0] = byte(no)
+		p.MarkDirty(pg)
+		p.Release(pg)
+	}
+	dirty(1) // before any capture: belongs to no transaction
+
+	t1 := p.BeginTxn()
+	dirty(2)
+	dirty(3)
+	ws1 := t1.WriteSet()
+
+	t2 := p.BeginTxn()
+	dirty(4)
+	ws2 := t2.WriteSet()
+
+	if len(ws1) != 2 || ws1[2] == nil || ws1[3] == nil {
+		t.Errorf("txn1 write set = %v, want pages {2,3}", keys(ws1))
+	}
+	if len(ws2) != 1 || ws2[4] == nil {
+		t.Errorf("txn2 write set = %v, want page {4}", keys(ws2))
+	}
+	if ws1[2][0] != 2 {
+		t.Error("write set image does not reflect page content")
+	}
+	// Images are copies, not aliases.
+	pg, _ := p.Acquire(2)
+	pg.Data()[0] = 99
+	p.MarkDirty(pg)
+	p.Release(pg)
+	if ws1[2][0] != 2 {
+		t.Error("write set aliases live page data")
+	}
+}
+
+func TestConcurrentTxnsBothCaptureSharedPage(t *testing.T) {
+	p, _ := newPager(t, 64, 16, false)
+	t1 := p.BeginTxn()
+	t2 := p.BeginTxn()
+	pg, err := p.Acquire(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Data()[0] = 5
+	p.MarkDirty(pg)
+	p.Release(pg)
+	ws1 := t1.WriteSet()
+	ws2 := t2.WriteSet()
+	if ws1[5] == nil || ws2[5] == nil {
+		t.Error("page dirtied under two open txns must land in both write sets")
+	}
+}
+
+func TestTxnAbortCaptureNothing(t *testing.T) {
+	p, _ := newPager(t, 64, 16, false)
+	tx := p.BeginTxn()
+	pg, _ := p.Acquire(1)
+	pg.Data()[0] = 1
+	p.MarkDirty(pg)
+	p.Release(pg)
+	tx.Abort()
+	// The page stays dirty for a later flush; a fresh capture is empty.
+	if p.DirtyCount() != 1 {
+		t.Errorf("dirty count = %d after abort, want 1", p.DirtyCount())
+	}
+	tx2 := p.BeginTxn()
+	if ws := tx2.WriteSet(); len(ws) != 0 {
+		t.Errorf("fresh capture saw %d pages, want 0", len(ws))
+	}
+}
+
+func keys(m map[uint64][]byte) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
 func TestConcurrentAcquireRelease(t *testing.T) {
 	p, _ := newPager(t, 256, 32, true)
 	var wg sync.WaitGroup

@@ -6,14 +6,21 @@
 // requirement"); this package makes the decision measurable: the OSD can
 // run with the WAL on or off, and experiment E10 reports the overhead.
 //
-// Protocol (no-steal / force-at-commit):
+// Protocol (no-steal / no-force, group commit):
 //
 //  1. During an operation, metadata pages are mutated only in the pager
 //     cache (the pager runs in no-steal mode, so nothing reaches home
 //     locations).
-//  2. At commit, every dirty page image is appended to the log followed by
-//     a commit record, and the log region is synced.
-//  3. The pager then writes the pages home (FlushDirty).
+//  2. At commit, the transaction's own dirty-page images (its write set,
+//     captured by the pager per transaction) are handed to the group
+//     committer: a leader drains the queue of pending commit batches,
+//     appends all their page images plus commit records in one contiguous
+//     write, and issues a single device sync that releases every waiter —
+//     N concurrent committers pay one sync.
+//  3. Pages are NOT forced home at commit. They stay dirty in the cache
+//     until a checkpoint (triggered in the background when the log passes
+//     a high-water mark, or by Sync/Close) flushes them and resets the
+//     log.
 //  4. Checkpoint records that all committed data is home, allowing the log
 //     to be reset.
 //
@@ -43,7 +50,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blockdev"
 )
@@ -75,6 +84,8 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Stats counts log activity.
 type Stats struct {
 	Commits       int64
+	Groups        int64 // group-commit rounds (≤ Commits; Commits/Groups is the batching factor)
+	Syncs         int64 // device syncs issued by commits (one per group)
 	PagesLogged   int64
 	BytesLogged   int64
 	Checkpoints   int64
@@ -89,28 +100,52 @@ type Log struct {
 	blocks uint64
 	bs     int
 
+	// mu serializes log writes (appends, checkpoint, recovery). head and
+	// nextTx are atomics so Begin and Used never block on it: a group
+	// leader holds mu across its device sync, and writers preparing
+	// their NEXT commit must be able to reach the queue during that sync
+	// — that pile-up is where group commit's batching comes from.
 	mu     sync.Mutex
-	head   uint64 // byte offset of next append within the region
-	nextTx uint64
+	head   atomic.Uint64 // byte offset of next append within the region
+	nextTx atomic.Uint64
 	buf    []byte // one block staging buffer
 	bufBlk uint64 // which block buf holds
 	bufOK  bool
 
+	// Group-commit queue. Committers enqueue their transaction and wait;
+	// the first non-leader in line becomes leader, drains the whole queue
+	// into one contiguous append, and pays a single device sync that
+	// releases every waiter. gmu orders only the queue handoff; the log
+	// write itself happens under mu.
+	gmu    sync.Mutex
+	gcond  *sync.Cond
+	gqueue []*gcBatch
+	gbusy  bool
+
 	stats Stats
+}
+
+// gcBatch is one transaction waiting in the group-commit queue.
+type gcBatch struct {
+	txn  *Txn
+	done bool
+	err  error
 }
 
 // New creates (or opens for recovery) a log over the given region.
 // Call Recover before appending to an existing log.
 func New(dev blockdev.Device, start, nblocks uint64) *Log {
-	return &Log{
+	l := &Log{
 		dev:    dev,
 		start:  start,
 		blocks: nblocks,
 		bs:     dev.BlockSize(),
-		nextTx: 1,
-		head:   logHdrSize,
 		buf:    make([]byte, dev.BlockSize()),
 	}
+	l.nextTx.Store(1)
+	l.head.Store(logHdrSize)
+	l.gcond = sync.NewCond(&l.gmu)
+	return l
 }
 
 // writeHeaderBlockLocked persists the id high-water mark, zeroing the
@@ -118,7 +153,7 @@ func New(dev blockdev.Device, start, nblocks uint64) *Log {
 func (l *Log) writeHeaderBlockLocked() error {
 	blk := make([]byte, l.bs)
 	binary.LittleEndian.PutUint32(blk[0:], logMagic)
-	binary.LittleEndian.PutUint64(blk[8:], l.nextTx)
+	binary.LittleEndian.PutUint64(blk[8:], l.nextTx.Load())
 	if err := l.dev.WriteBlock(l.start, blk); err != nil {
 		return err
 	}
@@ -147,13 +182,13 @@ type pageImage struct {
 	data []byte
 }
 
-// Begin opens a transaction.
+// Begin opens a transaction. Its id is zero until commit: the group
+// committer assigns ids at append time, so they are monotone in log
+// order even when concurrent transactions commit in a different order
+// than they began (recovery's stale-suffix fence depends on that
+// monotonicity).
 func (l *Log) Begin() *Txn {
-	l.mu.Lock()
-	id := l.nextTx
-	l.nextTx++
-	l.mu.Unlock()
-	return &Txn{l: l, id: id}
+	return &Txn{l: l}
 }
 
 // LogPage records the post-image of page no. The data is copied.
@@ -163,54 +198,168 @@ func (t *Txn) LogPage(no uint64, data []byte) {
 	t.pages = append(t.pages, pageImage{no, c})
 }
 
+// LogPageOwned records the post-image of page no without copying; the
+// caller hands over ownership of data (the volume's per-txn write sets
+// are already private copies, so a second copy here would be waste).
+func (t *Txn) LogPageOwned(no uint64, data []byte) {
+	t.pages = append(t.pages, pageImage{no, data})
+}
+
 // PageCount returns the number of page images staged in this transaction.
 func (t *Txn) PageCount() int { return len(t.pages) }
 
-// Commit appends all staged page images plus a commit record and syncs the
-// device. On ErrFull the caller should checkpoint and retry.
+// Commit makes the transaction durable via group commit: the caller's
+// batch joins a queue; a leader drains the queue, appends every waiting
+// transaction's page images plus commit records in one contiguous write,
+// and issues a single device sync that releases all of them. N concurrent
+// committers therefore pay one sync, not N. On ErrFull (this batch alone
+// does not fit in the remaining log space) the caller should checkpoint;
+// other batches in the same group are unaffected.
 func (t *Txn) Commit() error {
+	return t.commit(nil)
+}
+
+// CommitWith is Commit with the page images produced by fill, invoked
+// atomically with the transaction's queue insertion. Queue order is
+// append order is txid order, so a write set snapshotted inside fill can
+// never be enqueued AFTER a fresher image of one of its pages committed
+// with a smaller txid — the inversion that would let recovery replay a
+// stale image over an acknowledged update. Returns nil without logging
+// anything if fill stages no pages.
+func (t *Txn) CommitWith(fill func(*Txn)) error {
+	return t.commit(fill)
+}
+
+func (t *Txn) commit(fill func(*Txn)) error {
 	l := t.l
+	b := &gcBatch{txn: t}
+	l.gmu.Lock()
+	if fill != nil {
+		fill(t)
+		if len(t.pages) == 0 {
+			l.gmu.Unlock()
+			return nil
+		}
+	}
+	l.gqueue = append(l.gqueue, b)
+	for !b.done && l.gbusy {
+		l.gcond.Wait()
+	}
+	if b.done {
+		// A leader picked this batch up and committed (or failed) it.
+		l.gmu.Unlock()
+		return b.err
+	}
+	// Become leader. Before draining, open a short gather window: yield
+	// the scheduler until the queue stops growing, so committers that are
+	// runnable but not yet enqueued join this group instead of forcing
+	// their own sync. A lone committer pays one Gosched (~µs); a busy
+	// system converges toward one sync per scheduling wave of writers.
+	l.gbusy = true
+	prev := len(l.gqueue)
+	l.gmu.Unlock()
+	for i := 0; i < 4; i++ {
+		runtime.Gosched()
+		l.gmu.Lock()
+		n := len(l.gqueue)
+		l.gmu.Unlock()
+		if n == prev {
+			break
+		}
+		prev = n
+	}
+	l.gmu.Lock()
+	group := l.gqueue
+	l.gqueue = nil
+	l.gmu.Unlock()
+
+	l.commitGroup(group)
+
+	l.gmu.Lock()
+	l.gbusy = false
+	for _, gb := range group {
+		gb.done = true
+	}
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+	return b.err
+}
+
+// commitGroup appends every batch in the group and syncs once, filling in
+// per-batch errors. A batch that does not fit fails with ErrFull without
+// affecting its neighbours; a device error poisons the whole group (the
+// log tail is in an unknown state, so no batch may report success).
+func (l *Log) commitGroup(group []*gcBatch) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
-	// Space check: all records + commit + end marker must fit.
-	need := uint64(0)
-	for _, p := range t.pages {
-		need += recHdrSize + uint64(len(p.data))
-	}
-	need += recHdrSize // commit record
-	need += 8          // end marker
-	if l.head+need > l.Capacity() {
-		return fmt.Errorf("%w: need %d bytes, %d available", ErrFull, need, l.Capacity()-l.head)
-	}
-
-	for _, p := range t.pages {
-		if err := l.appendLocked(kindPage, t.id, p.no, p.data); err != nil {
-			return err
+	appended := 0
+	for _, b := range group {
+		// Space check: all records + commit + end marker must fit.
+		need := uint64(recHdrSize + 8)
+		for _, p := range b.txn.pages {
+			need += recHdrSize + uint64(len(p.data))
 		}
-		l.stats.PagesLogged++
+		if l.head.Load()+need > l.Capacity() {
+			b.err = fmt.Errorf("%w: need %d bytes, %d available", ErrFull, need, l.Capacity()-l.head.Load())
+			continue
+		}
+		// Definitive id, assigned in append order.
+		id := l.nextTx.Add(1) - 1
+		b.txn.id = id
+		for _, p := range b.txn.pages {
+			if b.err = l.appendLocked(kindPage, id, p.no, p.data); b.err != nil {
+				l.poisonGroup(group, b.err)
+				return
+			}
+			l.stats.PagesLogged++
+		}
+		if b.err = l.appendLocked(kindCommit, id, 0, nil); b.err != nil {
+			l.poisonGroup(group, b.err)
+			return
+		}
+		appended++
 	}
-	if err := l.appendLocked(kindCommit, t.id, 0, nil); err != nil {
-		return err
+	if appended == 0 {
+		return
 	}
 	// Terminate the log with an end marker (zero crc + zero length) that
-	// the NEXT commit overwrites. Without it, records left over from a
+	// the NEXT group overwrites. Without it, records left over from a
 	// previous log generation could sit immediately after our tail with
 	// valid CRCs, and recovery would replay their stale page images over
 	// newer state. head is rewound so the marker is not part of the log.
 	if err := l.writeBytesLocked(make([]byte, 8)); err != nil {
-		return err
+		l.poisonGroup(group, err)
+		return
 	}
-	l.head -= 8
+	l.head.Add(^uint64(7)) // head -= 8
 	if err := l.flushBufLocked(); err != nil {
-		return err
+		l.poisonGroup(group, err)
+		return
 	}
 	if err := l.dev.Sync(); err != nil {
-		return err
+		l.poisonGroup(group, err)
+		return
 	}
-	l.stats.Commits++
-	t.pages = nil
-	return nil
+	l.stats.Syncs++
+	l.stats.Groups++
+	for _, b := range group {
+		if b.err == nil {
+			l.stats.Commits++
+			b.txn.pages = nil
+		}
+	}
+}
+
+// poisonGroup marks every batch without a verdict as failed with err.
+// Batches whose records were appended before the failure also fail:
+// their commit records never became durable.
+func (l *Log) poisonGroup(group []*gcBatch, err error) {
+	for _, b := range group {
+		if b.err == nil {
+			b.err = err
+		}
+	}
 }
 
 // Abort discards the staged images; nothing was written.
@@ -235,8 +384,9 @@ func (l *Log) appendLocked(kind byte, txid, pageNo uint64, payload []byte) error
 // buffer.
 func (l *Log) writeBytesLocked(p []byte) error {
 	for len(p) > 0 {
-		blk := l.head / uint64(l.bs)
-		off := int(l.head % uint64(l.bs))
+		head := l.head.Load()
+		blk := head / uint64(l.bs)
+		off := int(head % uint64(l.bs))
 		if blk >= l.blocks {
 			return ErrFull
 		}
@@ -259,7 +409,7 @@ func (l *Log) writeBytesLocked(p []byte) error {
 		}
 		n := copy(l.buf[off:], p)
 		p = p[n:]
-		l.head += uint64(n)
+		l.head.Add(uint64(n))
 	}
 	return nil
 }
@@ -285,17 +435,17 @@ func (l *Log) Checkpoint() error {
 	if err := l.writeHeaderBlockLocked(); err != nil {
 		return err
 	}
-	l.head = logHdrSize
+	l.head.Store(logHdrSize)
 	l.bufOK = false
 	l.stats.Checkpoints++
 	return nil
 }
 
 // Used returns the bytes currently appended since the last checkpoint.
+// Lock-free (head is atomic): commits consult it for the checkpoint
+// high-water check, and must not stall behind a group leader's sync.
 func (l *Log) Used() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.head - logHdrSize
+	return l.head.Load() - logHdrSize
 }
 
 // Recover scans the log, replaying page images of committed transactions
@@ -410,12 +560,13 @@ func (l *Log) Recover(apply func(pageNo uint64, data []byte) error) (int, error)
 			replayed++
 		}
 	}
-	l.head = pos
+	l.head.Store(pos)
 	l.bufOK = false
-	l.nextTx = maxTx + 1
-	if hdrTx > l.nextTx {
-		l.nextTx = hdrTx
+	next := maxTx + 1
+	if hdrTx > next {
+		next = hdrTx
 	}
+	l.nextTx.Store(next)
 	l.stats.Recoveries++
 	l.stats.PagesReplayed += int64(replayed)
 	return replayed, nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/blockdev"
@@ -282,12 +283,12 @@ func TestRecoverContinuesAppending(t *testing.T) {
 	// Appends after recovery must not collide with existing records and
 	// new txn ids must be fresh.
 	tx2 := l2.Begin()
-	if tx2.id <= 1 {
-		t.Errorf("post-recovery txn id %d not advanced", tx2.id)
-	}
 	tx2.LogPage(2, page(2))
 	if err := tx2.Commit(); err != nil {
 		t.Fatal(err)
+	}
+	if tx2.id <= 1 {
+		t.Errorf("post-recovery txn id %d not advanced", tx2.id)
 	}
 	l3 := New(dev, 10, 128)
 	n, err := l3.Recover(nil)
@@ -372,6 +373,158 @@ func TestVaryingPayloadSizes(t *testing.T) {
 	_ = fmt.Sprintf("%v", lens)
 }
 
+// TestGroupCommitConcurrent drives many committers through the group
+// path at once: every commit must be durable and replayable, ids must
+// stay monotone in log order (recovery replays everything), and the
+// number of device syncs must not exceed the number of commits.
+func TestGroupCommitConcurrent(t *testing.T) {
+	const writers = 8
+	const perWriter = 40
+	l, dev := newLog(t, 2048)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tx := l.Begin()
+				// One page per writer, rewritten with the sequence number.
+				p := page(byte(i))
+				p[1] = byte(w)
+				tx.LogPage(uint64(100+w), p)
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent commit: %v", err)
+	}
+	s := l.Stats()
+	if s.Commits != writers*perWriter {
+		t.Fatalf("Commits = %d, want %d", s.Commits, writers*perWriter)
+	}
+	if s.Syncs > s.Commits {
+		t.Errorf("Syncs = %d > Commits = %d", s.Syncs, s.Commits)
+	}
+	if s.Groups != s.Syncs {
+		t.Errorf("Groups = %d, Syncs = %d, want equal", s.Groups, s.Syncs)
+	}
+	// Every writer's final image must replay: commits were acknowledged.
+	l2 := New(dev, 10, 2048)
+	final := map[uint64]byte{}
+	n, err := l2.Recover(func(no uint64, data []byte) error {
+		final[no] = data[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("replayed %d pages, want %d", n, writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		if final[uint64(100+w)] != perWriter-1 {
+			t.Errorf("writer %d final image = %d, want %d", w, final[uint64(100+w)], perWriter-1)
+		}
+	}
+}
+
+// TestGroupCommitCrashMidGroup cuts device power at randomized points
+// while concurrent committers run, then checks the two recovery promises
+// of group commit: every commit that reported success replays, and the
+// torn tail past the cut is dropped rather than mis-replayed.
+func TestGroupCommitCrashMidGroup(t *testing.T) {
+	for _, cut := range []int64{3, 7, 15, 29, 61} {
+		const writers = 6
+		mem := blockdev.NewMem(2058, bs)
+		fd := blockdev.NewFault(mem)
+		fd.SetTornWrites(true)
+		l := New(fd, 10, 2048)
+		fd.FailAfterWrites(cut)
+
+		// acked[w] is the highest sequence number writer w successfully
+		// committed before the device died.
+		acked := make([]int, writers)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			acked[w] = -1
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					tx := l.Begin()
+					p := page(byte(i))
+					tx.LogPage(uint64(200+w), p)
+					if err := tx.Commit(); err != nil {
+						return // power gone; everything after is lost
+					}
+					acked[w] = i
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Recover from the surviving raw image.
+		l2 := New(mem, 10, 2048)
+		final := map[uint64]int{}
+		for w := 0; w < writers; w++ {
+			final[uint64(200+w)] = -1
+		}
+		if _, err := l2.Recover(func(no uint64, data []byte) error {
+			final[no] = int(data[0])
+			return nil
+		}); err != nil {
+			t.Fatalf("cut=%d: Recover: %v", cut, err)
+		}
+		for w := 0; w < writers; w++ {
+			if final[uint64(200+w)] < acked[w] {
+				t.Errorf("cut=%d: writer %d acked seq %d but recovered only %d",
+					cut, w, acked[w], final[uint64(200+w)])
+			}
+		}
+	}
+}
+
+// TestGroupCommitErrFullIsPerBatch: a batch too large for the remaining
+// region fails with ErrFull while a small batch in the same group
+// commits.
+func TestGroupCommitErrFullIsPerBatch(t *testing.T) {
+	l, dev := newLog(t, 8) // 4 KiB region
+	// Fill most of the region.
+	tx := l.Begin()
+	tx.LogPage(1, page(1))
+	tx.LogPage(2, page(2))
+	tx.LogPage(3, page(3))
+	tx.LogPage(4, page(4))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("prefill: %v", err)
+	}
+	// A big batch no longer fits; a small one still does.
+	big := l.Begin()
+	for i := 0; i < 8; i++ {
+		big.LogPage(uint64(10+i), page(byte(i)))
+	}
+	if err := big.Commit(); !errors.Is(err, ErrFull) {
+		t.Fatalf("big commit = %v, want ErrFull", err)
+	}
+	small := l.Begin()
+	small.LogPage(30, page(30))
+	if err := small.Commit(); err != nil {
+		t.Fatalf("small commit after ErrFull neighbour: %v", err)
+	}
+	l2 := New(dev, 10, 8)
+	n, err := l2.Recover(nil)
+	if err != nil || n != 5 {
+		t.Errorf("recover n=%d err=%v, want 5 (prefill + small)", n, err)
+	}
+}
+
 // TestStaleSuffixFenced pins the fix for the dangling-stale-suffix bug: a
 // crash between a commit record reaching the device and its end marker
 // leaves earlier-generation records (valid CRC, valid commit) beyond the
@@ -445,6 +598,10 @@ func TestTxnIdsMonotonicAcrossCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	tx := l2.Begin()
+	tx.LogPage(1, page(9))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	if tx.id <= lastID {
 		t.Fatalf("post-checkpoint txn id %d did not advance past %d", tx.id, lastID)
 	}
