@@ -1066,3 +1066,85 @@ func BenchmarkAblation_RenameSubtree(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE15_LogAmplification measures WAL bytes per small naming edit
+// at 16 concurrent writers: the page-image pipeline (whole dirtied pages,
+// conservatively shared across open transactions) versus physiological
+// redo records (the typed edit itself). One UDEF shard so the writers
+// genuinely contend on shared leaves. log-bytes/op is the exhibit.
+func BenchmarkE15_LogAmplification(b *testing.B) {
+	run := func(b *testing.B, imageLogging bool, writers int) {
+		opts := hfad.Options{Transactional: true, ImageLogging: imageLogging, IndexShards: 1}
+		st := newSyncCostStore(b, opts)
+		oids := make([]hfad.OID, 16)
+		for i := range oids {
+			obj, err := st.CreateObject("w")
+			if err != nil {
+				b.Fatal(err)
+			}
+			oids[i] = obj.OID()
+			obj.Close()
+		}
+		bytes0 := st.Volume().WAL().Stats().BytesLogged
+		var logged int64
+		b.ResetTimer()
+		const roundSize = 4096
+		remaining := b.N
+		for remaining > 0 {
+			n := remaining
+			if n > roundSize {
+				n = roundSize
+			}
+			remaining -= n
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > int64(n) {
+							return
+						}
+						if err := st.Tag(oids[w%len(oids)], hfad.TagUDef, fmt.Sprintf("v:%d:%d", w, i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if remaining > 0 {
+				b.StopTimer()
+				logged += st.Volume().WAL().Stats().BytesLogged - bytes0
+				st.Close()
+				st = newSyncCostStore(b, opts)
+				for i := range oids {
+					obj, err := st.CreateObject("w")
+					if err != nil {
+						b.Fatal(err)
+					}
+					oids[i] = obj.OID()
+					obj.Close()
+				}
+				bytes0 = st.Volume().WAL().Stats().BytesLogged
+				b.StartTimer()
+			}
+		}
+		b.StopTimer()
+		logged += st.Volume().WAL().Stats().BytesLogged - bytes0
+		st.Close()
+		b.ReportMetric(float64(logged)/float64(b.N), "log-bytes/op")
+	}
+	for _, writers := range []int{1, 16} {
+		b.Run(fmt.Sprintf("physiological-writers-%d", writers), func(b *testing.B) {
+			run(b, false, writers)
+		})
+	}
+	for _, writers := range []int{1, 16} {
+		b.Run(fmt.Sprintf("image-writers-%d", writers), func(b *testing.B) {
+			run(b, true, writers)
+		})
+	}
+}

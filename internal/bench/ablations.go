@@ -250,7 +250,7 @@ func RunE8(s Scale) (*Result, error) {
 						default:
 						}
 						val := []byte(fmt.Sprintf("w%d-v%d", w, i))
-						if err := store.Insert(val, hfad.OID(uint64(w)<<32|uint64(i))); err != nil {
+						if err := store.Insert(nil, val, hfad.OID(uint64(w)<<32|uint64(i))); err != nil {
 							errCh <- err
 							return
 						}

@@ -73,6 +73,7 @@ func All() []Runner {
 		{"E10", "transactional OSD overhead", RunE10},
 		{"E13", "group-commit concurrent ingest", RunE13},
 		{"E14", "batched vs unbatched ingest", RunE14},
+		{"E15", "log amplification: image vs physiological", RunE15},
 	}
 }
 

@@ -124,7 +124,7 @@ func RunE1(s Scale) (*Result, error) {
 			}
 			obj.Close()
 		}
-		if err := st.Volume().Fulltext().Inner().Flush(); err != nil {
+		if err := st.Volume().Fulltext().Inner().Flush(nil); err != nil {
 			return nil, err
 		}
 		buf := make([]byte, blockdev.DefaultBlockSize)

@@ -3,6 +3,9 @@ package btree
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/pager"
+	"repro/internal/redo"
 )
 
 // Overflow page layout: common header byte 0 = pageOverflow, bytes [2:4]
@@ -13,8 +16,10 @@ const ovfDataOff = 16
 func ovfCapacity(blockSize int) int { return blockSize - ovfDataOff }
 
 // writeOverflow spills val into a chain of overflow pages, returning the
-// first page number.
-func (t *Tree) writeOverflow(val []byte) (uint64, error) {
+// first page number. Overflow pages are fresh and single-writer, so
+// their redo records are plain byte ranges covering exactly the header
+// and content written.
+func (t *Tree) writeOverflow(op *pager.Op, val []byte) (uint64, error) {
 	if len(val) == 0 {
 		return 0, fmt.Errorf("btree: empty overflow value")
 	}
@@ -40,7 +45,8 @@ func (t *Tree) writeOverflow(val []byte) (uint64, error) {
 		d[offType] = pageOverflow
 		binary.LittleEndian.PutUint16(d[2:], uint16(end-off))
 		copy(d[ovfDataOff:], val[off:end])
-		t.pg.MarkDirty(pg)
+		t.pg.MarkDirtyRec(pg, op, redo.KindRange,
+			redo.EncodeRange(0, append([]byte(nil), d[:ovfDataOff+(end-off)]...)))
 		t.pg.Release(pg)
 		if prev != 0 {
 			ppg, err := t.pg.Acquire(prev)
@@ -48,7 +54,7 @@ func (t *Tree) writeOverflow(val []byte) (uint64, error) {
 				return 0, err
 			}
 			binary.LittleEndian.PutUint64(ppg.Data()[offPtrA:], pno)
-			t.pg.MarkDirty(ppg)
+			t.pg.MarkDirtyRec(ppg, op, redo.KindRange, redo.EncodeRange(offPtrA, u64b(pno)))
 			t.pg.Release(ppg)
 		} else {
 			first = pno

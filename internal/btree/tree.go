@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/pager"
+	"repro/internal/redo"
 )
 
 // PageAllocator provides single-page allocation for tree growth. The
@@ -54,6 +55,12 @@ type Tree struct {
 // Create allocates and initializes a new empty tree, returning it and the
 // header page number by which it can be reopened.
 func Create(pg *pager.Pager, alloc PageAllocator) (*Tree, error) {
+	return CreateOp(pg, alloc, nil)
+}
+
+// CreateOp is Create with the creating operation's redo capture, so trees
+// created inside a transaction (fulltext segments) recover with it.
+func CreateOp(pg *pager.Pager, alloc PageAllocator, op *pager.Op) (*Tree, error) {
 	hdr, err := alloc.AllocPage()
 	if err != nil {
 		return nil, err
@@ -69,9 +76,9 @@ func Create(pg *pager.Pager, alloc PageAllocator) (*Tree, error) {
 		return nil, err
 	}
 	initPage(rp.Data(), pageLeaf)
-	pg.MarkDirty(rp)
+	pg.MarkDirtyRec(rp, op, redo.KindBtreeOp, encOp(opInit, []byte{pageLeaf}))
 	pg.Release(rp)
-	if err := t.writeHeader(); err != nil {
+	if err := t.writeHeaderOp(op); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -131,19 +138,32 @@ func (t *Tree) addStats(descents, levels, splits, merges int64) {
 	t.statMu.Unlock()
 }
 
+// writeHeader persists the header fields into the cached header page
+// without logging a record: nkeys is a cross-transaction counter that
+// recovery recounts from the leaves, and root/height changes are logged
+// by the structure-modification system transactions that make them
+// (writeHeaderOp).
 func (t *Tree) writeHeader() error {
+	return t.writeHeaderOp(nil)
+}
+
+// writeHeaderOp additionally emits a header range record into op — used
+// at tree creation and by root-changing structure modifications, whose
+// replay must see the new root/height.
+func (t *Tree) writeHeaderOp(op *pager.Op) error {
 	hp, err := t.pg.Acquire(t.hdrPno)
 	if err != nil {
 		return err
 	}
 	defer t.pg.Release(hp)
 	d := hp.Data()
-	d[offType] = pageHeader
-	binary.LittleEndian.PutUint32(d[hOffMagic:], treeMagic)
-	binary.LittleEndian.PutUint64(d[hOffRoot:], t.root)
-	binary.LittleEndian.PutUint64(d[hOffHeight:], uint64(t.height))
-	binary.LittleEndian.PutUint64(d[hOffNKeys:], t.nkeys)
-	t.pg.MarkDirty(hp)
+	hb := headerBytes(t.root, t.height, t.nkeys)
+	copy(d[:len(hb)], hb)
+	if op != nil {
+		t.pg.MarkDirtyRec(hp, op, redo.KindRange, redo.EncodeRange(0, hb))
+	} else {
+		t.pg.MarkDirty(hp)
+	}
 	return nil
 }
 
@@ -285,12 +305,20 @@ func (t *Tree) descend(key []byte) ([]pathElem, uint64, error) {
 
 // Put inserts or replaces the value for key.
 func (t *Tree) Put(key, val []byte) error {
+	return t.PutOp(nil, key, val)
+}
+
+// PutOp is Put emitting physiological redo records into op (nil = no
+// logging): a typed cell-put record for the landing leaf, range records
+// for overflow pages, and — when the insert splits — an auto-committed
+// system transaction for the structural change.
+func (t *Tree) PutOp(op *pager.Op, key, val []byte) error {
 	if len(key) > t.MaxKeyLen() {
 		return fmt.Errorf("%w: %d > %d", ErrKeyTooBig, len(key), t.MaxKeyLen())
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.putLocked(key, val)
+	return t.putLocked(op, key, val)
 }
 
 // PutMany inserts or replaces a batch of key/value pairs under a single
@@ -300,6 +328,11 @@ func (t *Tree) Put(key, val []byte) error {
 // index stores expose for group-committed ingest. Duplicate keys within
 // the batch resolve last-wins in input order.
 func (t *Tree) PutMany(keys, vals [][]byte) error {
+	return t.PutManyOp(nil, keys, vals)
+}
+
+// PutManyOp is PutMany emitting redo records into op.
+func (t *Tree) PutManyOp(op *pager.Op, keys, vals [][]byte) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("btree: PutMany got %d keys, %d vals", len(keys), len(vals))
 	}
@@ -318,7 +351,7 @@ func (t *Tree) PutMany(keys, vals [][]byte) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, i := range order {
-		if err := t.putLocked(keys[i], vals[i]); err != nil {
+		if err := t.putLocked(op, keys[i], vals[i]); err != nil {
 			return err
 		}
 	}
@@ -327,7 +360,7 @@ func (t *Tree) PutMany(keys, vals [][]byte) error {
 
 // putLocked is Put's body; the caller holds t.mu exclusively and has
 // validated the key length.
-func (t *Tree) putLocked(key, val []byte) error {
+func (t *Tree) putLocked(op *pager.Op, key, val []byte) error {
 	t.gen++
 
 	path, leafPno, err := t.descend(key)
@@ -341,7 +374,7 @@ func (t *Tree) putLocked(key, val []byte) error {
 	var ovfPage uint64
 	totalLen := uint64(len(val))
 	if len(val) > t.maxInlineValue() {
-		ovfPage, err = t.writeOverflow(val)
+		ovfPage, err = t.writeOverflow(op, val)
 		if err != nil {
 			return err
 		}
@@ -360,7 +393,8 @@ func (t *Tree) putLocked(key, val []byte) error {
 		return err
 	}
 	if found {
-		// Replace: free any old overflow chain, remove, reinsert.
+		// Replace: free any old overflow chain, remove, reinsert. One put
+		// record covers both halves — replay re-executes the replacement.
 		c, err := p.decodeCell(idx)
 		if err != nil {
 			t.pg.Release(pg)
@@ -376,7 +410,7 @@ func (t *Tree) putLocked(key, val []byte) error {
 	}
 	enc := encodeLeafCell(nil, key, inlineVal, totalLen, ovfPage)
 	if p.insertRaw(idx, enc) {
-		t.pg.MarkDirty(pg)
+		t.pg.MarkDirtyRec(pg, op, redo.KindBtreeOp, encOp(opPut, enc))
 		t.pg.Release(pg)
 		if !found {
 			t.nkeys++
@@ -384,7 +418,7 @@ func (t *Tree) putLocked(key, val []byte) error {
 		return t.writeHeader()
 	}
 	// Leaf is full: split. insertRaw left the page unchanged.
-	err = t.splitLeafAndInsert(pg, leafPno, idx, enc, path)
+	err = t.splitLeafAndInsert(op, pg, leafPno, idx, enc, path)
 	if err != nil {
 		return err
 	}
@@ -397,7 +431,18 @@ func (t *Tree) putLocked(key, val []byte) error {
 // splitLeafAndInsert splits the (pinned) full leaf, inserting the encoded
 // cell at logical index idx across the split pair, then propagates the new
 // separator upward. Consumes the pin on pg.
-func (t *Tree) splitLeafAndInsert(pg *pager.Page, leafPno uint64, idx int, enc []byte, path []pathElem) error {
+//
+// The structural change (cell redistribution, chain stitch, separator
+// propagation, root growth) is logged as one auto-committed *system
+// transaction*: neighbours may commit records that target the pages the
+// split creates, so recovery must redo the split whether or not this
+// operation's own transaction commits. The inserted cell itself belongs
+// to the enclosing operation and is logged into op, after the split
+// records, as an ordinary put against whichever half it landed on —
+// replay re-partitions the committed cells around the recorded separator
+// and then re-inserts the cell, so the always-redone split never carries
+// the (possibly uncommitted) new cell.
+func (t *Tree) splitLeafAndInsert(op *pager.Op, pg *pager.Page, leafPno uint64, idx int, enc []byte, path []pathElem) error {
 	p := pageRef{pg.Data()}
 	n := p.ncells()
 	// Collect raw cells plus the new one at idx.
@@ -478,8 +523,18 @@ func (t *Tree) splitLeafAndInsert(pg *pager.Page, leafPno uint64, idx int, enc [
 	rp.setPtrB(leafPno)
 	lp.setPtrA(rightPno)
 	lp.setPtrB(oldPrev)
-	t.pg.MarkDirty(pg)
+	sep := keys[splitAt-1]
+	sys := op.NewSys()
+	t.pg.MarkDirtyRec(pg, sys, redo.KindBtreeOp,
+		encOp(opSplitLeaf, u64b(rightPno), keyb(sep)))
 	t.pg.MarkDirty(rpg)
+	// The enclosing operation's cell, stamped after the split records so
+	// replay lands it on the rebuilt half.
+	if idx < splitAt {
+		t.pg.MarkDirtyRec(pg, op, redo.KindBtreeOp, encOp(opPut, enc))
+	} else {
+		t.pg.MarkDirtyRec(rpg, op, redo.KindBtreeOp, encOp(opPut, enc))
+	}
 	t.pg.Release(rpg)
 	t.pg.Release(pg)
 	if oldNext != 0 {
@@ -488,12 +543,21 @@ func (t *Tree) splitLeafAndInsert(pg *pager.Page, leafPno uint64, idx int, enc [
 			return err
 		}
 		pageRef{npg.Data()}.setPtrB(rightPno)
-		t.pg.MarkDirty(npg)
+		t.pg.MarkDirtyRec(npg, sys, redo.KindRange, redo.EncodeRange(offPtrB, u64b(rightPno)))
 		t.pg.Release(npg)
 	}
 	t.addStats(0, 0, 1, 0)
-	sep := keys[splitAt-1]
-	return t.insertSeparator(path, sep, leafPno, rightPno)
+	err = t.insertSeparator(sys, path, sep, leafPno, rightPno)
+	// Append whatever was staged even on error: each record was staged
+	// right after its mutation landed in cache, so the log stays
+	// consistent with the (possibly partially split) in-cache tree —
+	// and the enclosing op's own records, which beginOp commits even on
+	// failure, may already target the new right page.
+	aerr := sys.AppendSys()
+	if err != nil {
+		return err
+	}
+	return aerr
 }
 
 // decodeKeyFromRaw extracts the key bytes from an encoded cell.
@@ -504,8 +568,9 @@ func decodeKeyFromRaw(raw []byte) []byte {
 
 // insertSeparator inserts (sep → leftPno) into the parent at the end of
 // path, where the existing reference at that position currently reaches
-// leftPno and must now reach rightPno. Splits parents as needed.
-func (t *Tree) insertSeparator(path []pathElem, sep []byte, leftPno, rightPno uint64) error {
+// leftPno and must now reach rightPno. Splits parents as needed. All
+// records go into sys — the structure modification's system transaction.
+func (t *Tree) insertSeparator(sys *pager.Op, path []pathElem, sep []byte, leftPno, rightPno uint64) error {
 	if len(path) == 0 {
 		// Split the root: create a new internal root.
 		newRoot, err := t.alloc.AllocPage()
@@ -523,11 +588,14 @@ func (t *Tree) insertSeparator(path []pathElem, sep []byte, leftPno, rightPno ui
 			return fmt.Errorf("%w: root separator does not fit", ErrCorrupt)
 		}
 		p.setPtrA(rightPno)
-		t.pg.MarkDirty(pg)
+		t.pg.MarkDirtyRec(pg, sys, redo.KindBtreeOp,
+			encOp(opNewRoot, u64b(leftPno), u64b(rightPno), keyb(sep)))
 		t.pg.Release(pg)
 		t.root = newRoot
 		t.height++
-		return nil
+		// Replay must see the new root: the header record rides the same
+		// system transaction.
+		return t.writeHeaderOp(sys)
 	}
 
 	parent := path[len(path)-1]
@@ -556,22 +624,27 @@ func (t *Tree) insertSeparator(path []pathElem, sep []byte, leftPno, rightPno ui
 			t.pg.Release(pg)
 			return fmt.Errorf("%w: reinsert of redirected cell failed", ErrCorrupt)
 		}
+		t.pg.MarkDirtyRec(pg, sys, redo.KindBtreeOp,
+			encOp(opRedirect, keyb(k), u64b(rightPno)))
 	} else {
 		p.setPtrA(rightPno)
+		t.pg.MarkDirtyRec(pg, sys, redo.KindRange, redo.EncodeRange(offPtrA, u64b(rightPno)))
 	}
 	encNew := encodeInternalCell(nil, sep, leftPno)
 	if p.insertRaw(parent.idx, encNew) {
-		t.pg.MarkDirty(pg)
+		t.pg.MarkDirtyRec(pg, sys, redo.KindBtreeOp, encOp(opPut, encNew))
 		t.pg.Release(pg)
 		return nil
 	}
 	// Parent full: split it.
-	return t.splitInternalAndInsert(pg, parent.pno, parent.idx, sep, leftPno, path[:len(path)-1])
+	return t.splitInternalAndInsert(sys, pg, parent.pno, parent.idx, sep, leftPno, path[:len(path)-1])
 }
 
 // splitInternalAndInsert splits the (pinned) full internal node while
-// inserting cell (sep, leftPno) at index idx. Consumes the pin.
-func (t *Tree) splitInternalAndInsert(pg *pager.Page, pno uint64, idx int, sep []byte, leftPno uint64, path []pathElem) error {
+// inserting cell (sep, leftPno) at index idx. Consumes the pin. Internal
+// pages are mutated only by system transactions, so replay re-executes
+// the identical middle-cell split against identical cells.
+func (t *Tree) splitInternalAndInsert(sys *pager.Op, pg *pager.Page, pno uint64, idx int, sep []byte, leftPno uint64, path []pathElem) error {
 	p := pageRef{pg.Data()}
 	n := p.ncells()
 	type icell struct {
@@ -629,16 +702,28 @@ func (t *Tree) splitInternalAndInsert(pg *pager.Page, pno uint64, idx int, sep [
 	}
 	lp.setPtrA(promoted.child)
 
-	t.pg.MarkDirty(pg)
+	t.pg.MarkDirtyRec(pg, sys, redo.KindBtreeOp,
+		encOp(opSplitInternal, u64b(rightPno), u64b(leftPno), keyb(sep)))
 	t.pg.MarkDirty(rpg)
 	t.pg.Release(rpg)
 	t.pg.Release(pg)
 	t.addStats(0, 0, 1, 0)
-	return t.insertSeparator(path, promoted.key, pno, rightPno)
+	return t.insertSeparator(sys, path, promoted.key, pno, rightPno)
 }
 
 // Delete removes key from the tree, returning ErrNotFound if absent.
 func (t *Tree) Delete(key []byte) error {
+	return t.DeleteOp(nil, key)
+}
+
+// DeleteOp is Delete emitting a typed delete record into op. When op is
+// non-nil, merge rebalancing of an underfull leaf is *deferred* until the
+// deleting transaction has committed (via op.Defer): a merge is a system
+// transaction redone unconditionally at recovery, and running it while
+// the delete is still uncommitted would let replay pack the undeleted
+// cell plus the whole sibling into one page. Lazy merging is optional
+// work, so deferral costs nothing but a short-lived underfull node.
+func (t *Tree) DeleteOp(op *pager.Op, key []byte) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.gen++
@@ -675,23 +760,58 @@ func (t *Tree) Delete(key []byte) error {
 		}
 	}
 	p.removeCell(idx)
-	t.pg.MarkDirty(pg)
+	t.pg.MarkDirtyRec(pg, op, redo.KindBtreeOp, encOp(opDel, key))
 	underfull := p.usedBytes() < len(pg.Data())/4
 	t.pg.Release(pg)
 	t.nkeys--
 
 	if underfull && len(path) > 0 {
-		if err := t.maybeMerge(path, leafPno); err != nil {
+		if op != nil {
+			k := append([]byte(nil), key...)
+			op.Defer(func(sys *pager.Op) error { return t.Rebalance(sys, k) })
+		} else if err := t.maybeMerge(nil, path, leafPno); err != nil {
 			return err
 		}
 	}
 	return t.writeHeader()
 }
 
+// Rebalance re-checks the leaf containing key and merges it with a
+// sibling if it is underfull — the deferred half of DeleteOp, run after
+// the deleting transaction committed, with sys as the merge's system
+// transaction capture.
+func (t *Tree) Rebalance(sys *pager.Op, key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gen++
+
+	path, leafPno, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	if len(path) == 0 {
+		return nil
+	}
+	pg, err := t.pg.Acquire(leafPno)
+	if err != nil {
+		return err
+	}
+	underfull := pageRef{pg.Data()}.usedBytes() < len(pg.Data())/4
+	t.pg.Release(pg)
+	if !underfull {
+		return nil
+	}
+	if err := t.maybeMerge(sys, path, leafPno); err != nil {
+		return err
+	}
+	return t.writeHeader()
+}
+
 // maybeMerge attempts to merge the node at nodePno (whose parent path is
 // given) with an adjacent sibling if their combined cells fit in one page.
-// Lazy rebalancing: if no merge fits, the tree is left as is.
-func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
+// Lazy rebalancing: if no merge fits, the tree is left as is. Records go
+// into sys (nil = unlogged).
+func (t *Tree) maybeMerge(sys *pager.Op, path []pathElem, nodePno uint64) error {
 	parent := path[len(path)-1]
 	ppg, err := t.pg.Acquire(parent.pno)
 	if err != nil {
@@ -744,13 +864,14 @@ func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
 			t.pg.Release(ppg)
 			return err
 		}
-		merged, err := t.tryMergePair(pp, leftPno, rightPno, li)
+		merged, err := t.tryMergePair(sys, pp, leftPno, rightPno, li)
 		if err != nil {
 			t.pg.Release(ppg)
 			return err
 		}
 		if merged {
-			t.pg.MarkDirty(ppg)
+			t.pg.MarkDirtyRec(ppg, sys, redo.KindBtreeOp,
+				encOp(opMerge, u64b(leftPno), u64b(rightPno)))
 			underfull := pp.usedBytes() < len(ppg.Data())/4
 			rootEmpty := parent.pno == t.root && pp.ncells() == 0
 			var newRoot uint64
@@ -766,10 +887,11 @@ func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
 				}
 				t.root = newRoot
 				t.height--
-				return nil
+				// Replay must see the shorter tree.
+				return t.writeHeaderOp(sys)
 			}
 			if underfull && len(path) > 1 {
-				return t.maybeMerge(path[:len(path)-1], parent.pno)
+				return t.maybeMerge(sys, path[:len(path)-1], parent.pno)
 			}
 			return nil
 		}
@@ -781,8 +903,10 @@ func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
 // tryMergePair merges right into left if all cells fit in one page.
 // li is the parent cell index referring to left. On success the parent
 // cell for left is removed and the reference to right is redirected to
-// left; the right page is freed. Parent page pp must be pinned by caller.
-func (t *Tree) tryMergePair(pp pageRef, leftPno, rightPno uint64, li int) (bool, error) {
+// left; the right page is freed. Parent page pp must be pinned by caller,
+// who emits the covering opMerge record; only the next-leaf back-pointer
+// stitch is recorded here.
+func (t *Tree) tryMergePair(sys *pager.Op, pp pageRef, leftPno, rightPno uint64, li int) (bool, error) {
 	lpg, err := t.pg.Acquire(leftPno)
 	if err != nil {
 		return false, err
@@ -866,7 +990,7 @@ func (t *Tree) tryMergePair(pp pageRef, leftPno, rightPno uint64, li int) (bool,
 				return false, err
 			}
 			pageRef{npg.Data()}.setPtrB(leftPno)
-			t.pg.MarkDirty(npg)
+			t.pg.MarkDirtyRec(npg, sys, redo.KindRange, redo.EncodeRange(offPtrB, u64b(leftPno)))
 			t.pg.Release(npg)
 		}
 	}
@@ -905,6 +1029,60 @@ func (t *Tree) freePage(pno uint64) error {
 func (t *Tree) Sync() error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.writeHeader()
+}
+
+// RecountKeys walks the leaf chain and resets the header key count.
+// Physiological logging does not journal nkeys — it is a cross-
+// transaction counter no single transaction's redo can own — so recovery
+// recounts it after replay (the volume calls this on every unclean open,
+// where it rides the same walk that rebuilds the allocator).
+func (t *Tree) RecountKeys() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pno := t.root
+	for level := 0; level < t.height-1; level++ {
+		pg, err := t.pg.Acquire(pno)
+		if err != nil {
+			return err
+		}
+		p := pageRef{pg.Data()}
+		if p.typ() != pageInternal || p.ncells() == 0 {
+			next := p.ptrA()
+			t.pg.Release(pg)
+			if p.typ() != pageInternal {
+				return fmt.Errorf("%w: recount hit type %d at level %d", ErrCorrupt, p.typ(), level)
+			}
+			pno = next
+			continue
+		}
+		c, err := p.decodeCell(0)
+		if err != nil {
+			t.pg.Release(pg)
+			return err
+		}
+		t.pg.Release(pg)
+		pno = c.child
+	}
+	var n uint64
+	for pno != 0 {
+		pg, err := t.pg.Acquire(pno)
+		if err != nil {
+			return err
+		}
+		p := pageRef{pg.Data()}
+		if p.typ() != pageLeaf {
+			t.pg.Release(pg)
+			return fmt.Errorf("%w: recount hit type %d in leaf chain", ErrCorrupt, p.typ())
+		}
+		n += uint64(p.ncells())
+		pno = p.ptrA()
+		t.pg.Release(pg)
+	}
+	if n == t.nkeys {
+		return nil
+	}
+	t.nkeys = n
 	return t.writeHeader()
 }
 

@@ -43,7 +43,22 @@ type Allocator struct {
 	splitCount  uint64
 	mergeCount  uint64
 	failedAlloc uint64
+
+	// Deferred (limbo) frees. While enabled, Free parks runs on the limbo
+	// list instead of returning them to the free lists; ReleaseLimbo
+	// performs the real frees. Transactional volumes enable this so a run
+	// freed by an operation cannot be reallocated — and overwritten —
+	// before the free is durable: redo-only recovery has no undo, so if
+	// the freeing transaction's commit never reaches the device while a
+	// reuser's does, both the old structure (still live on disk) and the
+	// new one would own the blocks. Limbo drains at checkpoints, when
+	// everything referencing the old run is durably gone.
+	deferFrees bool
+	limbo      []limboRun
+	limboTotal uint64
 }
+
+type limboRun struct{ addr, n uint64 }
 
 // New creates an allocator over [base, base+size). Size need not be a
 // power of two; the range is decomposed greedily into maximal aligned
@@ -123,9 +138,57 @@ func (a *Allocator) Alloc(n uint64) (uint64, error) {
 	return a.base + addr, nil
 }
 
+// SetDeferredFrees toggles limbo mode (see the field comment). Frees
+// already parked stay parked until ReleaseLimbo.
+func (a *Allocator) SetDeferredFrees(on bool) {
+	a.mu.Lock()
+	a.deferFrees = on
+	a.mu.Unlock()
+}
+
+// LimboBlocks returns the number of blocks parked by deferred frees.
+// fsck counts them alongside free blocks: they are owned by no structure
+// but not yet reusable.
+func (a *Allocator) LimboBlocks() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limboTotal
+}
+
+// ReleaseLimbo performs every deferred free. Call only at a point where
+// the freed runs are durably unreferenced (after a checkpoint or clean
+// flush).
+func (a *Allocator) ReleaseLimbo() error {
+	a.mu.Lock()
+	runs := a.limbo
+	a.limbo = nil
+	a.limboTotal = 0
+	a.mu.Unlock()
+	for _, r := range runs {
+		if err := a.freeNow(r.addr, r.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Free releases the run previously returned by Alloc(addr, n). The n must
-// match the allocation request (any value with the same RoundUp).
+// match the allocation request (any value with the same RoundUp). In
+// deferred mode the run is parked in limbo until ReleaseLimbo.
 func (a *Allocator) Free(addr, n uint64) error {
+	a.mu.Lock()
+	if a.deferFrees {
+		a.limbo = append(a.limbo, limboRun{addr, n})
+		a.limboTotal += RoundUp(n)
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Unlock()
+	return a.freeNow(addr, n)
+}
+
+// freeNow is the real free.
+func (a *Allocator) freeNow(addr, n uint64) error {
 	if n == 0 {
 		return fmt.Errorf("%w: zero-length free", ErrBadSize)
 	}

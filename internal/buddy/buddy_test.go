@@ -348,3 +348,36 @@ func TestStatsCounters(t *testing.T) {
 		t.Errorf("UsedBlocks = %d, want 0", s.UsedBlocks)
 	}
 }
+
+// TestDeferredFreesLimbo: with deferral on, freed runs are not reusable
+// until ReleaseLimbo, and the accounting exposes them.
+func TestDeferredFreesLimbo(t *testing.T) {
+	a := New(0, 64)
+	a.SetDeferredFrees(true)
+	p, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := a.FreeBlocks()
+	if err := a.Free(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeBlocks() != free0 {
+		t.Fatalf("deferred free changed free count: %d -> %d", free0, a.FreeBlocks())
+	}
+	if a.LimboBlocks() != 4 {
+		t.Fatalf("LimboBlocks = %d, want 4", a.LimboBlocks())
+	}
+	if a.IsFree(p, 4) {
+		t.Fatal("limbo run reported free")
+	}
+	if err := a.ReleaseLimbo(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LimboBlocks() != 0 || !a.IsFree(p, 4) {
+		t.Fatalf("after release: limbo=%d free=%v", a.LimboBlocks(), a.IsFree(p, 4))
+	}
+	if err := a.CheckFreeIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

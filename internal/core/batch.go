@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/index"
 	"repro/internal/osd"
+	"repro/internal/pager"
 )
 
 // Batch composes several mutations — object creation, appends, naming,
@@ -25,6 +26,7 @@ import (
 // brackets deadlock against a pending checkpoint (see Volume.ckptMu).
 type Batch struct {
 	v    *Volume
+	op   *pager.Op
 	puts map[index.Store][]index.Put
 	revK [][]byte
 }
@@ -50,8 +52,8 @@ func (v *Volume) Batch(fn func(*Batch) error) error {
 		return err
 	}
 	defer unlock()
-	done := v.beginOp()
-	b := &Batch{v: v, puts: make(map[index.Store][]index.Put)}
+	op, done := v.beginOp()
+	b := &Batch{v: v, op: op, puts: make(map[index.Store][]index.Put)}
 	err = fn(b)
 	if err == nil {
 		err = b.flush()
@@ -68,12 +70,12 @@ func (v *Volume) Batch(fn func(*Batch) error) error {
 func (b *Batch) flush() error {
 	if len(b.revK) > 0 {
 		vals := make([][]byte, len(b.revK))
-		if err := b.v.reverse.PutMany(b.revK, vals); err != nil {
+		if err := b.v.reverse.PutManyOp(b.op, b.revK, vals); err != nil {
 			return err
 		}
 	}
 	for st, puts := range b.puts {
-		if err := index.InsertAll(st, puts); err != nil {
+		if err := index.InsertAll(b.op, st, puts); err != nil {
 			return err
 		}
 	}
@@ -90,18 +92,18 @@ func (b *Batch) CreateObject(owner string) (*osd.Object, error) {
 
 // CreateObjectMode is CreateObject with explicit mode bits.
 func (b *Batch) CreateObjectMode(owner string, mode uint32) (*osd.Object, error) {
-	return b.v.OSD.CreateObjectDeferred(owner, mode)
+	return b.v.OSD.CreateObjectDeferred(b.op, owner, mode)
 }
 
 // Append writes p at the current end of obj inside the batch's
 // transaction.
 func (b *Batch) Append(obj *osd.Object, p []byte) error {
-	return obj.AppendDeferred(p)
+	return obj.AppendDeferred(b.op, p)
 }
 
 // WriteAt writes p at offset off of obj inside the batch's transaction.
 func (b *Batch) WriteAt(obj *osd.Object, p []byte, off uint64) error {
-	return obj.WriteAtDeferred(p, off)
+	return obj.WriteAtDeferred(b.op, p, off)
 }
 
 // AddName attaches a (tag, value) name inside the batch's transaction.
@@ -123,10 +125,10 @@ func (b *Batch) AddName(oid OID, tag string, value []byte) error {
 		b.revK = append(b.revK, rk)
 		return nil
 	}
-	if err := st.Insert(value, oid); err != nil {
+	if err := st.Insert(b.op, value, oid); err != nil {
 		return err
 	}
-	return b.v.reverse.Put(rk, nil)
+	return b.v.reverse.PutOp(b.op, rk, nil)
 }
 
 // Tag is AddName with string arguments.

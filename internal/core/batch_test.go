@@ -395,8 +395,8 @@ func TestLazyIndexingTransactional(t *testing.T) {
 	// Make the postings searchable: flush the in-memory buffer to a
 	// segment (still inside the worker-free foreground path is fine —
 	// Flush itself is synchronous).
-	done := v.beginOp()
-	if err := done(v.ft.Inner().Flush()); err != nil {
+	op, done := v.beginOp()
+	if err := done(v.ft.Inner().Flush(op)); err != nil {
 		t.Fatal(err)
 	}
 	// Crash without Close; recovery must replay the lazy postings.

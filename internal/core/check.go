@@ -19,6 +19,7 @@ type CheckReport struct {
 	MetadataPages int
 	UsedBlocks    uint64
 	FreeBlocks    uint64
+	LimboBlocks   uint64 // freed but parked until the next checkpoint
 	Problems      []string
 }
 
@@ -183,9 +184,13 @@ func (v *Volume) Check() (*CheckReport, error) {
 	}
 	report.UsedBlocks = u.total()
 	report.FreeBlocks = v.ba.FreeBlocks()
-	if report.UsedBlocks+report.FreeBlocks != v.dataBlocks {
-		report.addf("leak: %d used + %d free != %d data blocks",
-			report.UsedBlocks, report.FreeBlocks, v.dataBlocks)
+	// Deferred frees sit in limbo until the next checkpoint: owned by no
+	// structure, but not yet reusable either. They count as free space in
+	// the leak equation.
+	report.LimboBlocks = v.ba.LimboBlocks()
+	if report.UsedBlocks+report.FreeBlocks+report.LimboBlocks != v.dataBlocks {
+		report.addf("leak: %d used + %d free + %d limbo != %d data blocks",
+			report.UsedBlocks, report.FreeBlocks, report.LimboBlocks, v.dataBlocks)
 	}
 	for _, r := range u.ranges {
 		if v.ba.IsFree(r[0], r[1]-r[0]) {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/blockdev"
@@ -124,6 +126,182 @@ func TestCrashLoop(t *testing.T) {
 	}
 }
 
+// sharedPageAnomaly constructs the shared-page commit anomaly: two
+// operation brackets open concurrently, the first mutates index pages
+// and never commits, the second mutates the *same* pages and commits,
+// then the volume crashes. It reports whether recovery surfaced the
+// uncommitted neighbour's edit (the "ghost" name resolving, or fsck
+// finding the half-applied operation).
+//
+// Under page-image logging the committed transaction's captured page
+// images carry the neighbour's uncommitted bytes, so the anomaly
+// reproduces; under physiological logging each commit carries only its
+// own typed records, so it cannot.
+func sharedPageAnomaly(t *testing.T, imageLogging bool) bool {
+	t.Helper()
+	mem := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	fd := blockdev.NewFault(mem)
+	v, err := Create(fd, Options{
+		Transactional: true,
+		WALBlocks:     128,
+		IndexShards:   1, // one UDEF tree, so both names share its leaf
+		ImageLogging:  imageLogging,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid1 := mustCreateObject(t, v, "u", "neighbour")
+	oid2 := mustCreateObject(t, v, "u", "committer")
+
+	// Open both brackets before either mutates, so the page-image mode's
+	// broadcast capture demonstrably shares the mutated pages.
+	op1, done1 := v.beginOp()
+	op2, done2 := v.beginOp()
+	_ = done1 // never called: txn 1 crashes uncommitted
+	if err := v.addNameDeferred(op1, oid1, index.TagUDef, []byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.addNameDeferred(op2, oid2, index.TagUDef, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := done2(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no further device writes land.
+	fd.FailAfterWrites(0)
+
+	v2, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer v2.Close()
+	rep, err := v2.Check()
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	// The committed name must always survive.
+	ids, err := v2.Resolve(TagValue{index.TagUDef, []byte("alive")})
+	if err != nil || len(ids) != 1 || ids[0] != oid2 {
+		t.Fatalf("committed name lost: %v, %v", ids, err)
+	}
+	ghosts, err := v2.Resolve(TagValue{index.TagUDef, []byte("ghost")})
+	if err != nil {
+		t.Fatalf("resolve ghost: %v", err)
+	}
+	return len(ghosts) > 0 || !rep.Ok()
+}
+
+// TestSharedPageAnomalyFixed is the tentpole regression: the committed
+// transaction's log must not carry its neighbour's uncommitted edit.
+// The same scenario must fail (anomaly present) under the page-image
+// fallback — proving the test constructs the hazard — and pass under
+// physiological logging.
+func TestSharedPageAnomalyFixed(t *testing.T) {
+	if !sharedPageAnomaly(t, true) {
+		t.Error("page-image logging: anomaly did not reproduce — test no longer constructs the hazard")
+	}
+	if sharedPageAnomaly(t, false) {
+		t.Error("physiological logging: committed txn leaked a neighbour's uncommitted edit")
+	}
+}
+
+// TestCrashLoopConcurrentWriters is TestCrashLoop with truly concurrent
+// writers, so crashes land while transactions interleave on shared index
+// pages and mid-split system transactions — the regime physiological
+// logging exists for. Every acknowledged name must survive every crash.
+func TestCrashLoopConcurrentWriters(t *testing.T) {
+	mem := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	fd := blockdev.NewFault(mem)
+	v, err := Create(fd, Options{Transactional: true, WALBlocks: 128, IndexShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(0x9A0A, 0x15))
+	type marker struct {
+		oid OID
+		tag string
+	}
+	var (
+		mu        sync.Mutex
+		committed []marker
+		seq       atomic.Int64
+	)
+	const writers = 4
+	for round := 0; round < 6; round++ {
+		if round > 0 && rng.IntN(2) == 0 {
+			fd.SetTornWrites(true)
+		}
+		fd.FailAfterWrites(int64(20 + rng.IntN(80)))
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20 && !fd.Tripped(); i++ {
+					obj, err := v.OSD.CreateObject("w", osd.ModeRegular)
+					if err != nil {
+						return
+					}
+					if err := obj.WriteAt([]byte("payload"), 0); err != nil {
+						obj.Close()
+						return
+					}
+					tag := fmt.Sprintf("cmk:%d", seq.Add(1))
+					err = v.AddName(obj.OID(), index.TagUDef, []byte(tag))
+					obj.Close()
+					if err != nil {
+						return
+					}
+					// AddName acknowledged: durably committed, must
+					// survive the crash.
+					mu.Lock()
+					committed = append(committed, marker{obj.OID(), tag})
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if !fd.Tripped() {
+			fd.FailAfterWrites(0)
+			_, _ = v.OSD.CreateObject("x", osd.ModeRegular)
+		}
+		fd.Disarm()
+
+		v2, err := Open(mem, Options{})
+		if err != nil {
+			t.Fatalf("round %d recovery open: %v", round, err)
+		}
+		rep, err := v2.Check()
+		if err != nil {
+			t.Fatalf("round %d fsck: %v", round, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("round %d fsck problems: %v", round, rep.Problems)
+		}
+		for _, m := range committed {
+			ids, err := v2.Resolve(TagValue{index.TagUDef, []byte(m.tag)})
+			if err != nil {
+				t.Fatalf("round %d resolve %s: %v", round, m.tag, err)
+			}
+			found := false
+			for _, id := range ids {
+				if id == m.oid {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("round %d: acknowledged %s (oid %d) lost after crash", round, m.tag, m.oid)
+			}
+		}
+		fd = blockdev.NewFault(mem)
+		v3, err := Open(fd, Options{})
+		if err != nil {
+			t.Fatalf("round %d re-wrap open: %v", round, err)
+		}
+		v = v3
+	}
+}
+
 // TestTornWALTailRecovered crashes specifically during a WAL append with
 // a torn block, then verifies recovery drops only the torn transaction.
 func TestTornWALTailRecovered(t *testing.T) {
@@ -199,5 +377,61 @@ func TestNonTransactionalCrashLosesOnlyTail(t *testing.T) {
 	}
 	if errors.Is(err, ErrNotFound) {
 		t.Error("unexpected not-found")
+	}
+}
+
+// TestReplayOverAppliedPagesIdempotent pins the checkpoint crash window:
+// a checkpoint's page flush completes (home pages hold post-applied
+// state, including split results) but the crash lands before the log
+// reset is durable, so recovery replays the entire intact log over
+// already-applied pages. First-touch base images must make that replay
+// idempotent — without them, re-executing a split against an
+// already-split leaf wipes the right sibling and corrupts the chain.
+func TestReplayOverAppliedPagesIdempotent(t *testing.T) {
+	mem := blockdev.NewMem(1<<14, blockdev.DefaultBlockSize)
+	v, err := Create(mem, Options{Transactional: true, WALBlocks: 2048, IndexShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tags []string
+	oid := mustCreateObject(t, v, "u", "split fodder")
+	for i := 0; i < 300; i++ { // enough names to split index leaves
+		tag := fmt.Sprintf("idem:%04d", i)
+		if err := v.AddName(oid, index.TagUDef, []byte(tag)); err != nil {
+			t.Fatal(err)
+		}
+		tags = append(tags, tag)
+	}
+	if v.log.Stats().SystemTxns == 0 {
+		t.Fatal("workload produced no splits; test would not exercise re-execution")
+	}
+	// The window: flush every page home and sync — exactly what
+	// checkpointNow does before resetting the log — then "crash" so the
+	// reset never lands and recovery replays the whole log over the
+	// post-applied pages.
+	if err := v.pg.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatalf("recovery over applied pages: %v", err)
+	}
+	defer v2.Close()
+	rep, err := v2.Check()
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("fsck problems after idempotent replay: %v", rep.Problems)
+	}
+	for _, tag := range tags {
+		ids, err := v2.Resolve(TagValue{index.TagUDef, []byte(tag)})
+		if err != nil || len(ids) != 1 || ids[0] != oid {
+			t.Fatalf("name %s lost replaying over applied pages: %v, %v", tag, ids, err)
+		}
 	}
 }

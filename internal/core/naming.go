@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/index"
+	"repro/internal/pager"
 )
 
 // TagValue is one naming term: "an object is named by one or more
@@ -62,21 +63,21 @@ func (v *Volume) AddName(oid OID, tag string, value []byte) error {
 		return err
 	}
 	defer unlock()
-	done := v.beginOp()
-	return done(v.addNameDeferred(oid, tag, value))
+	op, done := v.beginOp()
+	return done(v.addNameDeferred(op, oid, tag, value))
 }
 
 // addNameDeferred does the index and reverse-index work of AddName with
-// no commit; the caller owns the operation bracket.
-func (v *Volume) addNameDeferred(oid OID, tag string, value []byte) error {
+// no commit; the caller owns the operation bracket and its redo capture.
+func (v *Volume) addNameDeferred(op *pager.Op, oid OID, tag string, value []byte) error {
 	st, err := v.registry.Get(tag)
 	if err != nil {
 		return err
 	}
-	if err := st.Insert(value, oid); err != nil {
+	if err := st.Insert(op, value, oid); err != nil {
 		return err
 	}
-	return v.reverse.Put(revKey(oid, tag, reverseValue(tag, value)), nil)
+	return v.reverse.PutOp(op, revKey(oid, tag, reverseValue(tag, value)), nil)
 }
 
 // reverseValue is the value recorded in the reverse index for a name:
@@ -96,19 +97,19 @@ func (v *Volume) RemoveName(oid OID, tag string, value []byte) error {
 		return err
 	}
 	defer unlock()
-	done := v.beginOp()
-	return done(v.removeNameDeferred(oid, tag, value))
+	op, done := v.beginOp()
+	return done(v.removeNameDeferred(op, oid, tag, value))
 }
 
-func (v *Volume) removeNameDeferred(oid OID, tag string, value []byte) error {
+func (v *Volume) removeNameDeferred(op *pager.Op, oid OID, tag string, value []byte) error {
 	st, err := v.registry.Get(tag)
 	if err != nil {
 		return err
 	}
-	if err := st.Remove(value, oid); err != nil {
+	if err := st.Remove(op, value, oid); err != nil {
 		return err
 	}
-	if err := v.reverse.Delete(revKey(oid, tag, reverseValue(tag, value))); err != nil && err != btree.ErrNotFound {
+	if err := v.reverse.DeleteOp(op, revKey(oid, tag, reverseValue(tag, value))); err != nil && err != btree.ErrNotFound {
 		return err
 	}
 	return nil
@@ -151,11 +152,11 @@ func (v *Volume) RemoveAllNames(oid OID) error {
 		return err
 	}
 	defer unlock()
-	done := v.beginOp()
-	return done(v.removeAllNamesDeferred(oid))
+	op, done := v.beginOp()
+	return done(v.removeAllNamesDeferred(op, oid))
 }
 
-func (v *Volume) removeAllNamesDeferred(oid OID) error {
+func (v *Volume) removeAllNamesDeferred(op *pager.Op, oid OID) error {
 	names, err := v.namesLocked(oid)
 	if err != nil {
 		return err
@@ -165,10 +166,10 @@ func (v *Volume) removeAllNamesDeferred(oid OID) error {
 		if err != nil {
 			return err
 		}
-		if err := st.Remove(tv.Value, oid); err != nil {
+		if err := st.Remove(op, tv.Value, oid); err != nil {
 			return err
 		}
-		if err := v.reverse.Delete(revKey(oid, tv.Tag, tv.Value)); err != nil && err != btree.ErrNotFound {
+		if err := v.reverse.DeleteOp(op, revKey(oid, tv.Tag, tv.Value)); err != nil && err != btree.ErrNotFound {
 			return err
 		}
 	}
@@ -184,11 +185,11 @@ func (v *Volume) DeleteObject(oid OID) error {
 		return err
 	}
 	defer unlock()
-	done := v.beginOp()
-	if err := v.removeAllNamesDeferred(oid); err != nil {
+	op, done := v.beginOp()
+	if err := v.removeAllNamesDeferred(op, oid); err != nil {
 		return done(err)
 	}
-	return done(v.OSD.DeleteObjectDeferred(oid))
+	return done(v.OSD.DeleteObjectDeferred(op, oid))
 }
 
 // Resolve is the paper's naming operation: a vector of tag/value pairs
@@ -757,8 +758,8 @@ func (v *Volume) IndexContent(oid OID) error {
 	if err != nil {
 		return err
 	}
-	done := v.beginOp()
-	return done(v.addNameDeferred(oid, index.TagFulltext, text))
+	op, done := v.beginOp()
+	return done(v.addNameDeferred(op, oid, index.TagFulltext, text))
 }
 
 // IndexContentLazy queues the object for the background indexer ("we use
@@ -779,8 +780,8 @@ func (v *Volume) IndexContentLazy(oid OID) error {
 	}
 	// Record the name relationship immediately; postings land when the
 	// background thread gets there.
-	done := v.beginOp()
-	return done(v.reverse.Put(revKey(oid, index.TagFulltext, nil), nil))
+	op, done := v.beginOp()
+	return done(v.reverse.PutOp(op, revKey(oid, index.TagFulltext, nil), nil))
 }
 
 // StartLazyIndexing launches the background indexer.

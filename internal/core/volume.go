@@ -41,6 +41,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/osd"
 	"repro/internal/pager"
+	"repro/internal/redo"
 	"repro/internal/wal"
 )
 
@@ -85,6 +86,12 @@ type Options struct {
 	// commits serialized on one mutex). It exists as a measurement
 	// baseline for experiment E13 — do not use it in production.
 	SerialCommit bool
+	// ImageLogging reproduces the page-image redo pipeline (conservative
+	// whole-page capture at MarkDirty, shared across open transactions).
+	// It exists as the measurement baseline for experiment E15 and
+	// carries the shared-page commit anomaly physiological logging
+	// fixes — do not use it in production.
+	ImageLogging bool
 	// WALBlocks sizes the log region (default 256 blocks).
 	WALBlocks uint64
 	// SnapshotBlocks sizes the allocator snapshot region (default 64).
@@ -213,17 +220,21 @@ func Create(dev blockdev.Device, opts Options) (*Volume, error) {
 		v.log = wal.New(dev, 1, walBlocks)
 		// The device may previously have held a volume whose log region
 		// still contains CRC-valid committed records. Scan it (replaying
-		// nothing) to adopt the old generation's txn-id high-water mark,
-		// then reset the region — otherwise a crash before this volume's
-		// first commit could let recovery replay the old generation over
-		// the fresh format, and old high-id leftovers past a new tail
-		// would slip the monotonic-txid fence.
+		// nothing) to adopt the old generation's txn-id and LSN
+		// high-water marks, then reset the region — otherwise a crash
+		// before this volume's first commit could let recovery replay the
+		// old generation over the fresh format, and old high-id leftovers
+		// past a new tail would slip the monotonic fences.
 		if _, err := v.log.Recover(nil); err != nil {
 			return nil, err
 		}
-		if err := v.log.Checkpoint(); err != nil {
+		v.pg.SeedLSN(v.log.MaxLSN())
+		if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
 			return nil, err
 		}
+		// Deferred (limbo) frees: a run freed mid-generation must not be
+		// reused before the free is durable; limbo drains at checkpoints.
+		v.ba.SetDeferredFrees(true)
 	}
 
 	var err error
@@ -264,8 +275,20 @@ func Create(dev blockdev.Device, opts Options) (*Volume, error) {
 	if err := v.pg.Sync(); err != nil {
 		return nil, err
 	}
+	v.enableBaseImages()
 	v.startCheckpointer()
 	return v, nil
+}
+
+// enableBaseImages turns on the pager's first-touch base-image logging
+// for the physiological pipeline (see pager.EnableBaseImages). Called
+// only at a clean generation boundary — after formatting or recovery —
+// so no page is dirtied before its base can be captured.
+func (v *Volume) enableBaseImages() {
+	if v.log == nil || v.opts.SerialCommit || v.opts.ImageLogging {
+		return
+	}
+	v.pg.EnableBaseImages(sysAppender{v})
 }
 
 // createIndexes builds the standard Table 1 index stores plus the image
@@ -428,20 +451,19 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	}
 	v.pg = pager.New(dev, opts.CachePages, !sb.transactional)
 
-	// Recover the WAL first so all metadata pages are current.
+	// Recover the WAL first so all metadata pages are current: committed
+	// redo records replay in LSN (mutation) order against an in-memory
+	// materialization of the touched pages, which is then written home.
 	if sb.transactional {
 		v.log = wal.New(dev, sb.walStart, sb.walBlocks)
-		if _, err := v.log.Recover(func(pno uint64, data []byte) error {
-			if len(data) != dev.BlockSize() {
-				return fmt.Errorf("%w: logged page has %d bytes", ErrBadSuperblock, len(data))
-			}
-			return dev.WriteBlock(pno, data)
-		}); err != nil {
+		if err := v.replayLog(); err != nil {
 			return nil, err
 		}
-		if err := v.log.Checkpoint(); err != nil {
+		v.pg.SeedLSN(v.log.MaxLSN())
+		if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
 			return nil, err
 		}
+		v.enableBaseImages()
 	}
 
 	// Allocator: restore the snapshot on clean shutdown, else rebuild
@@ -458,6 +480,9 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	} else {
 		// Placeholder; replaced after structures load.
 		v.ba = buddy.New(sb.dataStart, sb.dataBlocks)
+	}
+	if sb.transactional {
+		v.ba.SetDeferredFrees(true)
 	}
 
 	v.OSD, err = osd.Open(v.pg, v.ba, sb.osdHeader, osd.Options{
@@ -488,6 +513,13 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 		return nil, err
 	}
 	if !sb.clean {
+		// Physiological logging does not journal per-tree key counts
+		// (cross-transaction counters no single redo record can own);
+		// recount them from the leaves before the structural checks below
+		// — the walk is a sliver of the reachability rebuild that follows.
+		if err := v.recountTreeKeys(); err != nil {
+			return nil, err
+		}
 		if err := v.rebuildAllocator(); err != nil {
 			return nil, err
 		}
@@ -562,9 +594,113 @@ func (v *Volume) openIndexes() error {
 	return nil
 }
 
+// replayLog applies the committed redo records of the log. Records
+// arrive in LSN order; pages are materialized once from their home
+// locations into a recovery map, mutated in place (images and ranges
+// generically, btree ops by re-execution), and written home at the end.
+// Ops that span pages (splits, merges) fetch their other pages through
+// the same map, so cross-page modifications replay against exactly the
+// state earlier records built.
+func (v *Volume) replayLog() error {
+	bs := v.dev.BlockSize()
+	pages := make(map[uint64][]byte)
+	get := func(pno uint64) ([]byte, error) {
+		if d, ok := pages[pno]; ok {
+			return d, nil
+		}
+		if pno >= v.dev.NumBlocks() {
+			return nil, fmt.Errorf("%w: replayed page %d beyond device", ErrBadSuperblock, pno)
+		}
+		d := make([]byte, bs)
+		if err := v.dev.ReadBlock(pno, d); err != nil {
+			return nil, err
+		}
+		pages[pno] = d
+		return d, nil
+	}
+	n, err := v.log.Recover(func(r redo.Record) error {
+		switch r.Kind {
+		case redo.KindImage:
+			if len(r.Data) != bs {
+				return fmt.Errorf("%w: logged page image has %d bytes", ErrBadSuperblock, len(r.Data))
+			}
+			d, err := get(r.Page)
+			if err != nil {
+				return err
+			}
+			copy(d, r.Data)
+			return nil
+		case redo.KindRange:
+			d, err := get(r.Page)
+			if err != nil {
+				return err
+			}
+			return redo.ApplyRange(d, r.Data)
+		case redo.KindBtreeOp:
+			return btree.ReplayOp(get, r.Page, r.Data)
+		default:
+			return fmt.Errorf("%w: unknown redo kind %d", ErrBadSuperblock, r.Kind)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	for pno, d := range pages {
+		if err := v.dev.WriteBlock(pno, d); err != nil {
+			return err
+		}
+	}
+	return v.dev.Sync()
+}
+
+// recountTreeKeys refreshes every btree's header key count from its
+// leaves (see Open: physiological recovery recounts rather than logs).
+func (v *Volume) recountTreeKeys() error {
+	trees := []*btree.Tree{v.catalog, v.reverse, v.OSD.MetaTree(), v.img.Tree()}
+	trees = append(trees, v.kvTrees...)
+	trees = append(trees, v.ft.Inner().Trees()...)
+	for _, tr := range trees {
+		if err := tr.RecountKeys(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sysAppender routes structure-modification system transactions from the
+// pager's op captures into the WAL. A full log is not an error here: the
+// WAL wedges (no later commit can land) and the enclosing operation's
+// commit falls back to a checkpoint, which writes the modification home.
+type sysAppender struct{ v *Volume }
+
+func (a sysAppender) AppendSystem(recs []redo.Record) error {
+	err := a.v.log.AppendSystem(recs)
+	if errors.Is(err, wal.ErrFull) {
+		select {
+		case a.v.ckptCh <- struct{}{}:
+		default:
+		}
+		return nil
+	}
+	return err
+}
+
+// Wedge implements pager.Appender: fail-stop the log until a checkpoint
+// (used when a base image could not be captured).
+func (a sysAppender) Wedge() {
+	a.v.log.Wedge()
+	select {
+	case a.v.ckptCh <- struct{}{}:
+	default:
+	}
+}
+
 // beginHook returns the OSD's operation bracket (Options.Begin).
-func (v *Volume) beginHook() func() func(error) error {
-	return func() func(error) error { return v.beginOp() }
+func (v *Volume) beginHook() func() (*pager.Op, func(error) error) {
+	return func() (*pager.Op, func(error) error) { return v.beginOp() }
 }
 
 // fulltextConfig is the user's fulltext tuning plus the volume's
@@ -577,70 +713,136 @@ func (v *Volume) fulltextConfig() fulltext.Config {
 }
 
 // beginOp opens the transactional bracket for one mutating operation:
-// it registers a per-transaction dirty-page capture with the pager and
-// returns the commit half, which hands the captured write set to the
-// WAL's group committer. Non-transactional volumes get a passthrough.
+// it opens a physiological redo capture (threaded by the caller through
+// every page mutation) and returns it with the commit half, which stages
+// the captured records as one transaction in the WAL's group committer.
+// Non-transactional volumes get a nil capture and a passthrough; the
+// ImageLogging and SerialCommit baselines get a nil capture and the
+// page-image pipelines.
 //
 // Brackets must not nest (see ckptMu); compound operations call the
 // Deferred variants of sub-operations under a single bracket.
-func (v *Volume) beginOp() func(error) error {
+func (v *Volume) beginOp() (*pager.Op, func(error) error) {
 	if v.log == nil {
-		return func(err error) error { return err }
+		return nil, func(err error) error { return err }
 	}
 	if v.opts.SerialCommit {
-		return func(err error) error {
+		return nil, func(err error) error {
 			if err != nil {
 				return err
 			}
 			return v.commitSerial()
 		}
 	}
+	if v.opts.ImageLogging {
+		v.ckptMu.RLock()
+		txn := v.pg.BeginTxn()
+		return nil, func(opErr error) error {
+			if opErr != nil {
+				// The operation failed part-way. Its pages are already
+				// mutated in cache and redo-only logging has no undo, so
+				// commit the captured images anyway: the partial state
+				// becomes page-atomic in the log, and a later checkpoint
+				// flush cannot tear it across a crash. The operation's
+				// own error still wins; on ErrFull the checkpoint
+				// fallback flushes the same pages home durably instead.
+				cerr := v.commitTxnImages(txn)
+				v.ckptMu.RUnlock()
+				if errors.Is(cerr, wal.ErrFull) {
+					_ = v.checkpointNow()
+				}
+				return opErr
+			}
+			err := v.commitTxnImages(txn)
+			v.ckptMu.RUnlock()
+			if errors.Is(err, wal.ErrFull) {
+				return v.checkpointNow()
+			}
+			return err
+		}
+	}
 	v.ckptMu.RLock()
-	txn := v.pg.BeginTxn()
-	return func(opErr error) error {
+	op := v.pg.NewOp(sysAppender{v})
+	return op, func(opErr error) error {
 		if opErr != nil {
-			// The operation failed part-way. Its pages are already
-			// mutated in cache and redo-only logging has no undo, so
-			// commit the captured images anyway: the partial state
-			// becomes page-atomic in the log, and a later checkpoint
-			// flush cannot tear it across a crash. (The pre-PR global
-			// scan gave the same guarantee by logging leftovers with the
-			// next commit.) The operation's own error still wins; on
-			// ErrFull the checkpoint fallback flushes the same pages
-			// home durably instead, preserving the protection.
-			cerr := v.commitTxn(txn)
+			// Same no-undo rationale as above: the staged records make
+			// the partial mutation crash-atomic.
+			cerr := v.commitOp(op)
 			v.ckptMu.RUnlock()
 			if errors.Is(cerr, wal.ErrFull) {
 				_ = v.checkpointNow()
 			}
 			return opErr
 		}
-		err := v.commitTxn(txn)
+		err := v.commitOp(op)
+		if err == nil {
+			// Deferred structural rebalancing (see btree.DeleteOp): runs
+			// only after this operation's deletes are durable, as its own
+			// system transactions, still inside the checkpoint fence.
+			// Staged records are appended even when fn fails part-way —
+			// they describe mutations already applied in cache, and
+			// dropping them would leave later commits building on an
+			// unlogged structure change.
+			for _, fn := range op.Deferred() {
+				sys := v.pg.NewOp(sysAppender{v})
+				rerr := fn(sys)
+				aerr := sys.AppendSys()
+				if err == nil && rerr != nil {
+					err = rerr
+				}
+				if err == nil && aerr != nil {
+					err = aerr
+				}
+			}
+		}
 		v.ckptMu.RUnlock()
 		if errors.Is(err, wal.ErrFull) {
-			// This write set alone cannot fit the remaining log region.
-			// Fall back to a full checkpoint — but only after releasing
-			// the shared fence: checkpointNow quiesces all operations
-			// first, so it never flushes a neighbour's mid-operation
-			// pages home (steal) nor resets the log while a concurrent
-			// group commit is being acknowledged. Afterwards this
-			// operation's pages are durably home and the commit is moot.
+			// This transaction alone cannot fit the remaining log region
+			// (or the log wedged behind an unlogged structure
+			// modification). Fall back to a full checkpoint — after
+			// releasing the shared fence: checkpointNow quiesces all
+			// operations first, so it never flushes a neighbour's
+			// mid-operation pages home nor resets the log while a
+			// concurrent group commit is being acknowledged. Afterwards
+			// this operation's pages are durably home and the commit is
+			// moot.
 			return v.checkpointNow()
 		}
 		return err
 	}
 }
 
-// commitTxn makes one operation's write set durable through the group
-// committer: its pages plus a commit record reach the log in one
+// commitOp makes one operation's redo records durable through the group
+// committer: the records plus a commit record reach the log in one
 // contiguous append shared with concurrent committers, under a single
-// device sync. The capture is closed atomically with the commit's queue
-// insertion (CommitWith), so a concurrent writer re-dirtying one of
-// these pages cannot commit its fresher image with a smaller txid.
+// device sync. Replay order is governed by the records' mutation-time
+// LSNs, not commit order, so no close/enqueue atomicity dance is needed.
 // Pages are not forced home (no-force); the checkpointer writes them
 // back in bulk. Returns wal.ErrFull (for the bracket's checkpoint
-// fallback) when the write set cannot fit the region.
-func (v *Volume) commitTxn(txn *pager.Txn) error {
+// fallback) when the records cannot fit the region.
+func (v *Volume) commitOp(op *pager.Op) error {
+	recs := op.Records()
+	if len(recs) == 0 {
+		return nil
+	}
+	wtx := v.log.Begin()
+	for _, r := range recs {
+		wtx.LogRecord(r)
+	}
+	if err := wtx.Commit(); err != nil {
+		return err
+	}
+	v.maybeTriggerCheckpoint()
+	return nil
+}
+
+// commitTxnImages is the ImageLogging-mode commit: the conservative
+// page-image write set captured by the pager's broadcast Txn, enqueued
+// atomically with the capture's close (CommitWith) so a concurrent
+// writer re-dirtying one of these pages cannot commit its fresher image
+// with a smaller txid — image records carry no LSN, so log order is
+// replay order.
+func (v *Volume) commitTxnImages(txn *pager.Txn) error {
 	wtx := v.log.Begin()
 	err := wtx.CommitWith(func(wtx *wal.Txn) {
 		for pno, data := range txn.WriteSet() {
@@ -677,7 +879,10 @@ func (v *Volume) commitSerial() error {
 		if err := v.dev.Sync(); err != nil {
 			return err
 		}
-		return v.log.Checkpoint()
+		if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
+			return err
+		}
+		return v.ba.ReleaseLimbo()
 	}
 	if err != nil {
 		return err
@@ -689,7 +894,10 @@ func (v *Volume) commitSerial() error {
 		if err := v.dev.Sync(); err != nil {
 			return err
 		}
-		return v.log.Checkpoint()
+		if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
+			return err
+		}
+		return v.ba.ReleaseLimbo()
 	}
 	return nil
 }
@@ -703,7 +911,8 @@ func (v *Volume) commitSerial() error {
 func (v *Volume) maybeTriggerCheckpoint() {
 	logHigh := v.log.Used()*ckptHighWaterDen >= v.log.Capacity()*ckptHighWaterNum
 	cacheHigh := v.pg.DirtyCount() >= v.opts.CachePages*3/4
-	if !logHigh && !cacheHigh {
+	limboHigh := v.ba.LimboBlocks() >= uint64(v.opts.CachePages)
+	if !logHigh && !cacheHigh && !limboHigh {
 		return
 	}
 	select {
@@ -752,8 +961,12 @@ func (v *Volume) stopCheckpointer() {
 
 // checkpointNow quiesces mutating operations (checkpoint fence), writes
 // every committed-but-cached page home, syncs the device, and resets the
-// log. The fence guarantees no operation is mid-flight, so everything
-// dirty in the cache is committed state.
+// log behind an LSN fence (the volume's current LSN: every record of the
+// next generation is stamped above it, so recovery can reject stale-
+// generation leftovers outright). The operation fence guarantees no
+// operation is mid-flight, so everything dirty in the cache is committed
+// state — and every deferred page free can finally be released for
+// reuse.
 func (v *Volume) checkpointNow() error {
 	v.ckptMu.Lock()
 	defer v.ckptMu.Unlock()
@@ -763,7 +976,10 @@ func (v *Volume) checkpointNow() error {
 	if err := v.dev.Sync(); err != nil {
 		return err
 	}
-	return v.log.Checkpoint()
+	if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
+		return err
+	}
+	return v.ba.ReleaseLimbo()
 }
 
 // Allocator exposes the buddy allocator (experiments, fsck).
@@ -869,9 +1085,14 @@ func (v *Volume) Close() error {
 		return err
 	}
 	if v.log != nil {
-		if err := v.log.Checkpoint(); err != nil {
+		if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
 			return err
 		}
+	}
+	// Everything is durably home: deferred frees can join the snapshot as
+	// free space.
+	if err := v.ba.ReleaseLimbo(); err != nil {
+		return err
 	}
 	if err := v.writeSnapshot(); err != nil {
 		return err

@@ -128,13 +128,31 @@ type Tree struct {
 	height  int
 	size    uint64
 	extents uint64
+	// curOp is the redo capture of the mutating call in progress, set at
+	// each public entry point under mu (which serializes all mutators).
+	// Extent trees are object-private, so their pages are logged as
+	// per-transaction page images (redo.KindImage) — markDirty routes
+	// every node mutation here. Nil = unlogged.
+	curOp *pager.Op
 
 	statMu sync.Mutex
 	stats  Stats
 }
 
+// markDirty marks a node page dirty, capturing a page image into the
+// current operation's redo set when one is open.
+func (t *Tree) markDirty(pg *pager.Page) {
+	t.pg.MarkDirtyImage(pg, t.curOp)
+}
+
 // Create allocates a new empty extent tree.
 func Create(pg *pager.Pager, ba *buddy.Allocator, cfg Config) (*Tree, error) {
+	return CreateOp(pg, ba, cfg, nil)
+}
+
+// CreateOp is Create capturing the fresh tree's pages into op, so an
+// object created inside a transaction recovers with it.
+func CreateOp(pg *pager.Pager, ba *buddy.Allocator, cfg Config, op *pager.Op) (*Tree, error) {
 	cfg.Fill(pg.BlockSize())
 	hdr, err := ba.Alloc(1)
 	if err != nil {
@@ -154,11 +172,14 @@ func Create(pg *pager.Pager, ba *buddy.Allocator, cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	rp.Data()[offType] = pageLeaf
-	pg.MarkDirty(rp)
+	t.curOp = op
+	t.markDirty(rp)
 	pg.Release(rp)
 	if err := t.writeHeader(); err != nil {
+		t.curOp = nil
 		return nil, err
 	}
+	t.curOp = nil
 	return t, nil
 }
 
@@ -227,7 +248,7 @@ func (t *Tree) writeHeader() error {
 	binary.LittleEndian.PutUint64(d[hOffHeight:], uint64(t.height))
 	binary.LittleEndian.PutUint64(d[hOffSize:], t.size)
 	binary.LittleEndian.PutUint64(d[hOffExtents:], t.extents)
-	t.pg.MarkDirty(hp)
+	t.markDirty(hp)
 	return nil
 }
 
@@ -406,7 +427,7 @@ func (t *Tree) bumpCounts(path []pathElem, delta int64) error {
 		c := n.childCell(pe.idx)
 		c.bytes = uint64(int64(c.bytes) + delta)
 		n.setChildCell(pe.idx, c)
-		t.pg.MarkDirty(pg)
+		t.markDirty(pg)
 		t.pg.Release(pg)
 	}
 	return nil

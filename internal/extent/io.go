@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/buddy"
+	"repro/internal/pager"
 )
 
 // maxHoleLen bounds a single hole cell (Len is uint32).
@@ -90,8 +91,15 @@ func (t *Tree) ReadAt(p []byte, off uint64) (int, error) {
 // WriteAt writes p at byte offset off, extending the object as needed.
 // Writing past the current end creates a hole (sparse object).
 func (t *Tree) WriteAt(p []byte, off uint64) error {
+	return t.WriteAtOp(nil, p, off)
+}
+
+// WriteAtOp is WriteAt capturing node-page mutations into op's redo set.
+func (t *Tree) WriteAtOp(op *pager.Op, p []byte, off uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.curOp = op
+	defer func() { t.curOp = nil }()
 	if len(p) == 0 {
 		return nil
 	}
@@ -181,8 +189,15 @@ func (t *Tree) WriteAt(p []byte, off uint64) error {
 // growing the object by len(p). This is the paper's insert call: the
 // structural cost is O(log extents) plus at most one bounded tail copy.
 func (t *Tree) InsertAt(off uint64, p []byte) error {
+	return t.InsertAtOp(nil, off, p)
+}
+
+// InsertAtOp is InsertAt capturing node-page mutations into op's redo set.
+func (t *Tree) InsertAtOp(op *pager.Op, off uint64, p []byte) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.curOp = op
+	defer func() { t.curOp = nil }()
 	if off > t.size {
 		return fmt.Errorf("%w: insert at %d, size %d", ErrOutOfRange, off, t.size)
 	}
@@ -201,8 +216,20 @@ func (t *Tree) InsertAt(off uint64, p []byte) error {
 // DeleteRange removes n bytes starting at off, shrinking the object and
 // shifting later bytes down. This is the paper's two-argument truncate.
 func (t *Tree) DeleteRange(off, n uint64) error {
+	return t.DeleteRangeOp(nil, off, n)
+}
+
+// DeleteRangeOp is DeleteRange capturing node-page mutations into op's
+// redo set.
+func (t *Tree) DeleteRangeOp(op *pager.Op, off, n uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.curOp = op
+	defer func() { t.curOp = nil }()
+	return t.deleteRangeLocked(off, n)
+}
+
+func (t *Tree) deleteRangeLocked(off, n uint64) error {
 	if off >= t.size || n == 0 {
 		return nil
 	}
@@ -253,15 +280,19 @@ func (t *Tree) DeleteRange(off, n uint64) error {
 // Truncate sets the object's size. Shrinking frees storage from the end;
 // growing appends a hole.
 func (t *Tree) Truncate(newSize uint64) error {
+	return t.TruncateOp(nil, newSize)
+}
+
+// TruncateOp is Truncate capturing node-page mutations into op's redo set.
+func (t *Tree) TruncateOp(op *pager.Op, newSize uint64) error {
 	t.mu.Lock()
-	cur := t.size
-	t.mu.Unlock()
+	defer t.mu.Unlock()
+	t.curOp = op
+	defer func() { t.curOp = nil }()
 	switch {
-	case newSize < cur:
-		return t.DeleteRange(newSize, cur-newSize)
-	case newSize > cur:
-		t.mu.Lock()
-		defer t.mu.Unlock()
+	case newSize < t.size:
+		return t.deleteRangeLocked(newSize, t.size-newSize)
+	case newSize > t.size:
 		if err := t.appendHole(newSize - t.size); err != nil {
 			return err
 		}

@@ -19,7 +19,7 @@ func (t *Tree) insertCellAt(path []pathElem, leafPno uint64, idx int, e Extent) 
 	}
 	if n.ncells() < t.leafCap() {
 		n.insertLeafCell(idx, e)
-		t.pg.MarkDirty(pg)
+		t.markDirty(pg)
 		t.pg.Release(pg)
 		t.extents++
 		return t.bumpCounts(path, int64(e.Len))
@@ -65,8 +65,8 @@ func (t *Tree) insertCellAt(path []pathElem, leafPno uint64, idx int, e Extent) 
 
 	leftSum := n.leafSum()
 	rightSum := rn.leafSum()
-	t.pg.MarkDirty(pg)
-	t.pg.MarkDirty(rpg)
+	t.markDirty(pg)
+	t.markDirty(rpg)
 	t.pg.Release(rpg)
 	t.pg.Release(pg)
 	if oldNext != 0 {
@@ -75,7 +75,7 @@ func (t *Tree) insertCellAt(path []pathElem, leafPno uint64, idx int, e Extent) 
 			return err
 		}
 		nodeRef{npg.Data()}.setPrev(rightPno)
-		t.pg.MarkDirty(npg)
+		t.markDirty(npg)
 		t.pg.Release(npg)
 	}
 	t.extents++
@@ -103,7 +103,7 @@ func (t *Tree) propagateSplit(path []pathElem, leftPno uint64, leftSum uint64, r
 		n.setChildCell(0, childEntry{leftPno, leftSum})
 		n.setChildCell(1, childEntry{rightPno, rightSum})
 		n.setNCells(2)
-		t.pg.MarkDirty(pg)
+		t.markDirty(pg)
 		t.pg.Release(pg)
 		t.root = newRoot
 		t.height++
@@ -126,7 +126,7 @@ func (t *Tree) propagateSplit(path []pathElem, leftPno uint64, leftSum uint64, r
 
 	if n.ncells() < t.internalCap() {
 		n.insertChildCell(pe.idx+1, childEntry{rightPno, rightSum})
-		t.pg.MarkDirty(pg)
+		t.markDirty(pg)
 		t.pg.Release(pg)
 		return t.bumpCounts(path[:len(path)-1], delta)
 	}
@@ -165,8 +165,8 @@ func (t *Tree) propagateSplit(path []pathElem, leftPno uint64, leftSum uint64, r
 
 	leftTotal := n.childSum()
 	rightTotal := rn.childSum()
-	t.pg.MarkDirty(pg)
-	t.pg.MarkDirty(rpg)
+	t.markDirty(pg)
+	t.markDirty(rpg)
 	t.pg.Release(rpg)
 	t.pg.Release(pg)
 	t.addStat(func(s *Stats) { s.Splits++ })
@@ -184,7 +184,7 @@ func (t *Tree) removeCellAt(path []pathElem, leafPno uint64, idx int) error {
 	n := nodeRef{pg.Data()}
 	e := n.leafCell(idx)
 	n.removeLeafCell(idx)
-	t.pg.MarkDirty(pg)
+	t.markDirty(pg)
 	underfull := n.ncells() < t.leafCap()/4
 	t.pg.Release(pg)
 	t.extents--
@@ -235,7 +235,7 @@ func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
 		// Parent: left entry absorbs right's bytes; right entry removed.
 		pn.setChildCell(pr.li, childEntry{left.child, left.bytes + right.bytes})
 		pn.removeChildCell(pr.ri)
-		t.pg.MarkDirty(ppg)
+		t.markDirty(ppg)
 		t.addStat(func(s *Stats) { s.Merges++ })
 
 		rootSingle := pe.pno == t.root && pn.ncells() == 1
@@ -311,7 +311,7 @@ func (t *Tree) tryMergeChildren(leftPno, rightPno uint64) (bool, error) {
 				return false, err
 			}
 			nodeRef{npg.Data()}.setPrev(leftPno)
-			t.pg.MarkDirty(npg)
+			t.markDirty(npg)
 			t.pg.Release(npg)
 		}
 	} else {
@@ -320,7 +320,7 @@ func (t *Tree) tryMergeChildren(leftPno, rightPno uint64) (bool, error) {
 		}
 		ln.setNCells(base + rn.ncells())
 	}
-	t.pg.MarkDirty(lpg)
+	t.markDirty(lpg)
 	t.pg.Release(rpg)
 	t.pg.Release(lpg)
 	return true, nil
@@ -344,7 +344,7 @@ func (t *Tree) setLeafCellLen(path []pathElem, leafPno uint64, idx int, newLen u
 	delta := int64(newLen) - int64(e.Len)
 	e.Len = newLen
 	n.setLeafCell(idx, e)
-	t.pg.MarkDirty(pg)
+	t.markDirty(pg)
 	t.pg.Release(pg)
 	return t.bumpCounts(path, delta)
 }

@@ -25,7 +25,7 @@ func TestConcurrentAddAndSearch(t *testing.T) {
 				return
 			default:
 			}
-			if err := x.Add(i, fmt.Sprintf("shared corpus doc%d", i)); err != nil {
+			if err := x.Add(nil, i, fmt.Sprintf("shared corpus doc%d", i)); err != nil {
 				t.Errorf("Add: %v", err)
 				return
 			}
@@ -93,20 +93,20 @@ func TestCompactionFreesDeletedMajority(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := uint64(1); i <= 256; i++ {
-		if err := x.Add(i, fmt.Sprintf("bulk content number%d with padding words alpha beta", i)); err != nil {
+		if err := x.Add(nil, i, fmt.Sprintf("bulk content number%d with padding words alpha beta", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := x.Flush(); err != nil {
+	if err := x.Flush(nil); err != nil {
 		t.Fatal(err)
 	}
 	for i := uint64(1); i <= 240; i++ {
-		if err := x.Delete(i); err != nil {
+		if err := x.Delete(nil, i); err != nil {
 			t.Fatal(err)
 		}
 	}
 	before := e.ba.FreeBlocks()
-	if err := x.Compact(); err != nil {
+	if err := x.Compact(nil); err != nil {
 		t.Fatal(err)
 	}
 	after := e.ba.FreeBlocks()
@@ -128,14 +128,14 @@ func TestReopenAfterCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := uint64(1); i <= 30; i++ {
-		if err := x.Add(i, fmt.Sprintf("cycle word%d", i)); err != nil {
+		if err := x.Add(nil, i, fmt.Sprintf("cycle word%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := x.Delete(5); err != nil {
+	if err := x.Delete(nil, 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Compact(); err != nil {
+	if err := x.Compact(nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := x.Close(); err != nil {
@@ -159,7 +159,7 @@ func TestReopenAfterCompaction(t *testing.T) {
 			t.Error("deleted doc resurrected across compaction+reopen")
 		}
 	}
-	if err := y.Add(5, "cycle resurrected properly"); err != nil {
+	if err := y.Add(nil, 5, "cycle resurrected properly"); err != nil {
 		t.Fatal(err)
 	}
 	ids, _ = y.Search("resurrected")

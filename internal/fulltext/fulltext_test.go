@@ -81,10 +81,10 @@ func TestStemConsistency(t *testing.T) {
 
 func TestAddSearchSingleTerm(t *testing.T) {
 	x, _ := newIndex(t, Config{})
-	if err := x.Add(1, "hierarchical file systems are dead"); err != nil {
+	if err := x.Add(nil, 1, "hierarchical file systems are dead"); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Add(2, "object storage devices"); err != nil {
+	if err := x.Add(nil, 2, "object storage devices"); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := x.Search("hierarchical")
@@ -104,7 +104,7 @@ func TestConjunction(t *testing.T) {
 		3: "margo ported lucene to the raw device",
 	}
 	for id, text := range docs {
-		if err := x.Add(id, text); err != nil {
+		if err := x.Add(nil, id, text); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -134,7 +134,7 @@ func TestConjunction(t *testing.T) {
 
 func TestSearchEmptyTerms(t *testing.T) {
 	x, _ := newIndex(t, Config{})
-	if err := x.Add(1, "content"); err != nil {
+	if err := x.Add(nil, 1, "content"); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := x.Search()
@@ -149,7 +149,7 @@ func TestSearchEmptyTerms(t *testing.T) {
 
 func TestQueryAnalyzedLikeDocuments(t *testing.T) {
 	x, _ := newIndex(t, Config{})
-	if err := x.Add(1, "indexing searches"); err != nil {
+	if err := x.Add(nil, 1, "indexing searches"); err != nil {
 		t.Fatal(err)
 	}
 	// Query uses a different surface form of the same stem.
@@ -164,10 +164,10 @@ func TestQueryAnalyzedLikeDocuments(t *testing.T) {
 
 func TestRankingByTermFrequency(t *testing.T) {
 	x, _ := newIndex(t, Config{})
-	if err := x.Add(1, "disk disk disk seek"); err != nil {
+	if err := x.Add(nil, 1, "disk disk disk seek"); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Add(2, "disk seek seek"); err != nil {
+	if err := x.Add(nil, 2, "disk seek seek"); err != nil {
 		t.Fatal(err)
 	}
 	scored, err := x.SearchRanked("disk")
@@ -182,7 +182,7 @@ func TestRankingByTermFrequency(t *testing.T) {
 func TestFlushAndSearchAcrossSegments(t *testing.T) {
 	x, _ := newIndex(t, Config{FlushDocs: 4})
 	for i := uint64(1); i <= 10; i++ {
-		if err := x.Add(i, fmt.Sprintf("common unique%d", i)); err != nil {
+		if err := x.Add(nil, i, fmt.Sprintf("common unique%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -209,11 +209,11 @@ func TestFlushAndSearchAcrossSegments(t *testing.T) {
 func TestDeleteHidesDoc(t *testing.T) {
 	x, _ := newIndex(t, Config{FlushDocs: 2})
 	for i := uint64(1); i <= 5; i++ {
-		if err := x.Add(i, "shared words here"); err != nil {
+		if err := x.Add(nil, i, "shared words here"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := x.Delete(3); err != nil {
+	if err := x.Delete(nil, 3); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := x.Search("shared")
@@ -232,16 +232,16 @@ func TestDeleteHidesDoc(t *testing.T) {
 
 func TestReAddAfterDelete(t *testing.T) {
 	x, _ := newIndex(t, Config{FlushDocs: 2})
-	if err := x.Add(7, "original text alpha"); err != nil {
+	if err := x.Add(nil, 7, "original text alpha"); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Flush(); err != nil {
+	if err := x.Flush(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Delete(7); err != nil {
+	if err := x.Delete(nil, 7); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Add(7, "replacement text beta"); err != nil {
+	if err := x.Add(nil, 7, "replacement text beta"); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := x.Search("beta")
@@ -259,13 +259,13 @@ func TestReAddAfterDelete(t *testing.T) {
 
 func TestReplaceSemanticsOnReAdd(t *testing.T) {
 	x, _ := newIndex(t, Config{})
-	if err := x.Add(1, "first version gamma"); err != nil {
+	if err := x.Add(nil, 1, "first version gamma"); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Flush(); err != nil {
+	if err := x.Flush(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Add(1, "second version delta"); err != nil {
+	if err := x.Add(nil, 1, "second version delta"); err != nil {
 		t.Fatal(err)
 	}
 	ids, _ := x.Search("gamma")
@@ -281,14 +281,14 @@ func TestReplaceSemanticsOnReAdd(t *testing.T) {
 func TestCompaction(t *testing.T) {
 	x, e := newIndex(t, Config{FlushDocs: 2, MaxSegments: 100})
 	for i := uint64(1); i <= 20; i++ {
-		if err := x.Add(i, fmt.Sprintf("word%d shared", i)); err != nil {
+		if err := x.Add(nil, i, fmt.Sprintf("word%d shared", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := x.Flush(); err != nil {
+	if err := x.Flush(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Delete(5); err != nil {
+	if err := x.Delete(nil, 5); err != nil {
 		t.Fatal(err)
 	}
 	segsBefore := x.Stats().Segments
@@ -296,7 +296,7 @@ func TestCompaction(t *testing.T) {
 		t.Fatalf("need multiple segments, have %d", segsBefore)
 	}
 	freeBefore := e.ba.FreeBlocks()
-	if err := x.Compact(); err != nil {
+	if err := x.Compact(nil); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
 	if got := x.Stats().Segments; got != 1 {
@@ -322,7 +322,7 @@ func TestCompaction(t *testing.T) {
 func TestAutoCompaction(t *testing.T) {
 	x, _ := newIndex(t, Config{FlushDocs: 1, MaxSegments: 3})
 	for i := uint64(1); i <= 10; i++ {
-		if err := x.Add(i, fmt.Sprintf("doc%d", i)); err != nil {
+		if err := x.Add(nil, i, fmt.Sprintf("doc%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -341,11 +341,11 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := uint64(1); i <= 9; i++ {
-		if err := x.Add(i, fmt.Sprintf("persistent term%d", i)); err != nil {
+		if err := x.Add(nil, i, fmt.Sprintf("persistent term%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := x.Delete(4); err != nil {
+	if err := x.Delete(nil, 4); err != nil {
 		t.Fatal(err)
 	}
 	if err := x.Close(); err != nil { // flushes the tail
@@ -381,11 +381,11 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 func TestDocFreq(t *testing.T) {
 	x, _ := newIndex(t, Config{FlushDocs: 2})
 	for i := uint64(1); i <= 6; i++ {
-		if err := x.Add(i, "popular"); err != nil {
+		if err := x.Add(nil, i, "popular"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := x.Add(7, "rare popular"); err != nil {
+	if err := x.Add(nil, 7, "rare popular"); err != nil {
 		t.Fatal(err)
 	}
 	pop, err := x.DocFreq("popular")
@@ -429,13 +429,13 @@ func TestEnqueueWithoutStart(t *testing.T) {
 
 func TestCloseRejectsFurtherWork(t *testing.T) {
 	x, _ := newIndex(t, Config{})
-	if err := x.Add(1, "a doc"); err != nil {
+	if err := x.Add(nil, 1, "a doc"); err != nil {
 		t.Fatal(err)
 	}
 	if err := x.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Add(2, "late"); err != ErrClosed {
+	if err := x.Add(nil, 2, "late"); err != ErrClosed {
 		t.Errorf("Add after close = %v, want ErrClosed", err)
 	}
 	if err := x.Close(); err != ErrClosed {
@@ -462,11 +462,11 @@ func TestLargePostingsListOverflows(t *testing.T) {
 	// overflow chains (value > page/4).
 	x, _ := newIndex(t, Config{FlushDocs: 100000})
 	for i := uint64(1); i <= 3000; i++ {
-		if err := x.Add(i, "ubiquitous"); err != nil {
+		if err := x.Add(nil, i, "ubiquitous"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := x.Flush(); err != nil {
+	if err := x.Flush(nil); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := x.Search("ubiquitous")

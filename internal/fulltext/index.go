@@ -38,10 +38,11 @@ type Config struct {
 	// Bracket, when non-nil, wraps each background (lazy) indexing job in
 	// the volume's transactional operation bracket, so the worker's page
 	// writes are captured and committed like any foreground operation —
-	// and the volume's checkpoint fence quiesces the worker too. The
+	// and the volume's checkpoint fence quiesces the worker too. It
+	// returns the bracket's redo capture and its commit half. The
 	// synchronous API does not use it: those calls already run inside
-	// their caller's bracket.
-	Bracket func() func(error) error
+	// their caller's bracket and receive its capture as a parameter.
+	Bracket func() (*pager.Op, func(error) error)
 }
 
 func (c *Config) fill() {
@@ -217,9 +218,10 @@ func (x *Index) Stats() Stats {
 	}
 }
 
-// Add analyzes text and indexes it under docID synchronously. Re-adding a
-// docID replaces its previous postings (via tombstones on old segments).
-func (x *Index) Add(docID uint64, text string) error {
+// Add analyzes text and indexes it under docID synchronously, logging
+// its page mutations into op. Re-adding a docID replaces its previous
+// postings (via tombstones on old segments).
+func (x *Index) Add(op *pager.Op, docID uint64, text string) error {
 	terms := Tokenize(text)
 	tf := make(map[string]uint32, len(terms))
 	for _, term := range terms {
@@ -231,7 +233,7 @@ func (x *Index) Add(docID uint64, text string) error {
 		return ErrClosed
 	}
 	// Replace semantics: hide any earlier postings for this doc.
-	if err := x.deleteLocked(docID); err != nil {
+	if err := x.deleteLocked(op, docID); err != nil {
 		return err
 	}
 	for term, f := range tf {
@@ -240,25 +242,25 @@ func (x *Index) Add(docID uint64, text string) error {
 	x.memDocs[docID] = true
 	x.docsAdded++
 	if len(x.memDocs) >= x.cfg.FlushDocs {
-		if err := x.flushLocked(); err != nil {
+		if err := x.flushLocked(op); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Delete removes docID from the index.
-func (x *Index) Delete(docID uint64) error {
+// Delete removes docID from the index, logging into op.
+func (x *Index) Delete(op *pager.Op, docID uint64) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
 		return ErrClosed
 	}
 	x.docsDeleted++
-	return x.deleteLocked(docID)
+	return x.deleteLocked(op, docID)
 }
 
-func (x *Index) deleteLocked(docID uint64) error {
+func (x *Index) deleteLocked(op *pager.Op, docID uint64) error {
 	if x.memDocs[docID] {
 		for term, ps := range x.mem {
 			kept := ps[:0]
@@ -281,7 +283,7 @@ func (x *Index) deleteLocked(docID uint64) error {
 	for _, s := range x.segments {
 		if !s.dead[docID] {
 			s.dead[docID] = true
-			if err := x.manifest.Put(tombKey(s.id, docID), nil); err != nil {
+			if err := x.manifest.PutOp(op, tombKey(s.id, docID), nil); err != nil {
 				return err
 			}
 		}
@@ -289,18 +291,19 @@ func (x *Index) deleteLocked(docID uint64) error {
 	return nil
 }
 
-// Flush writes the in-memory buffer to a new immutable segment.
-func (x *Index) Flush() error {
+// Flush writes the in-memory buffer to a new immutable segment, logging
+// into op.
+func (x *Index) Flush(op *pager.Op) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return x.flushLocked()
+	return x.flushLocked(op)
 }
 
-func (x *Index) flushLocked() error {
+func (x *Index) flushLocked(op *pager.Op) error {
 	if len(x.mem) == 0 {
 		return nil
 	}
-	tr, err := btree.Create(x.pg, x.alloc)
+	tr, err := btree.CreateOp(x.pg, x.alloc, op)
 	if err != nil {
 		return err
 	}
@@ -312,7 +315,7 @@ func (x *Index) flushLocked() error {
 	for _, term := range terms {
 		ps := x.mem[term]
 		sort.Slice(ps, func(i, j int) bool { return ps[i].DocID < ps[j].DocID })
-		if err := tr.Put([]byte(term), encodePostings(ps)); err != nil {
+		if err := tr.PutOp(op, []byte(term), encodePostings(ps)); err != nil {
 			return err
 		}
 	}
@@ -320,14 +323,14 @@ func (x *Index) flushLocked() error {
 	x.nextSeg++
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], tr.HeaderPage())
-	if err := x.manifest.Put(segKey(id), hdr[:]); err != nil {
+	if err := x.manifest.PutOp(op, segKey(id), hdr[:]); err != nil {
 		return err
 	}
 	x.segments = append(x.segments, &segment{id: id, tree: tr, dead: map[uint64]bool{}})
 	for doc := range x.memDocs {
 		if !x.segDocs[doc] {
 			x.segDocs[doc] = true
-			if err := x.manifest.Put(docKey(doc), nil); err != nil {
+			if err := x.manifest.PutOp(op, docKey(doc), nil); err != nil {
 				return err
 			}
 		}
@@ -336,19 +339,20 @@ func (x *Index) flushLocked() error {
 	x.memDocs = make(map[uint64]bool)
 	x.flushes++
 	if len(x.segments) > x.cfg.MaxSegments {
-		return x.compactLocked()
+		return x.compactLocked(op)
 	}
 	return nil
 }
 
 // Compact merges all segments into one, dropping tombstoned postings.
-func (x *Index) Compact() error {
+// Logs into op.
+func (x *Index) Compact(op *pager.Op) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return x.compactLocked()
+	return x.compactLocked(op)
 }
 
-func (x *Index) compactLocked() error {
+func (x *Index) compactLocked(op *pager.Op) error {
 	if len(x.segments) <= 1 {
 		return nil
 	}
@@ -373,7 +377,7 @@ func (x *Index) compactLocked() error {
 			return err
 		}
 	}
-	tr, err := btree.Create(x.pg, x.alloc)
+	tr, err := btree.CreateOp(x.pg, x.alloc, op)
 	if err != nil {
 		return err
 	}
@@ -385,18 +389,18 @@ func (x *Index) compactLocked() error {
 	for _, term := range terms {
 		ps := merged[term]
 		sort.Slice(ps, func(i, j int) bool { return ps[i].DocID < ps[j].DocID })
-		if err := tr.Put([]byte(term), encodePostings(ps)); err != nil {
+		if err := tr.PutOp(op, []byte(term), encodePostings(ps)); err != nil {
 			return err
 		}
 	}
 	// Swap in the merged segment, dropping the old ones and their
 	// manifest entries and tombstones.
 	for _, s := range x.segments {
-		if err := x.manifest.Delete(segKey(s.id)); err != nil {
+		if err := x.manifest.DeleteOp(op, segKey(s.id)); err != nil {
 			return err
 		}
 		for doc := range s.dead {
-			if err := x.manifest.Delete(tombKey(s.id, doc)); err != nil && err != btree.ErrNotFound {
+			if err := x.manifest.DeleteOp(op, tombKey(s.id, doc)); err != nil && err != btree.ErrNotFound {
 				return err
 			}
 		}
@@ -408,7 +412,7 @@ func (x *Index) compactLocked() error {
 	x.nextSeg++
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], tr.HeaderPage())
-	if err := x.manifest.Put(segKey(id), hdr[:]); err != nil {
+	if err := x.manifest.PutOp(op, segKey(id), hdr[:]); err != nil {
 		return err
 	}
 	x.segments = []*segment{{id: id, tree: tr, dead: map[uint64]bool{}}}
@@ -416,7 +420,7 @@ func (x *Index) compactLocked() error {
 	for doc := range x.segDocs {
 		if !live[doc] {
 			delete(x.segDocs, doc)
-			if err := x.manifest.Delete(docKey(doc)); err != nil && err != btree.ErrNotFound {
+			if err := x.manifest.DeleteOp(op, docKey(doc)); err != nil && err != btree.ErrNotFound {
 				return err
 			}
 		}
@@ -560,10 +564,10 @@ func (x *Index) StartLazy(queueDepth int) {
 			// Indexing failures are recorded by dropping the doc; the
 			// synchronous API is available when callers need errors.
 			if x.cfg.Bracket != nil {
-				done := x.cfg.Bracket()
-				_ = done(x.Add(job.docID, job.text))
+				op, done := x.cfg.Bracket()
+				_ = done(x.Add(op, job.docID, job.text))
 			} else {
-				_ = x.Add(job.docID, job.text)
+				_ = x.Add(nil, job.docID, job.text)
 			}
 			x.lazyWG.Done()
 		}
@@ -608,7 +612,7 @@ func (x *Index) Close() error {
 	if x.closed {
 		return ErrClosed
 	}
-	if err := x.flushLocked(); err != nil {
+	if err := x.flushLocked(nil); err != nil {
 		return err
 	}
 	x.closed = true

@@ -2,6 +2,7 @@ package index
 
 import (
 	"repro/internal/fulltext"
+	"repro/internal/pager"
 )
 
 // Fulltext adapts the segmented inverted index to the Store interface for
@@ -23,13 +24,13 @@ func (f *Fulltext) Tag() string { return TagFulltext }
 
 // Insert analyzes value as document text for oid. Synchronous; use the
 // inner index's Enqueue for the paper's lazy path.
-func (f *Fulltext) Insert(value []byte, oid OID) error {
-	return f.idx.Add(uint64(oid), string(value))
+func (f *Fulltext) Insert(op *pager.Op, value []byte, oid OID) error {
+	return f.idx.Add(op, uint64(oid), string(value))
 }
 
 // Remove drops the document; value is ignored (whole-document removal).
-func (f *Fulltext) Remove(value []byte, oid OID) error {
-	return f.idx.Delete(uint64(oid))
+func (f *Fulltext) Remove(op *pager.Op, value []byte, oid OID) error {
+	return f.idx.Delete(op, uint64(oid))
 }
 
 // Lookup treats value as one search term (or a phrase of terms, all of

@@ -113,19 +113,19 @@ func sigKey(sig uint64, oid OID) []byte {
 }
 
 // Insert implements Store: value is a bitmap.
-func (x *ImageIndex) Insert(value []byte, oid OID) error {
+func (x *ImageIndex) Insert(op *pager.Op, value []byte, oid OID) error {
 	sig, err := Signature(value)
 	if err != nil {
 		return err
 	}
-	return x.tree.Put(sigKey(sig, oid), nil)
+	return x.tree.PutOp(op, sigKey(sig, oid), nil)
 }
 
 // Remove implements Store. With a value, only that signature's entry is
 // removed; with an empty value (how the naming layer's reverse index
 // records content tags) every signature for the OID is removed — content
 // indexes support whole-object removal, like the full-text store.
-func (x *ImageIndex) Remove(value []byte, oid OID) error {
+func (x *ImageIndex) Remove(op *pager.Op, value []byte, oid OID) error {
 	if len(value) == 0 {
 		var doomed [][]byte
 		if err := x.tree.Scan(nil, nil, func(k, _ []byte) bool {
@@ -137,7 +137,7 @@ func (x *ImageIndex) Remove(value []byte, oid OID) error {
 			return err
 		}
 		for _, k := range doomed {
-			if err := x.tree.Delete(k); err != nil && err != btree.ErrNotFound {
+			if err := x.tree.DeleteOp(op, k); err != nil && err != btree.ErrNotFound {
 				return err
 			}
 		}
@@ -147,7 +147,7 @@ func (x *ImageIndex) Remove(value []byte, oid OID) error {
 	if err != nil {
 		return err
 	}
-	err = x.tree.Delete(sigKey(sig, oid))
+	err = x.tree.DeleteOp(op, sigKey(sig, oid))
 	if err == btree.ErrNotFound {
 		return nil
 	}

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"repro/internal/osd"
+	"repro/internal/pager"
 )
 
 // Standard tags from Table 1 of the paper.
@@ -50,14 +51,16 @@ var (
 type OID = osd.OID
 
 // Store is one index store. Implementations must be safe for concurrent
-// use.
+// use. Mutators take the calling operation's redo capture (nil =
+// unlogged) so each transaction logs exactly its own edits —
+// physiological logging's attribution requirement.
 type Store interface {
 	// Tag returns the tag this store serves.
 	Tag() string
 	// Insert associates value with oid.
-	Insert(value []byte, oid OID) error
+	Insert(op *pager.Op, value []byte, oid OID) error
 	// Remove disassociates value from oid.
-	Remove(value []byte, oid OID) error
+	Remove(op *pager.Op, value []byte, oid OID) error
 	// Lookup returns the OIDs associated with value, ascending.
 	Lookup(value []byte) ([]OID, error)
 	// Count estimates the number of OIDs for value (selectivity).
@@ -81,17 +84,17 @@ type Put struct {
 // multi-put that feeds a group-committed transaction's write set. Stores
 // without it fall back to per-pair Insert.
 type BatchInserter interface {
-	InsertMany(puts []Put) error
+	InsertMany(op *pager.Op, puts []Put) error
 }
 
 // InsertAll applies puts to st through its batched path when available,
 // falling back to per-pair Insert otherwise.
-func InsertAll(st Store, puts []Put) error {
+func InsertAll(op *pager.Op, st Store, puts []Put) error {
 	if bi, ok := st.(BatchInserter); ok {
-		return bi.InsertMany(puts)
+		return bi.InsertMany(op, puts)
 	}
 	for _, p := range puts {
-		if err := st.Insert(p.Value, p.OID); err != nil {
+		if err := st.Insert(op, p.Value, p.OID); err != nil {
 			return err
 		}
 	}

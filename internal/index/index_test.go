@@ -43,13 +43,13 @@ func newKV(t *testing.T, tag string) (*KVIndex, *env) {
 
 func TestKVInsertLookup(t *testing.T) {
 	x, _ := newKV(t, TagUser)
-	if err := x.Insert([]byte("margo"), 1); err != nil {
+	if err := x.Insert(nil, []byte("margo"), 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Insert([]byte("margo"), 7); err != nil {
+	if err := x.Insert(nil, []byte("margo"), 7); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Insert([]byte("nick"), 3); err != nil {
+	if err := x.Insert(nil, []byte("nick"), 3); err != nil {
 		t.Fatal(err)
 	}
 	got, err := x.Lookup([]byte("margo"))
@@ -71,13 +71,13 @@ func TestKVInsertLookup(t *testing.T) {
 
 func TestKVRemoveIdempotent(t *testing.T) {
 	x, _ := newKV(t, TagUser)
-	if err := x.Insert([]byte("v"), 5); err != nil {
+	if err := x.Insert(nil, []byte("v"), 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Remove([]byte("v"), 5); err != nil {
+	if err := x.Remove(nil, []byte("v"), 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Remove([]byte("v"), 5); err != nil {
+	if err := x.Remove(nil, []byte("v"), 5); err != nil {
 		t.Errorf("second remove errored: %v", err)
 	}
 	got, _ := x.Lookup([]byte("v"))
@@ -93,7 +93,7 @@ func TestKVValuesWithZeroBytesAndPrefixes(t *testing.T) {
 		{0x00}, {0x00, 0x00}, {},
 	}
 	for i, v := range vals {
-		if err := x.Insert(v, OID(i+1)); err != nil {
+		if err := x.Insert(nil, v, OID(i+1)); err != nil {
 			t.Fatalf("Insert(%x): %v", v, err)
 		}
 	}
@@ -113,7 +113,7 @@ func TestKVRangeLookup(t *testing.T) {
 	// Dates as sortable strings.
 	dates := []string{"2009-01-05", "2009-02-10", "2009-03-15", "2009-07-04"}
 	for i, d := range dates {
-		if err := x.Insert([]byte(d), OID(i+1)); err != nil {
+		if err := x.Insert(nil, []byte(d), OID(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -140,7 +140,7 @@ func TestKVPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Insert([]byte("quicken"), 42); err != nil {
+	if err := x.Insert(nil, []byte("quicken"), 42); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.pg.Sync(); err != nil {
@@ -172,7 +172,7 @@ func TestShardedRoutesAndMerges(t *testing.T) {
 		t.Fatalf("NumShards = %d", s.NumShards())
 	}
 	for i := 0; i < 100; i++ {
-		if err := s.Insert([]byte(fmt.Sprintf("user%d", i%10)), OID(i+1)); err != nil {
+		if err := s.Insert(nil, []byte(fmt.Sprintf("user%d", i%10)), OID(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,7 +202,7 @@ func TestShardedRoutesAndMerges(t *testing.T) {
 		t.Errorf("RangeLookup found %d, want 100", len(all))
 	}
 	// Remove through the sharded wrapper.
-	if err := s.Remove([]byte("user3"), got[0]); err != nil {
+	if err := s.Remove(nil, []byte("user3"), got[0]); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := s.Lookup([]byte("user3"))
@@ -266,10 +266,10 @@ func TestFulltextAdapter(t *testing.T) {
 	if f.Tag() != TagFulltext {
 		t.Errorf("Tag = %q", f.Tag())
 	}
-	if err := f.Insert([]byte("the quick brown fox"), 10); err != nil {
+	if err := f.Insert(nil, []byte("the quick brown fox"), 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Insert([]byte("the lazy brown dog"), 20); err != nil {
+	if err := f.Insert(nil, []byte("the lazy brown dog"), 20); err != nil {
 		t.Fatal(err)
 	}
 	got, err := f.Lookup([]byte("brown"))
@@ -288,7 +288,7 @@ func TestFulltextAdapter(t *testing.T) {
 	if err != nil || n != 2 {
 		t.Errorf("Count = %d, %v", n, err)
 	}
-	if err := f.Remove(nil, 10); err != nil {
+	if err := f.Remove(nil, nil, 10); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = f.Lookup([]byte("fox"))
@@ -353,10 +353,10 @@ func TestImageIndexExactAndNear(t *testing.T) {
 		}
 		return 0
 	})
-	if err := x.Insert(grad, 1); err != nil {
+	if err := x.Insert(nil, grad, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Insert(checker, 2); err != nil {
+	if err := x.Insert(nil, checker, 2); err != nil {
 		t.Fatal(err)
 	}
 	got, err := x.Lookup(grad)
@@ -384,7 +384,7 @@ func TestImageIndexExactAndNear(t *testing.T) {
 	if !found {
 		t.Errorf("LookupNear missed the near-duplicate: %v", near)
 	}
-	if err := x.Remove(grad, 1); err != nil {
+	if err := x.Remove(nil, grad, 1); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = x.Lookup(grad)
@@ -414,7 +414,7 @@ func TestKVConcurrentInsertLookup(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				v := []byte(fmt.Sprintf("u%d", (w*200+i)%7))
-				if err := x.Insert(v, OID(w*1000+i)); err != nil {
+				if err := x.Insert(nil, v, OID(w*1000+i)); err != nil {
 					t.Errorf("Insert: %v", err)
 					return
 				}
@@ -444,11 +444,11 @@ func TestKVInsertManyMatchesInsert(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		v := []byte(fmt.Sprintf("tag:%d", i%17))
 		puts = append(puts, Put{Value: v, OID: OID(i + 1)})
-		if err := serial.Insert(v, OID(i+1)); err != nil {
+		if err := serial.Insert(nil, v, OID(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := batched.InsertMany(puts); err != nil {
+	if err := batched.InsertMany(nil, puts); err != nil {
 		t.Fatalf("InsertMany: %v", err)
 	}
 	if batched.Len() != serial.Len() {
@@ -468,7 +468,7 @@ func TestKVInsertManyMatchesInsert(t *testing.T) {
 			t.Errorf("value %s: batched %v, serial %v", v, got, want)
 		}
 	}
-	if err := batched.InsertMany(nil); err != nil {
+	if err := batched.InsertMany(nil, nil); err != nil {
 		t.Errorf("empty InsertMany: %v", err)
 	}
 }
@@ -491,11 +491,11 @@ func TestShardedInsertManyRoutesLikeInsert(t *testing.T) {
 	for i := 0; i < 120; i++ {
 		v := []byte(fmt.Sprintf("v%d", i%11))
 		puts = append(puts, Put{Value: v, OID: OID(i + 1)})
-		if err := serial.Insert(v, OID(i+1)); err != nil {
+		if err := serial.Insert(nil, v, OID(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := batched.InsertMany(puts); err != nil {
+	if err := batched.InsertMany(nil, puts); err != nil {
 		t.Fatalf("InsertMany: %v", err)
 	}
 	for i := 0; i < 11; i++ {

@@ -154,12 +154,12 @@ func TestDrainLimit(t *testing.T) {
 func TestKVIterStreams(t *testing.T) {
 	x, _ := newKV(t, TagUDef)
 	for i := 1; i <= 50; i++ {
-		if err := x.Insert([]byte("v"), OID(i*2)); err != nil {
+		if err := x.Insert(nil, []byte("v"), OID(i*2)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// A different value must not bleed into the stream.
-	if err := x.Insert([]byte("w"), 7); err != nil {
+	if err := x.Insert(nil, []byte("w"), 7); err != nil {
 		t.Fatal(err)
 	}
 	it, err := x.Iter([]byte("v"))
@@ -199,7 +199,7 @@ func TestShardedIterRoutes(t *testing.T) {
 	}
 	s := NewSharded(TagUser, shards)
 	for i := 1; i <= 20; i++ {
-		if err := s.Insert([]byte("margo"), OID(i)); err != nil {
+		if err := s.Insert(nil, []byte("margo"), OID(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -220,10 +220,10 @@ func TestFulltextIter(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := NewFulltext(ft)
-	if err := f.Insert([]byte("the quick brown fox"), 3); err != nil {
+	if err := f.Insert(nil, []byte("the quick brown fox"), 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Insert([]byte("quick silver"), 9); err != nil {
+	if err := f.Insert(nil, []byte("quick silver"), 9); err != nil {
 		t.Fatal(err)
 	}
 	it, err := f.Iter([]byte("quick"))
@@ -254,12 +254,12 @@ func TestShardedRangeLookupSortedDedup(t *testing.T) {
 	// shards by hash, and within a shard sort value-major (so OID 9
 	// precedes lower OIDs under later values).
 	for _, v := range []string{"k1", "k2", "k3", "k4", "k5"} {
-		if err := s.Insert([]byte(v), 9); err != nil {
+		if err := s.Insert(nil, []byte(v), 9); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i, v := range []string{"k2", "k3", "k4"} {
-		if err := s.Insert([]byte(v), OID(i+1)); err != nil {
+		if err := s.Insert(nil, []byte(v), OID(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}

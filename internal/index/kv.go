@@ -117,16 +117,16 @@ func DecodeEntryKey(k []byte) ([]byte, OID, error) {
 }
 
 // Insert implements Store.
-func (x *KVIndex) Insert(value []byte, oid OID) error {
+func (x *KVIndex) Insert(op *pager.Op, value []byte, oid OID) error {
 	x.statMu.Lock()
 	x.inserts++
 	x.statMu.Unlock()
-	return x.tree.Put(entryKey(value, oid), nil)
+	return x.tree.PutOp(op, entryKey(value, oid), nil)
 }
 
 // InsertMany implements BatchInserter: all pairs go through one btree
 // PutMany (one tree-lock acquisition, sorted descent region).
-func (x *KVIndex) InsertMany(puts []Put) error {
+func (x *KVIndex) InsertMany(op *pager.Op, puts []Put) error {
 	if len(puts) == 0 {
 		return nil
 	}
@@ -138,13 +138,13 @@ func (x *KVIndex) InsertMany(puts []Put) error {
 	for i, p := range puts {
 		keys[i] = entryKey(p.Value, p.OID)
 	}
-	return x.tree.PutMany(keys, vals)
+	return x.tree.PutManyOp(op, keys, vals)
 }
 
 // Remove implements Store. Removing an absent pair is not an error
 // (naming removal is idempotent).
-func (x *KVIndex) Remove(value []byte, oid OID) error {
-	err := x.tree.Delete(entryKey(value, oid))
+func (x *KVIndex) Remove(op *pager.Op, value []byte, oid OID) error {
+	err := x.tree.DeleteOp(op, entryKey(value, oid))
 	if err == btree.ErrNotFound {
 		return nil
 	}
@@ -282,25 +282,25 @@ func (s *Sharded) pick(value []byte) Store {
 }
 
 // Insert implements Store.
-func (s *Sharded) Insert(value []byte, oid OID) error {
-	return s.pick(value).Insert(value, oid)
+func (s *Sharded) Insert(op *pager.Op, value []byte, oid OID) error {
+	return s.pick(value).Insert(op, value, oid)
 }
 
 // Remove implements Store.
-func (s *Sharded) Remove(value []byte, oid OID) error {
-	return s.pick(value).Remove(value, oid)
+func (s *Sharded) Remove(op *pager.Op, value []byte, oid OID) error {
+	return s.pick(value).Remove(op, value, oid)
 }
 
 // InsertMany implements BatchInserter: pairs are grouped by shard and each
 // shard receives one batched insert.
-func (s *Sharded) InsertMany(puts []Put) error {
+func (s *Sharded) InsertMany(op *pager.Op, puts []Put) error {
 	groups := make(map[Store][]Put)
 	for _, p := range puts {
 		st := s.pick(p.Value)
 		groups[st] = append(groups[st], p)
 	}
 	for st, group := range groups {
-		if err := InsertAll(st, group); err != nil {
+		if err := InsertAll(op, st, group); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/extent"
+	"repro/internal/pager"
 )
 
 // Object is an open handle to a byte-addressable storage object. The
@@ -52,99 +53,99 @@ func (o *Object) ReadAt(p []byte, off uint64) (int, error) {
 // WriteAt writes p at offset off, growing the object as needed; writes
 // past the end create holes (sparse objects).
 func (o *Object) WriteAt(p []byte, off uint64) error {
-	done := o.s.beginOp()
-	return done(o.writeAt(p, off))
+	op, done := o.s.beginOp()
+	return done(o.writeAt(op, p, off))
 }
 
 // WriteAtDeferred is WriteAt without the per-operation commit, for
 // callers composing one transaction from several mutations (core.Batch).
-func (o *Object) WriteAtDeferred(p []byte, off uint64) error {
-	return o.writeAt(p, off)
+func (o *Object) WriteAtDeferred(op *pager.Op, p []byte, off uint64) error {
+	return o.writeAt(op, p, off)
 }
 
-func (o *Object) writeAt(p []byte, off uint64) error {
-	if err := o.ext.WriteAt(p, off); err != nil {
+func (o *Object) writeAt(op *pager.Op, p []byte, off uint64) error {
+	if err := o.ext.WriteAtOp(op, p, off); err != nil {
 		return err
 	}
 	o.s.statMu.Lock()
 	o.s.stats.Writes++
 	o.s.statMu.Unlock()
-	return o.refreshMeta()
+	return o.refreshMeta(op)
 }
 
 // Append writes p at the current end of the object.
 func (o *Object) Append(p []byte) error {
-	done := o.s.beginOp()
-	return done(o.writeAt(p, o.ext.Size()))
+	op, done := o.s.beginOp()
+	return done(o.writeAt(op, p, o.ext.Size()))
 }
 
 // AppendDeferred is Append without the per-operation commit (core.Batch).
-func (o *Object) AppendDeferred(p []byte) error {
-	return o.writeAt(p, o.ext.Size())
+func (o *Object) AppendDeferred(op *pager.Op, p []byte) error {
+	return o.writeAt(op, p, o.ext.Size())
 }
 
 // InsertAt inserts p at offset off, shifting later bytes up — the paper's
 // insert call ("arguments identical to the write call, but instead of
 // overwriting bytes ... it inserts those bytes, growing the file").
 func (o *Object) InsertAt(off uint64, p []byte) error {
-	done := o.s.beginOp()
-	return done(o.insertAt(off, p))
+	op, done := o.s.beginOp()
+	return done(o.insertAt(op, off, p))
 }
 
 // InsertAtDeferred is InsertAt without the per-operation commit.
-func (o *Object) InsertAtDeferred(off uint64, p []byte) error {
-	return o.insertAt(off, p)
+func (o *Object) InsertAtDeferred(op *pager.Op, off uint64, p []byte) error {
+	return o.insertAt(op, off, p)
 }
 
-func (o *Object) insertAt(off uint64, p []byte) error {
-	if err := o.ext.InsertAt(off, p); err != nil {
+func (o *Object) insertAt(op *pager.Op, off uint64, p []byte) error {
+	if err := o.ext.InsertAtOp(op, off, p); err != nil {
 		return err
 	}
 	o.s.statMu.Lock()
 	o.s.stats.Inserts++
 	o.s.statMu.Unlock()
-	return o.refreshMeta()
+	return o.refreshMeta(op)
 }
 
 // TruncateRange removes length bytes at offset off, shifting later bytes
 // down — the paper's two-off_t truncate ("an offset and length, indicating
 // exactly which bytes to remove from the file").
 func (o *Object) TruncateRange(off, length uint64) error {
-	done := o.s.beginOp()
-	return done(o.truncateRange(off, length))
+	op, done := o.s.beginOp()
+	return done(o.truncateRange(op, off, length))
 }
 
 // TruncateRangeDeferred is TruncateRange without the per-operation commit.
-func (o *Object) TruncateRangeDeferred(off, length uint64) error {
-	return o.truncateRange(off, length)
+func (o *Object) TruncateRangeDeferred(op *pager.Op, off, length uint64) error {
+	return o.truncateRange(op, off, length)
 }
 
-func (o *Object) truncateRange(off, length uint64) error {
-	if err := o.ext.DeleteRange(off, length); err != nil {
+func (o *Object) truncateRange(op *pager.Op, off, length uint64) error {
+	if err := o.ext.DeleteRangeOp(op, off, length); err != nil {
 		return err
 	}
 	o.s.statMu.Lock()
 	o.s.stats.DeleteRanges++
 	o.s.statMu.Unlock()
-	return o.refreshMeta()
+	return o.refreshMeta(op)
 }
 
 // Truncate sets the object's size (POSIX-style single-argument form).
 func (o *Object) Truncate(size uint64) error {
-	done := o.s.beginOp()
-	err := o.ext.Truncate(size)
+	op, done := o.s.beginOp()
+	err := o.ext.TruncateOp(op, size)
 	if err == nil {
-		err = o.refreshMeta()
+		err = o.refreshMeta(op)
 	}
 	return done(err)
 }
 
 // refreshMeta updates size/mtime in the object table (no commit; the
 // enclosing operation bracket owns that).
-func (o *Object) refreshMeta() error {
+func (o *Object) refreshMeta(op *pager.Op) error {
 	size := o.ext.Size()
 	now := o.s.now()
-	return o.s.updateMetaNoCommit(o.oid, func(m *Meta) {
+	return o.s.updateMetaNoCommit(op, o.oid, func(m *Meta) {
 		m.Size = size
 		m.Mtime = now
 	})
@@ -152,7 +153,7 @@ func (o *Object) refreshMeta() error {
 
 // updateMetaNoCommit is updateMeta without the commit bracket, for
 // callers that batch the commit themselves.
-func (s *Store) updateMetaNoCommit(oid OID, f func(*Meta)) error {
+func (s *Store) updateMetaNoCommit(op *pager.Op, oid OID, f func(*Meta)) error {
 	v, err := s.meta.Get(oidKey(oid))
 	if err == btree.ErrNotFound {
 		return fmt.Errorf("%w: oid %d", ErrNotFound, oid)
@@ -165,10 +166,10 @@ func (s *Store) updateMetaNoCommit(oid OID, f func(*Meta)) error {
 		return err
 	}
 	f(&m)
-	if err := s.meta.Put(oidKey(oid), encodeMeta(&m)); err != nil {
+	if err := s.meta.PutOp(op, oidKey(oid), encodeMeta(&m)); err != nil {
 		return err
 	}
-	return s.writeShadowMeta(&m)
+	return s.writeShadowMeta(op, &m)
 }
 
 // Close releases the handle; the last close detaches the shared state.

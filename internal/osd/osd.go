@@ -111,12 +111,14 @@ var seqKey = []byte{}
 // Options configures a Store.
 type Options struct {
 	// Begin, when non-nil, brackets every mutating operation: it is
-	// invoked before the operation's first page mutation and returns the
+	// invoked before the operation's first page mutation, returning the
+	// operation's redo capture (threaded through every page mutation so
+	// each structure layer logs exactly this operation's edits) and the
 	// commit function invoked with the operation's outcome after its
-	// last. The volume wires this to per-transaction dirty-page capture
-	// and WAL group commit, so each operation logs exactly the pages it
-	// touched. Nil means non-transactional.
-	Begin func() func(error) error
+	// last mutation. The volume wires this to physiological redo capture
+	// and WAL group commit; the capture is nil in the page-image logging
+	// modes. Nil means non-transactional.
+	Begin func() (*pager.Op, func(error) error)
 	// ExtentConfig tunes the per-object extent trees.
 	ExtentConfig extent.Config
 	// Clock supplies timestamps; nil uses time.Now. Tests inject fakes.
@@ -164,7 +166,7 @@ func Create(pg *pager.Pager, ba *buddy.Allocator, opts Options) (*Store, error) 
 		return nil, err
 	}
 	s := &Store{pg: pg, ba: ba, opts: opts, meta: mt, nextOID: 1, open: make(map[OID]*Object)}
-	if err := s.persistSeq(); err != nil {
+	if err := s.persistSeq(nil); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -197,7 +199,7 @@ func (a pageAlloc) FreePage(no uint64) error   { return a.ba.Free(no, 1) }
 // HeaderPage identifies the store for reopening.
 func (s *Store) HeaderPage() uint64 { return s.meta.HeaderPage() }
 
-func (s *Store) persistSeq() error {
+func (s *Store) persistSeq(op *pager.Op) error {
 	s.seqMu.Lock()
 	defer s.seqMu.Unlock()
 	s.mu.Lock()
@@ -205,21 +207,23 @@ func (s *Store) persistSeq() error {
 	s.mu.Unlock()
 	// Concurrent creators may persist a value past their own allocation;
 	// the sequence only ever needs to be ≥ every issued OID, and seqMu
-	// guarantees the last write carries the largest snapshot.
+	// guarantees the last write carries the largest snapshot (put order
+	// under seqMu is LSN order, so replay keeps the largest too).
 	var v [8]byte
 	binary.LittleEndian.PutUint64(v[:], uint64(next))
-	return s.meta.Put(seqKey, v[:])
+	return s.meta.PutOp(op, seqKey, v[:])
 }
 
 // beginOp opens the transactional bracket for one mutating operation and
-// returns the function that commits (or, on a non-nil operation error,
-// aborts) it. With no Begin hook both halves are no-ops.
-func (s *Store) beginOp() func(error) error {
+// returns its redo capture plus the function that commits (or, on a
+// non-nil operation error, aborts) it. With no Begin hook all parts are
+// no-ops.
+func (s *Store) beginOp() (*pager.Op, func(error) error) {
 	if s.opts.Begin == nil {
-		return func(err error) error { return err }
+		return nil, func(err error) error { return err }
 	}
-	done := s.opts.Begin()
-	return func(opErr error) error {
+	op, done := s.opts.Begin()
+	return op, func(opErr error) error {
 		err := done(opErr)
 		if opErr == nil && err == nil {
 			s.statMu.Lock()
@@ -249,8 +253,8 @@ func (s *Store) Stats() Stats {
 // mode bits and returns an open handle. The whole allocation commits as
 // one transaction.
 func (s *Store) CreateObject(owner string, mode uint32) (*Object, error) {
-	done := s.beginOp()
-	obj, err := s.createObject(owner, mode)
+	op, done := s.beginOp()
+	obj, err := s.createObject(op, owner, mode)
 	if err := done(err); err != nil {
 		return nil, err
 	}
@@ -259,13 +263,13 @@ func (s *Store) CreateObject(owner string, mode uint32) (*Object, error) {
 
 // CreateObjectDeferred is CreateObject without the per-operation commit;
 // callers composing several operations into one transaction (core.Batch)
-// bracket the whole composition themselves.
-func (s *Store) CreateObjectDeferred(owner string, mode uint32) (*Object, error) {
-	return s.createObject(owner, mode)
+// bracket the whole composition themselves and pass its redo capture.
+func (s *Store) CreateObjectDeferred(op *pager.Op, owner string, mode uint32) (*Object, error) {
+	return s.createObject(op, owner, mode)
 }
 
-func (s *Store) createObject(owner string, mode uint32) (*Object, error) {
-	ext, err := extent.Create(s.pg, s.ba, s.opts.ExtentConfig)
+func (s *Store) createObject(op *pager.Op, owner string, mode uint32) (*Object, error) {
+	ext, err := extent.CreateOp(s.pg, s.ba, s.opts.ExtentConfig, op)
 	if err != nil {
 		return nil, err
 	}
@@ -279,13 +283,13 @@ func (s *Store) createObject(owner string, mode uint32) (*Object, error) {
 		Atime: now, Mtime: now, Ctime: now,
 		ExtentHeader: ext.HeaderPage(),
 	}
-	if err := s.meta.Put(oidKey(oid), encodeMeta(&m)); err != nil {
+	if err := s.meta.PutOp(op, oidKey(oid), encodeMeta(&m)); err != nil {
 		return nil, err
 	}
-	if err := s.persistSeq(); err != nil {
+	if err := s.persistSeq(op); err != nil {
 		return nil, err
 	}
-	if err := s.writeShadowMeta(&m); err != nil {
+	if err := s.writeShadowMeta(op, &m); err != nil {
 		return nil, err
 	}
 	obj := &Object{s: s, oid: oid, ext: ext, refs: 1}
@@ -366,8 +370,8 @@ func (s *Store) SetTimes(oid OID, atime, mtime int64) error {
 }
 
 func (s *Store) updateMeta(oid OID, f func(*Meta)) error {
-	done := s.beginOp()
-	return done(s.updateMetaNoCommit(oid, f))
+	op, done := s.beginOp()
+	return done(s.updateMetaNoCommit(op, oid, f))
 }
 
 // shadowMetaOff is where the redundant metadata copy lives in the extent
@@ -375,8 +379,9 @@ func (s *Store) updateMeta(oid OID, f func(*Meta)) error {
 const shadowMetaOff = 64
 
 // writeShadowMeta stores the paper's NULL-key metadata copy in the
-// object's own header page.
-func (s *Store) writeShadowMeta(m *Meta) error {
+// object's own header page, capturing the page image into op (the header
+// page belongs to the object's extent tree, whose pages are image-logged).
+func (s *Store) writeShadowMeta(op *pager.Op, m *Meta) error {
 	pg, err := s.pg.Acquire(m.ExtentHeader)
 	if err != nil {
 		return err
@@ -389,7 +394,7 @@ func (s *Store) writeShadowMeta(m *Meta) error {
 	}
 	binary.LittleEndian.PutUint16(d[shadowMetaOff:], uint16(len(enc)))
 	copy(d[shadowMetaOff+2:], enc)
-	s.pg.MarkDirty(pg)
+	s.pg.MarkDirtyImage(pg, op)
 	return nil
 }
 
@@ -412,18 +417,18 @@ func (s *Store) ShadowMeta(extentHeader uint64) (Meta, error) {
 // DeleteObject destroys the object and releases all its storage. Open
 // handles become invalid.
 func (s *Store) DeleteObject(oid OID) error {
-	done := s.beginOp()
-	return done(s.deleteObject(oid))
+	op, done := s.beginOp()
+	return done(s.deleteObject(op, oid))
 }
 
 // DeleteObjectDeferred is DeleteObject without the per-operation commit,
 // for callers composing a larger transaction (the volume's name-stripping
 // delete, core.Batch).
-func (s *Store) DeleteObjectDeferred(oid OID) error {
-	return s.deleteObject(oid)
+func (s *Store) DeleteObjectDeferred(op *pager.Op, oid OID) error {
+	return s.deleteObject(op, oid)
 }
 
-func (s *Store) deleteObject(oid OID) error {
+func (s *Store) deleteObject(op *pager.Op, oid OID) error {
 	m, err := s.Stat(oid)
 	if err != nil {
 		return err
@@ -445,7 +450,7 @@ func (s *Store) deleteObject(oid OID) error {
 	if err := ext.Destroy(); err != nil {
 		return err
 	}
-	if err := s.meta.Delete(oidKey(oid)); err != nil {
+	if err := s.meta.DeleteOp(op, oidKey(oid)); err != nil {
 		return err
 	}
 	s.statMu.Lock()

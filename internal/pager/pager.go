@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/blockdev"
+	"repro/internal/redo"
 )
 
 // Pager errors.
@@ -51,10 +52,24 @@ type Page struct {
 	// half-filled page; busy is closed (under the shard lock being
 	// released) once the fill completes or fails.
 	busy chan struct{}
+	// fresh marks a page created by AcquireZero that has never been
+	// written home: its home content is garbage and its final state is
+	// fully determined by its redo records, so it needs no base image.
+	// Cleared on first writeback.
+	fresh bool
+	// lsn is the pageLSN: the LSN of the last redo record stamped for
+	// this page (under the shard latch in MarkDirtyRec). Replay is ordered
+	// by these LSNs, which makes it idempotent and makes the per-page
+	// record order equal the order the bytes actually changed.
+	lsn atomic.Uint64
 }
 
 // No returns the page's block number.
 func (p *Page) No() uint64 { return p.no }
+
+// LSN returns the pageLSN — the LSN of the last redo record stamped for
+// this page (0 if none this session).
+func (p *Page) LSN() uint64 { return p.lsn.Load() }
 
 // Data returns the page contents. The slice is valid only while pinned.
 func (p *Page) Data() []byte { return p.data }
@@ -96,6 +111,25 @@ type Pager struct {
 	// so DirtyCount is lock-free — the volume consults it per commit to
 	// decide when the no-steal cache needs a checkpoint to drain.
 	ndirty atomic.Int64
+
+	// lsn is the volume-wide LSN counter for physiological logging.
+	// Records are stamped from it at mutation time, inside the page's
+	// shard latch, so per-page LSN order equals byte-mutation order.
+	// Seeded past the recovered maximum on open so LSNs stay monotonic
+	// across log generations (the checkpoint fence depends on it).
+	lsn atomic.Uint64
+
+	// baseApp, when set, receives a first-touch *base image* system
+	// record whenever a home-backed page transitions clean → dirty: the
+	// page's home content (read back from the device — under no-steal it
+	// equals the last checkpoint's all-committed state, so it can never
+	// carry uncommitted bytes) logged before the generation's first edit
+	// record. Replay then rebuilds every touched page from the log
+	// alone, which makes physiological recovery idempotent — a crash
+	// during or just after a checkpoint's page flush (home pages
+	// already post-state, or torn mid-write) replays to the same final
+	// state instead of re-executing splits over already-split pages.
+	baseApp Appender
 }
 
 // New creates a pager over dev caching up to capacity pages.
@@ -141,6 +175,10 @@ func (p *Pager) AcquireZero(no uint64) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := p.shardOf(no)
+	s.mu.Lock()
+	pg.fresh = true
+	s.mu.Unlock()
 	for i := range pg.data {
 		pg.data[i] = 0
 	}
@@ -233,6 +271,7 @@ func (p *Pager) makeRoomLocked(s *shard) error {
 			}
 			s.writebacks++
 			victim.dirty = false
+			victim.fresh = false
 			delete(s.dirty, victim.no)
 			p.ndirty.Add(-1)
 		}
@@ -267,16 +306,259 @@ func (p *Pager) MarkDirty(pg *Page) {
 		s.mu.Unlock()
 		panic("pager: MarkDirty on unpinned page")
 	}
+	base := p.setDirtyLocked(s, pg)
+	s.mu.Unlock()
+	p.appendBase(base)
+	p.noteDirty(pg)
+}
+
+// EnableBaseImages turns on first-touch base-image logging (see the
+// baseApp field). The volume installs it on physiological-logging
+// volumes once the device state is a clean generation boundary.
+func (p *Pager) EnableBaseImages(app Appender) { p.baseApp = app }
+
+// setDirtyLocked performs the clean→dirty transition under the shard
+// lock, returning the base-image record to append (nil if none needed).
+func (p *Pager) setDirtyLocked(s *shard, pg *Page) *redo.Record {
+	if pg.dirty {
+		return nil
+	}
+	pg.dirty = true
+	s.dirty[pg.no] = pg
+	p.ndirty.Add(1)
+	if p.baseApp == nil || pg.fresh {
+		return nil
+	}
+	// Draw the base's LSN inside the latch so it sorts below every edit
+	// of the generation; the home read itself happens outside the shard
+	// lock (appendBase) — safe because under no-steal nothing writes the
+	// home copy between checkpoints, and checkpoints are fenced out for
+	// the mutator's whole bracket.
+	return &redo.Record{LSN: p.lsn.Add(1), Page: pg.no, Kind: redo.KindImage}
+}
+
+// appendBase reads the page's committed home content (its pre-mutation
+// state — the clean cache copy equaled it until the edit now being
+// marked) and ships it as a first-touch base-image system transaction.
+// Failures wedge the log: no commit may be acknowledged durable while a
+// touched page has no recoverable base; the forced checkpoint fallback
+// then flushes the unprotected state home instead.
+func (p *Pager) appendBase(base *redo.Record) {
+	if base == nil {
+		return
+	}
+	home := make([]byte, p.dev.BlockSize())
+	if err := p.dev.ReadBlock(base.Page, home); err != nil {
+		p.baseApp.Wedge()
+		return
+	}
+	base.Data = home
+	_ = p.baseApp.AppendSystem([]redo.Record{*base})
+}
+
+// --- physiological per-operation redo capture ---
+
+// SeedLSN advances the LSN counter to at least v (recovery seeds it past
+// the last recovered record so LSNs stay monotonic across generations).
+func (p *Pager) SeedLSN(v uint64) {
+	for {
+		cur := p.lsn.Load()
+		if cur >= v || p.lsn.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// CurrentLSN returns the last LSN issued.
+func (p *Pager) CurrentLSN() uint64 { return p.lsn.Load() }
+
+// Appender is where system transactions (structure modifications that
+// must be redone regardless of the enclosing operation's fate — splits,
+// merges, base images) are appended. The volume wires it to the WAL.
+// Wedge disables the log until a checkpoint — the fail-stop escape when
+// a protective record cannot be produced at all.
+type Appender interface {
+	AppendSystem(recs []redo.Record) error
+	Wedge()
+}
+
+// Op captures the redo records of one mutating operation. Structure
+// layers emit records through MarkDirtyRec/MarkDirtyImage as they mutate
+// pages; the volume stages the collected records as one WAL transaction
+// at commit. A nil *Op is accepted everywhere and means "unlogged"
+// (non-transactional volume, or the page-image logging mode where the
+// broadcast Txn capture below does the work instead).
+type Op struct {
+	p   *Pager
+	app Appender
+
+	mu       sync.Mutex
+	recs     []redo.Record
+	images   map[uint64]int // page → index in recs of its image record
+	deferred []func(*Op) error
+}
+
+// NewOp opens a per-operation redo capture. app receives system
+// transactions emitted by structure-modification operations inside this
+// op; it may be nil only if the op never mutates structured trees.
+func (p *Pager) NewOp(app Appender) *Op {
+	return &Op{p: p, app: app}
+}
+
+// NewSys opens a capture for a system transaction nested in op (records
+// staged into it are appended immediately via AppendSys, not at the
+// enclosing commit). Nil-safe.
+func (op *Op) NewSys() *Op {
+	if op == nil {
+		return nil
+	}
+	return &Op{p: op.p, app: op.app}
+}
+
+// AppendSys appends the op's staged records as one auto-committed system
+// transaction. Used for structure modifications: the records reach the
+// log (unsynced — the next group sync or checkpoint makes them durable
+// before anything that depends on them) ahead of any commit that builds
+// on the modified structure. Nil-safe.
+func (op *Op) AppendSys() error {
+	if op == nil {
+		return nil
+	}
+	op.mu.Lock()
+	recs := op.recs
+	op.recs = nil
+	op.images = nil
+	op.mu.Unlock()
+	if len(recs) == 0 {
+		return nil
+	}
+	return op.app.AppendSystem(recs)
+}
+
+// Records closes the capture and returns the staged records in staging
+// (= LSN) order.
+func (op *Op) Records() []redo.Record {
+	op.mu.Lock()
+	recs := op.recs
+	op.recs = nil
+	op.images = nil
+	op.mu.Unlock()
+	return recs
+}
+
+// Defer registers fn to run after the op's commit is durable, with a
+// fresh system-transaction capture (deferred structural rebalancing:
+// running it post-commit keeps uncommitted deletes out of the merge's
+// replay window). Nil-safe.
+func (op *Op) Defer(fn func(*Op) error) {
+	if op == nil {
+		return
+	}
+	op.mu.Lock()
+	op.deferred = append(op.deferred, fn)
+	op.mu.Unlock()
+}
+
+// Deferred returns and clears the registered post-commit actions.
+func (op *Op) Deferred() []func(*Op) error {
+	op.mu.Lock()
+	d := op.deferred
+	op.deferred = nil
+	op.mu.Unlock()
+	return d
+}
+
+// stage appends a stamped record.
+func (op *Op) stage(r redo.Record) {
+	op.mu.Lock()
+	op.recs = append(op.recs, r)
+	op.mu.Unlock()
+}
+
+// MarkDirtyRec marks the page dirty and stages a redo record for op.
+// The LSN is drawn and the pageLSN updated inside the page's shard lock —
+// the short per-page latch window that scopes the record to exactly this
+// mutation: the caller still holds the structure lock that serialized the
+// edit, so no concurrent writer can slip bytes into the window between
+// the edit and its stamp, and per-page LSN order equals byte order.
+// With a nil op this is MarkDirty.
+func (p *Pager) MarkDirtyRec(pg *Page, op *Op, kind uint8, data []byte) {
+	if op == nil {
+		p.MarkDirty(pg)
+		return
+	}
+	lsn := p.markDirtyStamp(pg)
+	op.stage(redo.Record{LSN: lsn, Page: pg.no, Kind: kind, Data: data})
+}
+
+// MarkDirtyImage marks the page dirty and stages (or refreshes) a full
+// page-image record for op — the fallback kind, used for extent-tree
+// pages. The copy is taken inside the latch window; a later capture of
+// the same page replaces the earlier one (freshest image wins, with the
+// fresher LSN). With a nil op this is MarkDirty.
+func (p *Pager) MarkDirtyImage(pg *Page, op *Op) {
+	if op == nil {
+		p.MarkDirty(pg)
+		return
+	}
+	s := p.shardOf(pg.no)
+	s.mu.Lock()
+	if pg.pins <= 0 {
+		s.mu.Unlock()
+		panic("pager: MarkDirtyImage on unpinned page")
+	}
+	// No base image: the op's own full-image record resets the page's
+	// replay state, so home content is never the base.
 	if !pg.dirty {
 		pg.dirty = true
 		s.dirty[pg.no] = pg
 		p.ndirty.Add(1)
 	}
+	lsn := p.lsn.Add(1)
+	pg.lsn.Store(lsn)
 	s.mu.Unlock()
+
+	// The copy happens under the caller's structure lock (the only
+	// writer serialization for these bytes), so it cannot tear. Refresh
+	// in place when the op already captured this page: only the freshest
+	// image survives, so earlier copies would be pure waste.
+	op.mu.Lock()
+	if op.images == nil {
+		op.images = make(map[uint64]int, 8)
+	}
+	if i, ok := op.images[pg.no]; ok {
+		copy(op.recs[i].Data, pg.data)
+		op.recs[i].LSN = lsn
+	} else {
+		c := make([]byte, len(pg.data))
+		copy(c, pg.data)
+		op.images[pg.no] = len(op.recs)
+		op.recs = append(op.recs, redo.Record{LSN: lsn, Page: pg.no, Kind: redo.KindImage, Data: c})
+	}
+	op.mu.Unlock()
 	p.noteDirty(pg)
 }
 
-// --- per-transaction dirty capture ---
+// markDirtyStamp marks dirty and stamps a fresh LSN under the shard
+// latch (capturing a first-touch base image on the clean→dirty
+// transition, with an LSN below the edit's).
+func (p *Pager) markDirtyStamp(pg *Page) uint64 {
+	s := p.shardOf(pg.no)
+	s.mu.Lock()
+	if pg.pins <= 0 {
+		s.mu.Unlock()
+		panic("pager: MarkDirtyRec on unpinned page")
+	}
+	base := p.setDirtyLocked(s, pg)
+	lsn := p.lsn.Add(1)
+	pg.lsn.Store(lsn)
+	s.mu.Unlock()
+	p.appendBase(base)
+	p.noteDirty(pg)
+	return lsn
+}
+
+// --- per-transaction dirty capture (page-image logging mode) ---
 
 // Txn captures the pages dirtied while it is open, so a commit can log
 // exactly the pages its operation touched instead of scanning and
@@ -400,6 +682,7 @@ func (p *Pager) FlushDirty() error {
 			}
 			s.writebacks++
 			pg.dirty = false
+			pg.fresh = false
 			delete(s.dirty, no)
 			p.ndirty.Add(-1)
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/blockdev"
+	"repro/internal/redo"
 )
 
 func newPager(t *testing.T, blocks uint64, capacity int, evictDirty bool) (*Pager, *blockdev.MemDevice) {
@@ -505,5 +506,65 @@ func TestConcurrentAcquireRelease(t *testing.T) {
 	s := p.Stats()
 	if s.Hits+s.Misses != 8*200 {
 		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, 8*200)
+	}
+}
+
+// TestMarkDirtyRecStampsAndAttributes: MarkDirtyRec stamps monotonically
+// increasing LSNs under the page latch, updates the pageLSN, and stages
+// the record into exactly the mutator's op.
+func TestMarkDirtyRecStampsAndAttributes(t *testing.T) {
+	p, _ := newPager(t, 64, 64, false)
+	pg, err := p.Acquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(pg)
+
+	op1 := p.NewOp(nil)
+	op2 := p.NewOp(nil)
+	p.MarkDirtyRec(pg, op1, redo.KindRange, redo.EncodeRange(0, []byte("a")))
+	first := pg.LSN()
+	p.MarkDirtyRec(pg, op2, redo.KindRange, redo.EncodeRange(0, []byte("b")))
+	second := pg.LSN()
+	if first == 0 || second <= first {
+		t.Fatalf("pageLSN not monotone: %d then %d", first, second)
+	}
+	r1, r2 := op1.Records(), op2.Records()
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("record attribution: op1=%d op2=%d records", len(r1), len(r2))
+	}
+	if r1[0].LSN != first || r2[0].LSN != second {
+		t.Fatalf("record LSNs %d/%d, want %d/%d", r1[0].LSN, r2[0].LSN, first, second)
+	}
+	if r1[0].Page != 1 || r2[0].Page != 1 {
+		t.Fatalf("record pages %d/%d", r1[0].Page, r2[0].Page)
+	}
+}
+
+// TestMarkDirtyImageFreshestWins: repeated image captures of one page in
+// one op keep a single record holding the freshest bytes and LSN.
+func TestMarkDirtyImageFreshestWins(t *testing.T) {
+	p, _ := newPager(t, 64, 64, false)
+	pg, err := p.Acquire(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(pg)
+
+	op := p.NewOp(nil)
+	pg.Data()[0] = 0xAA
+	p.MarkDirtyImage(pg, op)
+	lsn1 := pg.LSN()
+	pg.Data()[0] = 0xBB
+	p.MarkDirtyImage(pg, op)
+	recs := op.Records()
+	if len(recs) != 1 {
+		t.Fatalf("image records = %d, want 1 (dedup)", len(recs))
+	}
+	if recs[0].Data[0] != 0xBB {
+		t.Fatalf("image holds %#x, want freshest 0xBB", recs[0].Data[0])
+	}
+	if recs[0].LSN <= lsn1 {
+		t.Fatalf("image LSN %d not refreshed past %d", recs[0].LSN, lsn1)
 	}
 }

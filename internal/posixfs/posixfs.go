@@ -569,6 +569,13 @@ func (f *FS) renameSubtree(oldDir, newDir string) error {
 	if err != nil {
 		return err
 	}
+	// RangeLookup yields one OID per (value, OID) index entry in name
+	// order, so an object hard-linked under several names in the moved
+	// directory appears once per name — and the name loop below already
+	// moves every matching link. Sort-dedup, as ReadDir does, or each
+	// multi-linked child is re-processed per link (its directory subtree
+	// re-walked once per extra name).
+	oids = index.DedupOIDs(oids)
 	for _, oid := range oids {
 		names, err := f.vol.Names(oid)
 		if err != nil {

@@ -381,6 +381,39 @@ func TestRenameDirectorySubtree(t *testing.T) {
 	}
 }
 
+// TestRenameSubtreeHardLinks: a file hard-linked under two names inside a
+// moved directory appears once per name in the PDIR range lookup;
+// renameSubtree must dedup the OIDs (as ReadDir does) and still move
+// every link exactly once.
+func TestRenameSubtreeHardLinks(t *testing.T) {
+	fs, _ := newFS(t)
+	if err := fs.MkdirAll("/d/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/sub/a", []byte("linked"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/d/sub/a", "/d/sub/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/d", "/e"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/e/sub/a", "/e/sub/b"} {
+		got, err := fs.ReadFile(p)
+		if err != nil || string(got) != "linked" {
+			t.Errorf("ReadFile(%s) = %q, %v", p, got, err)
+		}
+	}
+	entries, err := fs.ReadDir("/e/sub")
+	if err != nil || len(entries) != 2 {
+		t.Errorf("ReadDir after rename = %+v, %v", entries, err)
+	}
+	if _, err := fs.Stat("/d/sub/a"); !errors.Is(err, ErrNotExist) {
+		t.Error("old link survives rename")
+	}
+}
+
 func TestCreateTruncatesExisting(t *testing.T) {
 	fs, _ := newFS(t)
 	if err := fs.WriteFile("/f", []byte("long original content"), 0o644); err != nil {

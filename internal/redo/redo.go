@@ -1,0 +1,75 @@
+// Package redo defines the physiological redo records shared by the
+// pager (which stamps and stages them), the structure layers (btree,
+// extent, osd — which emit them), and the WAL (which appends and
+// recovers them).
+//
+// A record is physical to a page and, for structured pages, logical
+// within it: it names the page it applies to and carries either the
+// page's full image, an absolute byte range, or a typed operation that
+// recovery re-executes against the page. Every record is stamped with an
+// LSN drawn at mutation time under the page latch, so the global LSN
+// order is exactly the order page bytes changed — recovery replays
+// committed records in LSN order and reproduces the committed state even
+// when transactions committed out of mutation order.
+//
+// Record kinds (these are also the WAL wire kinds; 2 and 3 are reserved
+// by the WAL for commit and checkpoint records):
+//
+//   - KindImage: Data is the full page image. The conservative fallback
+//     — used by the page-image logging mode and for extent-tree pages,
+//     whose trees are object-private.
+//   - KindRange: Data is a u32 page offset followed by the bytes written
+//     there. Idempotent absolute overwrite; used for pointer stitches,
+//     tree headers, and overflow-page content.
+//   - KindBtreeOp: Data is a btree-typed operation (opcode byte plus
+//     encoding, defined in package btree) that recovery re-executes via
+//     btree.ReplayOp. Because replay re-executes the operation against
+//     whatever committed cells the page holds, a committed record never
+//     carries a neighbour's uncommitted bytes.
+package redo
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record kinds. Values 2 and 3 are reserved by the WAL (commit,
+// checkpoint).
+const (
+	KindImage   = 1
+	KindRange   = 4
+	KindBtreeOp = 5
+)
+
+// Record is one physiological redo record.
+type Record struct {
+	LSN  uint64 // mutation-time sequence number; 0 = unstamped (image-mode)
+	Page uint64 // page the record applies to (ops may reference others in Data)
+	Kind uint8
+	Data []byte
+}
+
+// Len returns the payload size in bytes (for WAL space accounting).
+func (r Record) Len() int { return len(r.Data) }
+
+// EncodeRange builds a KindRange payload: u32 offset | bytes.
+func EncodeRange(off int, b []byte) []byte {
+	out := make([]byte, 4+len(b))
+	binary.LittleEndian.PutUint32(out, uint32(off))
+	copy(out[4:], b)
+	return out
+}
+
+// ApplyRange applies a KindRange payload to page bytes.
+func ApplyRange(page, payload []byte) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("redo: short range payload (%d bytes)", len(payload))
+	}
+	off := int(binary.LittleEndian.Uint32(payload))
+	b := payload[4:]
+	if off < 0 || off+len(b) > len(page) {
+		return fmt.Errorf("redo: range [%d,%d) outside page of %d bytes", off, off+len(b), len(page))
+	}
+	copy(page[off:], b)
+	return nil
+}

@@ -24,25 +24,33 @@
 //  4. Checkpoint records that all committed data is home, allowing the log
 //     to be reset.
 //
-// Recovery replays page images of committed transactions in order; torn or
-// uncommitted tails are detected by CRC and dropped.
+// Recovery replays the redo records of committed transactions in LSN
+// (mutation) order; torn or uncommitted tails are detected by CRC and
+// dropped. Physiological records (ranges, typed btree ops) carry a
+// non-zero LSN stamped at mutation time under the page latch; page-image
+// records from the image-logging mode carry LSN 0 and replay in log
+// order (the stable sort preserves it).
 //
 // Log record layout (little-endian), packed back to back across blocks:
 //
 //	[0:4]   crc32 (castagnoli) of bytes [4:recordLen]
 //	[4:8]   payload length
-//	[8]     kind (1=page image, 2=commit, 3=checkpoint)
+//	[8]     kind (1=page image, 2=commit, 3=checkpoint, 4=range, 5=btree op)
 //	[9:17]  txn id
-//	[17:25] page number (page-image records)
-//	[25:]   payload (page-image records)
+//	[17:25] page number (redo records)
+//	[25:33] lsn (redo records; 0 for image-mode records)
+//	[33:]   payload (redo records)
 //
 // A zero length+crc marks the end of the log.
 //
 // The first hdrSize bytes of the region are a persistent header holding a
-// magic number and the transaction-id high-water mark. Ids must stay
-// monotonic across checkpoints and re-opens — recovery uses "txid went
-// backwards" to detect stale records beyond the true tail, and an id reset
-// would let leftovers from earlier log passes masquerade as fresh commits.
+// magic number, the transaction-id high-water mark, and the LSN fence of
+// the last checkpoint. Ids must stay monotonic across checkpoints and
+// re-opens — recovery uses "txid went backwards" to detect stale records
+// beyond the true tail, and an id reset would let leftovers from earlier
+// log passes masquerade as fresh commits. The LSN fence is the second
+// seat belt: any record whose LSN predates the last checkpoint is a
+// leftover from an earlier generation and is dropped.
 package wal
 
 import (
@@ -51,25 +59,28 @@ import (
 	"fmt"
 	"hash/crc32"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/blockdev"
+	"repro/internal/redo"
 )
 
-// Record kinds.
+// Record kinds. Redo-record kinds (1, 4, 5) are shared with package redo;
+// commit and checkpoint are log-internal.
 const (
-	kindPage       = 1
+	kindPage       = redo.KindImage
 	kindCommit     = 2
 	kindCheckpoint = 3
 )
 
-const recHdrSize = 25
+const recHdrSize = 33
 
 // Log-region header (start of the first block).
 const (
 	logMagic   = 0x57414C31 // "WAL1"
-	logHdrSize = 24         // magic u32 + pad u32 + nextTx u64 + reserved u64
+	logHdrSize = 24         // magic u32 + pad u32 + nextTx u64 + lsn fence u64
 )
 
 // WAL errors.
@@ -86,11 +97,12 @@ type Stats struct {
 	Commits       int64
 	Groups        int64 // group-commit rounds (≤ Commits; Commits/Groups is the batching factor)
 	Syncs         int64 // device syncs issued by commits (one per group)
-	PagesLogged   int64
+	PagesLogged   int64 // redo records appended (images, ranges, ops)
 	BytesLogged   int64
+	SystemTxns    int64 // auto-committed structure-modification transactions
 	Checkpoints   int64
 	Recoveries    int64
-	PagesReplayed int64
+	PagesReplayed int64 // redo records replayed
 }
 
 // Log is a write-ahead log occupying blocks [start, start+nblocks) of dev.
@@ -122,6 +134,19 @@ type Log struct {
 	gqueue []*gcBatch
 	gbusy  bool
 
+	// wedged is set (under mu) when a system transaction could not reach
+	// the log (region full). From then on every commit fails with ErrFull
+	// until a checkpoint resets the log: an unlogged structure
+	// modification must not be built upon by any durable commit, and the
+	// checkpoint that clears the wedge flushes the modification home.
+	wedged bool
+
+	// lsnFence is the LSN high-water persisted by the last checkpoint;
+	// recovery drops stamped records at or below it (stale-generation
+	// leftovers). maxLSN is the largest LSN seen by the last Recover.
+	lsnFence uint64
+	maxLSN   uint64
+
 	stats Stats
 }
 
@@ -148,12 +173,14 @@ func New(dev blockdev.Device, start, nblocks uint64) *Log {
 	return l
 }
 
-// writeHeaderBlockLocked persists the id high-water mark, zeroing the
-// rest of the first block (so a following Recover sees an empty log).
+// writeHeaderBlockLocked persists the id high-water mark and the LSN
+// fence, zeroing the rest of the first block (so a following Recover sees
+// an empty log).
 func (l *Log) writeHeaderBlockLocked() error {
 	blk := make([]byte, l.bs)
 	binary.LittleEndian.PutUint32(blk[0:], logMagic)
 	binary.LittleEndian.PutUint64(blk[8:], l.nextTx.Load())
+	binary.LittleEndian.PutUint64(blk[16:], l.lsnFence)
 	if err := l.dev.WriteBlock(l.start, blk); err != nil {
 		return err
 	}
@@ -170,16 +197,11 @@ func (l *Log) Stats() Stats {
 	return l.stats
 }
 
-// Txn is an open transaction accumulating page images.
+// Txn is an open transaction accumulating redo records.
 type Txn struct {
-	l     *Log
-	id    uint64
-	pages []pageImage
-}
-
-type pageImage struct {
-	no   uint64
-	data []byte
+	l    *Log
+	id   uint64
+	recs []redo.Record
 }
 
 // Begin opens a transaction. Its id is zero until commit: the group
@@ -191,22 +213,29 @@ func (l *Log) Begin() *Txn {
 	return &Txn{l: l}
 }
 
-// LogPage records the post-image of page no. The data is copied.
+// LogPage records the post-image of page no. The data is copied. Image
+// records carry LSN 0 and replay in log order (the image-logging mode).
 func (t *Txn) LogPage(no uint64, data []byte) {
 	c := make([]byte, len(data))
 	copy(c, data)
-	t.pages = append(t.pages, pageImage{no, c})
+	t.recs = append(t.recs, redo.Record{Page: no, Kind: redo.KindImage, Data: c})
 }
 
 // LogPageOwned records the post-image of page no without copying; the
 // caller hands over ownership of data (the volume's per-txn write sets
 // are already private copies, so a second copy here would be waste).
 func (t *Txn) LogPageOwned(no uint64, data []byte) {
-	t.pages = append(t.pages, pageImage{no, data})
+	t.recs = append(t.recs, redo.Record{Page: no, Kind: redo.KindImage, Data: data})
 }
 
-// PageCount returns the number of page images staged in this transaction.
-func (t *Txn) PageCount() int { return len(t.pages) }
+// LogRecord stages one physiological redo record (already LSN-stamped by
+// the pager).
+func (t *Txn) LogRecord(r redo.Record) {
+	t.recs = append(t.recs, r)
+}
+
+// PageCount returns the number of redo records staged in this transaction.
+func (t *Txn) PageCount() int { return len(t.recs) }
 
 // Commit makes the transaction durable via group commit: the caller's
 // batch joins a queue; a leader drains the queue, appends every waiting
@@ -236,7 +265,7 @@ func (t *Txn) commit(fill func(*Txn)) error {
 	l.gmu.Lock()
 	if fill != nil {
 		fill(t)
-		if len(t.pages) == 0 {
+		if len(t.recs) == 0 {
 			l.gmu.Unlock()
 			return nil
 		}
@@ -295,10 +324,16 @@ func (l *Log) commitGroup(group []*gcBatch) {
 
 	appended := 0
 	for _, b := range group {
+		if l.wedged {
+			// An unlogged structure modification is pending a checkpoint;
+			// nothing may commit on top of it.
+			b.err = fmt.Errorf("%w: log wedged pending checkpoint", ErrFull)
+			continue
+		}
 		// Space check: all records + commit + end marker must fit.
 		need := uint64(recHdrSize + 8)
-		for _, p := range b.txn.pages {
-			need += recHdrSize + uint64(len(p.data))
+		for _, r := range b.txn.recs {
+			need += recHdrSize + uint64(len(r.Data))
 		}
 		if l.head.Load()+need > l.Capacity() {
 			b.err = fmt.Errorf("%w: need %d bytes, %d available", ErrFull, need, l.Capacity()-l.head.Load())
@@ -307,14 +342,14 @@ func (l *Log) commitGroup(group []*gcBatch) {
 		// Definitive id, assigned in append order.
 		id := l.nextTx.Add(1) - 1
 		b.txn.id = id
-		for _, p := range b.txn.pages {
-			if b.err = l.appendLocked(kindPage, id, p.no, p.data); b.err != nil {
+		for _, r := range b.txn.recs {
+			if b.err = l.appendLocked(r.Kind, id, r.Page, r.LSN, r.Data); b.err != nil {
 				l.poisonGroup(group, b.err)
 				return
 			}
 			l.stats.PagesLogged++
 		}
-		if b.err = l.appendLocked(kindCommit, id, 0, nil); b.err != nil {
+		if b.err = l.appendLocked(kindCommit, id, 0, 0, nil); b.err != nil {
 			l.poisonGroup(group, b.err)
 			return
 		}
@@ -323,17 +358,7 @@ func (l *Log) commitGroup(group []*gcBatch) {
 	if appended == 0 {
 		return
 	}
-	// Terminate the log with an end marker (zero crc + zero length) that
-	// the NEXT group overwrites. Without it, records left over from a
-	// previous log generation could sit immediately after our tail with
-	// valid CRCs, and recovery would replay their stale page images over
-	// newer state. head is rewound so the marker is not part of the log.
-	if err := l.writeBytesLocked(make([]byte, 8)); err != nil {
-		l.poisonGroup(group, err)
-		return
-	}
-	l.head.Add(^uint64(7)) // head -= 8
-	if err := l.flushBufLocked(); err != nil {
+	if err := l.terminateLocked(); err != nil {
 		l.poisonGroup(group, err)
 		return
 	}
@@ -346,15 +371,83 @@ func (l *Log) commitGroup(group []*gcBatch) {
 	for _, b := range group {
 		if b.err == nil {
 			l.stats.Commits++
-			b.txn.pages = nil
+			b.txn.recs = nil
 		}
 	}
 }
 
+// terminateLocked writes the end marker (zero crc + zero length) that the
+// NEXT append overwrites, rewinds head so the marker is not part of the
+// log, and flushes the staging buffer. Without the marker, records left
+// over from a previous log generation could sit immediately after the
+// tail with valid CRCs and recovery would replay their stale contents
+// over newer state.
+func (l *Log) terminateLocked() error {
+	if err := l.writeBytesLocked(make([]byte, 8)); err != nil {
+		return err
+	}
+	l.head.Add(^uint64(7)) // head -= 8
+	return l.flushBufLocked()
+}
+
+// AppendSystem appends recs plus a commit record as one auto-committed
+// transaction, without syncing the device: a system transaction (page
+// split, merge) must be *ordered before* any commit that builds on the
+// modified structure, and the log is sequential, so the next group sync
+// or checkpoint makes it durable together with (or before) everything
+// that depends on it. Structure modifications are logged this way so
+// recovery redoes them regardless of whether the enclosing operation's
+// transaction committed — a committed neighbour's records may target
+// pages the modification created.
+//
+// If the records do not fit, the log wedges: every subsequent commit
+// fails with ErrFull until a checkpoint (which flushes the unlogged
+// modification home) resets the region.
+func (l *Log) AppendSystem(recs []redo.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged {
+		return fmt.Errorf("%w: log wedged pending checkpoint", ErrFull)
+	}
+	need := uint64(recHdrSize + 8)
+	for _, r := range recs {
+		need += recHdrSize + uint64(len(r.Data))
+	}
+	if l.head.Load()+need > l.Capacity() {
+		l.wedged = true
+		return fmt.Errorf("%w: system txn needs %d bytes, %d available", ErrFull, need, l.Capacity()-l.head.Load())
+	}
+	id := l.nextTx.Add(1) - 1
+	for _, r := range recs {
+		if err := l.appendLocked(r.Kind, id, r.Page, r.LSN, r.Data); err != nil {
+			l.wedged = true // tail state unknown: fail stop until checkpoint
+			return err
+		}
+		l.stats.PagesLogged++
+	}
+	if err := l.appendLocked(kindCommit, id, 0, 0, nil); err != nil {
+		l.wedged = true
+		return err
+	}
+	l.stats.SystemTxns++
+	if err := l.terminateLocked(); err != nil {
+		l.wedged = true
+		return err
+	}
+	return nil
+}
+
 // poisonGroup marks every batch without a verdict as failed with err.
 // Batches whose records were appended before the failure also fail:
-// their commit records never became durable.
+// their commit records never became durable. The device error leaves
+// the log tail in an unknown state, so the log also wedges: appending
+// past a possibly-torn region would strand every later commit behind a
+// CRC break that recovery treats as the tail.
 func (l *Log) poisonGroup(group []*gcBatch, err error) {
+	l.wedged = true
 	for _, b := range group {
 		if b.err == nil {
 			b.err = err
@@ -362,16 +455,17 @@ func (l *Log) poisonGroup(group []*gcBatch, err error) {
 	}
 }
 
-// Abort discards the staged images; nothing was written.
-func (t *Txn) Abort() { t.pages = nil }
+// Abort discards the staged records; nothing was written.
+func (t *Txn) Abort() { t.recs = nil }
 
 // appendLocked writes one record at head, buffering partial blocks.
-func (l *Log) appendLocked(kind byte, txid, pageNo uint64, payload []byte) error {
+func (l *Log) appendLocked(kind uint8, txid, pageNo, lsn uint64, payload []byte) error {
 	rec := make([]byte, recHdrSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))
 	rec[8] = kind
 	binary.LittleEndian.PutUint64(rec[9:], txid)
 	binary.LittleEndian.PutUint64(rec[17:], pageNo)
+	binary.LittleEndian.PutUint64(rec[25:], lsn)
 	copy(rec[recHdrSize:], payload)
 	crc := crc32.Checksum(rec[4:], crcTable)
 	binary.LittleEndian.PutUint32(rec[0:], crc)
@@ -426,19 +520,45 @@ func (l *Log) flushBufLocked() error {
 }
 
 // Checkpoint declares all committed pages durably home and resets the
-// log, persisting the transaction-id high-water mark in the region header
-// so ids stay monotonic across generations. The caller must have flushed
-// the pager first.
-func (l *Log) Checkpoint() error {
+// log, persisting the transaction-id high-water mark and the LSN fence in
+// the region header so both stay monotonic across generations. lsnFence
+// is the volume's current LSN (every record of the next generation will
+// be stamped above it; recovery drops stamped records at or below the
+// fence as stale-generation leftovers). The caller must have flushed the
+// pager first; the reset also clears a wedged log — the unlogged
+// structure modification that wedged it is home now.
+func (l *Log) Checkpoint(lsnFence uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if lsnFence > l.lsnFence {
+		l.lsnFence = lsnFence
+	}
 	if err := l.writeHeaderBlockLocked(); err != nil {
 		return err
 	}
 	l.head.Store(logHdrSize)
 	l.bufOK = false
+	l.wedged = false
 	l.stats.Checkpoints++
 	return nil
+}
+
+// Wedged reports whether the log is unusable pending a checkpoint.
+func (l *Log) Wedged() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged
+}
+
+// Wedge marks the log unusable until the next checkpoint. Callers use it
+// when a protective record (a first-touch base image) could not be
+// produced: blocking every commit until a checkpoint flushes the
+// unprotected state home beats acknowledging commits a crash could not
+// recover.
+func (l *Log) Wedge() {
+	l.mu.Lock()
+	l.wedged = true
+	l.mu.Unlock()
 }
 
 // Used returns the bytes currently appended since the last checkpoint.
@@ -448,30 +568,37 @@ func (l *Log) Used() uint64 {
 	return l.head.Load() - logHdrSize
 }
 
-// Recover scans the log, replaying page images of committed transactions
-// through apply in log order. It tolerates a torn tail (CRC mismatch) by
-// stopping there. After replay it positions head for continued appends.
-// Returns the number of pages replayed.
-func (l *Log) Recover(apply func(pageNo uint64, data []byte) error) (int, error) {
+// Recover scans the log and replays the redo records of committed
+// transactions through apply, ordered by LSN (mutation order; records
+// without an LSN — image-mode — keep log order under the stable sort).
+// It tolerates a torn tail (CRC mismatch) by stopping there, drops
+// records whose LSN predates the last checkpoint's fence, and positions
+// head for continued appends. Returns the number of records replayed;
+// MaxLSN afterwards reports the largest LSN seen so the volume can seed
+// its LSN counter past it.
+func (l *Log) Recover(apply func(r redo.Record) error) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
 	type rec struct {
-		kind   byte
+		kind   uint8
 		txid   uint64
 		pageNo uint64
+		lsn    uint64
 		data   []byte
 	}
 	var recs []rec
 	pos := uint64(logHdrSize)
 
-	// The header survives checkpoints and carries the id high-water mark.
-	var hdrTx uint64
+	// The header survives checkpoints and carries the id high-water mark
+	// and the LSN fence.
+	var hdrTx, hdrFence uint64
 	if err := l.dev.ReadBlock(l.start, l.buf); err != nil {
 		return 0, err
 	}
 	if binary.LittleEndian.Uint32(l.buf[0:]) == logMagic {
 		hdrTx = binary.LittleEndian.Uint64(l.buf[8:])
+		hdrFence = binary.LittleEndian.Uint64(l.buf[16:])
 	}
 
 	readAt := func(off uint64, p []byte) error {
@@ -519,6 +646,7 @@ func (l *Log) Recover(apply func(pageNo uint64, data []byte) error) (int, error)
 			kind:   full[8],
 			txid:   binary.LittleEndian.Uint64(full[9:]),
 			pageNo: binary.LittleEndian.Uint64(full[17:]),
+			lsn:    binary.LittleEndian.Uint64(full[25:]),
 		}
 		// Transaction ids are globally monotonic (never reset, even by
 		// checkpoints), and the log is written front to back — so a
@@ -540,7 +668,7 @@ func (l *Log) Recover(apply func(pageNo uint64, data []byte) error) (int, error)
 	}
 
 	committed := map[uint64]bool{}
-	maxTx := uint64(0)
+	maxTx, maxLSN := uint64(0), uint64(0)
 	for _, r := range recs {
 		if r.kind == kindCommit {
 			committed[r.txid] = true
@@ -548,17 +676,32 @@ func (l *Log) Recover(apply func(pageNo uint64, data []byte) error) (int, error)
 		if r.txid > maxTx {
 			maxTx = r.txid
 		}
-	}
-	replayed := 0
-	for _, r := range recs {
-		if r.kind == kindPage && committed[r.txid] {
-			if apply != nil {
-				if err := apply(r.pageNo, r.data); err != nil {
-					return replayed, err
-				}
-			}
-			replayed++
+		if r.lsn > maxLSN {
+			maxLSN = r.lsn
 		}
+	}
+	// Committed redo records, replayed in LSN order: transactions append
+	// in commit order but mutate in LSN order, and per-page correctness
+	// requires the latter. The sort is stable so image-mode records (LSN
+	// 0) keep their log order.
+	live := recs[:0]
+	for _, r := range recs {
+		if r.kind != kindCommit && r.kind != kindCheckpoint && committed[r.txid] {
+			if r.lsn > 0 && r.lsn <= hdrFence {
+				continue // stale-generation leftover beyond the fence
+			}
+			live = append(live, r)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool { return live[i].lsn < live[j].lsn })
+	replayed := 0
+	for _, r := range live {
+		if apply != nil {
+			if err := apply(redo.Record{LSN: r.lsn, Page: r.pageNo, Kind: r.kind, Data: r.data}); err != nil {
+				return replayed, err
+			}
+		}
+		replayed++
 	}
 	l.head.Store(pos)
 	l.bufOK = false
@@ -567,7 +710,23 @@ func (l *Log) Recover(apply func(pageNo uint64, data []byte) error) (int, error)
 		next = hdrTx
 	}
 	l.nextTx.Store(next)
+	if hdrFence > maxLSN {
+		maxLSN = hdrFence
+	}
+	l.maxLSN = maxLSN
+	if hdrFence > l.lsnFence {
+		l.lsnFence = hdrFence
+	}
 	l.stats.Recoveries++
 	l.stats.PagesReplayed += int64(replayed)
 	return replayed, nil
+}
+
+// MaxLSN returns the largest LSN observed by the last Recover (including
+// the persisted checkpoint fence). The volume seeds its LSN counter past
+// it so LSNs stay monotonic across log generations.
+func (l *Log) MaxLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxLSN
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"repro/internal/redo"
 	"sync"
 	"testing"
 
@@ -41,7 +42,9 @@ func TestCommitAndRecover(t *testing.T) {
 	// Recover through a fresh Log over the same region.
 	l2 := New(dev, 10, 64)
 	got := map[uint64][]byte{}
-	n, err := l2.Recover(func(no uint64, data []byte) error {
+	n, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		got[no] = append([]byte(nil), data...)
 		return nil
 	})
@@ -68,8 +71,8 @@ func TestUncommittedNotReplayed(t *testing.T) {
 	tx2 := l.Begin()
 	tx2.LogPage(2, page(2))
 	l.mu.Lock()
-	for _, p := range tx2.pages {
-		if err := l.appendLocked(kindPage, tx2.id, p.no, p.data); err != nil {
+	for _, p := range tx2.recs {
+		if err := l.appendLocked(kindPage, tx2.id, p.Page, p.LSN, p.Data); err != nil {
 			l.mu.Unlock()
 			t.Fatal(err)
 		}
@@ -82,7 +85,9 @@ func TestUncommittedNotReplayed(t *testing.T) {
 
 	l2 := New(dev, 10, 64)
 	var pages []uint64
-	n, err := l2.Recover(func(no uint64, data []byte) error {
+	n, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		pages = append(pages, no)
 		return nil
 	})
@@ -125,7 +130,9 @@ func TestMultipleTransactionsReplayInOrder(t *testing.T) {
 	}
 	l2 := New(dev, 10, 256)
 	var last []byte
-	if _, err := l2.Recover(func(no uint64, data []byte) error {
+	if _, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		last = append([]byte(nil), data...)
 		return nil
 	}); err != nil {
@@ -146,7 +153,7 @@ func TestCheckpointResetsLog(t *testing.T) {
 	if l.Used() == 0 {
 		t.Fatal("Used = 0 after commit")
 	}
-	if err := l.Checkpoint(); err != nil {
+	if err := l.Checkpoint(0); err != nil {
 		t.Fatal(err)
 	}
 	if l.Used() != 0 {
@@ -192,7 +199,7 @@ func TestFullThenCheckpointRetry(t *testing.T) {
 	if !errors.Is(err, ErrFull) {
 		t.Fatalf("second fill = %v, want ErrFull", err)
 	}
-	if err := l.Checkpoint(); err != nil {
+	if err := l.Checkpoint(0); err != nil {
 		t.Fatal(err)
 	}
 	if err := fillOnce(); err != nil {
@@ -257,7 +264,9 @@ func TestCrashMidCommitViaFaultDevice(t *testing.T) {
 	// Recover from the surviving image: only txn 1 replays.
 	l2 := New(mem, 10, 64)
 	var pages []uint64
-	n, err := l2.Recover(func(no uint64, data []byte) error {
+	n, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		pages = append(pages, no)
 		return nil
 	})
@@ -326,7 +335,9 @@ func TestManySmallCommitsSpanBlocks(t *testing.T) {
 	}
 	l2 := New(dev, 10, 128)
 	got := map[uint64]byte{}
-	n, err := l2.Recover(func(no uint64, data []byte) error {
+	n, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		got[no] = data[0]
 		return nil
 	})
@@ -359,7 +370,9 @@ func TestVaryingPayloadSizes(t *testing.T) {
 	}
 	l2 := New(dev, 10, 256)
 	var lens []int
-	if _, err := l2.Recover(func(no uint64, data []byte) error {
+	if _, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		lens = append(lens, len(data))
 		return nil
 	}); err != nil {
@@ -418,7 +431,9 @@ func TestGroupCommitConcurrent(t *testing.T) {
 	// Every writer's final image must replay: commits were acknowledged.
 	l2 := New(dev, 10, 2048)
 	final := map[uint64]byte{}
-	n, err := l2.Recover(func(no uint64, data []byte) error {
+	n, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		final[no] = data[0]
 		return nil
 	})
@@ -476,7 +491,9 @@ func TestGroupCommitCrashMidGroup(t *testing.T) {
 		for w := 0; w < writers; w++ {
 			final[uint64(200+w)] = -1
 		}
-		if _, err := l2.Recover(func(no uint64, data []byte) error {
+		if _, err := l2.Recover(func(r redo.Record) error {
+			no, data := r.Page, r.Data
+			_, _ = no, data
 			final[no] = int(data[0])
 			return nil
 		}); err != nil {
@@ -535,19 +552,19 @@ func TestStaleSuffixFenced(t *testing.T) {
 	// Hand-build a log: txn 5 (current tail), then txn 3 (stale leftover)
 	// immediately after — no end marker in between, as in the crash window.
 	l.mu.Lock()
-	if err := l.appendLocked(kindPage, 5, 100, page(5)); err != nil {
+	if err := l.appendLocked(kindPage, 5, 100, 0, page(5)); err != nil {
 		l.mu.Unlock()
 		t.Fatal(err)
 	}
-	if err := l.appendLocked(kindCommit, 5, 0, nil); err != nil {
+	if err := l.appendLocked(kindCommit, 5, 0, 0, nil); err != nil {
 		l.mu.Unlock()
 		t.Fatal(err)
 	}
-	if err := l.appendLocked(kindPage, 3, 100, page(3)); err != nil {
+	if err := l.appendLocked(kindPage, 3, 100, 0, page(3)); err != nil {
 		l.mu.Unlock()
 		t.Fatal(err)
 	}
-	if err := l.appendLocked(kindCommit, 3, 0, nil); err != nil {
+	if err := l.appendLocked(kindCommit, 3, 0, 0, nil); err != nil {
 		l.mu.Unlock()
 		t.Fatal(err)
 	}
@@ -559,7 +576,9 @@ func TestStaleSuffixFenced(t *testing.T) {
 
 	l2 := New(dev, 10, 64)
 	var got []byte
-	n, err := l2.Recover(func(no uint64, data []byte) error {
+	n, err := l2.Recover(func(r redo.Record) error {
+		no, data := r.Page, r.Data
+		_, _ = no, data
 		got = append([]byte(nil), data...)
 		return nil
 	})
@@ -588,7 +607,7 @@ func TestTxnIdsMonotonicAcrossCheckpoint(t *testing.T) {
 		}
 		lastID = tx.id
 	}
-	if err := l.Checkpoint(); err != nil {
+	if err := l.Checkpoint(0); err != nil {
 		t.Fatal(err)
 	}
 	// A fresh Log over the checkpointed (empty) region must continue the
@@ -604,5 +623,143 @@ func TestTxnIdsMonotonicAcrossCheckpoint(t *testing.T) {
 	}
 	if tx.id <= lastID {
 		t.Fatalf("post-checkpoint txn id %d did not advance past %d", tx.id, lastID)
+	}
+}
+
+// TestLSNOrderedReplay: transactions appended in commit order replay in
+// LSN (mutation) order — the inversion that would let a group-committed
+// stale write win over a fresher acknowledged one.
+func TestLSNOrderedReplay(t *testing.T) {
+	l, dev := newLog(t, 64)
+
+	// Mutation order: LSN 1 writes range "AA" at 0, LSN 2 writes "BB"
+	// at 0. Commit order is reversed.
+	t2 := l.Begin()
+	t2.LogRecord(redo.Record{LSN: 2, Page: 7, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("BB"))})
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := l.Begin()
+	t1.LogRecord(redo.Record{LSN: 1, Page: 7, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("AA"))})
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := New(dev, 10, 64)
+	var got []uint64
+	if _, err := l2.Recover(func(r redo.Record) error {
+		got = append(got, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("replay order by LSN = %v, want [1 2]", got)
+	}
+	if l2.MaxLSN() != 2 {
+		t.Errorf("MaxLSN = %d, want 2", l2.MaxLSN())
+	}
+}
+
+// TestAppendSystemRecoveredWithoutSync: a system transaction appended
+// without its own sync becomes durable with the next commit's sync and
+// replays like any committed transaction.
+func TestAppendSystemRecoveredWithoutSync(t *testing.T) {
+	l, dev := newLog(t, 64)
+	if err := l.AppendSystem([]redo.Record{
+		{LSN: 1, Page: 3, Kind: redo.KindRange, Data: redo.EncodeRange(4, []byte("sys"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := l.Begin()
+	tx.LogRecord(redo.Record{LSN: 2, Page: 4, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("op"))})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := New(dev, 10, 64)
+	var pages []uint64
+	n, err := l2.Recover(func(r redo.Record) error {
+		pages = append(pages, r.Page)
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("Recover = %d, %v; want 2 records", n, err)
+	}
+	if pages[0] != 3 || pages[1] != 4 {
+		t.Fatalf("replayed pages = %v, want [3 4]", pages)
+	}
+	if l.Stats().SystemTxns != 1 {
+		t.Errorf("SystemTxns = %d", l.Stats().SystemTxns)
+	}
+}
+
+// TestWedgeBlocksCommitsUntilCheckpoint: a system transaction that
+// cannot fit wedges the log; commits fail with ErrFull until a
+// checkpoint resets it.
+func TestWedgeBlocksCommitsUntilCheckpoint(t *testing.T) {
+	l, _ := newLog(t, 2) // tiny region
+	big := make([]byte, 3*bs)
+	err := l.AppendSystem([]redo.Record{{LSN: 1, Page: 1, Kind: redo.KindRange, Data: big}})
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("oversized system txn = %v, want ErrFull", err)
+	}
+	if !l.Wedged() {
+		t.Fatal("log not wedged after failed system append")
+	}
+	tx := l.Begin()
+	tx.LogRecord(redo.Record{LSN: 2, Page: 2, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("x"))})
+	if err := tx.Commit(); !errors.Is(err, ErrFull) {
+		t.Fatalf("commit on wedged log = %v, want ErrFull", err)
+	}
+	if err := l.Checkpoint(5); err != nil {
+		t.Fatal(err)
+	}
+	if l.Wedged() {
+		t.Fatal("checkpoint did not clear the wedge")
+	}
+	tx2 := l.Begin()
+	tx2.LogRecord(redo.Record{LSN: 6, Page: 2, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("y"))})
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after checkpoint: %v", err)
+	}
+}
+
+// TestLSNFenceDropsStaleGeneration: records stamped at or below the
+// persisted checkpoint fence are stale-generation leftovers and must not
+// replay, even with valid CRCs and plausible txids.
+func TestLSNFenceDropsStaleGeneration(t *testing.T) {
+	l, dev := newLog(t, 64)
+	tx := l.Begin()
+	tx.LogRecord(redo.Record{LSN: 9, Page: 1, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("old"))})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint with fence 10: everything stamped ≤ 10 is now history.
+	if err := l.Checkpoint(10); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a stale suffix: re-append the same old-LSN record (as if
+	// it survived from the previous generation past a new, shorter tail).
+	tx2 := l.Begin()
+	tx2.LogRecord(redo.Record{LSN: 9, Page: 1, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("old"))})
+	tx2.LogRecord(redo.Record{LSN: 11, Page: 2, Kind: redo.KindRange, Data: redo.EncodeRange(0, []byte("new"))})
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := New(dev, 10, 64)
+	var pages []uint64
+	if _, err := l2.Recover(func(r redo.Record) error {
+		pages = append(pages, r.Page)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 || pages[0] != 2 {
+		t.Fatalf("replayed pages = %v, want only page 2 (LSN 11)", pages)
+	}
+	if l2.MaxLSN() < 11 {
+		t.Errorf("MaxLSN = %d, want ≥ 11", l2.MaxLSN())
 	}
 }
