@@ -1148,3 +1148,69 @@ func BenchmarkE15_LogAmplification(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE16_ExtentLogAmplification measures WAL bytes per small
+// *data-path* edit at 16 concurrent writers, each appending 64 bytes to
+// its own large multi-node extent tree: per-object page-image logging
+// (a 4 KiB record per touched tree level per op — the retired route)
+// versus physiological extent records (the cell rewrite, count deltas,
+// and two short header ranges). log-bytes/op is the exhibit.
+func BenchmarkE16_ExtentLogAmplification(b *testing.B) {
+	const writers = 16
+	run := func(b *testing.B, imageLogging bool) {
+		st := newSyncCostStore(b, hfad.Options{
+			Transactional:  true,
+			WALBlocks:      8192,
+			ImageLogging:   imageLogging,
+			MaxExtentBytes: 4096,
+		})
+		defer st.Close()
+		objs := make([]*hfad.Object, writers)
+		chunk := make([]byte, 4096)
+		for i := range objs {
+			obj, err := st.CreateObject("w")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 300; j++ { // ~300 extents: a multi-node tree
+				if err := obj.Append(chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			objs[i] = obj
+		}
+		defer func() {
+			for _, o := range objs {
+				o.Close()
+			}
+		}()
+		bytes0 := st.Volume().WAL().Stats().BytesLogged
+		var next atomic.Int64
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := make([]byte, 64)
+				for {
+					i := next.Add(1)
+					if i > int64(b.N) {
+						return
+					}
+					buf[0] = byte(i)
+					if err := objs[w].Append(buf); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		logged := st.Volume().WAL().Stats().BytesLogged - bytes0
+		b.ReportMetric(float64(logged)/float64(b.N), "log-bytes/op")
+	}
+	b.Run("physiological", func(b *testing.B) { run(b, false) })
+	b.Run("image", func(b *testing.B) { run(b, true) })
+}

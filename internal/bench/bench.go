@@ -74,6 +74,7 @@ func All() []Runner {
 		{"E13", "group-commit concurrent ingest", RunE13},
 		{"E14", "batched vs unbatched ingest", RunE14},
 		{"E15", "log amplification: image vs physiological", RunE15},
+		{"E16", "extent-tree (data path) log amplification", RunE16},
 	}
 }
 

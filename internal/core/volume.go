@@ -520,6 +520,9 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 		if err := v.recountTreeKeys(); err != nil {
 			return nil, err
 		}
+		if err := v.recountExtentTrees(); err != nil {
+			return nil, err
+		}
 		if err := v.rebuildAllocator(); err != nil {
 			return nil, err
 		}
@@ -638,6 +641,8 @@ func (v *Volume) replayLog() error {
 			return redo.ApplyRange(d, r.Data)
 		case redo.KindBtreeOp:
 			return btree.ReplayOp(get, r.Page, r.Data)
+		case redo.KindExtentOp:
+			return extent.ReplayOp(get, r.Page, r.Data)
 		default:
 			return fmt.Errorf("%w: unknown redo kind %d", ErrBadSuperblock, r.Kind)
 		}
@@ -665,6 +670,38 @@ func (v *Volume) recountTreeKeys() error {
 	for _, tr := range trees {
 		if err := tr.RecountKeys(); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// recountExtentTrees refreshes every object extent tree's subtree byte
+// totals and header counters from its leaves — the extent analogue of
+// recountTreeKeys: the counts are absolute cross-transaction counters no
+// single redo record can own, so an unclean open recomputes them.
+func (v *Volume) recountExtentTrees() error {
+	var metas []osd.Meta
+	if err := v.OSD.ForEach(func(m osd.Meta) bool {
+		metas = append(metas, m)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, m := range metas {
+		ext, err := extent.Open(v.pg, v.ba, m.ExtentHeader, v.opts.ExtentConfig)
+		if err != nil {
+			return err
+		}
+		if err := ext.Recount(); err != nil {
+			return err
+		}
+		// The heal must reach the object table too, or fsck's table-size
+		// vs tree-bytes cross-check would flag the very state the
+		// recount just repaired.
+		if size := ext.Size(); size != m.Size {
+			if err := v.OSD.RepairSize(m.OID, size); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,9 @@
 package extent
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // CheckResult summarizes an extent-tree integrity walk.
 type CheckResult struct {
@@ -149,5 +152,74 @@ func (t *Tree) Check() (*CheckResult, error) {
 	if cur != 0 {
 		return nil, fmt.Errorf("%w: leaf chain continues past end", ErrCorrupt)
 	}
+	// No allocation may be referenced by two extents of this tree (each
+	// allocation has exactly one owner; boundary splits copy the tail
+	// into a fresh allocation). Sort by first block and check adjacency.
+	sorted := append([]Extent(nil), res.DataExtents...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Alloc < sorted[j].Alloc })
+	for i := 1; i < len(sorted); i++ {
+		prev := sorted[i-1]
+		if prev.Alloc+uint64(prev.AllocBlocks) > sorted[i].Alloc {
+			return nil, fmt.Errorf("%w: extent allocations overlap: [%d,+%d) and [%d,+%d)",
+				ErrCorrupt, prev.Alloc, prev.AllocBlocks, sorted[i].Alloc, sorted[i].AllocBlocks)
+		}
+	}
 	return res, nil
+}
+
+// Recount recomputes every internal node's subtree byte totals and the
+// header's size and extent count from the leaves, repairing them in
+// place. Crash recovery calls it on unclean opens: these are
+// cross-transaction counters — absolute values whose freshest committed
+// record may have been computed on top of a neighbour's since-dropped
+// uncommitted edit — that no single redo record can own, exactly like
+// btree key counts (btree.RecountKeys).
+func (t *Tree) Recount() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(pno uint64, level int) (uint64, uint64, error)
+	walk = func(pno uint64, level int) (uint64, uint64, error) {
+		pg, err := t.pg.Acquire(pno)
+		if err != nil {
+			return 0, 0, err
+		}
+		n := nodeRef{pg.Data()}
+		if level == t.height-1 {
+			bytes, exts := n.leafSum(), uint64(n.ncells())
+			t.pg.Release(pg)
+			return bytes, exts, nil
+		}
+		type ent struct{ child, bytes uint64 }
+		ents := make([]ent, n.ncells())
+		for i := range ents {
+			c := n.childCell(i)
+			ents[i] = ent{c.child, c.bytes}
+		}
+		t.pg.Release(pg)
+		var total, exts uint64
+		for i, e := range ents {
+			b, x, err := walk(e.child, level+1)
+			if err != nil {
+				return 0, 0, err
+			}
+			if b != e.bytes {
+				pg, err := t.pg.Acquire(pno)
+				if err != nil {
+					return 0, 0, err
+				}
+				nodeRef{pg.Data()}.setChildCell(i, childEntry{e.child, b})
+				t.pg.MarkDirty(pg)
+				t.pg.Release(pg)
+			}
+			total += b
+			exts += x
+		}
+		return total, exts, nil
+	}
+	total, exts, err := walk(t.root, 0)
+	if err != nil {
+		return err
+	}
+	t.size, t.extents = total, exts
+	return t.writeHeader()
 }

@@ -1,0 +1,400 @@
+package extent
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/buddy"
+	"repro/internal/pager"
+	"repro/internal/redo"
+	"repro/internal/wal"
+)
+
+// The crash-replay property: for a random sequence of mutating
+// operations committed through a WAL, cutting power at every commit
+// boundary (and between an operation's cache mutations and its commit)
+// and replaying the surviving image must reproduce exactly the state an
+// in-memory oracle holds after the committed prefix — sizes, extent
+// structure, and content.
+//
+// The harness mirrors the volume's transactional plumbing at package
+// scale: a no-steal pager with first-touch base images, deferred buddy
+// frees, per-operation redo captures committed as WAL transactions
+// (appended even when the operation errors, like the volume's bracket),
+// deferred rebalances as system transactions, and periodic checkpoints
+// so the test crosses log generations.
+
+const (
+	crBlocks    = 1 << 14
+	crWALStart  = 1
+	crWALBlocks = 4096
+	crDataStart = crWALStart + crWALBlocks
+)
+
+type crEnv struct {
+	t   *testing.T
+	dev *blockdev.MemDevice
+	pg  *pager.Pager
+	ba  *buddy.Allocator
+	log *wal.Log
+	tr  *Tree
+}
+
+type walAppender struct{ log *wal.Log }
+
+func (a walAppender) AppendSystem(recs []redo.Record) error {
+	err := a.log.AppendSystem(recs)
+	if errors.Is(err, wal.ErrFull) {
+		return nil // wedged; the next commit's ErrFull forces a checkpoint
+	}
+	return err
+}
+
+func (a walAppender) Wedge() { a.log.Wedge() }
+
+func newCrashEnv(t *testing.T) *crEnv {
+	t.Helper()
+	dev := blockdev.NewMem(crBlocks, blockdev.DefaultBlockSize)
+	e := &crEnv{
+		t:   t,
+		dev: dev,
+		pg:  pager.New(dev, 512, false), // no-steal
+		ba:  buddy.New(crDataStart, crBlocks-crDataStart),
+		log: wal.New(dev, crWALStart, crWALBlocks),
+	}
+	tr, err := Create(e.pg, e.ba, Config{MaxExtentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.tr = tr
+	// Formatting flush: a clean generation boundary, after which base
+	// images protect every touched page (exactly core.Create's order).
+	e.checkpoint()
+	e.pg.EnableBaseImages(walAppender{e.log})
+	e.ba.SetDeferredFrees(true)
+	return e
+}
+
+func (e *crEnv) checkpoint() {
+	e.t.Helper()
+	if err := e.pg.FlushDirty(); err != nil {
+		e.t.Fatal(err)
+	}
+	if err := e.dev.Sync(); err != nil {
+		e.t.Fatal(err)
+	}
+	if err := e.log.Checkpoint(e.pg.CurrentLSN()); err != nil {
+		e.t.Fatal(err)
+	}
+	if err := e.ba.ReleaseLimbo(); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+// commitOp is the volume bracket in miniature: stage the op's records as
+// one WAL transaction (even when the operation failed — the cache
+// mutations are already applied and there is no undo), then run deferred
+// rebalances as their own system transactions.
+func (e *crEnv) commitOp(op *pager.Op, opErr error) error {
+	e.t.Helper()
+	recs := op.Records()
+	if len(recs) > 0 {
+		wtx := e.log.Begin()
+		for _, r := range recs {
+			wtx.LogRecord(r)
+		}
+		if err := wtx.Commit(); err != nil {
+			if errors.Is(err, wal.ErrFull) {
+				e.checkpoint()
+			} else {
+				e.t.Fatalf("commit: %v", err)
+			}
+		}
+	}
+	if opErr == nil {
+		for _, fn := range op.Deferred() {
+			sys := e.pg.NewOp(walAppender{e.log})
+			rerr := fn(sys)
+			if aerr := sys.AppendSys(); rerr == nil {
+				rerr = aerr
+			}
+			if rerr != nil {
+				e.t.Fatalf("deferred rebalance: %v", rerr)
+			}
+		}
+	}
+	return opErr
+}
+
+// recoverImage restores a device snapshot into a fresh device, replays
+// the committed WAL records the way core.Open does, and opens the tree.
+func recoverImage(t *testing.T, snap []byte, hdrPno uint64) (*Tree, error) {
+	t.Helper()
+	dev := blockdev.NewMem(crBlocks, blockdev.DefaultBlockSize)
+	if err := dev.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	log := wal.New(dev, crWALStart, crWALBlocks)
+	bs := dev.BlockSize()
+	pages := make(map[uint64][]byte)
+	get := func(pno uint64) ([]byte, error) {
+		if d, ok := pages[pno]; ok {
+			return d, nil
+		}
+		d := make([]byte, bs)
+		if err := dev.ReadBlock(pno, d); err != nil {
+			return nil, err
+		}
+		pages[pno] = d
+		return d, nil
+	}
+	_, err := log.Recover(func(r redo.Record) error {
+		switch r.Kind {
+		case redo.KindImage:
+			d, err := get(r.Page)
+			if err != nil {
+				return err
+			}
+			copy(d, r.Data)
+			return nil
+		case redo.KindRange:
+			d, err := get(r.Page)
+			if err != nil {
+				return err
+			}
+			return redo.ApplyRange(d, r.Data)
+		case redo.KindExtentOp:
+			return ReplayOp(get, r.Page, r.Data)
+		default:
+			return fmt.Errorf("unexpected redo kind %d", r.Kind)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pno, d := range pages {
+		if err := dev.WriteBlock(pno, d); err != nil {
+			return nil, err
+		}
+	}
+	pg := pager.New(dev, 512, true)
+	ba := buddy.New(crDataStart, crBlocks-crDataStart)
+	return Open(pg, ba, hdrPno, Config{MaxExtentBytes: 4096})
+}
+
+// verifyAgainstOracle checks structure (Check), size, and full content
+// equality.
+func verifyAgainstOracle(t *testing.T, label string, tr *Tree, oracle []byte) {
+	t.Helper()
+	verifyWithOverlap(t, label, tr, oracle, 0, 0, nil)
+}
+
+// verifyWithOverlap is verifyAgainstOracle, except that bytes in
+// [wrOff, wrEnd) may hold either the oracle's value or newData's: an
+// uncommitted WriteAt overwrites committed extents' data blocks in
+// place (the data path logs metadata, not content — overwrite atomicity
+// has never been a volume guarantee), so a cut mid-operation may
+// surface the new bytes where extents were real and the old bytes where
+// they were holes. Structure and size must still be exactly the
+// pre-operation state.
+func verifyWithOverlap(t *testing.T, label string, tr *Tree, oracle []byte, wrOff, wrEnd uint64, newData []byte) {
+	t.Helper()
+	if _, err := tr.Check(); err != nil {
+		t.Fatalf("%s: structural check: %v", label, err)
+	}
+	if tr.Size() != uint64(len(oracle)) {
+		t.Fatalf("%s: size %d, oracle %d", label, tr.Size(), len(oracle))
+	}
+	if len(oracle) == 0 {
+		return
+	}
+	got := make([]byte, len(oracle))
+	if n, err := tr.ReadAt(got, 0); n != len(oracle) {
+		t.Fatalf("%s: read %d of %d: %v", label, n, len(oracle), err)
+	}
+	if bytes.Equal(got, oracle) {
+		return
+	}
+	for i := range got {
+		if got[i] == oracle[i] {
+			continue
+		}
+		u := uint64(i)
+		if u >= wrOff && u < wrEnd && got[i] == newData[u-wrOff] {
+			continue
+		}
+		t.Fatalf("%s: content diverges at byte %d of %d", label, i, len(oracle))
+	}
+}
+
+// TestDeferredRebalanceReclaimsDrainedLeaves: a bulk delete on a logged
+// volume registers ONE deferred rebalance for the whole operation, and
+// that rebalance must loop until no merge fires — otherwise the
+// contiguous run of leaves the delete drained would stay allocated
+// (nearly empty) forever, a space regression the unlogged per-removal
+// merge path never had.
+func TestDeferredRebalanceReclaimsDrainedLeaves(t *testing.T) {
+	e := newCrashEnv(t)
+	op1 := e.pg.NewOp(walAppender{e.log})
+	if err := e.tr.WriteAtOp(op1, pattern(1<<20+3000, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.commitOp(op1, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages < 3 {
+		t.Fatalf("setup built only %d node pages; want a multi-node tree", res.Pages)
+	}
+	// Drain everything but one extent; the deferred rebalance runs
+	// inside commitOp, after the delete's transaction committed.
+	op2 := e.pg.NewOp(walAppender{e.log})
+	if err := e.tr.DeleteRangeOp(op2, 4096, e.tr.Size()-4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.commitOp(op2, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages > 2 {
+		t.Fatalf("drained tree still holds %d node pages; deferred rebalance did not reclaim the run", res.Pages)
+	}
+	verifyAgainstOracle(t, "after bulk delete", e.tr, pattern(1<<20+3000, 1)[:4096])
+}
+
+// TestCrashReplayPropertyAgainstOracle runs random operation sequences,
+// snapshotting the device at every WAL commit boundary AND between each
+// operation's cache mutations and its commit. Every boundary snapshot
+// must recover to the oracle's state after the committed prefix; every
+// mid-operation snapshot must recover to the state *before* the
+// operation (its records are still unstaged, and the system-transaction
+// splits that did reach the log are sum-preserving by design, so they
+// must not change observable content).
+func TestCrashReplayPropertyAgainstOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(seed, 0xE16))
+			e := newCrashEnv(t)
+			hdr := e.tr.HeaderPage()
+			var oracle []byte
+
+			const ops = 45
+			for i := 0; i < ops; i++ {
+				kind := rng.IntN(5)
+				if i == 0 {
+					kind = 0 // force the huge first write (see below)
+				}
+				op := e.pg.NewOp(walAppender{e.log})
+				var err error
+				next := append([]byte(nil), oracle...)
+				// In-place overwrite window for the mid-op check (WriteAt
+				// writes committed extents' data blocks directly).
+				var wrOff, wrEnd uint64
+				var wrData []byte
+				switch kind {
+				case 0: // overwrite / extend write
+					off := uint64(rng.IntN(len(oracle) + 2000))
+					n := rng.IntN(5000) + 1
+					if i == 0 {
+						// One huge write: >254 extents land in a single
+						// operation, so leaf splits run with the leaf full
+						// of this op's own uncommitted cells — the mid-op
+						// cut below then replays an always-redone split
+						// against a committed leaf with fewer cells than
+						// the recorded split index (the clamp + recount
+						// path).
+						off, n = 0, 1<<20+3000
+					}
+					data := pattern(n, byte(i))
+					err = e.tr.WriteAtOp(op, data, off)
+					if int(off)+len(data) > len(next) {
+						grown := make([]byte, int(off)+len(data))
+						copy(grown, next)
+						next = grown
+					}
+					copy(next[off:], data)
+					wrOff, wrEnd, wrData = off, off+uint64(len(data)), data
+				case 1: // middle insert
+					off := uint64(0)
+					if len(oracle) > 0 {
+						off = uint64(rng.IntN(len(oracle) + 1))
+					}
+					data := pattern(rng.IntN(3000)+1, byte(i)+7)
+					err = e.tr.InsertAtOp(op, off, data)
+					next = append(next[:off], append(append([]byte{}, data...), next[off:]...)...)
+				case 2: // delete range
+					if len(oracle) == 0 {
+						continue
+					}
+					off := uint64(rng.IntN(len(oracle)))
+					n := uint64(rng.IntN(4000) + 1)
+					err = e.tr.DeleteRangeOp(op, off, n)
+					end := off + n
+					if end > uint64(len(next)) {
+						end = uint64(len(next))
+					}
+					next = append(next[:off], next[end:]...)
+				case 3: // truncate (shrink or grow-with-hole)
+					target := uint64(rng.IntN(len(oracle) + 3000))
+					err = e.tr.TruncateOp(op, target)
+					if target <= uint64(len(next)) {
+						next = next[:target]
+					} else {
+						next = append(next, make([]byte, target-uint64(len(next)))...)
+					}
+				case 4: // append
+					data := pattern(rng.IntN(6000)+1, byte(i)+13)
+					err = e.tr.WriteAtOp(op, data, e.tr.Size())
+					next = append(next, data...)
+				}
+
+				// Mid-operation cut: mutations are in cache (and any splits
+				// in the log as system transactions), the commit is not.
+				midSnap := e.dev.Snapshot()
+				trMid, merr := recoverImage(t, midSnap, hdr)
+				if merr != nil {
+					t.Fatalf("op %d: mid-op recovery: %v", i, merr)
+				}
+				// A mid-op cut is an unclean open with an uncommitted
+				// operation: mirror the volume and recount before
+				// checking — replayed splits may carry the dropped op's
+				// cells in their absolute sums (content is exact either
+				// way; that is what the oracle comparison proves).
+				if merr := trMid.Recount(); merr != nil {
+					t.Fatalf("op %d: mid-op recount: %v", i, merr)
+				}
+				verifyWithOverlap(t, fmt.Sprintf("op %d mid-op cut", i), trMid, oracle, wrOff, wrEnd, wrData)
+
+				if cerr := e.commitOp(op, err); cerr != nil {
+					t.Fatalf("op %d kind %d: %v", i, kind, cerr)
+				}
+				oracle = next
+
+				// Commit-boundary cut.
+				snap := e.dev.Snapshot()
+				tr2, rerr := recoverImage(t, snap, hdr)
+				if rerr != nil {
+					t.Fatalf("op %d: boundary recovery: %v", i, rerr)
+				}
+				verifyAgainstOracle(t, fmt.Sprintf("op %d boundary cut", i), tr2, oracle)
+
+				// Cross log generations now and then.
+				if rng.IntN(10) == 0 || e.log.Used() > e.log.Capacity()*2/3 {
+					e.checkpoint()
+				}
+			}
+			verifyAgainstOracle(t, "final live tree", e.tr, oracle)
+		})
+	}
+}

@@ -32,10 +32,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blockdev"
 	"repro/internal/buddy"
 	"repro/internal/pager"
+	"repro/internal/redo"
 )
 
 // Page types (distinct from btree's so fsck can tell them apart).
@@ -130,19 +132,33 @@ type Tree struct {
 	extents uint64
 	// curOp is the redo capture of the mutating call in progress, set at
 	// each public entry point under mu (which serializes all mutators).
-	// Extent trees are object-private, so their pages are logged as
-	// per-transaction page images (redo.KindImage) — markDirty routes
-	// every node mutation here. Nil = unlogged.
+	// Mutators stage typed extent records (redo.KindExtentOp) and header
+	// range records into it; splits and merges ride system transactions
+	// derived from it (curOp.NewSys). Nil = unlogged — non-transactional
+	// volume, or the page-image logging baseline where the pager's
+	// broadcast capture does the work instead.
 	curOp *pager.Op
+	// rebalOp/rebalOff dedup deferred rebalances: a multi-cell delete
+	// registers ONE post-commit RebalanceAt per operation, retargeted
+	// (under mu) to the latest removal offset, instead of one closure
+	// per removed cell. The offset cell is atomic because the deferred
+	// closure reads it after the bracket, outside mu.
+	rebalOp  *pager.Op
+	rebalOff *atomic.Uint64
 
 	statMu sync.Mutex
 	stats  Stats
 }
 
-// markDirty marks a node page dirty, capturing a page image into the
-// current operation's redo set when one is open.
-func (t *Tree) markDirty(pg *pager.Page) {
-	t.pg.MarkDirtyImage(pg, t.curOp)
+// rec marks pg dirty and stages a typed extent redo record into op.
+// With a nil op this is a plain MarkDirty (unlogged / image baseline).
+func (t *Tree) rec(pg *pager.Page, op *pager.Op, payload []byte) {
+	t.pg.MarkDirtyRec(pg, op, redo.KindExtentOp, payload)
+}
+
+// recRange marks pg dirty and stages an absolute byte-range record.
+func (t *Tree) recRange(pg *pager.Page, op *pager.Op, off int, b []byte) {
+	t.pg.MarkDirtyRec(pg, op, redo.KindRange, redo.EncodeRange(off, b))
 }
 
 // Create allocates a new empty extent tree.
@@ -151,7 +167,9 @@ func Create(pg *pager.Pager, ba *buddy.Allocator, cfg Config) (*Tree, error) {
 }
 
 // CreateOp is Create capturing the fresh tree's pages into op, so an
-// object created inside a transaction recovers with it.
+// object created inside a transaction recovers with it. Both pages are
+// fresh (AcquireZero), so replay rebuilds them from their records alone
+// and no garbage home content is ever logged as a base image.
 func CreateOp(pg *pager.Pager, ba *buddy.Allocator, cfg Config, op *pager.Op) (*Tree, error) {
 	cfg.Fill(pg.BlockSize())
 	hdr, err := ba.Alloc(1)
@@ -172,14 +190,16 @@ func CreateOp(pg *pager.Pager, ba *buddy.Allocator, cfg Config, op *pager.Op) (*
 		return nil, err
 	}
 	rp.Data()[offType] = pageLeaf
-	t.curOp = op
-	t.markDirty(rp)
+	t.rec(rp, op, encXop(xopInit, []byte{pageLeaf}))
 	pg.Release(rp)
-	if err := t.writeHeader(); err != nil {
-		t.curOp = nil
+	hp, err := pg.AcquireZero(hdr)
+	if err != nil {
 		return nil, err
 	}
-	t.curOp = nil
+	hb := t.headerBytes()
+	copy(hp.Data()[:len(hb)], hb)
+	t.recRange(hp, op, 0, hb)
+	pg.Release(hp)
 	return t, nil
 }
 
@@ -235,20 +255,51 @@ func (t *Tree) addStat(f func(*Stats)) {
 	t.statMu.Unlock()
 }
 
+// headerBytes renders the header fields for a range record.
+func (t *Tree) headerBytes() []byte {
+	b := make([]byte, hOffExtents+8)
+	b[offType] = pageHeader
+	binary.LittleEndian.PutUint32(b[hOffMagic:], treeMagic)
+	binary.LittleEndian.PutUint64(b[hOffRoot:], t.root)
+	binary.LittleEndian.PutUint64(b[hOffHeight:], uint64(t.height))
+	binary.LittleEndian.PutUint64(b[hOffSize:], t.size)
+	binary.LittleEndian.PutUint64(b[hOffExtents:], t.extents)
+	return b
+}
+
+// writeHeader persists the header fields as a byte-range record in the
+// current operation's redo set.
 func (t *Tree) writeHeader() error {
 	hp, err := t.pg.Acquire(t.hdr)
 	if err != nil {
 		return err
 	}
 	defer t.pg.Release(hp)
+	hb := t.headerBytes()
+	copy(hp.Data()[:len(hb)], hb)
+	t.recRange(hp, t.curOp, 0, hb)
+	return nil
+}
+
+// writeRootSys persists the root and height fields as part of a
+// structure modification's system transaction: a height change must be
+// redone with the split or merge that caused it, whether or not the
+// enclosing operation commits — otherwise replay would descend the old
+// root over a re-rooted tree. Size and extent count stay op-owned (the
+// modification is sum-preserving, so they did not change).
+func (t *Tree) writeRootSys(sys *pager.Op) error {
+	hp, err := t.pg.Acquire(t.hdr)
+	if err != nil {
+		return err
+	}
+	defer t.pg.Release(hp)
 	d := hp.Data()
-	d[offType] = pageHeader
-	binary.LittleEndian.PutUint32(d[hOffMagic:], treeMagic)
 	binary.LittleEndian.PutUint64(d[hOffRoot:], t.root)
 	binary.LittleEndian.PutUint64(d[hOffHeight:], uint64(t.height))
-	binary.LittleEndian.PutUint64(d[hOffSize:], t.size)
-	binary.LittleEndian.PutUint64(d[hOffExtents:], t.extents)
-	t.markDirty(hp)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:], t.root)
+	binary.LittleEndian.PutUint64(b[8:], uint64(t.height))
+	t.recRange(hp, sys, hOffRoot, b[:])
 	return nil
 }
 
@@ -416,8 +467,14 @@ func (n nodeRef) findInLeaf(rem uint64) (int, uint64) {
 	return cnt, rem
 }
 
-// bumpCounts adds delta to the child-entry byte totals along path.
+// bumpCounts adds delta to the child-entry byte totals along path,
+// logging one delta record per touched internal node. Deltas (not
+// absolute values) compose with the sum-preserving system splits that
+// may interleave in the log.
 func (t *Tree) bumpCounts(path []pathElem, delta int64) error {
+	if delta == 0 {
+		return nil
+	}
 	for _, pe := range path {
 		pg, err := t.pg.Acquire(pe.pno)
 		if err != nil {
@@ -427,7 +484,7 @@ func (t *Tree) bumpCounts(path []pathElem, delta int64) error {
 		c := n.childCell(pe.idx)
 		c.bytes = uint64(int64(c.bytes) + delta)
 		n.setChildCell(pe.idx, c)
-		t.markDirty(pg)
+		t.rec(pg, t.curOp, encXop(xopBump, xu16(pe.idx), xu64(uint64(delta))))
 		t.pg.Release(pg)
 	}
 	return nil

@@ -103,6 +103,23 @@ func (t *Tree) WriteAtOp(op *pager.Op, p []byte, off uint64) error {
 	if len(p) == 0 {
 		return nil
 	}
+	return t.finishMutation(t.writeAtLocked(p, off))
+}
+
+// finishMutation rewrites the header and returns the first error. It
+// runs even when the mutation failed part-way: the cache mutations are
+// already applied and the commit bracket appends the staged records
+// regardless (redo-only logging has no undo), so the header record must
+// describe the partially applied state — otherwise replaying the
+// records would reconstruct a tree whose header contradicts its leaves.
+func (t *Tree) finishMutation(err error) error {
+	if herr := t.writeHeader(); err == nil {
+		err = herr
+	}
+	return err
+}
+
+func (t *Tree) writeAtLocked(p []byte, off uint64) error {
 	if off > t.size {
 		if err := t.appendHole(off - t.size); err != nil {
 			return err
@@ -166,7 +183,7 @@ func (t *Tree) WriteAtOp(op *pager.Op, p []byte, off uint64) error {
 			if !he.IsHole() || uint64(he.Len) != uint64(m) {
 				return fmt.Errorf("%w: expected %d-byte hole at %d", ErrCorrupt, m, cur)
 			}
-			if err := t.removeCellAt(path, leafPno, idx); err != nil {
+			if err := t.removeCellAt(path, leafPno, idx, cur); err != nil {
 				return err
 			}
 			t.size -= uint64(m)
@@ -178,11 +195,9 @@ func (t *Tree) WriteAtOp(op *pager.Op, p []byte, off uint64) error {
 	}
 	// Append the remainder.
 	if done < len(p) {
-		if err := t.appendBytes(p[done:]); err != nil {
-			return err
-		}
+		return t.appendBytes(p[done:])
 	}
-	return t.writeHeader()
+	return nil
 }
 
 // InsertAt inserts p at byte offset off, shifting all later bytes and
@@ -204,13 +219,14 @@ func (t *Tree) InsertAtOp(op *pager.Op, off uint64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
+	return t.finishMutation(t.insertAtLocked(off, p))
+}
+
+func (t *Tree) insertAtLocked(off uint64, p []byte) error {
 	if err := t.splitBoundaryLocked(off); err != nil {
 		return err
 	}
-	if err := t.insertBytesAt(off, p); err != nil {
-		return err
-	}
-	return t.writeHeader()
+	return t.insertBytesAt(off, p)
 }
 
 // DeleteRange removes n bytes starting at off, shrinking the object and
@@ -226,7 +242,10 @@ func (t *Tree) DeleteRangeOp(op *pager.Op, off, n uint64) error {
 	defer t.mu.Unlock()
 	t.curOp = op
 	defer func() { t.curOp = nil }()
-	return t.deleteRangeLocked(off, n)
+	if off >= t.size || n == 0 {
+		return nil
+	}
+	return t.finishMutation(t.deleteRangeLocked(off, n))
 }
 
 func (t *Tree) deleteRangeLocked(off, n uint64) error {
@@ -264,17 +283,22 @@ func (t *Tree) deleteRangeLocked(off, n uint64) error {
 			return fmt.Errorf("%w: extent %d overruns delete range", ErrCorrupt, e.Len)
 		}
 		if !e.IsHole() {
+			// The run is freed through the allocator's limbo when deferred
+			// frees are on: it must not be reallocated (and overwritten)
+			// before this delete's commit — and the checkpoint covering it
+			// — are durable, or a crash could replay the old extent over a
+			// new owner's blocks.
 			if err := t.ba.Free(e.Alloc, uint64(e.AllocBlocks)); err != nil {
 				return err
 			}
 		}
-		if err := t.removeCellAt(path, leafPno, idx); err != nil {
+		if err := t.removeCellAt(path, leafPno, idx, off); err != nil {
 			return err
 		}
 		removed += uint64(e.Len)
 		t.size -= uint64(e.Len)
 	}
-	return t.writeHeader()
+	return nil
 }
 
 // Truncate sets the object's size. Shrinking frees storage from the end;
@@ -291,12 +315,9 @@ func (t *Tree) TruncateOp(op *pager.Op, newSize uint64) error {
 	defer func() { t.curOp = nil }()
 	switch {
 	case newSize < t.size:
-		return t.deleteRangeLocked(newSize, t.size-newSize)
+		return t.finishMutation(t.deleteRangeLocked(newSize, t.size-newSize))
 	case newSize > t.size:
-		if err := t.appendHole(newSize - t.size); err != nil {
-			return err
-		}
-		return t.writeHeader()
+		return t.finishMutation(t.appendHole(newSize - t.size))
 	default:
 		return nil
 	}
@@ -416,7 +437,7 @@ func (t *Tree) splitBoundaryLocked(off uint64) error {
 		if err := t.setLeafCellLen(path, leafPno, idx, uint32(eOff)); err != nil {
 			return err
 		}
-		return t.insertCellAt(path, leafPno, idx+1, Extent{Len: uint32(rightLen)})
+		return t.insertCellAtOff(off, Extent{Len: uint32(rightLen)})
 	}
 	// Copy the tail into a fresh allocation.
 	blocks := (rightLen + t.bsU64 - 1) / t.bsU64
@@ -436,7 +457,7 @@ func (t *Tree) splitBoundaryLocked(off uint64) error {
 	if err := t.setLeafCellLen(path, leafPno, idx, uint32(eOff)); err != nil {
 		return err
 	}
-	return t.insertCellAt(path, leafPno, idx+1, right)
+	return t.insertCellAtOff(off, right)
 }
 
 // insertBytesAt inserts data at off (which must be on an extent boundary
@@ -451,21 +472,7 @@ func (t *Tree) insertBytesAt(off uint64, p []byte) error {
 		if err != nil {
 			return err
 		}
-		path, leafPno, rem, err := t.descend(off)
-		if err != nil {
-			return err
-		}
-		pg, err := t.pg.Acquire(leafPno)
-		if err != nil {
-			return err
-		}
-		node := nodeRef{pg.Data()}
-		idx, eOff := node.findInLeaf(rem)
-		t.pg.Release(pg)
-		if eOff != 0 {
-			return fmt.Errorf("%w: insert target %d not on boundary", ErrCorrupt, off)
-		}
-		if err := t.insertCellAt(path, leafPno, idx, e); err != nil {
+		if err := t.insertCellAtOff(off, e); err != nil {
 			return err
 		}
 		t.size += uint64(chunk)
@@ -524,7 +531,7 @@ func (t *Tree) appendBytes(p []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := t.insertCellAt(path, leafPno, cnt, e); err != nil {
+		if err := t.insertCellAtOff(t.size, e); err != nil {
 			return err
 		}
 		t.size += uint64(chunk)
@@ -568,7 +575,7 @@ func (t *Tree) appendHole(n uint64) error {
 		if chunk > maxHoleLen {
 			chunk = maxHoleLen
 		}
-		if err := t.insertCellAt(path, leafPno, cnt, Extent{Len: uint32(chunk)}); err != nil {
+		if err := t.insertCellAtOff(t.size, Extent{Len: uint32(chunk)}); err != nil {
 			return err
 		}
 		t.size += chunk

@@ -96,12 +96,19 @@ func decodeExtentVal(v []byte) Extent {
 
 // Append adds p at the end of the object.
 func (m *KeyedMap) Append(p []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.appendLocked(p)
+	return m.AppendOp(nil, p)
 }
 
-func (m *KeyedMap) appendLocked(p []byte) error {
+// AppendOp is Append capturing btree-page mutations into op's redo set
+// (the keyed map reuses the general btree substrate, so its records are
+// the btree's typed ops rather than extent ops).
+func (m *KeyedMap) AppendOp(op *pager.Op, p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.appendLocked(op, p)
+}
+
+func (m *KeyedMap) appendLocked(op *pager.Op, p []byte) error {
 	for len(p) > 0 {
 		chunk := len(p)
 		if chunk > int(m.cfg.MaxExtentBytes) {
@@ -111,7 +118,7 @@ func (m *KeyedMap) appendLocked(p []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := m.tr.Put(encodeOffset(m.size), encodeExtentVal(e)); err != nil {
+		if err := m.tr.PutOp(op, encodeOffset(m.size), encodeExtentVal(e)); err != nil {
 			return err
 		}
 		m.size += uint64(chunk)
@@ -192,6 +199,12 @@ func (m *KeyedMap) ReadAt(p []byte, off uint64) (int, error) {
 // design makes expensive: every extent at or after off must have its key
 // renumbered by len(p).
 func (m *KeyedMap) InsertAt(off uint64, p []byte) error {
+	return m.InsertAtOp(nil, off, p)
+}
+
+// InsertAtOp is InsertAt capturing btree-page mutations into op's redo
+// set.
+func (m *KeyedMap) InsertAtOp(op *pager.Op, off uint64, p []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if off > m.size {
@@ -201,9 +214,9 @@ func (m *KeyedMap) InsertAt(off uint64, p []byte) error {
 		return nil
 	}
 	if off == m.size {
-		return m.appendLocked(p)
+		return m.appendLocked(op, p)
 	}
-	if err := m.splitBoundary(off); err != nil {
+	if err := m.splitBoundary(op, off); err != nil {
 		return err
 	}
 	// Collect every extent with key >= off (they all shift).
@@ -221,10 +234,10 @@ func (m *KeyedMap) InsertAt(off uint64, p []byte) error {
 	shift := uint64(len(p))
 	// Renumber back to front so keys never collide.
 	for i := len(tail) - 1; i >= 0; i-- {
-		if err := m.tr.Delete(encodeOffset(tail[i].start)); err != nil {
+		if err := m.tr.DeleteOp(op, encodeOffset(tail[i].start)); err != nil {
 			return err
 		}
-		if err := m.tr.Put(encodeOffset(tail[i].start+shift), encodeExtentVal(tail[i].e)); err != nil {
+		if err := m.tr.PutOp(op, encodeOffset(tail[i].start+shift), encodeExtentVal(tail[i].e)); err != nil {
 			return err
 		}
 		m.renumbered++
@@ -241,7 +254,7 @@ func (m *KeyedMap) InsertAt(off uint64, p []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := m.tr.Put(encodeOffset(cur), encodeExtentVal(e)); err != nil {
+		if err := m.tr.PutOp(op, encodeOffset(cur), encodeExtentVal(e)); err != nil {
 			return err
 		}
 		cur += uint64(chunk)
@@ -253,6 +266,12 @@ func (m *KeyedMap) InsertAt(off uint64, p []byte) error {
 
 // DeleteRange removes n bytes at off; all later extents renumber down.
 func (m *KeyedMap) DeleteRange(off, n uint64) error {
+	return m.DeleteRangeOp(nil, off, n)
+}
+
+// DeleteRangeOp is DeleteRange capturing btree-page mutations into op's
+// redo set.
+func (m *KeyedMap) DeleteRangeOp(op *pager.Op, off, n uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if off >= m.size || n == 0 {
@@ -261,10 +280,10 @@ func (m *KeyedMap) DeleteRange(off, n uint64) error {
 	if off+n > m.size {
 		n = m.size - off
 	}
-	if err := m.splitBoundary(off); err != nil {
+	if err := m.splitBoundary(op, off); err != nil {
 		return err
 	}
-	if err := m.splitBoundary(off + n); err != nil {
+	if err := m.splitBoundary(op, off+n); err != nil {
 		return err
 	}
 	type kv struct {
@@ -285,7 +304,7 @@ func (m *KeyedMap) DeleteRange(off, n uint64) error {
 		return err
 	}
 	for _, d := range doomed {
-		if err := m.tr.Delete(encodeOffset(d.start)); err != nil {
+		if err := m.tr.DeleteOp(op, encodeOffset(d.start)); err != nil {
 			return err
 		}
 		if !d.e.IsHole() {
@@ -295,10 +314,10 @@ func (m *KeyedMap) DeleteRange(off, n uint64) error {
 		}
 	}
 	for _, s := range tail { // front to back: keys only decrease
-		if err := m.tr.Delete(encodeOffset(s.start)); err != nil {
+		if err := m.tr.DeleteOp(op, encodeOffset(s.start)); err != nil {
 			return err
 		}
-		if err := m.tr.Put(encodeOffset(s.start-n), encodeExtentVal(s.e)); err != nil {
+		if err := m.tr.PutOp(op, encodeOffset(s.start-n), encodeExtentVal(s.e)); err != nil {
 			return err
 		}
 		m.renumbered++
@@ -309,7 +328,7 @@ func (m *KeyedMap) DeleteRange(off, n uint64) error {
 
 // splitBoundary ensures an extent boundary at off, copying the tail of a
 // split extent into a fresh allocation (same policy as the counted tree).
-func (m *KeyedMap) splitBoundary(off uint64) error {
+func (m *KeyedMap) splitBoundary(op *pager.Op, off uint64) error {
 	if off == 0 || off >= m.size {
 		return nil
 	}
@@ -346,10 +365,10 @@ func (m *KeyedMap) splitBoundary(off uint64) error {
 		}
 	}
 	e.Len = uint32(k)
-	if err := m.tr.Put(encodeOffset(start), encodeExtentVal(e)); err != nil {
+	if err := m.tr.PutOp(op, encodeOffset(start), encodeExtentVal(e)); err != nil {
 		return err
 	}
-	return m.tr.Put(encodeOffset(off), encodeExtentVal(right))
+	return m.tr.PutOp(op, encodeOffset(off), encodeExtentVal(right))
 }
 
 func (m *KeyedMap) allocAndWrite(p []byte) (Extent, error) {

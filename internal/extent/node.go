@@ -2,181 +2,196 @@ package extent
 
 import (
 	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pager"
 )
 
-// insertCellAt inserts extent e at cell index idx of the leaf at the end
-// of path, splitting the leaf (and ancestors) as needed, and maintains all
-// subtree byte counts. Callers hold the tree lock.
-func (t *Tree) insertCellAt(path []pathElem, leafPno uint64, idx int, e Extent) error {
-	pg, err := t.pg.Acquire(leafPno)
-	if err != nil {
-		return err
-	}
-	n := nodeRef{pg.Data()}
-	if n.typ() != pageLeaf {
+// insertCellAtOff inserts extent e at the extent boundary at byte offset
+// off (off must lie on a boundary, or equal the current content total
+// for appends), maintaining all subtree byte counts. Full nodes on the
+// way are split first — each split an auto-committed, sum-preserving
+// system transaction — and the descent retried, so the insert itself is
+// always a plain per-operation record into a leaf with room and the
+// split records never carry the (possibly uncommitted) triggering cell.
+// Callers hold the tree lock.
+func (t *Tree) insertCellAtOff(off uint64, e Extent) error {
+	for {
+		path, leafPno, rem, err := t.descend(off)
+		if err != nil {
+			return err
+		}
+		pg, err := t.pg.Acquire(leafPno)
+		if err != nil {
+			return err
+		}
+		n := nodeRef{pg.Data()}
+		if n.typ() != pageLeaf {
+			t.pg.Release(pg)
+			return fmt.Errorf("%w: insert into non-leaf %d", ErrCorrupt, leafPno)
+		}
+		idx, eOff := n.findInLeaf(rem)
+		if eOff != 0 {
+			t.pg.Release(pg)
+			return fmt.Errorf("%w: insert target %d not on boundary", ErrCorrupt, off)
+		}
+		if n.ncells() < t.leafCap() {
+			n.insertLeafCell(idx, e)
+			t.rec(pg, t.curOp, encXop(xopLeafIns, xu16(idx), encCell(e)))
+			t.pg.Release(pg)
+			t.extents++
+			return t.bumpCounts(path, int64(e.Len))
+		}
 		t.pg.Release(pg)
-		return fmt.Errorf("%w: insert into non-leaf %d", ErrCorrupt, leafPno)
-	}
-	if n.ncells() < t.leafCap() {
-		n.insertLeafCell(idx, e)
-		t.markDirty(pg)
-		t.pg.Release(pg)
-		t.extents++
-		return t.bumpCounts(path, int64(e.Len))
-	}
 
-	// Leaf full: gather cells with the new one included, split in half.
-	cnt := n.ncells()
-	cells := make([]Extent, 0, cnt+1)
-	for i := 0; i < cnt; i++ {
-		cells = append(cells, n.leafCell(i))
+		// Leaf full: split it, then re-descend and retry the insert.
+		sys := t.curOp.NewSys()
+		_, _, err = t.splitNodeSys(sys, path, leafPno)
+		// Append whatever was staged even on error: each record was
+		// staged right after its mutation landed in cache, so the log
+		// stays consistent with the (possibly partially split) in-cache
+		// tree, and the enclosing op's own records — which the commit
+		// bracket appends even on failure — may already target the new
+		// right page.
+		aerr := sys.AppendSys()
+		if err != nil {
+			return err
+		}
+		if aerr != nil {
+			return aerr
+		}
 	}
-	cells = append(cells[:idx], append([]Extent{e}, cells[idx:]...)...)
-	mid := len(cells) / 2
+}
 
+// splitNodeSys splits the full node pno around its cell midpoint as part
+// of system transaction sys, records the new sibling in the parent
+// (splitting full parents first, recursively), and grows the root as
+// needed. The split is sum-preserving: cells only redistribute between
+// the two halves and the parent's entries are rewritten to the exact
+// partial sums, so no byte count above the split level changes — which
+// is what lets an always-redone split replay against committed state
+// without disturbing any operation's count deltas. Returns the new
+// right sibling's page and the split index.
+func (t *Tree) splitNodeSys(sys *pager.Op, path []pathElem, pno uint64) (uint64, int, error) {
 	rightPno, err := t.ba.Alloc(1)
 	if err != nil {
-		t.pg.Release(pg)
-		return err
+		return 0, 0, err
 	}
+	pg, err := t.pg.Acquire(pno)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := nodeRef{pg.Data()}
 	rpg, err := t.pg.AcquireZero(rightPno)
 	if err != nil {
 		t.pg.Release(pg)
-		return err
+		return 0, 0, err
 	}
 	rn := nodeRef{rpg.Data()}
-	rn.data[offType] = pageLeaf
-	for i := mid; i < len(cells); i++ {
-		rn.setLeafCell(i-mid, cells[i])
-	}
-	rn.setNCells(len(cells) - mid)
-
-	oldNext := n.next()
-	// Rewrite left leaf in place.
-	for i := 0; i < mid; i++ {
-		n.setLeafCell(i, cells[i])
-	}
+	rn.data[offType] = n.typ()
+	cnt := n.ncells()
+	mid := cnt / 2
+	copy(cellBytes(rn, 0, cnt-mid), cellBytes(n, mid, cnt))
+	rn.setNCells(cnt - mid)
 	n.setNCells(mid)
-
-	// Chain: left <-> right <-> oldNext.
-	rn.setNext(oldNext)
-	rn.setPrev(leafPno)
-	n.setNext(rightPno)
-
-	leftSum := n.leafSum()
-	rightSum := rn.leafSum()
-	t.markDirty(pg)
-	t.markDirty(rpg)
+	isLeaf := n.typ() == pageLeaf
+	var oldNext uint64
+	if isLeaf {
+		oldNext = n.next()
+		rn.setNext(oldNext)
+		rn.setPrev(pno)
+		n.setNext(rightPno)
+	}
+	var leftSum, rightSum uint64
+	if isLeaf {
+		leftSum, rightSum = n.leafSum(), rn.leafSum()
+	} else {
+		leftSum, rightSum = n.childSum(), rn.childSum()
+	}
+	t.rec(pg, sys, encXop(xopSplit, xu64(rightPno), xu16(mid)))
+	// The right page is fresh and fully determined by the split record;
+	// it needs no record (or base image) of its own.
+	t.pg.MarkDirty(rpg)
 	t.pg.Release(rpg)
 	t.pg.Release(pg)
 	if oldNext != 0 {
 		npg, err := t.pg.Acquire(oldNext)
 		if err != nil {
-			return err
+			return rightPno, mid, err
 		}
 		nodeRef{npg.Data()}.setPrev(rightPno)
-		t.markDirty(npg)
+		t.recRange(npg, sys, offPtrB, xu64(rightPno))
 		t.pg.Release(npg)
 	}
-	t.extents++
 	t.addStat(func(s *Stats) { s.Splits++ })
-	return t.propagateSplit(path, leafPno, leftSum, rightPno, rightSum)
-}
 
-// propagateSplit records in the parent that child leftPno now holds
-// leftSum bytes and a new sibling rightPno with rightSum bytes follows it,
-// splitting ancestors as necessary. Counts above the split level are
-// corrected by the byte delta implied by the sums.
-func (t *Tree) propagateSplit(path []pathElem, leftPno uint64, leftSum uint64, rightPno uint64, rightSum uint64) error {
 	if len(path) == 0 {
-		// Split the root: new internal root with the two children.
+		// Grow the root: new internal root with the two halves.
 		newRoot, err := t.ba.Alloc(1)
 		if err != nil {
-			return err
+			return rightPno, mid, err
 		}
-		pg, err := t.pg.AcquireZero(newRoot)
+		npg, err := t.pg.AcquireZero(newRoot)
 		if err != nil {
-			return err
+			return rightPno, mid, err
 		}
-		n := nodeRef{pg.Data()}
-		n.data[offType] = pageInternal
-		n.setChildCell(0, childEntry{leftPno, leftSum})
-		n.setChildCell(1, childEntry{rightPno, rightSum})
-		n.setNCells(2)
-		t.markDirty(pg)
-		t.pg.Release(pg)
+		nn := nodeRef{npg.Data()}
+		nn.data[offType] = pageInternal
+		nn.setChildCell(0, childEntry{pno, leftSum})
+		nn.setChildCell(1, childEntry{rightPno, rightSum})
+		nn.setNCells(2)
+		t.rec(npg, sys, encXop(xopNewRoot, xu64(pno), xu64(leftSum), xu64(rightPno), xu64(rightSum)))
+		t.pg.Release(npg)
 		t.root = newRoot
 		t.height++
-		return nil
+		return rightPno, mid, t.writeRootSys(sys)
 	}
 
+	// Record the new sibling in the parent, splitting it first if full.
 	pe := path[len(path)-1]
-	pg, err := t.pg.Acquire(pe.pno)
+	parentPno, pidx := pe.pno, pe.idx
+	ppg, err := t.pg.Acquire(parentPno)
 	if err != nil {
-		return err
+		return rightPno, mid, err
 	}
-	n := nodeRef{pg.Data()}
-	old := n.childCell(pe.idx)
-	if old.child != leftPno {
-		t.pg.Release(pg)
-		return fmt.Errorf("%w: parent cell %d points to %d, want %d", ErrCorrupt, pe.idx, old.child, leftPno)
+	if (nodeRef{ppg.Data()}).ncells() >= t.internalCap() {
+		t.pg.Release(ppg)
+		pr, pm, err := t.splitNodeSys(sys, path[:len(path)-1], parentPno)
+		if err != nil {
+			return rightPno, mid, err
+		}
+		if pidx >= pm {
+			parentPno, pidx = pr, pidx-pm
+		}
+		ppg, err = t.pg.Acquire(parentPno)
+		if err != nil {
+			return rightPno, mid, err
+		}
 	}
-	delta := int64(leftSum+rightSum) - int64(old.bytes)
-	n.setChildCell(pe.idx, childEntry{leftPno, leftSum})
-
-	if n.ncells() < t.internalCap() {
-		n.insertChildCell(pe.idx+1, childEntry{rightPno, rightSum})
-		t.markDirty(pg)
-		t.pg.Release(pg)
-		return t.bumpCounts(path[:len(path)-1], delta)
+	pn := nodeRef{ppg.Data()}
+	if pidx >= pn.ncells() || pn.childCell(pidx).child != pno {
+		t.pg.Release(ppg)
+		return rightPno, mid, fmt.Errorf("%w: parent cell %d does not reach split child %d", ErrCorrupt, pidx, pno)
 	}
-
-	// Parent full: split it too.
-	cnt := n.ncells()
-	entries := make([]childEntry, 0, cnt+1)
-	for i := 0; i < cnt; i++ {
-		entries = append(entries, n.childCell(i))
-	}
-	at := pe.idx + 1
-	entries = append(entries[:at], append([]childEntry{{rightPno, rightSum}}, entries[at:]...)...)
-	mid := len(entries) / 2
-
-	newRight, err := t.ba.Alloc(1)
-	if err != nil {
-		t.pg.Release(pg)
-		return err
-	}
-	rpg, err := t.pg.AcquireZero(newRight)
-	if err != nil {
-		t.pg.Release(pg)
-		return err
-	}
-	rn := nodeRef{rpg.Data()}
-	rn.data[offType] = pageInternal
-	for i := mid; i < len(entries); i++ {
-		rn.setChildCell(i-mid, entries[i])
-	}
-	rn.setNCells(len(entries) - mid)
-
-	for i := 0; i < mid; i++ {
-		n.setChildCell(i, entries[i])
-	}
-	n.setNCells(mid)
-
-	leftTotal := n.childSum()
-	rightTotal := rn.childSum()
-	t.markDirty(pg)
-	t.markDirty(rpg)
-	t.pg.Release(rpg)
-	t.pg.Release(pg)
-	t.addStat(func(s *Stats) { s.Splits++ })
-	return t.propagateSplit(path[:len(path)-1], pe.pno, leftTotal, newRight, rightTotal)
+	pn.setChildCell(pidx, childEntry{pno, leftSum})
+	t.rec(ppg, sys, encXop(xopChildSet, xu16(pidx), xu64(pno), xu64(leftSum)))
+	pn.insertChildCell(pidx+1, childEntry{rightPno, rightSum})
+	t.rec(ppg, sys, encXop(xopChildIns, xu16(pidx+1), xu64(rightPno), xu64(rightSum)))
+	t.pg.Release(ppg)
+	return rightPno, mid, nil
 }
 
 // removeCellAt deletes the cell at idx of the leaf at the end of path,
-// maintaining counts and lazily merging underfull nodes. The extent's
-// storage is NOT freed here (callers free allocations).
-func (t *Tree) removeCellAt(path []pathElem, leafPno uint64, idx int) error {
+// maintaining counts. The extent's storage is NOT freed here (callers
+// free allocations). off is the byte offset the removal happened at,
+// used to re-find the leaf if a rebalance is warranted. Underfull nodes
+// merge lazily: immediately when unlogged, but deferred until the
+// deleting transaction commits when a redo capture is open — a merge is
+// a system transaction redone unconditionally, so running it while the
+// delete was uncommitted would let replay pack the undeleted cell plus
+// the whole sibling into one page (the same hazard btree's deferred
+// rebalance closes).
+func (t *Tree) removeCellAt(path []pathElem, leafPno uint64, idx int, off uint64) error {
 	pg, err := t.pg.Acquire(leafPno)
 	if err != nil {
 		return err
@@ -184,7 +199,7 @@ func (t *Tree) removeCellAt(path []pathElem, leafPno uint64, idx int) error {
 	n := nodeRef{pg.Data()}
 	e := n.leafCell(idx)
 	n.removeLeafCell(idx)
-	t.markDirty(pg)
+	t.rec(pg, t.curOp, encXop(xopLeafDel, xu16(idx)))
 	underfull := n.ncells() < t.leafCap()/4
 	t.pg.Release(pg)
 	t.extents--
@@ -192,50 +207,117 @@ func (t *Tree) removeCellAt(path []pathElem, leafPno uint64, idx int) error {
 		return err
 	}
 	if underfull && len(path) > 0 {
-		return t.maybeMerge(path, leafPno)
+		if t.curOp != nil {
+			// One deferred rebalance per operation, retargeted to the
+			// latest removal: a Truncate draining hundreds of cells
+			// registers one post-commit closure, not hundreds.
+			if t.rebalOp == t.curOp {
+				t.rebalOff.Store(off)
+			} else {
+				cell := new(atomic.Uint64)
+				cell.Store(off)
+				t.rebalOp, t.rebalOff = t.curOp, cell
+				t.curOp.Defer(func(sys *pager.Op) error { return t.RebalanceAt(sys, cell.Load()) })
+			}
+		} else if _, err := t.maybeMerge(nil, path, leafPno); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
+// RebalanceAt re-checks the leaf containing byte offset off and merges
+// it with siblings while it stays underfull — the deferred half of a
+// logged delete, run after the deleting transaction committed, with sys
+// as the merge's system-transaction capture. It loops because one
+// deferred rebalance stands in for a whole operation's removals: a bulk
+// DeleteRange drains a contiguous run of leaves, and each merge absorbs
+// the next adjacent drained sibling, so looping until no merge fires
+// reclaims the run the way the per-removal merges of the unlogged path
+// do. The tree may have changed since the delete; a leaf that is no
+// longer underfull (or a tree that shrank past off) just means no work.
+func (t *Tree) RebalanceAt(sys *pager.Op, off uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if t.height <= 1 {
+			return nil
+		}
+		if off >= t.size {
+			if t.size == 0 {
+				off = 0
+			} else {
+				off = t.size - 1
+			}
+		}
+		path, leafPno, _, err := t.descend(off)
+		if err != nil {
+			return err
+		}
+		if len(path) == 0 {
+			return nil
+		}
+		pg, err := t.pg.Acquire(leafPno)
+		if err != nil {
+			return err
+		}
+		underfull := (nodeRef{pg.Data()}).ncells() < t.leafCap()/4
+		t.pg.Release(pg)
+		if !underfull {
+			return nil
+		}
+		merged, err := t.maybeMerge(sys, path, leafPno)
+		if err != nil {
+			return err
+		}
+		if !merged {
+			return nil
+		}
+	}
+}
+
 // maybeMerge merges the node at nodePno with an adjacent sibling when
-// their combined cells fit in one page (lazy, merge-only rebalancing).
-func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
+// their combined cells fit in one page (lazy, merge-only rebalancing),
+// reporting whether a merge happened at this level. The whole merge —
+// sibling absorption, parent fixup, root collapse — is logged as one
+// typed record on the parent plus chain-pointer range records, all in
+// sys (nil = unlogged).
+func (t *Tree) maybeMerge(sys *pager.Op, path []pathElem, nodePno uint64) (bool, error) {
 	pe := path[len(path)-1]
 	ppg, err := t.pg.Acquire(pe.pno)
 	if err != nil {
-		return err
+		return false, err
 	}
 	pn := nodeRef{ppg.Data()}
 	cnt := pn.ncells()
-	if pn.childCell(pe.idx).child != nodePno {
+	if pe.idx >= cnt || pn.childCell(pe.idx).child != nodePno {
 		t.pg.Release(ppg)
-		return fmt.Errorf("%w: stale merge path", ErrCorrupt)
+		return false, fmt.Errorf("%w: stale merge path", ErrCorrupt)
 	}
 
-	type pair struct{ li, ri int }
-	var pairs []pair
+	var pairs []int // left index of each candidate sibling pair
 	if pe.idx+1 < cnt {
-		pairs = append(pairs, pair{pe.idx, pe.idx + 1})
+		pairs = append(pairs, pe.idx)
 	}
 	if pe.idx > 0 {
-		pairs = append(pairs, pair{pe.idx - 1, pe.idx})
+		pairs = append(pairs, pe.idx-1)
 	}
 
-	for _, pr := range pairs {
-		left := pn.childCell(pr.li)
-		right := pn.childCell(pr.ri)
-		merged, err := t.tryMergeChildren(left.child, right.child)
+	for _, li := range pairs {
+		left := pn.childCell(li)
+		right := pn.childCell(li + 1)
+		merged, err := t.mergeChildren(sys, left.child, right.child)
 		if err != nil {
 			t.pg.Release(ppg)
-			return err
+			return false, err
 		}
 		if !merged {
 			continue
 		}
 		// Parent: left entry absorbs right's bytes; right entry removed.
-		pn.setChildCell(pr.li, childEntry{left.child, left.bytes + right.bytes})
-		pn.removeChildCell(pr.ri)
-		t.markDirty(ppg)
+		pn.setChildCell(li, childEntry{left.child, left.bytes + right.bytes})
+		pn.removeChildCell(li + 1)
+		t.rec(ppg, sys, encXop(xopMerge, xu16(li)))
 		t.addStat(func(s *Stats) { s.Merges++ })
 
 		rootSingle := pe.pno == t.root && pn.ncells() == 1
@@ -247,27 +329,32 @@ func (t *Tree) maybeMerge(path []pathElem, nodePno uint64) error {
 		t.pg.Release(ppg)
 
 		if err := t.freePage(right.child); err != nil {
-			return err
+			return true, err
 		}
 		if rootSingle {
 			if err := t.freePage(pe.pno); err != nil {
-				return err
+				return true, err
 			}
 			t.root = newRoot
 			t.height--
-			return nil
+			return true, t.writeRootSys(sys)
 		}
 		if underfull && len(path) > 1 {
-			return t.maybeMerge(path[:len(path)-1], pe.pno)
+			_, err := t.maybeMerge(sys, path[:len(path)-1], pe.pno)
+			return true, err
 		}
-		return nil
+		return true, nil
 	}
 	t.pg.Release(ppg)
-	return nil
+	return false, nil
 }
 
-// tryMergeChildren merges rightPno's cells into leftPno if they fit.
-func (t *Tree) tryMergeChildren(leftPno, rightPno uint64) (bool, error) {
+// mergeChildren absorbs rightPno's cells into leftPno if they fit. The
+// left page's new content is covered by the parent's merge record (the
+// parent still holds both entries when the record is stamped, so replay
+// re-derives the same absorption); only the next leaf's back pointer
+// needs its own range record.
+func (t *Tree) mergeChildren(sys *pager.Op, leftPno, rightPno uint64) (bool, error) {
 	lpg, err := t.pg.Acquire(leftPno)
 	if err != nil {
 		return false, err
@@ -290,39 +377,41 @@ func (t *Tree) tryMergeChildren(leftPno, rightPno uint64) (bool, error) {
 	} else {
 		capacity = t.internalCap()
 	}
-	if ln.ncells()+rn.ncells() > capacity {
+	base, rcnt := ln.ncells(), rn.ncells()
+	if base+rcnt > capacity {
 		t.pg.Release(rpg)
 		t.pg.Release(lpg)
 		return false, nil
 	}
-	base := ln.ncells()
+	// Pin the next leaf BEFORE mutating anything: every fallible step
+	// must come first, so an I/O error aborts the merge with the cache
+	// untouched — never with the left node absorbed but the parent (and
+	// the merge record) still describing two children.
+	var next uint64
+	var npg *pager.Page
 	if ln.typ() == pageLeaf {
-		for i := 0; i < rn.ncells(); i++ {
-			ln.setLeafCell(base+i, rn.leafCell(i))
-		}
-		ln.setNCells(base + rn.ncells())
-		next := rn.next()
-		ln.setNext(next)
-		if next != 0 {
-			npg, err := t.pg.Acquire(next)
-			if err != nil {
+		if next = rn.next(); next != 0 {
+			var err error
+			if npg, err = t.pg.Acquire(next); err != nil {
 				t.pg.Release(rpg)
 				t.pg.Release(lpg)
 				return false, err
 			}
-			nodeRef{npg.Data()}.setPrev(leftPno)
-			t.markDirty(npg)
-			t.pg.Release(npg)
 		}
-	} else {
-		for i := 0; i < rn.ncells(); i++ {
-			ln.setChildCell(base+i, rn.childCell(i))
-		}
-		ln.setNCells(base + rn.ncells())
 	}
-	t.markDirty(lpg)
+	copy(cellBytes(ln, base, base+rcnt), cellBytes(rn, 0, rcnt))
+	ln.setNCells(base + rcnt)
+	if ln.typ() == pageLeaf {
+		ln.setNext(next)
+	}
+	t.pg.MarkDirty(lpg)
 	t.pg.Release(rpg)
 	t.pg.Release(lpg)
+	if npg != nil {
+		nodeRef{npg.Data()}.setPrev(leftPno)
+		t.recRange(npg, sys, offPtrB, xu64(leftPno))
+		t.pg.Release(npg)
+	}
 	return true, nil
 }
 
@@ -344,7 +433,7 @@ func (t *Tree) setLeafCellLen(path []pathElem, leafPno uint64, idx int, newLen u
 	delta := int64(newLen) - int64(e.Len)
 	e.Len = newLen
 	n.setLeafCell(idx, e)
-	t.markDirty(pg)
+	t.rec(pg, t.curOp, encXop(xopLeafSet, xu16(idx), encCell(e)))
 	t.pg.Release(pg)
 	return t.bumpCounts(path, delta)
 }

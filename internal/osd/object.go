@@ -64,13 +64,26 @@ func (o *Object) WriteAtDeferred(op *pager.Op, p []byte, off uint64) error {
 }
 
 func (o *Object) writeAt(op *pager.Op, p []byte, off uint64) error {
-	if err := o.ext.WriteAtOp(op, p, off); err != nil {
-		return err
+	err := o.ext.WriteAtOp(op, p, off)
+	if err == nil {
+		o.s.statMu.Lock()
+		o.s.stats.Writes++
+		o.s.statMu.Unlock()
 	}
-	o.s.statMu.Lock()
-	o.s.stats.Writes++
-	o.s.statMu.Unlock()
-	return o.refreshMeta(op)
+	return o.finishMutation(op, err)
+}
+
+// finishMutation refreshes the object-table metadata even when the
+// extent mutation failed part-way: redo-only logging has no undo, so
+// the partially applied tree (whose staged records the commit bracket
+// appends regardless) must be matched by the size the object table
+// records — otherwise a crash right after would recover a volume where
+// fsck finds the table and the tree disagreeing.
+func (o *Object) finishMutation(op *pager.Op, err error) error {
+	if merr := o.refreshMeta(op); err == nil {
+		err = merr
+	}
+	return err
 }
 
 // Append writes p at the current end of the object.
@@ -98,13 +111,13 @@ func (o *Object) InsertAtDeferred(op *pager.Op, off uint64, p []byte) error {
 }
 
 func (o *Object) insertAt(op *pager.Op, off uint64, p []byte) error {
-	if err := o.ext.InsertAtOp(op, off, p); err != nil {
-		return err
+	err := o.ext.InsertAtOp(op, off, p)
+	if err == nil {
+		o.s.statMu.Lock()
+		o.s.stats.Inserts++
+		o.s.statMu.Unlock()
 	}
-	o.s.statMu.Lock()
-	o.s.stats.Inserts++
-	o.s.statMu.Unlock()
-	return o.refreshMeta(op)
+	return o.finishMutation(op, err)
 }
 
 // TruncateRange removes length bytes at offset off, shifting later bytes
@@ -121,23 +134,19 @@ func (o *Object) TruncateRangeDeferred(op *pager.Op, off, length uint64) error {
 }
 
 func (o *Object) truncateRange(op *pager.Op, off, length uint64) error {
-	if err := o.ext.DeleteRangeOp(op, off, length); err != nil {
-		return err
+	err := o.ext.DeleteRangeOp(op, off, length)
+	if err == nil {
+		o.s.statMu.Lock()
+		o.s.stats.DeleteRanges++
+		o.s.statMu.Unlock()
 	}
-	o.s.statMu.Lock()
-	o.s.stats.DeleteRanges++
-	o.s.statMu.Unlock()
-	return o.refreshMeta(op)
+	return o.finishMutation(op, err)
 }
 
 // Truncate sets the object's size (POSIX-style single-argument form).
 func (o *Object) Truncate(size uint64) error {
 	op, done := o.s.beginOp()
-	err := o.ext.TruncateOp(op, size)
-	if err == nil {
-		err = o.refreshMeta(op)
-	}
-	return done(err)
+	return done(o.finishMutation(op, o.ext.TruncateOp(op, size)))
 }
 
 // refreshMeta updates size/mtime in the object table (no commit; the

@@ -30,6 +30,7 @@ import (
 	"repro/internal/buddy"
 	"repro/internal/extent"
 	"repro/internal/pager"
+	"repro/internal/redo"
 )
 
 // OID uniquely identifies an object.
@@ -379,8 +380,9 @@ func (s *Store) updateMeta(oid OID, f func(*Meta)) error {
 const shadowMetaOff = 64
 
 // writeShadowMeta stores the paper's NULL-key metadata copy in the
-// object's own header page, capturing the page image into op (the header
-// page belongs to the object's extent tree, whose pages are image-logged).
+// object's own header page, staging it as an absolute byte-range record
+// — the ~60 logical bytes of the edit, where the retired image route
+// logged the whole 4 KiB header page per operation.
 func (s *Store) writeShadowMeta(op *pager.Op, m *Meta) error {
 	pg, err := s.pg.Acquire(m.ExtentHeader)
 	if err != nil {
@@ -392,9 +394,11 @@ func (s *Store) writeShadowMeta(op *pager.Op, m *Meta) error {
 	if shadowMetaOff+2+len(enc) > len(d) {
 		return fmt.Errorf("%w: shadow meta too large", ErrCorrupt)
 	}
-	binary.LittleEndian.PutUint16(d[shadowMetaOff:], uint16(len(enc)))
-	copy(d[shadowMetaOff+2:], enc)
-	s.pg.MarkDirtyImage(pg, op)
+	rec := make([]byte, 2+len(enc))
+	binary.LittleEndian.PutUint16(rec, uint16(len(enc)))
+	copy(rec[2:], enc)
+	copy(d[shadowMetaOff:], rec)
+	s.pg.MarkDirtyRec(pg, op, redo.KindRange, redo.EncodeRange(shadowMetaOff, rec))
 	return nil
 }
 
@@ -412,6 +416,15 @@ func (s *Store) ShadowMeta(extentHeader uint64) (Meta, error) {
 		return Meta{}, fmt.Errorf("%w: missing shadow meta", ErrCorrupt)
 	}
 	return decodeMeta(d[shadowMetaOff+2 : shadowMetaOff+2+n])
+}
+
+// RepairSize rewrites the object's recorded size (table row and shadow
+// copy) without a commit bracket. Crash recovery's extent recount calls
+// it when a tree's recomputed size disagrees with the absolute value
+// replay recovered, so the volume's own fsck cross-check (table size vs
+// tree bytes) holds after the repair.
+func (s *Store) RepairSize(oid OID, size uint64) error {
+	return s.updateMetaNoCommit(nil, oid, func(m *Meta) { m.Size = size })
 }
 
 // DeleteObject destroys the object and releases all its storage. Open

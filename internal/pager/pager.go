@@ -383,18 +383,17 @@ type Appender interface {
 }
 
 // Op captures the redo records of one mutating operation. Structure
-// layers emit records through MarkDirtyRec/MarkDirtyImage as they mutate
-// pages; the volume stages the collected records as one WAL transaction
-// at commit. A nil *Op is accepted everywhere and means "unlogged"
-// (non-transactional volume, or the page-image logging mode where the
-// broadcast Txn capture below does the work instead).
+// layers emit typed and byte-range records through MarkDirtyRec as they
+// mutate pages; the volume stages the collected records as one WAL
+// transaction at commit. A nil *Op is accepted everywhere and means
+// "unlogged" (non-transactional volume, or the page-image logging mode
+// where the broadcast Txn capture below does the work instead).
 type Op struct {
 	p   *Pager
 	app Appender
 
 	mu       sync.Mutex
 	recs     []redo.Record
-	images   map[uint64]int // page → index in recs of its image record
 	deferred []func(*Op) error
 }
 
@@ -427,7 +426,6 @@ func (op *Op) AppendSys() error {
 	op.mu.Lock()
 	recs := op.recs
 	op.recs = nil
-	op.images = nil
 	op.mu.Unlock()
 	if len(recs) == 0 {
 		return nil
@@ -441,7 +439,6 @@ func (op *Op) Records() []redo.Record {
 	op.mu.Lock()
 	recs := op.recs
 	op.recs = nil
-	op.images = nil
 	op.mu.Unlock()
 	return recs
 }
@@ -489,54 +486,6 @@ func (p *Pager) MarkDirtyRec(pg *Page, op *Op, kind uint8, data []byte) {
 	}
 	lsn := p.markDirtyStamp(pg)
 	op.stage(redo.Record{LSN: lsn, Page: pg.no, Kind: kind, Data: data})
-}
-
-// MarkDirtyImage marks the page dirty and stages (or refreshes) a full
-// page-image record for op — the fallback kind, used for extent-tree
-// pages. The copy is taken inside the latch window; a later capture of
-// the same page replaces the earlier one (freshest image wins, with the
-// fresher LSN). With a nil op this is MarkDirty.
-func (p *Pager) MarkDirtyImage(pg *Page, op *Op) {
-	if op == nil {
-		p.MarkDirty(pg)
-		return
-	}
-	s := p.shardOf(pg.no)
-	s.mu.Lock()
-	if pg.pins <= 0 {
-		s.mu.Unlock()
-		panic("pager: MarkDirtyImage on unpinned page")
-	}
-	// No base image: the op's own full-image record resets the page's
-	// replay state, so home content is never the base.
-	if !pg.dirty {
-		pg.dirty = true
-		s.dirty[pg.no] = pg
-		p.ndirty.Add(1)
-	}
-	lsn := p.lsn.Add(1)
-	pg.lsn.Store(lsn)
-	s.mu.Unlock()
-
-	// The copy happens under the caller's structure lock (the only
-	// writer serialization for these bytes), so it cannot tear. Refresh
-	// in place when the op already captured this page: only the freshest
-	// image survives, so earlier copies would be pure waste.
-	op.mu.Lock()
-	if op.images == nil {
-		op.images = make(map[uint64]int, 8)
-	}
-	if i, ok := op.images[pg.no]; ok {
-		copy(op.recs[i].Data, pg.data)
-		op.recs[i].LSN = lsn
-	} else {
-		c := make([]byte, len(pg.data))
-		copy(c, pg.data)
-		op.images[pg.no] = len(op.recs)
-		op.recs = append(op.recs, redo.Record{LSN: lsn, Page: pg.no, Kind: redo.KindImage, Data: c})
-	}
-	op.mu.Unlock()
-	p.noteDirty(pg)
 }
 
 // markDirtyStamp marks dirty and stamps a fresh LSN under the shard

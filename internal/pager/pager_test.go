@@ -541,9 +541,12 @@ func TestMarkDirtyRecStampsAndAttributes(t *testing.T) {
 	}
 }
 
-// TestMarkDirtyImageFreshestWins: repeated image captures of one page in
-// one op keep a single record holding the freshest bytes and LSN.
-func TestMarkDirtyImageFreshestWins(t *testing.T) {
+// TestMarkDirtyRecOrderPreserved: an op's staged records keep staging
+// (= LSN) order, so replay applies a page's edits in the order the
+// bytes actually changed. (The retired MarkDirtyImage route — whole-page
+// captures for extent trees — is gone; every structure layer now stages
+// typed or byte-range records through MarkDirtyRec.)
+func TestMarkDirtyRecOrderPreserved(t *testing.T) {
 	p, _ := newPager(t, 64, 64, false)
 	pg, err := p.Acquire(2)
 	if err != nil {
@@ -552,19 +555,16 @@ func TestMarkDirtyImageFreshestWins(t *testing.T) {
 	defer p.Release(pg)
 
 	op := p.NewOp(nil)
-	pg.Data()[0] = 0xAA
-	p.MarkDirtyImage(pg, op)
-	lsn1 := pg.LSN()
-	pg.Data()[0] = 0xBB
-	p.MarkDirtyImage(pg, op)
+	p.MarkDirtyRec(pg, op, redo.KindRange, redo.EncodeRange(0, []byte{0xAA}))
+	p.MarkDirtyRec(pg, op, redo.KindRange, redo.EncodeRange(0, []byte{0xBB}))
 	recs := op.Records()
-	if len(recs) != 1 {
-		t.Fatalf("image records = %d, want 1 (dedup)", len(recs))
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
 	}
-	if recs[0].Data[0] != 0xBB {
-		t.Fatalf("image holds %#x, want freshest 0xBB", recs[0].Data[0])
+	if recs[0].LSN >= recs[1].LSN {
+		t.Fatalf("staged records out of LSN order: %d then %d", recs[0].LSN, recs[1].LSN)
 	}
-	if recs[0].LSN <= lsn1 {
-		t.Fatalf("image LSN %d not refreshed past %d", recs[0].LSN, lsn1)
+	if recs[1].Data[4] != 0xBB {
+		t.Fatalf("freshest record holds %#x, want 0xBB", recs[1].Data[4])
 	}
 }

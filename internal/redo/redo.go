@@ -16,16 +16,21 @@
 // by the WAL for commit and checkpoint records):
 //
 //   - KindImage: Data is the full page image. The conservative fallback
-//     — used by the page-image logging mode and for extent-tree pages,
-//     whose trees are object-private.
+//     — used by the page-image logging mode and for first-touch base
+//     images.
 //   - KindRange: Data is a u32 page offset followed by the bytes written
 //     there. Idempotent absolute overwrite; used for pointer stitches,
-//     tree headers, and overflow-page content.
+//     tree headers, shadow metadata, and overflow-page content.
 //   - KindBtreeOp: Data is a btree-typed operation (opcode byte plus
 //     encoding, defined in package btree) that recovery re-executes via
 //     btree.ReplayOp. Because replay re-executes the operation against
 //     whatever committed cells the page holds, a committed record never
 //     carries a neighbour's uncommitted bytes.
+//   - KindExtentOp: Data is an extent-tree-typed operation (opcode byte
+//     plus encoding, defined in package extent) replayed via
+//     extent.ReplayOp — cell inserts/removes/rewrites, subtree count
+//     deltas, and the split/merge/root structure modifications that ride
+//     WAL system transactions.
 package redo
 
 import (
@@ -36,9 +41,10 @@ import (
 // Record kinds. Values 2 and 3 are reserved by the WAL (commit,
 // checkpoint).
 const (
-	KindImage   = 1
-	KindRange   = 4
-	KindBtreeOp = 5
+	KindImage    = 1
+	KindRange    = 4
+	KindBtreeOp  = 5
+	KindExtentOp = 6
 )
 
 // Record is one physiological redo record.

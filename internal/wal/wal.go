@@ -35,7 +35,7 @@
 //
 //	[0:4]   crc32 (castagnoli) of bytes [4:recordLen]
 //	[4:8]   payload length
-//	[8]     kind (1=page image, 2=commit, 3=checkpoint, 4=range, 5=btree op)
+//	[8]     kind (1=page image, 2=commit, 3=checkpoint, 4=range, 5=btree op, 6=extent op)
 //	[9:17]  txn id
 //	[17:25] page number (redo records)
 //	[25:33] lsn (redo records; 0 for image-mode records)
@@ -67,8 +67,8 @@ import (
 	"repro/internal/redo"
 )
 
-// Record kinds. Redo-record kinds (1, 4, 5) are shared with package redo;
-// commit and checkpoint are log-internal.
+// Record kinds. Redo-record kinds (1, 4, 5, 6) are shared with package
+// redo; commit and checkpoint are log-internal.
 const (
 	kindPage       = redo.KindImage
 	kindCommit     = 2
