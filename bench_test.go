@@ -7,11 +7,14 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/hfad"
 	"repro/internal/bench"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/hierfs"
 	"repro/internal/index"
 	"repro/internal/pager"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -1213,4 +1217,69 @@ func BenchmarkE16_ExtentLogAmplification(b *testing.B) {
 	}
 	b.Run("physiological", func(b *testing.B) { run(b, false) })
 	b.Run("image", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkE17_ServerFanIn measures the hfadd ingest path per-op: 16
+// concurrent client connections creating objects over loopback HTTP,
+// coalesced server-side into shared transactions (E17's claim at
+// micro-benchmark granularity). Reported syncs/op should sit well
+// below 1.
+func BenchmarkE17_ServerFanIn(b *testing.B) {
+	st, err := bench.NewSyncCostStore(1<<15, hfad.Options{
+		Transactional: true,
+		WALBlocks:     4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(st, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	const conns = 16
+	clients := make([]*server.Client, conns)
+	for i := range clients {
+		clients[i] = server.NewClient(ln.Addr().String())
+	}
+	payload := workload.NewRng(17).Bytes(96)
+	syncs0 := st.Volume().WAL().Stats().Syncs
+
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w]
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				_, err := c.Create(&server.CreateReq{
+					Data: payload,
+					Tags: []server.TagPair{{Tag: hfad.TagUDef, Value: fmt.Sprintf("g:%d", i%10)}},
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	syncs := st.Volume().WAL().Stats().Syncs - syncs0
+	b.ReportMetric(float64(syncs)/float64(b.N), "syncs/op")
 }

@@ -11,6 +11,12 @@
 //	    mkdir /docs -- write /docs/a.txt "hello world" -- \
 //	    tag /docs/a.txt UDEF important -- find UDEF important -- \
 //	    search hello -- ls /docs -- stat /docs/a.txt -- fsck
+//
+// With -addr the same scripted session runs against a live hfadd server
+// instead, using the object-centric wire API:
+//
+//	hfadctl -addr localhost:8080 run \
+//	    create "hello world" UDEF important -- find UDEF important -- stats
 package main
 
 import (
@@ -22,12 +28,22 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	addr := ""
+	if len(args) >= 2 && args[0] == "-addr" {
+		addr = args[1]
+		args = args[2:]
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "demo":
+		if addr != "" {
+			fmt.Fprintln(os.Stderr, "error: demo runs locally; use -addr with run")
+			os.Exit(2)
+		}
 		if err := runScript(demoScript()); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -35,7 +51,7 @@ func main() {
 	case "run":
 		var cmds [][]string
 		var cur []string
-		for _, a := range os.Args[2:] {
+		for _, a := range args[1:] {
 			if a == "--" {
 				if len(cur) > 0 {
 					cmds = append(cmds, cur)
@@ -48,7 +64,13 @@ func main() {
 		if len(cur) > 0 {
 			cmds = append(cmds, cur)
 		}
-		if err := runScript(cmds); err != nil {
+		var err error
+		if addr != "" {
+			err = runRemoteScript(addr, cmds)
+		} else {
+			err = runScript(cmds)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -62,6 +84,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   hfadctl demo                 guided tour of the volume commands
   hfadctl run CMD... [-- CMD...]
+  hfadctl -addr HOST:PORT run CMD... [-- CMD...]
+                               run against a live hfadd server
 commands:
   mkdir PATH                   create a directory (POSIX view)
   write PATH TEXT              create a file with contents
@@ -86,6 +110,7 @@ commands:
   cut PATH OFF LEN             truncate-range mid-file (native API)
   fsck                         run the volume checker
   stats                        volume statistics`)
+	fmt.Fprintln(os.Stderr, remoteUsage())
 }
 
 func demoScript() [][]string {

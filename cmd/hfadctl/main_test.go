@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/hfad"
+	"repro/internal/server"
+)
 
 // TestDemoScript smoke-tests the whole command surface against a fresh
 // in-memory volume — the same script `hfadctl demo` runs.
@@ -40,6 +48,57 @@ func TestBadCommands(t *testing.T) {
 	} {
 		if err := runScript(script); err == nil {
 			t.Errorf("script %v succeeded, want error", script)
+		}
+	}
+}
+
+// TestRemoteScript runs the -addr command set against an in-process
+// hfadd server.
+func TestRemoteScript(t *testing.T) {
+	st, err := hfad.Create(hfad.NewMemDevice(1<<14), hfad.Options{Transactional: true, WALBlocks: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(st, server.Options{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+
+	c := server.NewClient(hs.URL)
+	created, err := c.Create(&server.CreateReq{Data: []byte("remote object")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := fmt.Sprintf("%d", created.OID)
+
+	script := [][]string{
+		{"create", "hello remote", "UDEF", "greeting"},
+		{"append", oid, "more bytes"},
+		{"cat", oid},
+		{"stat", oid},
+		{"tag", oid, "UDEF", "x"},
+		{"names", oid},
+		{"find", "UDEF", "x"},
+		{"findn", "1", "0", "UDEF", "x"},
+		{"explain", "UDEF", "x"},
+		{"index", oid},
+		{"search", "remote"},
+		{"untag", oid, "UDEF", "x"},
+		{"stats"},
+		{"rm", oid},
+	}
+	if err := runRemoteScript(hs.URL, script); err != nil {
+		t.Fatalf("remote script: %v", err)
+	}
+
+	for _, script := range [][]string{
+		{"bogus"},
+		{"stat", "notanumber"},
+		{"cat", "99999"},
+		{"find", "UDEF"},
+	} {
+		if err := executeRemote(c, script); err == nil {
+			t.Errorf("remote %v succeeded, want error", script)
 		}
 	}
 }

@@ -31,12 +31,15 @@ import (
 	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/buddy"
 	"repro/internal/core"
 	"repro/internal/extent"
 	"repro/internal/fulltext"
 	"repro/internal/index"
 	"repro/internal/osd"
+	"repro/internal/pager"
 	"repro/internal/posixfs"
+	"repro/internal/wal"
 )
 
 // Re-exported identifiers and naming types.
@@ -313,6 +316,33 @@ func (s *Store) POSIX() (*posixfs.FS, error) {
 }
 
 // --- maintenance ---
+
+// StoreStats aggregates every layer's counters in one snapshot. All
+// sources use atomic or mutex-guarded accessors, so it is safe to call
+// concurrently with any operation — this is what the hfadd server's
+// /metrics endpoint scrapes under load.
+type StoreStats struct {
+	Objects osd.Stats
+	Cache   pager.Stats
+	Alloc   buddy.Stats
+	// WAL is nil on non-transactional volumes.
+	WAL *wal.Stats
+}
+
+// Stats snapshots the volume's operation, cache, allocator, and WAL
+// counters.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{
+		Objects: s.vol.OSD.Stats(),
+		Cache:   s.vol.Pager().Stats(),
+		Alloc:   s.vol.Allocator().Stats(),
+	}
+	if l := s.vol.WAL(); l != nil {
+		ws := l.Stats()
+		st.WAL = &ws
+	}
+	return st
+}
 
 // Check runs a full volume consistency check (fsck).
 func (s *Store) Check() (*core.CheckReport, error) { return s.vol.Check() }

@@ -75,6 +75,7 @@ func All() []Runner {
 		{"E14", "batched vs unbatched ingest", RunE14},
 		{"E15", "log amplification: image vs physiological", RunE15},
 		{"E16", "extent-tree (data path) log amplification", RunE16},
+		{"E17", "hfadd server fan-in at the scale tier", RunE17},
 	}
 }
 

@@ -44,9 +44,7 @@ func (o *Object) ExtentTree() *extent.Tree { return o.ext }
 // io.EOF with a short count at end of object).
 func (o *Object) ReadAt(p []byte, off uint64) (int, error) {
 	n, err := o.ext.ReadAt(p, off)
-	o.s.statMu.Lock()
-	o.s.stats.Reads++
-	o.s.statMu.Unlock()
+	o.s.stats.reads.Add(1)
 	return n, err
 }
 
@@ -66,9 +64,7 @@ func (o *Object) WriteAtDeferred(op *pager.Op, p []byte, off uint64) error {
 func (o *Object) writeAt(op *pager.Op, p []byte, off uint64) error {
 	err := o.ext.WriteAtOp(op, p, off)
 	if err == nil {
-		o.s.statMu.Lock()
-		o.s.stats.Writes++
-		o.s.statMu.Unlock()
+		o.s.stats.writes.Add(1)
 	}
 	return o.finishMutation(op, err)
 }
@@ -113,9 +109,7 @@ func (o *Object) InsertAtDeferred(op *pager.Op, off uint64, p []byte) error {
 func (o *Object) insertAt(op *pager.Op, off uint64, p []byte) error {
 	err := o.ext.InsertAtOp(op, off, p)
 	if err == nil {
-		o.s.statMu.Lock()
-		o.s.stats.Inserts++
-		o.s.statMu.Unlock()
+		o.s.stats.inserts.Add(1)
 	}
 	return o.finishMutation(op, err)
 }
@@ -136,9 +130,7 @@ func (o *Object) TruncateRangeDeferred(op *pager.Op, off, length uint64) error {
 func (o *Object) truncateRange(op *pager.Op, off, length uint64) error {
 	err := o.ext.DeleteRangeOp(op, off, length)
 	if err == nil {
-		o.s.statMu.Lock()
-		o.s.stats.DeleteRanges++
-		o.s.statMu.Unlock()
+		o.s.stats.deleteRanges.Add(1)
 	}
 	return o.finishMutation(op, err)
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/btree"
@@ -126,7 +127,7 @@ type Options struct {
 	Clock func() time.Time
 }
 
-// Stats counts store-level operations.
+// Stats is a point-in-time snapshot of store-level operation counters.
 type Stats struct {
 	Objects      uint64
 	Creates      int64
@@ -136,6 +137,20 @@ type Stats struct {
 	Inserts      int64
 	DeleteRanges int64
 	Commits      int64
+}
+
+// counters holds the live operation counters. Every field is an atomic:
+// stats are scraped concurrently with the operations that mutate them
+// (the hfadd /metrics endpoint reads while writers write), and the hot
+// write path should not serialize on a stats mutex.
+type counters struct {
+	creates      atomic.Int64
+	deletes      atomic.Int64
+	reads        atomic.Int64
+	writes       atomic.Int64
+	inserts      atomic.Int64
+	deleteRanges atomic.Int64
+	commits      atomic.Int64
 }
 
 // Store is the OSD: a table of byte-addressable objects.
@@ -153,8 +168,7 @@ type Store struct {
 	// a stale (smaller) sequence would win, re-issuing OIDs after reopen.
 	seqMu sync.Mutex
 
-	statMu sync.Mutex
-	stats  Stats
+	stats counters
 }
 
 // Create initializes a new store on the volume.
@@ -227,9 +241,7 @@ func (s *Store) beginOp() (*pager.Op, func(error) error) {
 	return op, func(opErr error) error {
 		err := done(opErr)
 		if opErr == nil && err == nil {
-			s.statMu.Lock()
-			s.stats.Commits++
-			s.statMu.Unlock()
+			s.stats.commits.Add(1)
 		}
 		return err
 	}
@@ -237,11 +249,18 @@ func (s *Store) beginOp() (*pager.Op, func(error) error) {
 
 func (s *Store) now() int64 { return s.opts.Clock().UnixNano() }
 
-// Stats returns store counters. Objects is computed from the table.
+// Stats returns a snapshot of store counters, safe to call concurrently
+// with any operation. Objects is computed from the table.
 func (s *Store) Stats() Stats {
-	s.statMu.Lock()
-	st := s.stats
-	s.statMu.Unlock()
+	st := Stats{
+		Creates:      s.stats.creates.Load(),
+		Deletes:      s.stats.deletes.Load(),
+		Reads:        s.stats.reads.Load(),
+		Writes:       s.stats.writes.Load(),
+		Inserts:      s.stats.inserts.Load(),
+		DeleteRanges: s.stats.deleteRanges.Load(),
+		Commits:      s.stats.commits.Load(),
+	}
 	n := s.meta.Len()
 	if n > 0 {
 		n-- // exclude the sequence record
@@ -297,9 +316,7 @@ func (s *Store) createObject(op *pager.Op, owner string, mode uint32) (*Object, 
 	s.mu.Lock()
 	s.open[oid] = obj
 	s.mu.Unlock()
-	s.statMu.Lock()
-	s.stats.Creates++
-	s.statMu.Unlock()
+	s.stats.creates.Add(1)
 	return obj, nil
 }
 
@@ -466,9 +483,7 @@ func (s *Store) deleteObject(op *pager.Op, oid OID) error {
 	if err := s.meta.DeleteOp(op, oidKey(oid)); err != nil {
 		return err
 	}
-	s.statMu.Lock()
-	s.stats.Deletes++
-	s.statMu.Unlock()
+	s.stats.deletes.Add(1)
 	return nil
 }
 

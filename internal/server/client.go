@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to an hfadd server. Methods mirror the op layer; 429s
+// are retried with the server's backoff hint up to MaxRetries times, so
+// callers see backpressure as latency, not errors (set MaxRetries to 0
+// to surface 429s directly, e.g. to measure admission control).
+type Client struct {
+	base string
+	hc   *http.Client
+	// MaxRetries bounds 429 retries per call (default 8).
+	MaxRetries int
+}
+
+// NewClient returns a client for the server at addr ("host:port" or a
+// full http:// base URL).
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base:       base,
+		hc:         &http.Client{Timeout: 60 * time.Second},
+		MaxRetries: 8,
+	}
+}
+
+// StatusError is a non-2xx response.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// IsBusy reports whether err is the server shedding load (HTTP 429).
+func IsBusy(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// do sends one JSON request, retrying 429s with the hinted backoff.
+func (c *Client) do(method, path string, req, resp any) error {
+	var body []byte
+	if req != nil {
+		var err error
+		if body, err = json.Marshal(req); err != nil {
+			return err
+		}
+	}
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if req != nil {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+		hresp, err := c.hc.Do(hreq)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(hresp.Body)
+		hresp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if hresp.StatusCode == http.StatusTooManyRequests && attempt < c.MaxRetries {
+			var e ErrorResp
+			wait := backoff
+			if json.Unmarshal(data, &e) == nil && e.RetryAfterMS > 0 {
+				wait = time.Duration(e.RetryAfterMS) * time.Millisecond
+			}
+			time.Sleep(wait)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		if hresp.StatusCode/100 != 2 {
+			var e ErrorResp
+			msg := string(data)
+			if json.Unmarshal(data, &e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			return &StatusError{Code: hresp.StatusCode, Msg: msg}
+		}
+		if resp != nil {
+			return json.Unmarshal(data, resp)
+		}
+		return nil
+	}
+}
+
+// Create makes one object.
+func (c *Client) Create(req *CreateReq) (*CreateResp, error) {
+	var resp CreateResp
+	if err := c.do("POST", "/v1/objects", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Append extends an object.
+func (c *Client) Append(oid uint64, data []byte) (*AppendResp, error) {
+	var resp AppendResp
+	path := fmt.Sprintf("/v1/objects/%d/append", oid)
+	if err := c.do("POST", path, &AppendReq{Data: data}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Read fetches n bytes at off (n=0 means up to the server's max).
+func (c *Client) Read(oid, off, n uint64) ([]byte, error) {
+	path := fmt.Sprintf("/v1/objects/%d/read?off=%d&n=%d", oid, off, n)
+	hresp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode/100 != 2 {
+		var e ErrorResp
+		msg := string(data)
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &StatusError{Code: hresp.StatusCode, Msg: msg}
+	}
+	return data, nil
+}
+
+// Stat returns object metadata.
+func (c *Client) Stat(oid uint64) (*StatResp, error) {
+	var resp StatResp
+	if err := c.do("GET", fmt.Sprintf("/v1/objects/%d", oid), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Delete destroys an object.
+func (c *Client) Delete(oid uint64) error {
+	return c.do("DELETE", fmt.Sprintf("/v1/objects/%d", oid), nil, nil)
+}
+
+// Tag adds a name.
+func (c *Client) Tag(oid uint64, tag, value string) error {
+	path := fmt.Sprintf("/v1/objects/%d/tags", oid)
+	return c.do("POST", path, &TagReq{Tag: tag, Value: value}, nil)
+}
+
+// Untag removes a name.
+func (c *Client) Untag(oid uint64, tag, value string) error {
+	path := fmt.Sprintf("/v1/objects/%d/tags", oid)
+	return c.do("DELETE", path, &TagReq{Tag: tag, Value: value}, nil)
+}
+
+// Names lists an object's names.
+func (c *Client) Names(oid uint64) (*NamesResp, error) {
+	var resp NamesResp
+	if err := c.do("GET", fmt.Sprintf("/v1/objects/%d/names", oid), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Find resolves a naming vector, paginated.
+func (c *Client) Find(req *FindReq) (*OIDsResp, error) {
+	var resp OIDsResp
+	if err := c.do("POST", "/v1/find", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Query evaluates a boolean query tree, paginated.
+func (c *Client) Query(req *QueryReq) (*OIDsResp, error) {
+	var resp OIDsResp
+	if err := c.do("POST", "/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Search runs a full-text conjunction.
+func (c *Client) Search(terms []string, page PageSpec) (*OIDsResp, error) {
+	q := url.Values{}
+	q.Set("q", strings.Join(terms, " "))
+	if page.Limit > 0 {
+		q.Set("limit", strconv.Itoa(page.Limit))
+	}
+	if page.After > 0 {
+		q.Set("after", strconv.FormatUint(page.After, 10))
+	}
+	var resp OIDsResp
+	if err := c.do("GET", "/v1/search?"+q.Encode(), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Explain profiles a conjunction.
+func (c *Client) Explain(req *FindReq) (*ExplainResp, error) {
+	var resp ExplainResp
+	if err := c.do("POST", "/v1/explain", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch submits many mutations as one transaction.
+func (c *Client) Batch(req *BatchReq) (*BatchResp, error) {
+	var resp BatchResp
+	if err := c.do("POST", "/v1/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the /debug/stats snapshot.
+func (c *Client) Stats() (*Metrics, error) {
+	var resp Metrics
+	if err := c.do("GET", "/debug/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy() bool {
+	return c.do("GET", "/healthz", nil, nil) == nil
+}

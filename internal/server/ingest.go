@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/hfad"
+	"repro/internal/stats"
+)
+
+// Ingest errors, mapped to HTTP 429/503 by the transport layer.
+var (
+	// ErrBusy means the ingest queue (or in-flight admission) is at
+	// capacity; the client should back off and retry.
+	ErrBusy = errors.New("server: overloaded, retry later")
+	// ErrShutdown means the server is draining and accepts no new work.
+	ErrShutdown = errors.New("server: shutting down")
+)
+
+// writeReq is one client write waiting in the coalescing queue. apply
+// runs inside a shared Store.Batch; err carries the item's own failure,
+// done closes when the enclosing batch has committed (or failed).
+type writeReq struct {
+	apply func(b *hfad.Batch) error
+	err   error
+	done  chan struct{}
+}
+
+// ingester is the write-path fan-in. Handlers enqueue; a small pool of
+// workers drains the queue in coalescing windows, executing each window
+// as ONE Store.Batch — one transaction, one group-commit slot — and then
+// acks every waiter. With W workers, up to W batches build concurrently
+// and share device syncs through the WAL's leader/follower group
+// committer; N connections' small writes thus reach the device as a few
+// large transactions within a few commit groups, instead of N syncs.
+//
+// Admission is the queue bound: enqueue never blocks, a full queue
+// returns ErrBusy (HTTP 429) immediately so backpressure reaches the
+// client instead of accumulating unbounded goroutines.
+type ingester struct {
+	st       *hfad.Store
+	q        chan *writeReq
+	window   int // max writes coalesced into one batch
+	workers  int
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	draining bool
+
+	// Observability: batches committed, ops coalesced into them, and the
+	// per-batch size distribution.
+	batches   stats.Counter
+	ops       stats.Counter
+	rejected  stats.Counter
+	batchSize stats.Histogram
+}
+
+// newIngester starts the worker pool. queueDepth bounds waiting writes,
+// window bounds the per-batch coalescing, workers sizes the pool (0 =
+// min(4, GOMAXPROCS)).
+func newIngester(st *hfad.Store, queueDepth, window, workers int) *ingester {
+	if queueDepth <= 0 {
+		queueDepth = 1024
+	}
+	if window <= 0 {
+		window = 128
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	in := &ingester{
+		st:      st,
+		q:       make(chan *writeReq, queueDepth),
+		window:  window,
+		workers: workers,
+	}
+	in.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go in.worker()
+	}
+	return in
+}
+
+// submit enqueues one write and waits for its batch to commit. The
+// returned error is the item's own failure if any, else the batch commit
+// result.
+func (in *ingester) submit(apply func(b *hfad.Batch) error) error {
+	in.mu.Lock()
+	if in.draining {
+		in.mu.Unlock()
+		return ErrShutdown
+	}
+	r := &writeReq{apply: apply, done: make(chan struct{})}
+	select {
+	case in.q <- r:
+		in.mu.Unlock()
+	default:
+		in.mu.Unlock()
+		in.rejected.Inc()
+		return ErrBusy
+	}
+	<-r.done
+	return r.err
+}
+
+// worker drains coalescing windows. Blocking on the first item, it then
+// gathers whatever else is already queued (up to the window) without
+// waiting — the "window" is the natural arrival backlog, exactly like
+// the WAL leader's gather, so an idle server adds no latency and a busy
+// one amortizes aggressively.
+func (in *ingester) worker() {
+	defer in.wg.Done()
+	for first := range in.q {
+		batch := []*writeReq{first}
+	gather:
+		for len(batch) < in.window {
+			select {
+			case r, ok := <-in.q:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, r)
+			default:
+				break gather
+			}
+		}
+		in.runBatch(batch)
+	}
+}
+
+// runBatch executes one coalesced window as a single transaction.
+// Per-item apply errors are recorded on their item and do NOT abort the
+// batch — neighbours commit; the failed item's partial mutations persist
+// page-atomically (redo-only storage has no undo; same contract as
+// hfad.Batch). A commit-level error overrides every item's result.
+func (in *ingester) runBatch(batch []*writeReq) {
+	commitErr := in.st.Batch(func(b *hfad.Batch) error {
+		for _, r := range batch {
+			r.err = r.apply(b)
+		}
+		return nil
+	})
+	for _, r := range batch {
+		if commitErr != nil {
+			r.err = commitErr
+		}
+		close(r.done)
+	}
+	in.batches.Inc()
+	in.ops.Add(int64(len(batch)))
+	in.batchSize.Observe(int64(len(batch)))
+}
+
+// drain stops intake and waits for every queued write to commit. Called
+// during graceful shutdown after the HTTP listener stops accepting:
+// in-flight handlers are already past submit, so closing the queue after
+// marking draining lets the workers finish the backlog, ack every
+// waiter, and exit — only then is it safe to Close the store.
+func (in *ingester) drain() {
+	in.mu.Lock()
+	if in.draining {
+		in.mu.Unlock()
+		in.wg.Wait()
+		return
+	}
+	in.draining = true
+	in.mu.Unlock()
+	close(in.q)
+	in.wg.Wait()
+}

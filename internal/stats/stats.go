@@ -80,6 +80,84 @@ func (g *Group) Delta(base map[string]int64) map[string]int64 {
 	return cur
 }
 
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// covers values in [2^i, 2^(i+1)); bucket 0 also takes 0. With 40
+// buckets a nanosecond-valued histogram spans sub-µs to ~18 minutes.
+const histBuckets = 40
+
+// Histogram is a lock-free power-of-two histogram. Writers call Observe
+// concurrently; scrapers call Snapshot at any time. Buckets are atomics,
+// so a snapshot is never torn at the bucket level (counts observed
+// mid-burst may be split across buckets, which is inherent to scraping a
+// live histogram and fine for latency reporting).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (typically nanoseconds).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	for bound := int64(2); i < histBuckets-1 && v >= bound; i, bound = i+1, bound<<1 {
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the histogram counters.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// BucketBound returns the exclusive upper bound of bucket i (2^(i+1)).
+func BucketBound(i int) int64 { return int64(1) << uint(i+1) }
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket
+// counts, returning the upper bound of the bucket holding that rank.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}
+
 // Table renders aligned experiment output. Rows are added in order;
 // the renderer computes column widths over the whole table.
 type Table struct {

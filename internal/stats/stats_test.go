@@ -124,3 +124,94 @@ func TestSortedKeys(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(1024)
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1030 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if s.Buckets[0] != 2 { // 0 and 1
+		t.Fatalf("bucket0=%d", s.Buckets[0])
+	}
+	if s.Buckets[1] != 2 { // 2 and 3
+		t.Fatalf("bucket1=%d", s.Buckets[1])
+	}
+	if s.Buckets[10] != 1 { // [1024, 2048)
+		t.Fatalf("bucket10=%d", s.Buckets[10])
+	}
+	if got := s.Mean(); got != 206 {
+		t.Fatalf("mean=%v", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket 6: [64,128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000) // bucket 16: [65536,131072)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != BucketBound(6) {
+		t.Fatalf("p50=%d want %d", q, BucketBound(6))
+	}
+	if q := s.Quantile(0.99); q != BucketBound(16) {
+		t.Fatalf("p99=%d want %d", q, BucketBound(16))
+	}
+	var empty Histogram
+	if q := empty.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile=%d", q)
+	}
+}
+
+// TestHistogramConcurrentScrape hammers Observe from many goroutines
+// while snapshotting — the /metrics scrape pattern; run under -race.
+func TestHistogramConcurrentScrape(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				h.Observe(int64(i * (w + 1)))
+			}
+		}(w)
+	}
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var total int64
+				for _, n := range s.Buckets {
+					total += n
+				}
+				if total > s.Count {
+					// Buckets are incremented before count; a scrape may
+					// see a bucket ahead of the total but never behind by
+					// more than the number of in-flight observers.
+					continue
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+	if got := h.Snapshot().Count; got != 80000 {
+		t.Fatalf("count=%d", got)
+	}
+}

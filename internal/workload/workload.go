@@ -73,6 +73,91 @@ func (r Rng) NewZipf(n uint64) Zipf {
 // Next returns the next rank.
 func (z Zipf) Next() uint64 { return z.z.Uint64() }
 
+// --- mixed-op streams (the serving workload behind experiment E17) ---
+
+// OpKind is one operation class in a mixed serving workload.
+type OpKind uint8
+
+// Mixed-workload operation kinds.
+const (
+	OpRead  OpKind = iota // read an existing object's bytes
+	OpWrite               // append to an existing object
+	OpQuery               // paginated tag query
+)
+
+// String names the kind for tables and logs.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpQuery:
+		return "query"
+	default:
+		return "?"
+	}
+}
+
+// MixConfig weights a mixed read/write/query stream. Weights are
+// relative; zero values fall back to the 60/30/10 serving default.
+type MixConfig struct {
+	Reads   int
+	Writes  int
+	Queries int
+}
+
+func (c *MixConfig) fill() {
+	if c.Reads == 0 && c.Writes == 0 && c.Queries == 0 {
+		c.Reads, c.Writes, c.Queries = 60, 30, 10
+	}
+}
+
+// Mix generates a deterministic stream of (operation, object-rank)
+// pairs: op kinds drawn with MixConfig's weights, target objects drawn
+// Zipf-distributed over [0, objects) — the skewed mixed load a serving
+// tier sees, reproducible from its seed.
+type Mix struct {
+	rng     Rng
+	zipf    Zipf
+	objects uint64
+	rw, wq  uint64 // cumulative weight thresholds
+	total   uint64
+}
+
+// NewMix builds a mixed-op generator over the given object population.
+func NewMix(seed uint64, objects uint64, cfg MixConfig) *Mix {
+	cfg.fill()
+	if objects < 2 {
+		objects = 2
+	}
+	r := NewRng(seed)
+	return &Mix{
+		rng:     r,
+		zipf:    r.NewZipf(objects),
+		objects: objects,
+		rw:      uint64(cfg.Reads),
+		wq:      uint64(cfg.Reads + cfg.Writes),
+		total:   uint64(cfg.Reads + cfg.Writes + cfg.Queries),
+	}
+}
+
+// Next returns the next operation kind and its Zipf-distributed object
+// rank (hot objects have low ranks). Query ops use the rank to pick a
+// query bucket rather than a single object.
+func (m *Mix) Next() (OpKind, uint64) {
+	w := m.rng.Uint64N(m.total)
+	rank := m.zipf.Next()
+	switch {
+	case w < m.rw:
+		return OpRead, rank
+	case w < m.wq:
+		return OpWrite, rank
+	default:
+		return OpQuery, rank
+	}
+}
+
 // --- media library (the paper's §1 motivating workload) ---
 
 // Photo is one item in a generated media library.

@@ -142,6 +142,90 @@ func TestBytesDeterministic(t *testing.T) {
 	}
 }
 
+// TestZipfPinned pins the exact first draws of the Zipf sampler for a
+// fixed seed: the E17 scale-tier run is only reproducible across hosts
+// and PRs if the generator's byte-for-byte output never drifts.
+func TestZipfPinned(t *testing.T) {
+	z := NewRng(17).NewZipf(100000)
+	want := []uint64{406, 69, 22, 3, 1, 237, 3, 27861, 45551, 1003, 221, 1}
+	for i, w := range want {
+		if got := z.Next(); got != w {
+			t.Fatalf("draw %d = %d, want %d (zipf sequence drifted)", i, got, w)
+		}
+	}
+}
+
+// TestMixPinned pins the exact first (kind, rank) pairs of the mixed-op
+// generator for a fixed seed and the default 60/30/10 config.
+func TestMixPinned(t *testing.T) {
+	m := NewMix(17, 100000, MixConfig{})
+	want := []struct {
+		k OpKind
+		r uint64
+	}{
+		{1, 69}, {1, 3}, {1, 237}, {0, 27861}, {0, 1003}, {0, 1},
+		{1, 85738}, {1, 5}, {1, 688}, {0, 27}, {0, 63620}, {0, 7},
+	}
+	for i, w := range want {
+		k, r := m.Next()
+		if k != w.k || r != w.r {
+			t.Fatalf("op %d = (%v, %d), want (%v, %d) (mix sequence drifted)", i, k, r, w.k, w.r)
+		}
+	}
+}
+
+// TestMixRatiosAndSkew checks the op-kind mix tracks its configured
+// weights and the object ranks carry web-like Zipf skew: the hottest 1%
+// of a 50k-object population should absorb well over half the traffic.
+func TestMixRatiosAndSkew(t *testing.T) {
+	const draws = 200000
+	m := NewMix(99, 50000, MixConfig{})
+	var counts [3]int
+	hot := 0
+	for i := 0; i < draws; i++ {
+		k, r := m.Next()
+		counts[k]++
+		if r < 500 {
+			hot++
+		}
+	}
+	check := func(kind OpKind, weight float64) {
+		frac := float64(counts[kind]) / draws
+		if frac < weight-0.02 || frac > weight+0.02 {
+			t.Errorf("%v fraction %.3f, want %.2f ± 0.02", kind, frac, weight)
+		}
+	}
+	check(OpRead, 0.60)
+	check(OpWrite, 0.30)
+	check(OpQuery, 0.10)
+	if frac := float64(hot) / draws; frac < 0.5 {
+		t.Errorf("top-1%% ranks drew only %.3f of traffic; zipf skew lost", frac)
+	}
+}
+
+// TestMixDeterminism: two generators with the same seed emit identical
+// streams; a different seed diverges.
+func TestMixDeterminism(t *testing.T) {
+	a := NewMix(7, 1000, MixConfig{Reads: 1, Writes: 1, Queries: 1})
+	b := NewMix(7, 1000, MixConfig{Reads: 1, Writes: 1, Queries: 1})
+	c := NewMix(8, 1000, MixConfig{Reads: 1, Writes: 1, Queries: 1})
+	diverged := false
+	for i := 0; i < 5000; i++ {
+		ak, ar := a.Next()
+		bk, br := b.Next()
+		ck, cr := c.Next()
+		if ak != bk || ar != br {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+		if ak != ck || ar != cr {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
 func TestZipfSkew(t *testing.T) {
 	r := NewRng(1)
 	z := r.NewZipf(100)
