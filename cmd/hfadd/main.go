@@ -12,8 +12,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net"
 	"os"
@@ -114,6 +116,11 @@ func openStore(vol string, blocks uint64, mem bool, opts hfad.Options) (*hfad.St
 		}
 		log.Printf("hfadd: opened %s (%d blocks)", vol, dev.NumBlocks())
 		return st, nil
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// Only a definitely-absent image takes the create path:
+		// CreateFile truncates, and treating a transient stat failure
+		// (EACCES, EIO, ...) as "no volume" would destroy the image.
+		return nil, fmt.Errorf("hfadd: stat %s: %w", vol, err)
 	}
 	dev, err := blockdev.CreateFile(vol, blocks, blockdev.DefaultBlockSize)
 	if err != nil {

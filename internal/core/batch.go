@@ -98,6 +98,14 @@ func (b *Batch) CreateObjectMode(owner string, mode uint32) (*osd.Object, error)
 // Append writes p at the current end of obj inside the batch's
 // transaction.
 func (b *Batch) Append(obj *osd.Object, p []byte) error {
+	_, err := b.AppendN(obj, p)
+	return err
+}
+
+// AppendN is Append returning the object's size after the append. The
+// end offset is resolved atomically with the write, so the size is
+// exact even with concurrent appenders on the same OID.
+func (b *Batch) AppendN(obj *osd.Object, p []byte) (uint64, error) {
 	return obj.AppendDeferred(b.op, p)
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -212,6 +214,102 @@ func TestConcurrentWritersGroupCommit(t *testing.T) {
 			if err != nil || len(ids) != 1 {
 				t.Fatalf("w%d:%d lost: %v, %v", w, i, ids, err)
 			}
+		}
+	}
+}
+
+// TestConcurrentAppendsSameObjectNoLostUpdate: appends to ONE object
+// from concurrent batches must each land at a distinct end offset.
+// Before extent.Tree.AppendOp, the end offset was read outside the
+// write's lock, so two appenders could resolve the same offset and one
+// acked write would silently overwrite the other (the hfadd ingest
+// workers hit exactly this on zipf-hot OIDs).
+func TestConcurrentAppendsSameObjectNoLostUpdate(t *testing.T) {
+	// Force real interleaving even on single-core runners (see the osd
+	// package's TestConcurrentAppendsResolveDistinctOffsets).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	v, _ := newTxnVolume(t, Options{WALBlocks: 512})
+	defer v.Close()
+
+	obj, err := v.OSD.CreateObject("hot", osd.ModeRegular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	oid := obj.OID()
+
+	const writers = 16
+	const perWriter = 50
+	const chunk = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	sizes := make(chan uint64, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := make([]byte, chunk)
+			for i := range payload {
+				payload[i] = byte(w + 1)
+			}
+			for i := 0; i < perWriter; i++ {
+				err := v.Batch(func(b *Batch) error {
+					h, err := v.OSD.OpenObject(oid)
+					if err != nil {
+						return err
+					}
+					defer h.Close()
+					size, err := b.AppendN(h, payload)
+					if err == nil {
+						sizes <- size
+					}
+					return err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	close(sizes)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const want = writers * perWriter * chunk
+	if got := obj.Size(); got != want {
+		t.Fatalf("object size = %d, want %d (lost update)", got, want)
+	}
+	// Every AppendN must have reported a distinct end offset.
+	seen := make(map[uint64]bool)
+	for s := range sizes {
+		if seen[s] {
+			t.Fatalf("two appends reported the same post-append size %d", s)
+		}
+		seen[s] = true
+	}
+	// Every writer's bytes must all be present: chunk-aligned runs, with
+	// exactly perWriter runs of each writer's fill byte.
+	buf := make([]byte, want)
+	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	counts := make(map[byte]int)
+	for off := 0; off < want; off += chunk {
+		fill := buf[off]
+		for _, b := range buf[off : off+chunk] {
+			if b != fill {
+				t.Fatalf("torn append at offset %d: %d vs %d", off, fill, b)
+			}
+		}
+		counts[fill]++
+	}
+	for w := 0; w < writers; w++ {
+		if got := counts[byte(w+1)]; got != perWriter {
+			t.Fatalf("writer %d: %d of %d appends survived", w, got, perWriter)
 		}
 	}
 }

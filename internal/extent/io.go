@@ -200,6 +200,28 @@ func (t *Tree) writeAtLocked(p []byte, off uint64) error {
 	return nil
 }
 
+// Append writes p at the current end of the object and returns the new
+// size. Unlike WriteAt(p, Size()), the end offset is resolved under the
+// same lock acquisition that performs the write, so concurrent appenders
+// serialize instead of landing on one stale offset and overwriting each
+// other.
+func (t *Tree) Append(p []byte) (uint64, error) {
+	return t.AppendOp(nil, p)
+}
+
+// AppendOp is Append capturing node-page mutations into op's redo set.
+func (t *Tree) AppendOp(op *pager.Op, p []byte) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.curOp = op
+	defer func() { t.curOp = nil }()
+	if len(p) == 0 {
+		return t.size, nil
+	}
+	err := t.finishMutation(t.appendBytes(p))
+	return t.size, err
+}
+
 // InsertAt inserts p at byte offset off, shifting all later bytes and
 // growing the object by len(p). This is the paper's insert call: the
 // structural cost is O(log extents) plus at most one bounded tail copy.

@@ -23,6 +23,14 @@ type Object struct {
 	mu     sync.Mutex
 	refs   int
 	closed bool
+
+	// wmu serializes mutators on this object (handles to one OID share
+	// state, so this is per-OID). The extent tree's own lock already
+	// serializes tree mutations; wmu additionally orders each mutation
+	// with its object-table metadata refresh — without it, two writers
+	// could land their meta puts in the opposite order of their tree
+	// edits and persist a stale size against the newer tree.
+	wmu sync.Mutex
 }
 
 // OID returns the object's identifier.
@@ -62,6 +70,8 @@ func (o *Object) WriteAtDeferred(op *pager.Op, p []byte, off uint64) error {
 }
 
 func (o *Object) writeAt(op *pager.Op, p []byte, off uint64) error {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
 	err := o.ext.WriteAtOp(op, p, off)
 	if err == nil {
 		o.s.stats.writes.Add(1)
@@ -85,12 +95,29 @@ func (o *Object) finishMutation(op *pager.Op, err error) error {
 // Append writes p at the current end of the object.
 func (o *Object) Append(p []byte) error {
 	op, done := o.s.beginOp()
-	return done(o.writeAt(op, p, o.ext.Size()))
+	_, err := o.append(op, p)
+	return done(err)
 }
 
 // AppendDeferred is Append without the per-operation commit (core.Batch).
-func (o *Object) AppendDeferred(op *pager.Op, p []byte) error {
-	return o.writeAt(op, p, o.ext.Size())
+// It returns the object's size after the append.
+func (o *Object) AppendDeferred(op *pager.Op, p []byte) (uint64, error) {
+	return o.append(op, p)
+}
+
+// append resolves the end offset and writes atomically (extent.Tree
+// AppendOp holds the tree lock across both), so concurrent appends to
+// one OID — e.g. two ingest workers batching the same hot object —
+// serialize instead of computing the same end offset and losing one
+// acked write.
+func (o *Object) append(op *pager.Op, p []byte) (uint64, error) {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	size, err := o.ext.AppendOp(op, p)
+	if err == nil {
+		o.s.stats.writes.Add(1)
+	}
+	return size, o.finishMutation(op, err)
 }
 
 // InsertAt inserts p at offset off, shifting later bytes up — the paper's
@@ -107,6 +134,8 @@ func (o *Object) InsertAtDeferred(op *pager.Op, off uint64, p []byte) error {
 }
 
 func (o *Object) insertAt(op *pager.Op, off uint64, p []byte) error {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
 	err := o.ext.InsertAtOp(op, off, p)
 	if err == nil {
 		o.s.stats.inserts.Add(1)
@@ -128,6 +157,8 @@ func (o *Object) TruncateRangeDeferred(op *pager.Op, off, length uint64) error {
 }
 
 func (o *Object) truncateRange(op *pager.Op, off, length uint64) error {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
 	err := o.ext.DeleteRangeOp(op, off, length)
 	if err == nil {
 		o.s.stats.deleteRanges.Add(1)
@@ -138,7 +169,10 @@ func (o *Object) truncateRange(op *pager.Op, off, length uint64) error {
 // Truncate sets the object's size (POSIX-style single-argument form).
 func (o *Object) Truncate(size uint64) error {
 	op, done := o.s.beginOp()
-	return done(o.finishMutation(op, o.ext.TruncateOp(op, size)))
+	o.wmu.Lock()
+	err := o.finishMutation(op, o.ext.TruncateOp(op, size))
+	o.wmu.Unlock()
+	return done(err)
 }
 
 // refreshMeta updates size/mtime in the object table (no commit; the

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -390,6 +392,75 @@ func TestSparseObject(t *testing.T) {
 	for _, b := range buf {
 		if b != 0 {
 			t.Fatal("hole not zero")
+		}
+	}
+}
+
+// TestConcurrentAppendsResolveDistinctOffsets: concurrent Appends to one
+// object must each land at a distinct end offset. The append offset is
+// resolved inside the extent tree's lock (extent.Tree.AppendOp);
+// resolving it with a separate Size() call lets two appenders pick the
+// same offset, and one acked write overwrites the other.
+func TestConcurrentAppendsResolveDistinctOffsets(t *testing.T) {
+	// Force real interleaving even on single-core runners — with
+	// GOMAXPROCS=1 the stale-offset window essentially never splits
+	// across a preemption and the race goes undetected.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	s, _ := newStore(t, Options{})
+	obj, err := s.CreateObject("hot", ModeRegular|0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+
+	const writers = 8
+	const perWriter = 200
+	const chunk = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := make([]byte, chunk)
+			for i := range payload {
+				payload[i] = byte(w + 1)
+			}
+			for i := 0; i < perWriter; i++ {
+				if err := obj.Append(payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const want = writers * perWriter * chunk
+	if got := obj.Size(); got != want {
+		t.Fatalf("size = %d, want %d (lost update)", got, want)
+	}
+	buf := make([]byte, want)
+	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	counts := make(map[byte]int)
+	for off := 0; off < want; off += chunk {
+		fill := buf[off]
+		for _, b := range buf[off : off+chunk] {
+			if b != fill {
+				t.Fatalf("torn append at offset %d", off)
+			}
+		}
+		counts[fill]++
+	}
+	for w := 0; w < writers; w++ {
+		if got := counts[byte(w+1)]; got != perWriter {
+			t.Fatalf("writer %d: %d of %d appends survived", w, got, perWriter)
 		}
 	}
 }

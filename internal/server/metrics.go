@@ -42,12 +42,14 @@ type LatencySummary struct {
 
 // ObjectMetrics is the OSD operation counters.
 type ObjectMetrics struct {
-	Objects uint64 `json:"objects"`
-	Creates int64  `json:"creates"`
-	Deletes int64  `json:"deletes"`
-	Reads   int64  `json:"reads"`
-	Writes  int64  `json:"writes"`
-	Commits int64  `json:"commits"`
+	Objects      uint64 `json:"objects"`
+	Creates      int64  `json:"creates"`
+	Deletes      int64  `json:"deletes"`
+	Reads        int64  `json:"reads"`
+	Writes       int64  `json:"writes"`
+	Inserts      int64  `json:"inserts"`
+	DeleteRanges int64  `json:"delete_ranges"`
+	Commits      int64  `json:"commits"`
 }
 
 // CacheMetrics is the buffer-cache counters plus the derived hit rate.
@@ -105,12 +107,14 @@ func (s *Server) Metrics() Metrics {
 
 	ss := s.st.Stats()
 	m.Objects = ObjectMetrics{
-		Objects: ss.Objects.Objects,
-		Creates: ss.Objects.Creates,
-		Deletes: ss.Objects.Deletes,
-		Reads:   ss.Objects.Reads,
-		Writes:  ss.Objects.Writes,
-		Commits: ss.Objects.Commits,
+		Objects:      ss.Objects.Objects,
+		Creates:      ss.Objects.Creates,
+		Deletes:      ss.Objects.Deletes,
+		Reads:        ss.Objects.Reads,
+		Writes:       ss.Objects.Writes,
+		Inserts:      ss.Objects.Inserts,
+		DeleteRanges: ss.Objects.DeleteRanges,
+		Commits:      ss.Objects.Commits,
 	}
 	c := ss.Cache
 	m.Cache = CacheMetrics{
@@ -172,8 +176,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	g("hfadd_objects", float64(m.Objects.Objects))
 	c("hfadd_osd_creates_total", m.Objects.Creates)
+	c("hfadd_osd_deletes_total", m.Objects.Deletes)
 	c("hfadd_osd_reads_total", m.Objects.Reads)
 	c("hfadd_osd_writes_total", m.Objects.Writes)
+	c("hfadd_osd_inserts_total", m.Objects.Inserts)
+	c("hfadd_osd_delete_ranges_total", m.Objects.DeleteRanges)
 	c("hfadd_osd_commits_total", m.Objects.Commits)
 
 	c("hfadd_cache_hits_total", m.Cache.Hits)

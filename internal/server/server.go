@@ -121,8 +121,9 @@ func applyCreate(b *hfad.Batch, req *CreateReq, resp *CreateResp) error {
 		return err
 	}
 	defer obj.Close()
+	var size uint64
 	if len(req.Data) > 0 {
-		if err := b.Append(obj, req.Data); err != nil {
+		if size, err = b.AppendN(obj, req.Data); err != nil {
 			return err
 		}
 	}
@@ -137,7 +138,7 @@ func applyCreate(b *hfad.Batch, req *CreateReq, resp *CreateResp) error {
 		}
 	}
 	resp.OID = uint64(obj.OID())
-	resp.Size = obj.Size()
+	resp.Size = size
 	return nil
 }
 
@@ -164,10 +165,13 @@ func applyAppend(b *hfad.Batch, st *hfad.Store, req *AppendReq, resp *AppendResp
 		return err
 	}
 	defer obj.Close()
-	if err := b.Append(obj, req.Data); err != nil {
+	// AppendN's return is the size at the moment this append landed —
+	// obj.Size() here could already include a concurrent later append.
+	size, err := b.AppendN(obj, req.Data)
+	if err != nil {
 		return err
 	}
-	resp.Size = obj.Size()
+	resp.Size = size
 	return nil
 }
 
@@ -626,19 +630,29 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	json.NewEncoder(w).Encode(body)
 }
 
+// Backoff hints, single source for both the Retry-After header and the
+// JSON body's retry_after_ms so clients honoring either back off the
+// same amount. 429 is transient admission pressure — a sub-second hint —
+// and the Retry-After header cannot express less than one second, so
+// busy responses carry only the body hint.
+const (
+	busyRetryMS     = 50
+	shutdownRetryMS = 1000
+)
+
 // writeErr maps op-layer errors onto HTTP statuses: admission pressure
-// is 429 with Retry-After, drain is 503, lookups 404, malformed 400.
+// is 429 with a backoff hint, drain is 503, lookups 404, malformed 400.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	retryMS := 0
 	switch {
 	case errors.Is(err, ErrBusy):
 		code = http.StatusTooManyRequests
-		retryMS = 50
-		w.Header().Set("Retry-After", "1")
+		retryMS = busyRetryMS
 	case errors.Is(err, ErrShutdown), errors.Is(err, core.ErrClosed):
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		retryMS = shutdownRetryMS
+		w.Header().Set("Retry-After", strconv.Itoa(shutdownRetryMS/1000))
 	case errors.Is(err, ErrBadRequest), errors.Is(err, core.ErrQuery):
 		code = http.StatusBadRequest
 	case errors.Is(err, osd.ErrNotFound), errors.Is(err, core.ErrNotFound):

@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -306,6 +308,27 @@ func TestServerAdmissionControl(t *testing.T) {
 
 	if _, err := c.Stat(1); !IsBusy(err) {
 		t.Fatalf("want 429, got %v", err)
+	}
+	// The 429's backoff hint lives in the body only: retry_after_ms
+	// carries the sub-second hint, and no Retry-After header may
+	// contradict it (the header can't express less than one second).
+	hresp, err := http.Get(c.base + "/v1/objects/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResp
+	if err := json.NewDecoder(hresp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", hresp.StatusCode)
+	}
+	if e.RetryAfterMS != busyRetryMS {
+		t.Errorf("retry_after_ms = %d, want %d", e.RetryAfterMS, busyRetryMS)
+	}
+	if h := hresp.Header.Get("Retry-After"); h != "" {
+		t.Errorf("429 carries Retry-After %q contradicting the %dms body hint", h, busyRetryMS)
 	}
 	m := srv.Metrics()
 	if m.RejectedInflight == 0 {

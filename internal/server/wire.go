@@ -150,7 +150,9 @@ type AppendReq struct {
 	Data []byte `json:"data"`
 }
 
-// AppendResp returns the object's new size.
+// AppendResp returns the object's size immediately after this append
+// landed (exact even with concurrent appenders: the offset is resolved
+// atomically with the write, so sizes order the appends).
 type AppendResp struct {
 	Size uint64 `json:"size"`
 }
