@@ -859,6 +859,56 @@ func BenchmarkE14_BatchedIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkE18_BigBatch is the steal-pager exhibit per-op: one Batch
+// whose dirty page set is a multiple of the cache (each created object
+// dirties its own extent-header page). Uncommitted dirty pages evict
+// behind chunk-flushed log records; the batch commits without the
+// retired flush-the-cache fallback. steals/op is the receipt.
+func BenchmarkE18_BigBatch(b *testing.B) {
+	const cachePages = 128
+	const objects = 2 * cachePages // dirty set 2× the cache per batch
+	opts := hfad.Options{Transactional: true, WALBlocks: 8192, CachePages: cachePages}
+	payload := []byte("steal pager exhibit: uncommitted dirty pages evict behind the log")
+	st := newSyncCostStore(b, opts)
+	steals0 := st.Volume().Pager().Stats().Steals
+	var steals int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%16 == 0 {
+			b.StopTimer()
+			steals += st.Volume().Pager().Stats().Steals - steals0
+			st.Close()
+			st = newSyncCostStore(b, opts)
+			steals0 = st.Volume().Pager().Stats().Steals
+			b.StartTimer()
+		}
+		err := st.Batch(func(bb *hfad.Batch) error {
+			for j := 0; j < objects; j++ {
+				obj, err := bb.CreateObject("u")
+				if err != nil {
+					return err
+				}
+				if err := bb.Append(obj, payload); err != nil {
+					obj.Close()
+					return err
+				}
+				obj.Close()
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	steals += st.Volume().Pager().Stats().Steals - steals0
+	if fb := st.Volume().CheckpointFallbacks(); fb != 0 {
+		b.Fatalf("%d checkpoint fallbacks — steal should have carried every batch", fb)
+	}
+	st.Close()
+	b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+}
+
 // BenchmarkE11_SelectiveAnd is the streaming-engine exhibit: a
 // conjunction of a broad tag (many objects) with a selective one (a
 // handful). The slice baseline reproduces the old evaluator — materialize

@@ -76,6 +76,7 @@ func All() []Runner {
 		{"E15", "log amplification: image vs physiological", RunE15},
 		{"E16", "extent-tree (data path) log amplification", RunE16},
 		{"E17", "hfadd server fan-in at the scale tier", RunE17},
+		{"E18", "steal: one batch beyond the cache", RunE18},
 	}
 }
 

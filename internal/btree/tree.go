@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/pager"
 	"repro/internal/redo"
+	"repro/internal/undo"
 )
 
 // PageAllocator provides single-page allocation for tree growth. The
@@ -246,6 +247,16 @@ func (t *Tree) getLocked(key []byte) ([]byte, error) {
 	}
 }
 
+// cellValue materializes a leaf cell's full value — the inline bytes
+// copied out, or the overflow chain reassembled. Used by mutation paths
+// to capture a key's old value for its undo record.
+func (t *Tree) cellValue(c cell) ([]byte, error) {
+	if c.overflow == 0 {
+		return append([]byte(nil), c.val...), nil
+	}
+	return t.readOverflow(c.overflow, c.totalLen)
+}
+
 // Has reports whether key is present.
 func (t *Tree) Has(key []byte) (bool, error) {
 	_, err := t.Get(key)
@@ -400,6 +411,16 @@ func (t *Tree) putLocked(op *pager.Op, key, val []byte) error {
 			t.pg.Release(pg)
 			return err
 		}
+		if op.UndoEnabled() {
+			// Inverse restores the old value; read it (overflow included)
+			// before the chain is freed.
+			old, err := t.cellValue(c)
+			if err != nil {
+				t.pg.Release(pg)
+				return err
+			}
+			op.StageUndo(undo.KeyPut(t.hdrPno, key, old))
+		}
 		if c.overflow != 0 {
 			if err := t.freeOverflow(c.overflow); err != nil {
 				t.pg.Release(pg)
@@ -407,6 +428,8 @@ func (t *Tree) putLocked(op *pager.Op, key, val []byte) error {
 			}
 		}
 		p.removeCell(idx)
+	} else {
+		op.StageUndo(undo.KeyDel(t.hdrPno, key))
 	}
 	enc := encodeLeafCell(nil, key, inlineVal, totalLen, ovfPage)
 	if p.insertRaw(idx, enc) {
@@ -752,6 +775,16 @@ func (t *Tree) DeleteOp(op *pager.Op, key []byte) error {
 	if err != nil {
 		t.pg.Release(pg)
 		return err
+	}
+	if op.UndoEnabled() {
+		// Inverse re-inserts the old value; read it (overflow included)
+		// before the chain is freed.
+		old, err := t.cellValue(c)
+		if err != nil {
+			t.pg.Release(pg)
+			return err
+		}
+		op.StageUndo(undo.KeyPut(t.hdrPno, key, old))
 	}
 	if c.overflow != 0 {
 		if err := t.freeOverflow(c.overflow); err != nil {

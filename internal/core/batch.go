@@ -32,12 +32,17 @@ type Batch struct {
 }
 
 // Batch runs fn, then commits everything it did as one transaction.
+// Steal eviction means the batch's dirty set is bounded by the log, not
+// the cache: a single batch may dirty many multiples of CachePages, the
+// pager chunk-flushes and evicts as it goes (WAL-before-data), and the
+// final commit just seals the chunk chain.
 //
-// A non-nil error from fn skips the buffered tag multi-puts and is
-// returned — but it is not a rollback: mutations fn already applied
-// (created objects, appended bytes, immediately-inserted names) persist,
-// because redo-only storage has no undo; their pages are still committed
-// page-atomically so a later flush cannot tear them across a crash.
+// A non-nil error from fn skips the buffered tag multi-puts and rolls
+// the batch back: every mutation fn applied (created objects, appended
+// bytes, inserted names) is undone via its captured logical inverse,
+// and the compensations commit so the whole batch is a no-op under
+// replay. Deletes are the exception — object destruction frees storage
+// with no inverse, so a delete inside a failed batch stays applied.
 //
 // The lifecycle lock is held shared for the whole batch — the same
 // acquisition order as every other writer (lifecycle, then checkpoint

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -85,10 +86,9 @@ func TestBatchComposesOneCommit(t *testing.T) {
 }
 
 // TestBatchErrorSkipsBufferedTags: fn returning an error must surface
-// that error and skip the buffered tag multi-puts — while already
-// applied mutations persist (redo-only storage has no undo; the partial
-// pages are still committed page-atomically so a checkpoint flush can
-// never tear them across a crash).
+// that error, skip the buffered tag multi-puts, and roll the batch
+// back — mutations fn already applied are undone via their captured
+// inverses, so the failed batch leaves no trace.
 func TestBatchErrorSkipsBufferedTags(t *testing.T) {
 	v, _ := newTxnVolume(t, Options{})
 	defer v.Close()
@@ -114,9 +114,17 @@ func TestBatchErrorSkipsBufferedTags(t *testing.T) {
 	if err != nil || len(ids) != 0 {
 		t.Fatalf("buffered tag applied despite batch error: %v, %v", ids, err)
 	}
-	// ...while the created object persists (documented non-rollback).
-	if _, err := v.OSD.Stat(oid); err != nil {
-		t.Fatalf("created object lost: %v", err)
+	// ...and the created object must have been rolled back with the rest
+	// of the failed batch.
+	if _, err := v.OSD.Stat(oid); err == nil {
+		t.Fatalf("created object survived the aborted batch")
+	} else if !errors.Is(err, osd.ErrNotFound) {
+		t.Fatalf("Stat after abort = %v, want ErrNotFound", err)
+	}
+	if rep, err := v.Check(); err != nil {
+		t.Fatalf("fsck after aborted batch: %v", err)
+	} else if len(rep.Problems) > 0 {
+		t.Fatalf("fsck after aborted batch: %v", rep.Problems)
 	}
 }
 

@@ -186,10 +186,17 @@ func (v *Volume) DeleteObject(oid OID) error {
 	}
 	defer unlock()
 	op, done := v.beginOp()
+	// The whole section (name stripping included) is non-undoable: the
+	// destroy frees extents with no inverse, so a rollback that restored
+	// only the names would resurrect references to a destroyed object.
+	resume := op.SuspendUndo()
 	if err := v.removeAllNamesDeferred(op, oid); err != nil {
+		resume()
 		return done(err)
 	}
-	return done(v.OSD.DeleteObjectDeferred(op, oid))
+	err = v.OSD.DeleteObjectDeferred(op, oid)
+	resume()
+	return done(err)
 }
 
 // Resolve is the paper's naming operation: a vector of tag/value pairs

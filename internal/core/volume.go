@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockdev"
@@ -92,6 +93,12 @@ type Options struct {
 	// carries the shared-page commit anomaly physiological logging
 	// fixes — do not use it in production.
 	ImageLogging bool
+	// NoSteal disables steal eviction and undo capture, restoring the
+	// PR-6 no-steal/redo-only pipeline: uncommitted dirty pages are
+	// pinned in cache, failed operations commit their partial state, and
+	// a transaction's dirty set must fit the cache. A measurement
+	// baseline and compatibility escape — not for production use.
+	NoSteal bool
 	// WALBlocks sizes the log region (default 256 blocks).
 	WALBlocks uint64
 	// SnapshotBlocks sizes the allocator snapshot region (default 64).
@@ -168,6 +175,20 @@ type Volume struct {
 	ckptQuit     chan struct{}
 	ckptDone     chan struct{}
 	ckptStopOnce sync.Once
+
+	// stealOn records that the pager runs with steal eviction and undo
+	// capture (set by enableSteal).
+	stealOn bool
+	// abortMu serializes rollbacks: at most one operation executes its
+	// inverses at a time, so a rollback never waits on another unfinished
+	// CLR-mode op (see pager.FlushOpDeps) and a dependency flush hitting a
+	// not-yet-started rollback still finds a cleanly undoable record set.
+	abortMu sync.Mutex
+	// ckptFallbacks counts commits that fell back to a full checkpoint on
+	// wal.ErrFull — the log-capacity escape hatch that remains after the
+	// cache-capacity (no-steal) fallback was retired. E18 asserts it stays
+	// zero for bigger-than-cache batches.
+	ckptFallbacks atomic.Int64
 }
 
 // ckptHighWater is the fraction of log capacity past which a commit
@@ -276,6 +297,7 @@ func Create(dev blockdev.Device, opts Options) (*Volume, error) {
 		return nil, err
 	}
 	v.enableBaseImages()
+	v.enableSteal()
 	v.startCheckpointer()
 	return v, nil
 }
@@ -289,6 +311,21 @@ func (v *Volume) enableBaseImages() {
 		return
 	}
 	v.pg.EnableBaseImages(sysAppender{v})
+}
+
+// enableSteal turns on steal eviction and undo capture for the
+// physiological pipeline: an uncommitted dirty page becomes evictable
+// once its staged records are chunk-appended to the WAL and synced
+// (WAL-before-data), and every typed mutation captures its logical
+// inverse so aborts and loser recovery can roll back. Called at the same
+// clean generation boundaries as enableBaseImages.
+func (v *Volume) enableSteal() {
+	if v.log == nil || v.opts.SerialCommit || v.opts.ImageLogging || v.opts.NoSteal {
+		return
+	}
+	v.pg.EnableSteal(v.log)
+	v.pg.EnableUndo()
+	v.stealOn = true
 }
 
 // createIndexes builds the standard Table 1 index stores plus the image
@@ -454,16 +491,26 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	// Recover the WAL first so all metadata pages are current: committed
 	// redo records replay in LSN (mutation) order against an in-memory
 	// materialization of the touched pages, which is then written home.
+	var losers []wal.LoserChain
 	if sb.transactional {
 		v.log = wal.New(dev, sb.walStart, sb.walBlocks)
 		if err := v.replayLog(); err != nil {
 			return nil, err
 		}
 		v.pg.SeedLSN(v.log.MaxLSN())
-		if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
-			return nil, err
+		losers = v.log.Losers()
+		if len(losers) == 0 {
+			if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
+				return nil, err
+			}
 		}
+		// With losers, the early checkpoint is skipped: recovery left the
+		// log positioned for continued appends, and the undo pass below
+		// (after the structures load) commits its compensations against
+		// the same generation so each loser chain is resolved before the
+		// log resets.
 		v.enableBaseImages()
+		v.enableSteal()
 	}
 
 	// Allocator: restore the snapshot on clean shutdown, else rebuild
@@ -523,6 +570,27 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 		if err := v.recountExtentTrees(); err != nil {
 			return nil, err
 		}
+		if err := v.rebuildAllocator(); err != nil {
+			return nil, err
+		}
+	}
+	if len(losers) > 0 {
+		// ARIES undo of losers: repeat-history replay above brought every
+		// page to its crash state (loser edits included); now the loser
+		// chains' logical inverses run newest-first through the live
+		// structures, and each chain commits its compensations naming the
+		// chain's tail — resolving it, so a crash before the checkpoint
+		// below re-runs the undo idempotently. Requires the allocator and
+		// counters rebuilt first: the inverses allocate and free for real.
+		if err := v.undoLosers(losers); err != nil {
+			return nil, err
+		}
+		if err := v.checkpointNow(); err != nil {
+			return nil, err
+		}
+		// The undo pass freed structure through deferred (limbo) frees the
+		// checkpoint just released; rebuild so the in-memory allocator
+		// matches the healed structures exactly.
 		if err := v.rebuildAllocator(); err != nil {
 			return nil, err
 		}
@@ -802,9 +870,12 @@ func (v *Volume) beginOp() (*pager.Op, func(error) error) {
 	op := v.pg.NewOp(sysAppender{v})
 	return op, func(opErr error) error {
 		if opErr != nil {
-			// Same no-undo rationale as above: the staged records make
-			// the partial mutation crash-atomic.
-			cerr := v.commitOp(op)
+			// Roll the failed operation back: its captured inverses run
+			// newest-first as CLRs and commit together with the original
+			// records — a net no-op under replay. (With undo off, abortOp
+			// degrades to committing the partial state, the pre-undo
+			// behaviour.)
+			cerr := v.abortOp(op)
 			v.ckptMu.RUnlock()
 			if errors.Is(cerr, wal.ErrFull) {
 				_ = v.checkpointNow()
@@ -842,12 +913,20 @@ func (v *Volume) beginOp() (*pager.Op, func(error) error) {
 			// mid-operation pages home nor resets the log while a
 			// concurrent group commit is being acknowledged. Afterwards
 			// this operation's pages are durably home and the commit is
-			// moot.
+			// moot. This is the log-capacity escape; the cache-capacity
+			// fallback it used to share a path with is gone — steal
+			// bounds a transaction by the log, not the cache.
+			v.ckptFallbacks.Add(1)
 			return v.checkpointNow()
 		}
 		return err
 	}
 }
+
+// CheckpointFallbacks reports how many commits fell back to a full
+// checkpoint on wal.ErrFull (see beginOp). E18 asserts this stays zero
+// for dirty sets larger than the cache.
+func (v *Volume) CheckpointFallbacks() int64 { return v.ckptFallbacks.Load() }
 
 // commitOp makes one operation's redo records durable through the group
 // committer: the records plus a commit record reach the log in one
@@ -858,17 +937,38 @@ func (v *Volume) beginOp() (*pager.Op, func(error) error) {
 // back in bulk. Returns wal.ErrFull (for the bracket's checkpoint
 // fallback) when the records cannot fit the region.
 func (v *Volume) commitOp(op *pager.Op) error {
-	recs := op.Records()
-	if len(recs) == 0 {
+	return v.commitOpChain(op, 0)
+}
+
+// commitOpChain is commitOp with an explicit chunk-chain override:
+// recovery's undo pass commits each loser chain's compensations naming
+// the *loser's* tail (resolving the chain) rather than the op's own.
+// The sequence closes every steal-related race: dependencies flush
+// first (so this commit's group sync covers any neighbour records its
+// pages build on), then the op is sealed — pending records snapshotted
+// and further chunk flushes fenced off atomically, so a concurrent
+// steal cannot double-log them — and only after the commit's outcome is
+// known does FinishOp release the op's pages for eviction.
+func (v *Volume) commitOpChain(op *pager.Op, chain uint64) error {
+	v.pg.FlushOpDeps(op)
+	recs, last := v.pg.SealOp(op)
+	if chain == 0 {
+		chain = last
+	}
+	if len(recs) == 0 && chain == 0 {
+		v.pg.FinishOp(op, false)
 		return nil
 	}
 	wtx := v.log.Begin()
 	for _, r := range recs {
 		wtx.LogRecord(r)
 	}
+	wtx.SetChain(chain)
 	if err := wtx.Commit(); err != nil {
+		v.pg.FinishOp(op, false)
 		return err
 	}
+	v.pg.FinishOp(op, true)
 	v.maybeTriggerCheckpoint()
 	return nil
 }
@@ -940,14 +1040,16 @@ func (v *Volume) commitSerial() error {
 }
 
 // maybeTriggerCheckpoint pokes the background checkpointer when the log
-// passes its high-water mark, or when dirty pages pile past the cache's
-// configured capacity (no-steal cannot evict them, so without a drain a
-// log sized for the ingest burst would let residency grow with WALBlocks
-// instead of CachePages). Non-blocking: if a checkpoint is already
-// pending, the poke is dropped.
+// passes its high-water mark. With steal off (NoSteal or the baseline
+// modes) it also fires when dirty pages pile past the cache's configured
+// capacity — no-steal cannot evict them, so without a drain a log sized
+// for the ingest burst would let residency grow with WALBlocks instead
+// of CachePages; with steal on, eviction itself bounds residency and the
+// capacity panic trigger is gone. Non-blocking: if a checkpoint is
+// already pending, the poke is dropped.
 func (v *Volume) maybeTriggerCheckpoint() {
 	logHigh := v.log.Used()*ckptHighWaterDen >= v.log.Capacity()*ckptHighWaterNum
-	cacheHigh := v.pg.DirtyCount() >= v.opts.CachePages*3/4
+	cacheHigh := !v.stealOn && v.pg.DirtyCount() >= v.opts.CachePages*3/4
 	limboHigh := v.ba.LimboBlocks() >= uint64(v.opts.CachePages)
 	if !logHigh && !cacheHigh && !limboHigh {
 		return

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"testing"
 
 	"repro/internal/blockdev"
 	"repro/internal/buddy"
 	"repro/internal/pager"
 	"repro/internal/redo"
+	"repro/internal/undo"
 	"repro/internal/wal"
 )
 
@@ -138,6 +140,21 @@ func recoverImage(t *testing.T, snap []byte, hdrPno uint64) (*Tree, error) {
 	if err := dev.RestoreFrom(snap); err != nil {
 		t.Fatal(err)
 	}
+	log, err := replayInto(t, dev)
+	if err != nil {
+		return nil, err
+	}
+	_ = log
+	pg := pager.New(dev, 512, true)
+	ba := buddy.New(crDataStart, crBlocks-crDataStart)
+	return Open(pg, ba, hdrPno, Config{MaxExtentBytes: 4096})
+}
+
+// replayInto replays dev's WAL region onto dev — repeat history, loser
+// chunks included — and returns the log with its loser chains resolved
+// for the caller to roll back.
+func replayInto(t *testing.T, dev *blockdev.MemDevice) (*wal.Log, error) {
+	t.Helper()
 	log := wal.New(dev, crWALStart, crWALBlocks)
 	bs := dev.BlockSize()
 	pages := make(map[uint64][]byte)
@@ -181,9 +198,7 @@ func recoverImage(t *testing.T, snap []byte, hdrPno uint64) (*Tree, error) {
 			return nil, err
 		}
 	}
-	pg := pager.New(dev, 512, true)
-	ba := buddy.New(crDataStart, crBlocks-crDataStart)
-	return Open(pg, ba, hdrPno, Config{MaxExtentBytes: 4096})
+	return log, nil
 }
 
 // verifyAgainstOracle checks structure (Check), size, and full content
@@ -391,6 +406,348 @@ func TestCrashReplayPropertyAgainstOracle(t *testing.T) {
 
 				// Cross log generations now and then.
 				if rng.IntN(10) == 0 || e.log.Used() > e.log.Capacity()*2/3 {
+					e.checkpoint()
+				}
+			}
+			verifyAgainstOracle(t, "final live tree", e.tr, oracle)
+		})
+	}
+}
+
+// --- abort injection (PR 7: undo records, CLRs, recovery rollback) ---
+
+// newAbortEnv is newCrashEnv with the ARIES pieces enabled: chunk
+// appends through the log (steal plumbing) and undo capture.
+func newAbortEnv(t *testing.T) *crEnv {
+	e := newCrashEnv(t)
+	e.pg.EnableSteal(e.log)
+	e.pg.EnableUndo()
+	return e
+}
+
+// commitChain mirrors core.commitOpChain at package scale: flush the
+// op's dependencies as chunks, seal, and commit the pending records
+// naming the op's chunk chain. Deferred rebalances run only on the
+// committed path — a rollback drops them (benign underfull nodes; the
+// next rebalance re-checks).
+func (e *crEnv) commitChain(op *pager.Op, chain uint64, runDeferred bool) {
+	e.t.Helper()
+	e.pg.FlushOpDeps(op)
+	recs, last := e.pg.SealOp(op)
+	if chain == 0 {
+		chain = last
+	}
+	if len(recs) == 0 && chain == 0 {
+		e.pg.FinishOp(op, false)
+	} else {
+		wtx := e.log.Begin()
+		for _, r := range recs {
+			wtx.LogRecord(r)
+		}
+		wtx.SetChain(chain)
+		if err := wtx.Commit(); err != nil {
+			e.pg.FinishOp(op, false)
+			e.t.Fatalf("commit: %v", err)
+		}
+		e.pg.FinishOp(op, true)
+	}
+	deferred := op.Deferred()
+	if runDeferred {
+		for _, fn := range deferred {
+			sys := e.pg.NewOp(walAppender{e.log})
+			rerr := fn(sys)
+			if aerr := sys.AppendSys(); rerr == nil {
+				rerr = aerr
+			}
+			if rerr != nil {
+				e.t.Fatalf("deferred rebalance: %v", rerr)
+			}
+		}
+	}
+}
+
+// rollback mirrors core.abortOp: execute the op's captured inverses
+// newest-first in CLR mode, then commit the original records plus the
+// compensations as one transaction — a net no-op under replay, with the
+// op's chunk chain (if any) resolved by the commit.
+func (e *crEnv) rollback(op *pager.Op) {
+	e.t.Helper()
+	bodies := op.UndoBodies()
+	op.BeginCLR()
+	for _, b := range bodies {
+		u, err := undo.Decode(b)
+		if err != nil {
+			e.t.Fatalf("decode undo: %v", err)
+		}
+		if err := e.tr.ApplyUndo(op, u); err != nil {
+			e.t.Fatalf("apply undo: %v", err)
+		}
+	}
+	e.commitChain(op, 0, false)
+}
+
+// recoverUndoImage is recoverImage plus ARIES undo: repeat history, then
+// roll every loser chain back through the live tree and commit the
+// compensations naming each chain's tail. stopAfter >= 0 cuts the power
+// again after that many inverses: the function returns without
+// committing anything — exactly the state a crash mid-undo leaves,
+// because CLR-mode operations are never chunk-flushed. Returns the
+// opened tree, its device (for re-cut snapshots), the loser chains
+// Recover found, and the number of inverses applied.
+func recoverUndoImage(t *testing.T, snap []byte, hdrPno uint64, stopAfter int) (*Tree, *blockdev.MemDevice, []wal.LoserChain, int) {
+	t.Helper()
+	dev := blockdev.NewMem(crBlocks, blockdev.DefaultBlockSize)
+	if err := dev.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	log, err := replayInto(t, dev)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	pg := pager.New(dev, 512, true)
+	pg.EnableSteal(log)
+	pg.EnableUndo()
+	// Seed the LSN counter past everything replayed, exactly core.Open's
+	// order — the undo's compensations must sort after history.
+	pg.SeedLSN(log.MaxLSN())
+	ba := buddy.New(crDataStart, crBlocks-crDataStart)
+	tr, err := Open(pg, ba, hdrPno, Config{MaxExtentBytes: 4096})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	losers := log.Losers()
+	if len(losers) == 0 {
+		return tr, dev, losers, 0
+	}
+	// Unclean open with replayed loser records: recount, then rebuild the
+	// allocator from reachability before mutating through the live APIs —
+	// the undo's deletes free real blocks (core.Open's order).
+	if err := tr.Recount(); err != nil {
+		t.Fatalf("recount: %v", err)
+	}
+	res, err := tr.Check()
+	if err != nil {
+		t.Fatalf("pre-undo check: %v", err)
+	}
+	var used [][2]uint64
+	for _, p := range res.AllPages {
+		used = append(used, [2]uint64{p, p + 1})
+	}
+	for _, ex := range res.DataExtents {
+		if ex.AllocBlocks > 0 {
+			used = append(used, [2]uint64{ex.Alloc, ex.Alloc + uint64(ex.AllocBlocks)})
+		}
+	}
+	nb, err := buddy.FromUsed(crDataStart, crBlocks-crDataStart, used)
+	if err != nil {
+		t.Fatalf("rebuild allocator: %v", err)
+	}
+	if err := ba.ReplaceWith(nb); err != nil {
+		t.Fatalf("replace allocator: %v", err)
+	}
+	type step struct {
+		lsn   uint64
+		chain int
+		body  []byte
+	}
+	var steps []step
+	ops := make([]*pager.Op, len(losers))
+	for i := range losers {
+		ops[i] = pg.NewOp(walAppender{log})
+		ops[i].BeginCLR()
+		for _, r := range losers[i].Undos {
+			if len(r.Data) < 8 {
+				continue
+			}
+			steps = append(steps, step{r.LSN, i, r.Data[8:]})
+		}
+	}
+	sort.Slice(steps, func(a, b int) bool { return steps[a].lsn > steps[b].lsn })
+	applied := 0
+	for _, st := range steps {
+		if stopAfter >= 0 && applied >= stopAfter {
+			return tr, dev, losers, applied // power cut mid-undo
+		}
+		u, err := undo.Decode(st.body)
+		if err != nil {
+			t.Fatalf("decode undo: %v", err)
+		}
+		if err := tr.ApplyUndo(ops[st.chain], u); err != nil {
+			t.Fatalf("recovery undo: %v", err)
+		}
+		applied++
+	}
+	for i := range losers {
+		pg.FlushOpDeps(ops[i])
+		recs, _ := pg.SealOp(ops[i])
+		wtx := log.Begin()
+		for _, r := range recs {
+			wtx.LogRecord(r)
+		}
+		wtx.SetChain(losers[i].Tail)
+		if err := wtx.Commit(); err != nil {
+			t.Fatalf("undo commit: %v", err)
+		}
+		pg.FinishOp(ops[i], true)
+		ops[i].Deferred() // recovery undo drops deferred rebalances
+	}
+	return tr, dev, losers, applied
+}
+
+// TestCrashReplayAbortInjection extends the crash-replay property with
+// aborting brackets. Three events interleave with committed operations:
+//
+//   - runtime aborts: an operation mutates, then rolls back through its
+//     captured inverses — the live tree and every subsequent recovery
+//     must show the pre-operation oracle state;
+//   - loser crashes: an uncommitted operation's records reach the log
+//     via a committing neighbour's dependency flush, then power cuts —
+//     recovery must repeat history, undo the loser, and land exactly on
+//     the committed oracle (the loser vanishes entirely);
+//   - mid-undo power cuts: recovery's rollback is interrupted before its
+//     compensations commit — since CLR-mode ops are never chunk-flushed,
+//     the log still holds the unresolved chain and a second recovery
+//     re-runs the undo from scratch to the identical oracle state.
+func TestCrashReplayAbortInjection(t *testing.T) {
+	for seed := uint64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(seed, 0xAB07))
+			e := newAbortEnv(t)
+			hdr := e.tr.HeaderPage()
+
+			// Committed base: a multi-extent tree with content to mutate.
+			base := pattern(1<<17+2345, 0xA5)
+			op0 := e.pg.NewOp(walAppender{e.log})
+			if err := e.tr.WriteAtOp(op0, base, 0); err != nil {
+				t.Fatal(err)
+			}
+			e.commitChain(op0, 0, true)
+			oracle := append([]byte(nil), base...)
+
+			mutate := func(op *pager.Op, next []byte, i int) []byte {
+				switch rng.IntN(4) {
+				case 0: // in-place + growing overwrite
+					off := uint64(rng.IntN(len(next)))
+					data := pattern(rng.IntN(4000)+1, byte(i))
+					if err := e.tr.WriteAtOp(op, data, off); err != nil {
+						t.Fatal(err)
+					}
+					if int(off)+len(data) > len(next) {
+						grown := make([]byte, int(off)+len(data))
+						copy(grown, next)
+						next = grown
+					}
+					copy(next[off:], data)
+				case 1: // middle insert
+					off := uint64(rng.IntN(len(next) + 1))
+					data := pattern(rng.IntN(3000)+1, byte(i)+7)
+					if err := e.tr.InsertAtOp(op, off, data); err != nil {
+						t.Fatal(err)
+					}
+					next = append(next[:off], append(append([]byte{}, data...), next[off:]...)...)
+				case 2: // delete range
+					off := uint64(rng.IntN(len(next)))
+					n := uint64(rng.IntN(3000) + 1)
+					if err := e.tr.DeleteRangeOp(op, off, n); err != nil {
+						t.Fatal(err)
+					}
+					end := off + n
+					if end > uint64(len(next)) {
+						end = uint64(len(next))
+					}
+					next = append(next[:off], next[end:]...)
+				default: // append
+					data := pattern(rng.IntN(4000)+1, byte(i)+13)
+					if err := e.tr.WriteAtOp(op, data, e.tr.Size()); err != nil {
+						t.Fatal(err)
+					}
+					next = append(next, data...)
+				}
+				return next
+			}
+
+			const rounds = 16
+			for i := 0; i < rounds; i++ {
+				switch rng.IntN(3) {
+				case 0: // committed operation: the oracle advances
+					op := e.pg.NewOp(walAppender{e.log})
+					next := append([]byte(nil), oracle...)
+					for k := rng.IntN(2) + 1; k > 0; k-- {
+						next = mutate(op, next, i)
+					}
+					e.commitChain(op, 0, true)
+					oracle = next
+
+				case 1: // runtime abort: the oracle must not move
+					op := e.pg.NewOp(walAppender{e.log})
+					scratch := append([]byte(nil), oracle...)
+					for k := rng.IntN(3) + 1; k > 0; k-- {
+						scratch = mutate(op, scratch, i)
+					}
+					e.rollback(op)
+					verifyAgainstOracle(t, fmt.Sprintf("round %d live tree after abort", i), e.tr, oracle)
+					tr2, _, losers, _ := recoverUndoImage(t, e.dev.Snapshot(), hdr, -1)
+					if len(losers) != 0 {
+						t.Fatalf("round %d: %d loser chains after a committed rollback", i, len(losers))
+					}
+					verifyAgainstOracle(t, fmt.Sprintf("round %d recovery after abort", i), tr2, oracle)
+
+				default: // loser crash (+ mid-undo re-cut)
+					// L appends but never commits; B appends after it and
+					// commits, which chunk-flushes L's records (B's leaf and
+					// header edits depend on L's). Power then cuts: L is a
+					// loser whose records are in the log without a commit.
+					L := e.pg.NewOp(walAppender{e.log})
+					dataL := pattern(rng.IntN(4000)+200, byte(i)+31)
+					if err := e.tr.WriteAtOp(L, dataL, e.tr.Size()); err != nil {
+						t.Fatal(err)
+					}
+					B := e.pg.NewOp(walAppender{e.log})
+					dataB := pattern(rng.IntN(2000)+100, byte(i)+47)
+					if err := e.tr.WriteAtOp(B, dataB, e.tr.Size()); err != nil {
+						t.Fatal(err)
+					}
+					e.commitChain(B, 0, true)
+					// Undoing L deletes its appended range, shifting B's
+					// bytes down to the old tail: committed state is oracle
+					// plus B's append only.
+					oracle = append(oracle, dataB...)
+					snap := e.dev.Snapshot()
+
+					// Full recovery: repeat history, undo the loser, commit.
+					tr2, dev2, losers, nsteps := recoverUndoImage(t, snap, hdr, -1)
+					if len(losers) == 0 {
+						t.Fatalf("round %d: expected a loser chain (dependency flush did not fire)", i)
+					}
+					verifyAgainstOracle(t, fmt.Sprintf("round %d loser recovery", i), tr2, oracle)
+
+					// The chain is resolved: a second crash after the undo
+					// commit finds no losers and the same state.
+					tr3, _, losers3, _ := recoverUndoImage(t, dev2.Snapshot(), hdr, -1)
+					if len(losers3) != 0 {
+						t.Fatalf("round %d: %d loser chains survived the undo commit", i, len(losers3))
+					}
+					verifyAgainstOracle(t, fmt.Sprintf("round %d post-undo recovery", i), tr3, oracle)
+
+					// Mid-undo power cut: interrupt the rollback before its
+					// compensations commit, cut again, recover from scratch.
+					if nsteps > 0 {
+						_, devP, _, _ := recoverUndoImage(t, snap, hdr, rng.IntN(nsteps))
+						trF, _, losersF, _ := recoverUndoImage(t, devP.Snapshot(), hdr, -1)
+						if len(losersF) == 0 {
+							t.Fatalf("round %d: mid-undo cut resolved the chain without a commit", i)
+						}
+						verifyAgainstOracle(t, fmt.Sprintf("round %d mid-undo re-recovery", i), trF, oracle)
+					}
+
+					// The live volume resolves L the runtime way so the
+					// sequence continues from the committed state.
+					e.rollback(L)
+					verifyAgainstOracle(t, fmt.Sprintf("round %d live tree after loser rollback", i), e.tr, oracle)
+				}
+
+				if e.log.Used() > e.log.Capacity()*2/3 {
 					e.checkpoint()
 				}
 			}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/buddy"
 	"repro/internal/pager"
+	"repro/internal/undo"
 )
 
 // maxHoleLen bounds a single hole cell (Len is uint32).
@@ -17,6 +18,13 @@ const maxHoleLen = 1 << 30
 func (t *Tree) ReadAt(p []byte, off uint64) (int, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.readAtLocked(p, off)
+}
+
+// readAtLocked is ReadAt with t.mu already held (either mode). Mutation
+// paths use it to read before-images for undo records while holding the
+// exclusive lock.
+func (t *Tree) readAtLocked(p []byte, off uint64) (int, error) {
 	if off >= t.size {
 		return 0, io.EOF
 	}
@@ -103,13 +111,47 @@ func (t *Tree) WriteAtOp(op *pager.Op, p []byte, off uint64) error {
 	if len(p) == 0 {
 		return nil
 	}
+	if op.UndoEnabled() {
+		end := off + uint64(len(p))
+		if off < t.size {
+			// Overlap: the inverse restores the overwritten bytes.
+			oend := end
+			if oend > t.size {
+				oend = t.size
+			}
+			old, err := t.oldBytes(off, oend-off)
+			if err != nil {
+				return err
+			}
+			op.StageUndo(undo.ExtWrite(t.hdr, off, old))
+		}
+		if end > t.size {
+			// Growth (hole plus tail data): the inverse truncates back.
+			op.StageUndo(undo.ExtDel(t.hdr, t.size, end-t.size))
+		}
+	}
 	return t.finishMutation(t.writeAtLocked(p, off))
+}
+
+// oldBytes reads [off, off+n) as an undo before-image. Holes read back
+// as zeros, so re-inserting the image materializes them — logically
+// identical content, merely a denser physical representation.
+func (t *Tree) oldBytes(off, n uint64) ([]byte, error) {
+	buf := make([]byte, n)
+	if n == 0 {
+		return buf, nil
+	}
+	if _, err := t.readAtLocked(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // finishMutation rewrites the header and returns the first error. It
 // runs even when the mutation failed part-way: the cache mutations are
 // already applied and the commit bracket appends the staged records
-// regardless (redo-only logging has no undo), so the header record must
+// regardless — rollback, when it runs, is a *separate* pass executing
+// the op's captured inverses as CLRs — so the header record must
 // describe the partially applied state — otherwise replaying the
 // records would reconstruct a tree whose header contradicts its leaves.
 func (t *Tree) finishMutation(err error) error {
@@ -218,6 +260,8 @@ func (t *Tree) AppendOp(op *pager.Op, p []byte) (uint64, error) {
 	if len(p) == 0 {
 		return t.size, nil
 	}
+	// Inverse of an append: delete the appended tail.
+	op.StageUndo(undo.ExtDel(t.hdr, t.size, uint64(len(p))))
 	err := t.finishMutation(t.appendBytes(p))
 	return t.size, err
 }
@@ -241,6 +285,9 @@ func (t *Tree) InsertAtOp(op *pager.Op, off uint64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
+	// Inverse of an insert: delete the inserted range, shifting the
+	// later bytes back down.
+	op.StageUndo(undo.ExtDel(t.hdr, off, uint64(len(p))))
 	return t.finishMutation(t.insertAtLocked(off, p))
 }
 
@@ -266,6 +313,18 @@ func (t *Tree) DeleteRangeOp(op *pager.Op, off, n uint64) error {
 	defer func() { t.curOp = nil }()
 	if off >= t.size || n == 0 {
 		return nil
+	}
+	if op.UndoEnabled() {
+		// Inverse of a delete-range: re-insert the removed bytes.
+		m := n
+		if off+m > t.size {
+			m = t.size - off
+		}
+		old, err := t.oldBytes(off, m)
+		if err != nil {
+			return err
+		}
+		op.StageUndo(undo.ExtIns(t.hdr, off, old))
 	}
 	return t.finishMutation(t.deleteRangeLocked(off, n))
 }
@@ -337,8 +396,18 @@ func (t *Tree) TruncateOp(op *pager.Op, newSize uint64) error {
 	defer func() { t.curOp = nil }()
 	switch {
 	case newSize < t.size:
+		if op.UndoEnabled() {
+			// Inverse of a shrink: re-insert the truncated tail.
+			old, err := t.oldBytes(newSize, t.size-newSize)
+			if err != nil {
+				return err
+			}
+			op.StageUndo(undo.ExtIns(t.hdr, newSize, old))
+		}
 		return t.finishMutation(t.deleteRangeLocked(newSize, t.size-newSize))
 	case newSize > t.size:
+		// Inverse of a grow: delete the appended hole.
+		op.StageUndo(undo.ExtDel(t.hdr, t.size, newSize-t.size))
 		return t.finishMutation(t.appendHole(newSize - t.size))
 	default:
 		return nil

@@ -1,0 +1,27 @@
+package extent
+
+import (
+	"fmt"
+
+	"repro/internal/pager"
+	"repro/internal/undo"
+)
+
+// ApplyUndo executes one decoded undo record against the tree through
+// the ordinary mutation API, so the rollback itself emits redo records
+// into op. The caller is expected to have switched op into CLR mode
+// (op.BeginCLR) first: the compensation records then replay like normal
+// history but are never themselves undone, which is what makes a
+// rollback interrupted by a crash restartable from scratch.
+func (t *Tree) ApplyUndo(op *pager.Op, u undo.Op) error {
+	switch u.Code {
+	case undo.OpExtWrite:
+		return t.WriteAtOp(op, u.Data, u.Off)
+	case undo.OpExtIns:
+		return t.InsertAtOp(op, u.Off, u.Data)
+	case undo.OpExtDel:
+		return t.DeleteRangeOp(op, u.Off, u.N)
+	default:
+		return fmt.Errorf("extent: undo opcode %d is not an extent inverse", u.Code)
+	}
+}

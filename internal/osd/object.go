@@ -80,11 +80,12 @@ func (o *Object) writeAt(op *pager.Op, p []byte, off uint64) error {
 }
 
 // finishMutation refreshes the object-table metadata even when the
-// extent mutation failed part-way: redo-only logging has no undo, so
-// the partially applied tree (whose staged records the commit bracket
-// appends regardless) must be matched by the size the object table
-// records — otherwise a crash right after would recover a volume where
-// fsck finds the table and the tree disagreeing.
+// extent mutation failed part-way: the commit bracket appends the
+// staged records regardless (rollback, when it runs, is a separate
+// CLR pass over the op's captured inverses), so the partially applied
+// tree must be matched by the size the object table records —
+// otherwise a crash right after would recover a volume where fsck
+// finds the table and the tree disagreeing.
 func (o *Object) finishMutation(op *pager.Op, err error) error {
 	if merr := o.refreshMeta(op); err == nil {
 		err = merr

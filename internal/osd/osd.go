@@ -32,6 +32,7 @@ import (
 	"repro/internal/extent"
 	"repro/internal/pager"
 	"repro/internal/redo"
+	"repro/internal/undo"
 )
 
 // OID uniquely identifies an object.
@@ -316,6 +317,12 @@ func (s *Store) createObject(op *pager.Op, owner string, mode uint32) (*Object, 
 	s.mu.Lock()
 	s.open[oid] = obj
 	s.mu.Unlock()
+	// Staged last so a rollback runs it *first* (undo executes
+	// newest-first): the destroy reclaims the extent tree and deletes the
+	// meta row while both still exist; the older inverses the row put and
+	// shadow write captured then find the row already gone, which the
+	// undo executor tolerates.
+	op.StageUndo(undo.ObjDestroy(uint64(oid)))
 	s.stats.creates.Add(1)
 	return obj, nil
 }
@@ -414,6 +421,13 @@ func (s *Store) writeShadowMeta(op *pager.Op, m *Meta) error {
 	rec := make([]byte, 2+len(enc))
 	binary.LittleEndian.PutUint16(rec, uint16(len(enc)))
 	copy(rec[2:], enc)
+	if op.UndoEnabled() {
+		// Before-image of exactly the span the redo record overwrites:
+		// restoring it restores the old length prefix, so a longer old
+		// record's untouched tail reads back intact.
+		old := append([]byte(nil), d[shadowMetaOff:shadowMetaOff+len(rec)]...)
+		op.StageUndo(undo.Range(m.ExtentHeader, shadowMetaOff, old))
+	}
 	copy(d[shadowMetaOff:], rec)
 	s.pg.MarkDirtyRec(pg, op, redo.KindRange, redo.EncodeRange(shadowMetaOff, rec))
 	return nil
@@ -459,6 +473,12 @@ func (s *Store) DeleteObjectDeferred(op *pager.Op, oid OID) error {
 }
 
 func (s *Store) deleteObject(op *pager.Op, oid OID) error {
+	// Destruction has no inverse (the freed extents may be reallocated),
+	// so none of the section's mutations capture undo: rolling back half
+	// of it would resurrect a meta row pointing at a destroyed tree. A
+	// delete inside an aborted bracket therefore stays applied — the
+	// documented non-atomicity of destructive frees.
+	defer op.SuspendUndo()()
 	m, err := s.Stat(oid)
 	if err != nil {
 		return err
@@ -485,6 +505,38 @@ func (s *Store) deleteObject(op *pager.Op, oid OID) error {
 	}
 	s.stats.deletes.Add(1)
 	return nil
+}
+
+// LookupByHeader resolves the OID whose extent tree is rooted at the
+// given header page — the reverse of Meta.ExtentHeader. Open handles
+// are checked first (the common case during a runtime abort); otherwise
+// the object table is scanned. The recovery undo executor uses it to
+// route extent inverses, which address trees by header page, through
+// the object layer so metadata stays in step.
+func (s *Store) LookupByHeader(hdr uint64) (OID, error) {
+	s.mu.Lock()
+	for oid, obj := range s.open {
+		if obj.ext.HeaderPage() == hdr {
+			s.mu.Unlock()
+			return oid, nil
+		}
+	}
+	s.mu.Unlock()
+	var found OID
+	ok := false
+	if err := s.ForEach(func(m Meta) bool {
+		if m.ExtentHeader == hdr {
+			found, ok = m.OID, true
+			return false
+		}
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: no object with header page %d", ErrNotFound, hdr)
+	}
+	return found, nil
 }
 
 // ForEach visits every object's metadata in OID order.

@@ -3,11 +3,14 @@
 //
 // Pages are pinned while in use; unpinned pages live on an LRU list and are
 // evicted under memory pressure, with dirty pages written back first. When a
-// write-ahead log governs the volume, the pager runs in no-steal mode: dirty
-// pages are never written home by eviction, only by an explicit FlushDirty
-// at checkpoint, after the WAL has logged them (no-steal / no-force). This
-// keeps crash recovery simple: home locations only ever contain committed
-// data, and committed-but-unflushed images are replayed from the log.
+// write-ahead log governs the volume, the pager runs a *steal* policy with
+// WAL-before-data: a dirty page — even one carrying uncommitted edits — may
+// be written home by eviction once every record staged against it (redo and
+// undo) is durably in the log. Open operations' staged records are flushed
+// to the log as mid-transaction chunks (EnableSteal) to unblock eviction;
+// recovery repeats history from the log and rolls losers back through their
+// undo records. Without a chunk appender the pager degrades to no-steal:
+// dirty pages are only written home by FlushDirty at checkpoint.
 //
 // The cache is internally sharded by page number: a single global mutex
 // would serialize every component that touches a page, re-creating exactly
@@ -17,6 +20,7 @@ package pager
 
 import (
 	"container/list"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -62,6 +66,24 @@ type Page struct {
 	// by these LSNs, which makes it idempotent and makes the per-page
 	// record order equal the order the bytes actually changed.
 	lsn atomic.Uint64
+	// unflushed counts records staged against this page (including its
+	// base image) whose log append has not completed yet; guarded by the
+	// shard lock. A page with unflushed > 0 must not be stolen — writing
+	// it home would put unlogged bytes under a WAL that cannot redo or
+	// undo them.
+	unflushed int
+	// appendSeq is the pager append sequence covering the page's last
+	// log append; steal additionally requires appendSeq <= syncedSeq
+	// (the appends are not just issued but durable). Shard-lock guarded.
+	appendSeq uint64
+	// lastXop is the op that last staged an extent-typed record on this
+	// page. Extent records are index-addressed within the page, so a
+	// second op staging one here picks the first up as a flush
+	// dependency: its records must reach the log (as a chunk) before the
+	// second op's commit, or replay would re-execute the committed
+	// records against cell positions missing the neighbour's.
+	// Shard-lock guarded; may point at a finished op (flush no-ops).
+	lastXop *Op
 }
 
 // No returns the page's block number.
@@ -76,12 +98,14 @@ func (p *Page) Data() []byte { return p.data }
 
 // Stats describes cache effectiveness.
 type Stats struct {
-	Hits       int64
-	Misses     int64
-	Evictions  int64
-	Writebacks int64
-	Cached     int
-	Dirty      int
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+	Writebacks   int64
+	Steals       int64 // dirty pages evicted under WAL-before-data gating
+	ChunkFlushes int64 // mid-transaction chunk appends issued for steal/deps
+	Cached       int
+	Dirty        int
 }
 
 type shard struct {
@@ -121,15 +145,50 @@ type Pager struct {
 
 	// baseApp, when set, receives a first-touch *base image* system
 	// record whenever a home-backed page transitions clean → dirty: the
-	// page's home content (read back from the device — under no-steal it
-	// equals the last checkpoint's all-committed state, so it can never
-	// carry uncommitted bytes) logged before the generation's first edit
-	// record. Replay then rebuilds every touched page from the log
-	// alone, which makes physiological recovery idempotent — a crash
-	// during or just after a checkpoint's page flush (home pages
+	// page's home content (read back from the device — the mutator's pin
+	// blocks eviction for the whole capture, and a previously stolen
+	// page's home state is itself base + logged records, so the image
+	// never contains unlogged bytes) logged before the generation's
+	// first edit record. Replay then rebuilds every touched page from
+	// the log alone, which makes physiological recovery idempotent — a
+	// crash during or just after a checkpoint's page flush (home pages
 	// already post-state, or torn mid-write) replays to the same final
 	// state instead of re-executing splits over already-split pages.
 	baseApp Appender
+
+	// stealApp, when set (EnableSteal), receives mid-transaction chunk
+	// appends: the staged records of open operations, flushed early so
+	// the dirty pages they cover become stealable. undoOn additionally
+	// enables logical-inverse capture (Op.StageUndo) so flushed-but-
+	// uncommitted operations can be rolled back.
+	stealApp ChunkAppender
+	undoOn   bool
+
+	// Open per-operation captures, enumerated by steal flush rounds.
+	// Only regular ops register; system transactions must stay atomic
+	// (they auto-commit via AppendSys) and are never chunk-flushed.
+	opMu sync.Mutex
+	ops  map[*Op]struct{}
+
+	// appendSeq counts completed log appends that covered page records;
+	// syncedSeq is the latest value known covered by a device sync.
+	// Steal requires a page's appendSeq <= syncedSeq.
+	appendSeq atomic.Uint64
+	syncedSeq atomic.Uint64
+
+	// stealMu serializes steal flush rounds (one flush+sync unblocks
+	// every waiting shard; a herd of them would each pay a sync).
+	stealMu sync.Mutex
+
+	steals       atomic.Int64
+	chunkFlushes atomic.Int64
+}
+
+// ChunkAppender appends the staged records of one open transaction as a
+// mid-transaction chunk chained after prev (0 = first), returning the
+// chunk's log transaction id. The volume wires it to wal.AppendChunk.
+type ChunkAppender interface {
+	AppendChunk(prev uint64, recs []redo.Record) (uint64, error)
 }
 
 // New creates a pager over dev caching up to capacity pages.
@@ -149,8 +208,20 @@ func New(dev blockdev.Device, capacity int, evictDirty bool) *Pager {
 		p.shards[i].dirty = make(map[uint64]*Page)
 	}
 	p.txns = make(map[*Txn]struct{})
+	p.ops = make(map[*Op]struct{})
 	return p
 }
+
+// EnableSteal installs the chunk appender and switches eviction to the
+// ARIES steal policy: an uncommitted dirty page may be written home once
+// its staged records are durably logged; open operations' records are
+// chunk-flushed on demand to get them there.
+func (p *Pager) EnableSteal(app ChunkAppender) { p.stealApp = app }
+
+// EnableUndo turns on logical-inverse capture: structure layers' calls
+// to Op.StageUndo record inverses so operations can be rolled back at
+// abort (and flushed-but-uncommitted losers at recovery).
+func (p *Pager) EnableUndo() { p.undoOn = true }
 
 func (p *Pager) shardOf(no uint64) *shard {
 	return &p.shards[no&(numShards-1)]
@@ -190,6 +261,7 @@ func (p *Pager) acquire(no uint64, read bool) (*Page, error) {
 		return nil, fmt.Errorf("%w: %d of %d", ErrBadPage, no, p.dev.NumBlocks())
 	}
 	s := p.shardOf(no)
+	stealTried := false
 	for {
 		s.mu.Lock()
 		if pg, ok := s.table[no]; ok {
@@ -214,9 +286,20 @@ func (p *Pager) acquire(no uint64, read bool) (*Page, error) {
 			return pg, nil
 		}
 		s.misses++
-		if err := p.makeRoomLocked(s); err != nil {
+		needSteal, err := p.makeRoomLocked(s)
+		if err != nil {
 			s.mu.Unlock()
 			return nil, err
+		}
+		if needSteal && !stealTried {
+			// Every unpinned page is dirty with records not yet durably
+			// logged. Flush the open operations' staged records as chunks
+			// and sync, then retry — the pages become stealable.
+			s.misses-- // the retry re-counts
+			s.mu.Unlock()
+			stealTried = true
+			p.stealFlush()
+			continue
 		}
 		pg := &Page{no: no, data: make([]byte, p.dev.BlockSize()), pins: 1}
 		if read {
@@ -228,7 +311,7 @@ func (p *Pager) acquire(no uint64, read bool) (*Page, error) {
 		if !read {
 			return pg, nil
 		}
-		err := p.dev.ReadBlock(no, pg.data)
+		err = p.dev.ReadBlock(no, pg.data)
 		s.mu.Lock()
 		if err != nil {
 			// The page never became valid: withdraw it. It was pinned
@@ -248,30 +331,41 @@ func (p *Pager) acquire(no uint64, read bool) (*Page, error) {
 	}
 }
 
-// makeRoomLocked evicts one unpinned page if the shard is at capacity.
-func (p *Pager) makeRoomLocked(s *shard) error {
+// makeRoomLocked evicts unpinned pages while the shard is at capacity.
+// It returns needSteal=true when the shard stays over capacity only
+// because dirty pages are gated on un-durable log records — the caller
+// should run a steal flush (outside the shard lock) and retry. With no
+// eligible victim and no steal appender it returns (false, nil): grow
+// rather than fail — capacity is advisory, correctness is not.
+func (p *Pager) makeRoomLocked(s *shard) (bool, error) {
+	synced := p.syncedSeq.Load()
 	for len(s.table) >= p.capPerShard {
 		var victim *Page
 		for e := s.lru.Back(); e != nil; e = e.Prev() {
 			pg := e.Value.(*Page)
 			if pg.dirty && !p.evictDirty {
-				continue
+				// Steal gate: every staged record durably logged.
+				if p.stealApp == nil || pg.unflushed > 0 || pg.appendSeq > synced {
+					continue
+				}
 			}
 			victim = pg
 			break
 		}
 		if victim == nil {
-			// All unpinned pages are dirty under no-steal; grow rather
-			// than fail — capacity is advisory, correctness is not.
-			return nil
+			return p.stealApp != nil, nil
 		}
 		if victim.dirty {
 			if err := p.dev.WriteBlock(victim.no, victim.data); err != nil {
-				return err
+				return false, err
 			}
 			s.writebacks++
+			if !p.evictDirty {
+				p.steals.Add(1)
+			}
 			victim.dirty = false
 			victim.fresh = false
+			victim.unflushed = 0
 			delete(s.dirty, victim.no)
 			p.ndirty.Add(-1)
 		}
@@ -280,7 +374,90 @@ func (p *Pager) makeRoomLocked(s *shard) error {
 		delete(s.table, victim.no)
 		s.evictions++
 	}
-	return nil
+	return false, nil
+}
+
+// stealFlush makes every open operation's staged records durable —
+// chunk-appending the pending ones, then syncing the device — so dirty
+// pages gated on them become stealable. One round serves all shards.
+func (p *Pager) stealFlush() {
+	if p.stealApp == nil {
+		return
+	}
+	p.stealMu.Lock()
+	defer p.stealMu.Unlock()
+	p.opMu.Lock()
+	ops := make([]*Op, 0, len(p.ops))
+	for op := range p.ops {
+		ops = append(ops, op)
+	}
+	p.opMu.Unlock()
+	for _, op := range ops {
+		_, _ = p.flushOpChunk(op)
+	}
+	seq := p.appendSeq.Load()
+	if p.syncedSeq.Load() < seq {
+		if err := p.dev.Sync(); err != nil {
+			return
+		}
+		for {
+			cur := p.syncedSeq.Load()
+			if cur >= seq || p.syncedSeq.CompareAndSwap(cur, seq) {
+				break
+			}
+		}
+	}
+}
+
+// flushOpChunk appends op's pending staged records (redo and undo) to
+// the log as one chunk, chained after the op's previous chunk. The op's
+// lock is held across the append so the flushed prefix bookkeeping stays
+// exact. System transactions are never chunk-flushed — they must land
+// atomically via AppendSys or not at all.
+func (p *Pager) flushOpChunk(op *Op) (int, error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if op.sys || op.clr || op.finished || op.nflushed >= len(op.recs) {
+		// CLR-mode ops are excluded like system transactions: a rollback's
+		// compensations reach the log only with the rollback's own commit,
+		// so a crash mid-undo drops the whole compensation and recovery
+		// restarts the undo from scratch — without this, replayed partial
+		// CLRs plus a re-run of the chain's undo records would apply
+		// non-idempotent inverses twice.
+		return 0, nil
+	}
+	pending := op.recs[op.nflushed:]
+	id, err := p.stealApp.AppendChunk(op.lastChunk, pending)
+	if err != nil {
+		return 0, err
+	}
+	op.lastChunk = id
+	op.nflushed = len(op.recs)
+	p.chunkFlushes.Add(1)
+	seq := p.appendSeq.Add(1)
+	for _, r := range pending {
+		if redo.BaseKind(r.Kind) == redo.KindUndo {
+			continue
+		}
+		p.noteAppended(r.Page, seq)
+	}
+	return len(pending), nil
+}
+
+// noteAppended records that one staged record of page no reached the log
+// in the append numbered seq.
+func (p *Pager) noteAppended(no, seq uint64) {
+	s := p.shardOf(no)
+	s.mu.Lock()
+	if pg, ok := s.table[no]; ok {
+		if pg.unflushed > 0 {
+			pg.unflushed--
+		}
+		if seq > pg.appendSeq {
+			pg.appendSeq = seq
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Release unpins the page. Pages must be released exactly once per Acquire.
@@ -308,7 +485,9 @@ func (p *Pager) MarkDirty(pg *Page) {
 	}
 	base := p.setDirtyLocked(s, pg)
 	s.mu.Unlock()
-	p.appendBase(base)
+	if p.appendBase(base) && p.stealApp != nil {
+		p.noteAppended(pg.no, p.appendSeq.Add(1))
+	}
 	p.noteDirty(pg)
 }
 
@@ -331,29 +510,34 @@ func (p *Pager) setDirtyLocked(s *shard, pg *Page) *redo.Record {
 	}
 	// Draw the base's LSN inside the latch so it sorts below every edit
 	// of the generation; the home read itself happens outside the shard
-	// lock (appendBase) — safe because under no-steal nothing writes the
-	// home copy between checkpoints, and checkpoints are fenced out for
-	// the mutator's whole bracket.
+	// lock (appendBase) — safe because the caller's pin blocks eviction,
+	// so nothing writes the home copy during the capture, and checkpoints
+	// are fenced out for the mutator's whole bracket. Under steal the
+	// page is gated until the base append is durable (unflushed below).
+	if p.stealApp != nil {
+		pg.unflushed++
+	}
 	return &redo.Record{LSN: p.lsn.Add(1), Page: pg.no, Kind: redo.KindImage}
 }
 
-// appendBase reads the page's committed home content (its pre-mutation
-// state — the clean cache copy equaled it until the edit now being
-// marked) and ships it as a first-touch base-image system transaction.
-// Failures wedge the log: no commit may be acknowledged durable while a
-// touched page has no recoverable base; the forced checkpoint fallback
-// then flushes the unprotected state home instead.
-func (p *Pager) appendBase(base *redo.Record) {
+// appendBase reads the page's home content (its pre-mutation state — the
+// clean cache copy equaled it until the edit now being marked) and ships
+// it as a first-touch base-image system transaction, reporting whether
+// the append succeeded. Failures wedge the log: no commit may be
+// acknowledged durable while a touched page has no recoverable base; a
+// failed append also leaves the page's unflushed count raised, so steal
+// can never write the unprotected page home.
+func (p *Pager) appendBase(base *redo.Record) bool {
 	if base == nil {
-		return
+		return false
 	}
 	home := make([]byte, p.dev.BlockSize())
 	if err := p.dev.ReadBlock(base.Page, home); err != nil {
 		p.baseApp.Wedge()
-		return
+		return false
 	}
 	base.Data = home
-	_ = p.baseApp.AppendSystem([]redo.Record{*base})
+	return p.baseApp.AppendSystem([]redo.Record{*base}) == nil
 }
 
 // --- physiological per-operation redo capture ---
@@ -384,24 +568,44 @@ type Appender interface {
 
 // Op captures the redo records of one mutating operation. Structure
 // layers emit typed and byte-range records through MarkDirtyRec as they
-// mutate pages; the volume stages the collected records as one WAL
-// transaction at commit. A nil *Op is accepted everywhere and means
-// "unlogged" (non-transactional volume, or the page-image logging mode
-// where the broadcast Txn capture below does the work instead).
+// mutate pages, and logical inverses through StageUndo; the volume
+// stages the collected redo records as one WAL transaction at commit (or
+// executes the inverses and commits the compensations at abort). A nil
+// *Op is accepted everywhere and means "unlogged" (non-transactional
+// volume, or the page-image logging mode where the broadcast Txn capture
+// below does the work instead).
 type Op struct {
 	p   *Pager
 	app Appender
 
 	mu       sync.Mutex
-	recs     []redo.Record
+	recs     []redo.Record // redo and undo records, staging (= LSN) order
 	deferred []func(*Op) error
+
+	// ARIES bookkeeping (meaningful only with EnableSteal/EnableUndo):
+	nflushed  int              // prefix of recs already chunk-appended to the log
+	lastChunk uint64           // txid of the op's last flushed chunk (0 = none)
+	undoPrev  uint64           // LSN of the last staged undo record (prevLSN chain)
+	deps      map[*Op]struct{} // ops whose records must be logged before this commit
+	sys       bool             // system transaction: atomic via AppendSys, never chunked
+	clr       bool             // rolling back: records are CLRs, no further undo capture
+	noUndo    int              // >0 suppresses undo capture (non-undoable sections)
+	finished  bool             // sealed: no further chunk flush may take its records
+	closed    bool             // FinishOp ran (finishCh closed)
+	finishCh  chan struct{}    // closed by FinishOp; dependency flushes wait on it
 }
 
 // NewOp opens a per-operation redo capture. app receives system
 // transactions emitted by structure-modification operations inside this
 // op; it may be nil only if the op never mutates structured trees.
 func (p *Pager) NewOp(app Appender) *Op {
-	return &Op{p: p, app: app}
+	op := &Op{p: p, app: app, finishCh: make(chan struct{})}
+	if p.stealApp != nil {
+		p.opMu.Lock()
+		p.ops[op] = struct{}{}
+		p.opMu.Unlock()
+	}
+	return op
 }
 
 // NewSys opens a capture for a system transaction nested in op (records
@@ -411,7 +615,7 @@ func (op *Op) NewSys() *Op {
 	if op == nil {
 		return nil
 	}
-	return &Op{p: op.p, app: op.app}
+	return &Op{p: op.p, app: op.app, sys: true}
 }
 
 // AppendSys appends the op's staged records as one auto-committed system
@@ -426,21 +630,252 @@ func (op *Op) AppendSys() error {
 	op.mu.Lock()
 	recs := op.recs
 	op.recs = nil
+	op.nflushed = 0
 	op.mu.Unlock()
 	if len(recs) == 0 {
 		return nil
 	}
-	return op.app.AppendSystem(recs)
+	err := op.app.AppendSystem(recs)
+	if err == nil && op.p.stealApp != nil {
+		seq := op.p.appendSeq.Add(1)
+		for _, r := range recs {
+			op.p.noteAppended(r.Page, seq)
+		}
+	}
+	return err
 }
 
-// Records closes the capture and returns the staged records in staging
-// (= LSN) order.
+// Records returns the staged records not yet flushed as chunks, redo
+// only, in staging (= LSN) order — exactly what the commit must append.
+// The op keeps its bookkeeping; the volume closes it with FinishOp once
+// the commit's outcome is known.
 func (op *Op) Records() []redo.Record {
 	op.mu.Lock()
-	recs := op.recs
-	op.recs = nil
+	defer op.mu.Unlock()
+	pending := op.recs[op.nflushed:]
+	out := make([]redo.Record, 0, len(pending))
+	for _, r := range pending {
+		if redo.BaseKind(r.Kind) == redo.KindUndo {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// SealOp atomically snapshots the op's pending redo records for its
+// commit and marks the op finished, so a concurrent steal or dependency
+// flush cannot append the same records as a chunk while the commit is in
+// flight (which would replay them twice). Returns the pending records
+// and the op's last chunk id; the caller completes with FinishOp once
+// the commit's outcome is known.
+func (p *Pager) SealOp(op *Op) ([]redo.Record, uint64) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	pending := op.recs[op.nflushed:]
+	out := make([]redo.Record, 0, len(pending))
+	for _, r := range pending {
+		if redo.BaseKind(r.Kind) == redo.KindUndo {
+			continue
+		}
+		out = append(out, r)
+	}
+	op.finished = true
+	return out, op.lastChunk
+}
+
+// LastChunk returns the txid of the op's last flushed chunk (0 if its
+// records never left the op before commit). The volume passes it to the
+// commit's SetChain so recovery resolves the chunk chain. Nil-safe.
+func (op *Op) LastChunk() uint64 {
+	if op == nil {
+		return 0
+	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return op.lastChunk
+}
+
+// StageUndo captures the logical inverse of the mutation about to be
+// performed. body is an encoding from package undo; the record is
+// prefixed with the op's previous undo LSN (the ARIES prevLSN chain) and
+// interleaved with the redo records in LSN order. No-op when undo is
+// disabled, inside a rollback (CLRs are never undone), inside a
+// suspended section, or in a system transaction. Nil-safe.
+func (op *Op) StageUndo(body []byte) {
+	if op == nil || !op.p.undoOn {
+		return
+	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if op.sys || op.clr || op.noUndo > 0 {
+		return
+	}
+	lsn := op.p.lsn.Add(1)
+	data := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint64(data, op.undoPrev)
+	copy(data[8:], body)
+	op.undoPrev = lsn
+	op.recs = append(op.recs, redo.Record{LSN: lsn, Kind: redo.KindUndo, Data: data})
+}
+
+// UndoEnabled reports whether a StageUndo call on this op would capture
+// anything — structure layers use it to skip expensive old-value reads
+// (overflow chains, extent data) when capture is off. Nil-safe.
+func (op *Op) UndoEnabled() bool {
+	if op == nil || !op.p.undoOn {
+		return false
+	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return !op.sys && !op.clr && op.noUndo == 0
+}
+
+// SuspendUndo disables undo capture on this op until the returned resume
+// function runs. Used for sections with no inverse (object destruction):
+// capturing inverses for their *neighbouring* mutations would roll back
+// half the section and leave the structure self-contradictory. Nil-safe.
+func (op *Op) SuspendUndo() func() {
+	if op == nil {
+		return func() {}
+	}
+	op.mu.Lock()
+	op.noUndo++
 	op.mu.Unlock()
-	return recs
+	return func() {
+		op.mu.Lock()
+		op.noUndo--
+		op.mu.Unlock()
+	}
+}
+
+// BeginCLR switches the op into rollback mode: subsequently staged
+// records are flagged as compensation log records (replayed like their
+// base kind, never undone) and undo capture stops. Nil-safe.
+func (op *Op) BeginCLR() {
+	if op == nil {
+		return
+	}
+	op.mu.Lock()
+	op.clr = true
+	op.mu.Unlock()
+}
+
+// UndoBodies returns the op's captured undo bodies newest-first (the
+// order a rollback must execute them), with the prevLSN prefix stripped.
+// Nil-safe.
+func (op *Op) UndoBodies() [][]byte {
+	if op == nil {
+		return nil
+	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	var out [][]byte
+	for i := len(op.recs) - 1; i >= 0; i-- {
+		if r := op.recs[i]; redo.BaseKind(r.Kind) == redo.KindUndo && len(r.Data) >= 8 {
+			out = append(out, r.Data[8:])
+		}
+	}
+	return out
+}
+
+// addDep records that d's staged records must reach the log before this
+// op's commit.
+func (op *Op) addDep(d *Op) {
+	op.mu.Lock()
+	if op.deps == nil {
+		op.deps = make(map[*Op]struct{})
+	}
+	op.deps[d] = struct{}{}
+	op.mu.Unlock()
+}
+
+// FlushOpDeps chunk-appends the pending records of every op this op
+// depends on (transitively), so the depending commit's group sync covers
+// them. Without this, a commit whose extent records share a page with an
+// open neighbour's would replay against cell positions missing the
+// neighbour's records — the stale-cell-position anomaly. No extra sync:
+// the log is sequential and the commit's own sync lands after.
+func (p *Pager) FlushOpDeps(op *Op) {
+	if op == nil || p.stealApp == nil {
+		return
+	}
+	op.mu.Lock()
+	rootCLR := op.clr
+	op.mu.Unlock()
+	seen := map[*Op]bool{op: true}
+	p.flushDepsRec(op, seen, rootCLR)
+}
+
+func (p *Pager) flushDepsRec(op *Op, seen map[*Op]bool, rootCLR bool) {
+	op.mu.Lock()
+	deps := make([]*Op, 0, len(op.deps))
+	for d := range op.deps {
+		deps = append(deps, d)
+	}
+	op.deps = nil
+	op.mu.Unlock()
+	for _, d := range deps {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		p.flushDepsRec(d, seen, rootCLR)
+		// A dependency that is mid-rollback cannot be chunk-flushed (its
+		// CLRs must reach the log only with its own commit — see
+		// flushOpChunk). Wait for the rollback's commit instead: rollbacks
+		// are serialized and never themselves wait on a non-finished CLR
+		// dep (rootCLR), so the wait terminates.
+		d.mu.Lock()
+		wait := d.clr && !d.finished && !rootCLR
+		ch := d.finishCh
+		d.mu.Unlock()
+		if wait && ch != nil {
+			<-ch
+		}
+		_, _ = p.flushOpChunk(d)
+	}
+}
+
+// FinishOp closes the op once its commit (or rollback commit) outcome is
+// known. appended reports whether the op's pending records reached the
+// log — true on commit success (the group append covered them); false
+// when the commit failed, leaving the covered pages gated against steal
+// until a checkpoint flushes everything home. Nil-safe.
+func (p *Pager) FinishOp(op *Op, appended bool) {
+	if op == nil {
+		return
+	}
+	op.mu.Lock()
+	pending := op.recs[op.nflushed:]
+	var seq uint64
+	if appended && p.stealApp != nil {
+		seq = p.appendSeq.Add(1)
+	}
+	op.finished = true
+	op.nflushed = len(op.recs)
+	ch := (chan struct{})(nil)
+	if !op.closed && op.finishCh != nil {
+		op.closed = true
+		ch = op.finishCh
+	}
+	op.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+	if seq != 0 {
+		for _, r := range pending {
+			if redo.BaseKind(r.Kind) == redo.KindUndo {
+				continue
+			}
+			p.noteAppended(r.Page, seq)
+		}
+	}
+	if p.stealApp != nil {
+		p.opMu.Lock()
+		delete(p.ops, op)
+		p.opMu.Unlock()
+	}
 }
 
 // Defer registers fn to run after the op's commit is durable, with a
@@ -465,9 +900,13 @@ func (op *Op) Deferred() []func(*Op) error {
 	return d
 }
 
-// stage appends a stamped record.
+// stage appends a stamped record. In rollback mode the record is marked
+// as a compensation log record.
 func (op *Op) stage(r redo.Record) {
 	op.mu.Lock()
+	if op.clr {
+		r.Kind |= redo.FlagCLR
+	}
 	op.recs = append(op.recs, r)
 	op.mu.Unlock()
 }
@@ -484,14 +923,20 @@ func (p *Pager) MarkDirtyRec(pg *Page, op *Op, kind uint8, data []byte) {
 		p.MarkDirty(pg)
 		return
 	}
-	lsn := p.markDirtyStamp(pg)
+	lsn, dep := p.markDirtyStamp(pg, op, kind)
+	if dep != nil {
+		op.addDep(dep)
+	}
 	op.stage(redo.Record{LSN: lsn, Page: pg.no, Kind: kind, Data: data})
 }
 
 // markDirtyStamp marks dirty and stamps a fresh LSN under the shard
 // latch (capturing a first-touch base image on the clean→dirty
-// transition, with an LSN below the edit's).
-func (p *Pager) markDirtyStamp(pg *Page) uint64 {
+// transition, with an LSN below the edit's). Under steal it also raises
+// the page's unflushed gate for the record about to be staged, and
+// returns the previous extent-record op as a flush dependency when the
+// record is extent-typed.
+func (p *Pager) markDirtyStamp(pg *Page, op *Op, kind uint8) (uint64, *Op) {
 	s := p.shardOf(pg.no)
 	s.mu.Lock()
 	if pg.pins <= 0 {
@@ -501,10 +946,22 @@ func (p *Pager) markDirtyStamp(pg *Page) uint64 {
 	base := p.setDirtyLocked(s, pg)
 	lsn := p.lsn.Add(1)
 	pg.lsn.Store(lsn)
+	var dep *Op
+	if p.stealApp != nil {
+		pg.unflushed++
+		if redo.BaseKind(kind) == redo.KindExtentOp {
+			if prev := pg.lastXop; prev != nil && prev != op {
+				dep = prev
+			}
+			pg.lastXop = op
+		}
+	}
 	s.mu.Unlock()
-	p.appendBase(base)
+	if p.appendBase(base) && p.stealApp != nil {
+		p.noteAppended(pg.no, p.appendSeq.Add(1))
+	}
 	p.noteDirty(pg)
-	return lsn
+	return lsn, dep
 }
 
 // --- per-transaction dirty capture (page-image logging mode) ---
@@ -619,7 +1076,10 @@ func (p *Pager) DirtyPages() map[uint64][]byte {
 	return out
 }
 
-// FlushDirty writes every dirty page home and marks it clean.
+// FlushDirty writes every dirty page home and marks it clean. Callers
+// quiesce open operations first (the checkpoint fence); the flush also
+// clears steal gates left raised by failed appends — everything is home
+// now, so the log no longer needs to cover it.
 func (p *Pager) FlushDirty() error {
 	for i := range p.shards {
 		s := &p.shards[i]
@@ -632,6 +1092,8 @@ func (p *Pager) FlushDirty() error {
 			s.writebacks++
 			pg.dirty = false
 			pg.fresh = false
+			pg.unflushed = 0
+			pg.lastXop = nil
 			delete(s.dirty, no)
 			p.ndirty.Add(-1)
 		}
@@ -692,5 +1154,7 @@ func (p *Pager) Stats() Stats {
 		out.Dirty += len(s.dirty)
 		s.mu.Unlock()
 	}
+	out.Steals = p.steals.Load()
+	out.ChunkFlushes = p.chunkFlushes.Load()
 	return out
 }

@@ -45,7 +45,29 @@ const (
 	KindRange    = 4
 	KindBtreeOp  = 5
 	KindExtentOp = 6
+	// KindUndo carries a logical inverse (package undo encoding) prefixed
+	// with the staging transaction's previous undo LSN (u64) — the ARIES
+	// prevLSN back-chain. Undo records reach the log only when a
+	// transaction's records are flushed before commit (steal, dependency
+	// flush); recovery never redoes them, it executes them backward to
+	// roll back losers. Page is 0: inverses are position-independent.
+	KindUndo = 7
+	// KindChunk terminates a mid-transaction flush of one transaction's
+	// staged records (steal / cross-transaction dependency). Payload is
+	// the u64 txid of the previous chunk of the same transaction (0 for
+	// the first). The commit or abort record that eventually terminates
+	// the transaction names its last chunk, and recovery resolves the
+	// chain backward; an unresolved chain is a loser.
+	KindChunk = 8
 )
+
+// FlagCLR marks a record as a Compensation Log Record: a redo record
+// written while undoing (rolling back) a transaction. CLRs replay like
+// their base kind ("repeat history") and are never themselves undone.
+const FlagCLR = 0x80
+
+// BaseKind strips FlagCLR, returning the record's replay kind.
+func BaseKind(k uint8) uint8 { return k &^ FlagCLR }
 
 // Record is one physiological redo record.
 type Record struct {

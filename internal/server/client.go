@@ -23,8 +23,22 @@ type Client struct {
 	MaxRetries int
 }
 
+// sharedTransport pools keep-alive connections across every Client in
+// the process. The defaults it overrides matter under fan-in: the
+// standard transport keeps only 2 idle connections per host, so a
+// 16-connection ingest run (E17's shape) churns through TCP handshakes
+// as fast as it retires requests — each one a new ephemeral port and a
+// slow-start window. One transport sized past the bench's connection
+// count keeps every connection hot.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 32,
+	IdleConnTimeout:     90 * time.Second,
+}
+
 // NewClient returns a client for the server at addr ("host:port" or a
-// full http:// base URL).
+// full http:// base URL). Clients share one pooled transport, so
+// connections stay keep-alive warm across clients and calls.
 func NewClient(addr string) *Client {
 	base := addr
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
@@ -32,7 +46,7 @@ func NewClient(addr string) *Client {
 	}
 	return &Client{
 		base:       base,
-		hc:         &http.Client{Timeout: 60 * time.Second},
+		hc:         &http.Client{Timeout: 60 * time.Second, Transport: sharedTransport},
 		MaxRetries: 8,
 	}
 }

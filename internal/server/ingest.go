@@ -133,9 +133,11 @@ func (in *ingester) worker() {
 
 // runBatch executes one coalesced window as a single transaction.
 // Per-item apply errors are recorded on their item and do NOT abort the
-// batch — neighbours commit; the failed item's partial mutations persist
-// page-atomically (redo-only storage has no undo; same contract as
-// hfad.Batch). A commit-level error overrides every item's result.
+// batch — the closure returns nil, so the store's abort-and-rollback
+// path (which would throw away every neighbour's writes along with the
+// failed item's) never triggers for an item error. The trade: the
+// failed item's own partial mutations commit with the window. A
+// commit-level error overrides every item's result.
 func (in *ingester) runBatch(batch []*writeReq) {
 	commitErr := in.st.Batch(func(b *hfad.Batch) error {
 		for _, r := range batch {

@@ -1,0 +1,169 @@
+// Package undo defines the logical inverse records ("undo records") the
+// structure layers capture alongside their physiological redo records.
+//
+// Where a redo record says how to repeat a page edit, an undo record
+// says how to take the *operation* back: restore a key's old value,
+// delete the key an insert created, re-insert the byte range a delete
+// removed. Inverses are addressed by structure (a tree's header page, a
+// key, a byte offset), never by cell position, so executing them is
+// correct regardless of how rebalances or a steal-evicted page moved the
+// physical bytes in between — the same position independence the redo
+// vocabulary already has.
+//
+// Undo records stay in memory with their operation and reach the log
+// only when an uncommitted transaction's records are flushed early
+// (steal, cross-transaction dependency). At abort or loser recovery the
+// inverses are executed newest-first through the live structure APIs,
+// which capture ordinary redo records flagged as CLRs (redo.FlagCLR).
+//
+// Encodings are one opcode byte followed by little-endian fields:
+//
+//	KeyPut:     1 | hdr u64 | klen u32 | key | old value
+//	KeyDel:     2 | hdr u64 | key
+//	ExtWrite:   3 | hdr u64 | off u64 | old bytes
+//	ExtIns:     4 | hdr u64 | off u64 | old bytes
+//	ExtDel:     5 | hdr u64 | off u64 | n u64
+//	Range:      6 | page u64 | off u32 | old bytes
+//	ObjDestroy: 7 | oid u64
+package undo
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcodes.
+const (
+	OpKeyPut     = 1 // restore key → old value in the btree rooted at Hdr
+	OpKeyDel     = 2 // delete key from the btree rooted at Hdr (undo of a fresh insert)
+	OpExtWrite   = 3 // overwrite old bytes at Off in the extent tree rooted at Hdr
+	OpExtIns     = 4 // re-insert old bytes at Off (undo of a delete-range)
+	OpExtDel     = 5 // delete N bytes at Off (undo of an append/insert/grow)
+	OpRange      = 6 // restore a raw before-image at (Page, Off)
+	OpObjDestroy = 7 // destroy the object OID created by the loser
+)
+
+// Op is one decoded undo record.
+type Op struct {
+	Code byte
+	Hdr  uint64 // structure header page (KeyPut/KeyDel/Ext*)
+	Off  uint64 // byte offset within the object (Ext*) or page (Range)
+	N    uint64 // byte count (ExtDel)
+	Page uint64 // page number (Range)
+	OID  uint64 // object id (ObjDestroy)
+	Key  []byte // btree key (KeyPut/KeyDel)
+	Data []byte // old value / old bytes (KeyPut/ExtWrite/ExtIns/Range)
+}
+
+// KeyPut encodes "restore key → old value in tree hdr".
+func KeyPut(hdr uint64, key, val []byte) []byte {
+	out := make([]byte, 1+8+4+len(key)+len(val))
+	out[0] = OpKeyPut
+	binary.LittleEndian.PutUint64(out[1:], hdr)
+	binary.LittleEndian.PutUint32(out[9:], uint32(len(key)))
+	copy(out[13:], key)
+	copy(out[13+len(key):], val)
+	return out
+}
+
+// KeyDel encodes "delete key from tree hdr".
+func KeyDel(hdr uint64, key []byte) []byte {
+	out := make([]byte, 1+8+len(key))
+	out[0] = OpKeyDel
+	binary.LittleEndian.PutUint64(out[1:], hdr)
+	copy(out[9:], key)
+	return out
+}
+
+func extBytes(code byte, hdr, off uint64, data []byte) []byte {
+	out := make([]byte, 1+8+8+len(data))
+	out[0] = code
+	binary.LittleEndian.PutUint64(out[1:], hdr)
+	binary.LittleEndian.PutUint64(out[9:], off)
+	copy(out[17:], data)
+	return out
+}
+
+// ExtWrite encodes "overwrite old bytes at off in extent tree hdr".
+func ExtWrite(hdr, off uint64, old []byte) []byte { return extBytes(OpExtWrite, hdr, off, old) }
+
+// ExtIns encodes "re-insert old bytes at off in extent tree hdr".
+func ExtIns(hdr, off uint64, old []byte) []byte { return extBytes(OpExtIns, hdr, off, old) }
+
+// ExtDel encodes "delete n bytes at off in extent tree hdr".
+func ExtDel(hdr, off, n uint64) []byte {
+	out := make([]byte, 1+8+8+8)
+	out[0] = OpExtDel
+	binary.LittleEndian.PutUint64(out[1:], hdr)
+	binary.LittleEndian.PutUint64(out[9:], off)
+	binary.LittleEndian.PutUint64(out[17:], n)
+	return out
+}
+
+// Range encodes "restore old bytes at byte offset off of page".
+func Range(page uint64, off int, old []byte) []byte {
+	out := make([]byte, 1+8+4+len(old))
+	out[0] = OpRange
+	binary.LittleEndian.PutUint64(out[1:], page)
+	binary.LittleEndian.PutUint32(out[9:], uint32(off))
+	copy(out[13:], old)
+	return out
+}
+
+// ObjDestroy encodes "destroy object oid".
+func ObjDestroy(oid uint64) []byte {
+	out := make([]byte, 1+8)
+	out[0] = OpObjDestroy
+	binary.LittleEndian.PutUint64(out[1:], oid)
+	return out
+}
+
+// Decode parses an undo record body.
+func Decode(b []byte) (Op, error) {
+	if len(b) < 9 {
+		return Op{}, fmt.Errorf("undo: short record (%d bytes)", len(b))
+	}
+	op := Op{Code: b[0]}
+	switch op.Code {
+	case OpKeyPut:
+		if len(b) < 13 {
+			return Op{}, fmt.Errorf("undo: short KeyPut (%d bytes)", len(b))
+		}
+		op.Hdr = binary.LittleEndian.Uint64(b[1:])
+		klen := int(binary.LittleEndian.Uint32(b[9:]))
+		if 13+klen > len(b) {
+			return Op{}, fmt.Errorf("undo: KeyPut key overruns record")
+		}
+		op.Key = b[13 : 13+klen]
+		op.Data = b[13+klen:]
+	case OpKeyDel:
+		op.Hdr = binary.LittleEndian.Uint64(b[1:])
+		op.Key = b[9:]
+	case OpExtWrite, OpExtIns:
+		if len(b) < 17 {
+			return Op{}, fmt.Errorf("undo: short extent record (%d bytes)", len(b))
+		}
+		op.Hdr = binary.LittleEndian.Uint64(b[1:])
+		op.Off = binary.LittleEndian.Uint64(b[9:])
+		op.Data = b[17:]
+	case OpExtDel:
+		if len(b) < 25 {
+			return Op{}, fmt.Errorf("undo: short ExtDel (%d bytes)", len(b))
+		}
+		op.Hdr = binary.LittleEndian.Uint64(b[1:])
+		op.Off = binary.LittleEndian.Uint64(b[9:])
+		op.N = binary.LittleEndian.Uint64(b[17:])
+	case OpRange:
+		if len(b) < 13 {
+			return Op{}, fmt.Errorf("undo: short Range (%d bytes)", len(b))
+		}
+		op.Page = binary.LittleEndian.Uint64(b[1:])
+		op.Off = uint64(binary.LittleEndian.Uint32(b[9:]))
+		op.Data = b[13:]
+	case OpObjDestroy:
+		op.OID = binary.LittleEndian.Uint64(b[1:])
+	default:
+		return Op{}, fmt.Errorf("undo: unknown opcode %d", op.Code)
+	}
+	return op, nil
+}

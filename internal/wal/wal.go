@@ -73,6 +73,7 @@ const (
 	kindPage       = redo.KindImage
 	kindCommit     = 2
 	kindCheckpoint = 3
+	kindChunk      = redo.KindChunk
 )
 
 const recHdrSize = 33
@@ -100,9 +101,24 @@ type Stats struct {
 	PagesLogged   int64 // redo records appended (images, ranges, ops)
 	BytesLogged   int64
 	SystemTxns    int64 // auto-committed structure-modification transactions
+	Chunks        int64 // mid-transaction chunk flushes (steal / dependency)
+	ChunkRecords  int64 // records appended inside chunks
 	Checkpoints   int64
 	Recoveries    int64
 	PagesReplayed int64 // redo records replayed
+	LoserChains   int64 // unresolved chunk chains found by the last Recover
+}
+
+// LoserChain is one uncommitted transaction whose records reached the
+// log via chunk flushes before the crash. Recover replays its redo
+// records ("repeat history") and hands the chain to the caller, who
+// executes Undos newest-first through the live structure APIs and then
+// commits the compensations with the chain's Tail as the commit chain —
+// which resolves the chain, making the undo idempotent across repeated
+// crashes.
+type LoserChain struct {
+	Tail  uint64        // txid of the chain's last chunk
+	Undos []redo.Record // KindUndo records, ascending LSN
 }
 
 // Log is a write-ahead log occupying blocks [start, start+nblocks) of dev.
@@ -146,6 +162,9 @@ type Log struct {
 	// leftovers). maxLSN is the largest LSN seen by the last Recover.
 	lsnFence uint64
 	maxLSN   uint64
+
+	// losers holds the unresolved chunk chains found by the last Recover.
+	losers []LoserChain
 
 	stats Stats
 }
@@ -199,10 +218,16 @@ func (l *Log) Stats() Stats {
 
 // Txn is an open transaction accumulating redo records.
 type Txn struct {
-	l    *Log
-	id   uint64
-	recs []redo.Record
+	l     *Log
+	id    uint64
+	chain uint64 // txid of the last chunk flushed for this transaction
+	recs  []redo.Record
 }
+
+// SetChain names the last chunk previously flushed for this transaction
+// (0 for none). The commit record carries it so recovery can resolve the
+// whole chunk chain as committed.
+func (t *Txn) SetChain(last uint64) { t.chain = last }
 
 // Begin opens a transaction. Its id is zero until commit: the group
 // committer assigns ids at append time, so they are monotone in log
@@ -265,7 +290,10 @@ func (t *Txn) commit(fill func(*Txn)) error {
 	l.gmu.Lock()
 	if fill != nil {
 		fill(t)
-		if len(t.recs) == 0 {
+		// A transaction with flushed chunks must still write its commit
+		// record even when nothing new is staged — the chain payload is
+		// what resolves the chunks as committed at recovery.
+		if len(t.recs) == 0 && t.chain == 0 {
 			l.gmu.Unlock()
 			return nil
 		}
@@ -330,8 +358,16 @@ func (l *Log) commitGroup(group []*gcBatch) {
 			b.err = fmt.Errorf("%w: log wedged pending checkpoint", ErrFull)
 			continue
 		}
-		// Space check: all records + commit + end marker must fit.
-		need := uint64(recHdrSize + 8)
+		// Space check: all records + commit + end marker must fit. A
+		// commit resolving a chunk chain carries the chain txid as its
+		// payload (8 bytes); plain commits stay payload-free, keeping the
+		// committed-path wire bytes identical to the redo-only protocol.
+		var chainPayload []byte
+		if b.txn.chain != 0 {
+			chainPayload = make([]byte, 8)
+			binary.LittleEndian.PutUint64(chainPayload, b.txn.chain)
+		}
+		need := uint64(recHdrSize + len(chainPayload) + 8)
 		for _, r := range b.txn.recs {
 			need += recHdrSize + uint64(len(r.Data))
 		}
@@ -349,7 +385,7 @@ func (l *Log) commitGroup(group []*gcBatch) {
 			}
 			l.stats.PagesLogged++
 		}
-		if b.err = l.appendLocked(kindCommit, id, 0, 0, nil); b.err != nil {
+		if b.err = l.appendLocked(kindCommit, id, 0, 0, chainPayload); b.err != nil {
 			l.poisonGroup(group, b.err)
 			return
 		}
@@ -438,6 +474,61 @@ func (l *Log) AppendSystem(recs []redo.Record) error {
 		return err
 	}
 	return nil
+}
+
+// AppendChunk appends recs as one mid-transaction chunk: the records of
+// an open (uncommitted) transaction forced to the log early, because the
+// pager wants to steal one of their dirty pages or a committing
+// neighbour depends on them. The chunk gets its own txid (returned) and
+// is terminated by a KindChunk marker whose payload names prev — the
+// txid of the same transaction's previous chunk (0 for the first) — so
+// recovery can stitch the chunks back into one chain. The chain is
+// resolved when a commit record later names its last chunk; an
+// unresolved chain is a loser: recovery replays its records ("repeat
+// history") and then executes its undo records backward.
+//
+// Like AppendSystem, AppendChunk does not sync: the caller syncs before
+// acting on the durability (the steal path syncs before writing the
+// stolen page home; the dependency path rides the depending commit's
+// group sync, which covers every earlier byte of the sequential log).
+func (l *Log) AppendChunk(prev uint64, recs []redo.Record) (uint64, error) {
+	if len(recs) == 0 {
+		return prev, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged {
+		return 0, fmt.Errorf("%w: log wedged pending checkpoint", ErrFull)
+	}
+	need := uint64(recHdrSize + 8 + 8) // chunk marker + its payload + end marker
+	for _, r := range recs {
+		need += recHdrSize + uint64(len(r.Data))
+	}
+	if l.head.Load()+need > l.Capacity() {
+		l.wedged = true
+		return 0, fmt.Errorf("%w: chunk needs %d bytes, %d available", ErrFull, need, l.Capacity()-l.head.Load())
+	}
+	id := l.nextTx.Add(1) - 1
+	for _, r := range recs {
+		if err := l.appendLocked(r.Kind, id, r.Page, r.LSN, r.Data); err != nil {
+			l.wedged = true
+			return 0, err
+		}
+		l.stats.PagesLogged++
+		l.stats.ChunkRecords++
+	}
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], prev)
+	if err := l.appendLocked(kindChunk, id, 0, 0, payload[:]); err != nil {
+		l.wedged = true
+		return 0, err
+	}
+	l.stats.Chunks++
+	if err := l.terminateLocked(); err != nil {
+		l.wedged = true
+		return 0, err
+	}
+	return id, nil
 }
 
 // poisonGroup marks every batch without a verdict as failed with err.
@@ -568,9 +659,15 @@ func (l *Log) Used() uint64 {
 	return l.head.Load() - logHdrSize
 }
 
-// Recover scans the log and replays the redo records of committed
-// transactions through apply, ordered by LSN (mutation order; records
-// without an LSN — image-mode — keep log order under the stable sort).
+// Recover scans the log and replays redo records through apply, ordered
+// by LSN (mutation order; records without an LSN — image-mode — keep log
+// order under the stable sort). Replay "repeats history": committed
+// transactions, resolved chunk chains, AND loser chains (chunks never
+// terminated by a commit) all replay — losers must be physically present
+// before their logical inverses can run; the caller fetches them from
+// Losers afterwards and rolls them back. Records of transactions that
+// never reached the log through a commit, chunk, or system append are
+// torn appends and are dropped. Undo records are never passed to apply.
 // It tolerates a torn tail (CRC mismatch) by stopping there, drops
 // records whose LSN predates the last checkpoint's fence, and positions
 // head for continued appends. Returns the number of records replayed;
@@ -668,10 +765,24 @@ func (l *Log) Recover(apply func(r redo.Record) error) (int, error) {
 	}
 
 	committed := map[uint64]bool{}
+	chunkPrev := map[uint64]uint64{} // chunk txid → previous chunk txid (0 = first)
+	isChunk := map[uint64]bool{}
+	var chains []uint64 // last-chunk txids named by commit records
 	maxTx, maxLSN := uint64(0), uint64(0)
 	for _, r := range recs {
-		if r.kind == kindCommit {
+		switch r.kind {
+		case kindCommit:
 			committed[r.txid] = true
+			if len(r.data) >= 8 {
+				if c := binary.LittleEndian.Uint64(r.data); c != 0 {
+					chains = append(chains, c)
+				}
+			}
+		case kindChunk:
+			isChunk[r.txid] = true
+			if len(r.data) >= 8 {
+				chunkPrev[r.txid] = binary.LittleEndian.Uint64(r.data)
+			}
 		}
 		if r.txid > maxTx {
 			maxTx = r.txid
@@ -680,29 +791,93 @@ func (l *Log) Recover(apply func(r redo.Record) error) (int, error) {
 			maxLSN = r.lsn
 		}
 	}
-	// Committed redo records, replayed in LSN order: transactions append
-	// in commit order but mutate in LSN order, and per-page correctness
-	// requires the latter. The sort is stable so image-mode records (LSN
-	// 0) keep their log order.
+	// Resolve chunk chains named by commits: every chunk reachable
+	// backward from a committed chain tail is committed.
+	for _, c := range chains {
+		for c != 0 && !committed[c] {
+			committed[c] = true
+			c = chunkPrev[c]
+		}
+	}
+	// Remaining chunks are losers. Group them into chains (tail = the
+	// chunk no other loser chunk names as its predecessor), collecting
+	// each chain's undo records for the caller to roll back.
+	loserOf := map[uint64]int{} // chunk txid → index into l.losers
+	l.losers = nil
+	{
+		referenced := map[uint64]bool{}
+		var loserIDs []uint64
+		for id := range isChunk {
+			if !committed[id] {
+				loserIDs = append(loserIDs, id)
+			}
+		}
+		sort.Slice(loserIDs, func(i, j int) bool { return loserIDs[i] < loserIDs[j] })
+		loserSet := map[uint64]bool{}
+		for _, id := range loserIDs {
+			loserSet[id] = true
+		}
+		for _, id := range loserIDs {
+			if p := chunkPrev[id]; p != 0 && loserSet[p] {
+				referenced[p] = true
+			}
+		}
+		for _, tail := range loserIDs {
+			if referenced[tail] {
+				continue
+			}
+			idx := len(l.losers)
+			l.losers = append(l.losers, LoserChain{Tail: tail})
+			for c := tail; c != 0 && loserSet[c]; c = chunkPrev[c] {
+				loserOf[c] = idx
+			}
+		}
+	}
+	// Replay in LSN order: transactions append in commit order but mutate
+	// in LSN order, and per-page correctness requires the latter. The
+	// sort is stable so image-mode records (LSN 0) keep their log order.
+	// Repeat history: committed transactions AND loser chunks replay;
+	// undo records replay nowhere — losers' undo records are collected
+	// for the caller, committed transactions' are dead weight already
+	// paid for by the chunk flush that wrote them.
 	live := recs[:0]
 	for _, r := range recs {
-		if r.kind != kindCommit && r.kind != kindCheckpoint && committed[r.txid] {
-			if r.lsn > 0 && r.lsn <= hdrFence {
-				continue // stale-generation leftover beyond the fence
-			}
-			live = append(live, r)
+		switch r.kind {
+		case kindCommit, kindCheckpoint, kindChunk:
+			continue
 		}
+		_, loser := loserOf[r.txid]
+		if !committed[r.txid] && !loser {
+			continue // torn append: never terminated, drop
+		}
+		if r.lsn > 0 && r.lsn <= hdrFence {
+			continue // stale-generation leftover beyond the fence
+		}
+		if redo.BaseKind(r.kind) == redo.KindUndo {
+			if idx, ok := loserOf[r.txid]; ok {
+				l.losers[idx].Undos = append(l.losers[idx].Undos, redo.Record{
+					LSN: r.lsn, Page: r.pageNo, Kind: r.kind, Data: r.data,
+				})
+			}
+			continue
+		}
+		live = append(live, r)
+	}
+	for i := range l.losers {
+		u := l.losers[i].Undos
+		sort.SliceStable(u, func(a, b int) bool { return u[a].LSN < u[b].LSN })
 	}
 	sort.SliceStable(live, func(i, j int) bool { return live[i].lsn < live[j].lsn })
 	replayed := 0
 	for _, r := range live {
 		if apply != nil {
-			if err := apply(redo.Record{LSN: r.lsn, Page: r.pageNo, Kind: r.kind, Data: r.data}); err != nil {
+			if err := apply(redo.Record{LSN: r.lsn, Page: r.pageNo, Kind: redo.BaseKind(r.kind), Data: r.data}); err != nil {
 				return replayed, err
 			}
 		}
 		replayed++
 	}
+	l.stats.LoserChains += int64(len(l.losers))
 	l.head.Store(pos)
 	l.bufOK = false
 	next := maxTx + 1
@@ -729,4 +904,16 @@ func (l *Log) MaxLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.maxLSN
+}
+
+// Losers returns the unresolved chunk chains found by the last Recover —
+// uncommitted transactions whose records were stolen into the log before
+// the crash. Their redo records have already been replayed (repeat
+// history); the caller must execute each chain's Undos newest-first and
+// commit the compensations with SetChain(chain.Tail), which resolves the
+// chain so a crash during (or after) the rollback never undoes twice.
+func (l *Log) Losers() []LoserChain {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.losers
 }
