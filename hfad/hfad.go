@@ -347,6 +347,28 @@ func (s *Store) Stats() StoreStats {
 // Check runs a full volume consistency check (fsck).
 func (s *Store) Check() (*core.CheckReport, error) { return s.vol.Check() }
 
+// Health reports the volume's degraded/wedged state and fault counters.
+// A degraded store fails mutations fast with core.ErrReadOnly while
+// reads keep serving and the background checkpointer retries.
+func (s *Store) Health() core.Health { return s.vol.Health() }
+
+// Degraded reports whether the store is in read-only degraded mode.
+func (s *Store) Degraded() bool { return s.vol.Degraded() }
+
+// Scrub walks every checksummed block on the volume, verifies it against
+// its recorded CRC32C, and reports corruption counts per block class.
+// It is safe (and intended) to run against a live store; set
+// opts.Throttle to cede the device to foreground I/O.
+func (s *Store) Scrub(opts core.ScrubOptions) (*core.ScrubReport, error) {
+	return s.vol.Scrub(opts)
+}
+
+// ScrubOptions tunes Store.Scrub.
+type ScrubOptions = core.ScrubOptions
+
+// ScrubReport is the result of a Store.Scrub pass.
+type ScrubReport = core.ScrubReport
+
 // Explain returns the planner's evaluation order for a query without
 // executing it.
 func (s *Store) Explain(q Query) ([]PlanStep, error) { return s.vol.Explain(q) }

@@ -11,14 +11,17 @@
 //   - MemDevice: a plain in-memory block store.
 //   - SimDevice: wraps any Device with a CostModel (HDD seek-distance model
 //     or SSD flat model) and accumulates virtual time plus operation counts.
-//   - FaultDevice: wraps any Device and injects write failures (including
-//     torn writes) after a programmable countdown, for crash-recovery tests.
+//   - FaultDevice: wraps any Device and injects faults — write failures
+//     (including torn writes) after a programmable countdown for
+//     crash-recovery tests, plus a seeded rule matrix (bit flips, lost and
+//     misdirected writes, probabilistic read errors) for media-fault tests.
 package blockdev
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -368,10 +371,82 @@ func (d *SimDevice) ResetStats() {
 	d.seq.Store(0)
 }
 
-// FaultDevice wraps a Device and fails writes once a countdown expires.
-// It is the crash-injection mechanism for recovery tests: run a workload,
-// let the device start refusing writes mid-operation, then recover from
-// the surviving image and check invariants.
+// FaultKind selects what corruption a FaultRule injects.
+type FaultKind int
+
+const (
+	// FaultError fails the operation with ErrInjected (transient EIO).
+	FaultError FaultKind = iota
+	// FaultBitFlip flips one seeded-random bit. On reads the flip is in
+	// the returned buffer only (an uncorrectable-read returning garbage);
+	// on writes the flipped image is what lands on the device (bit rot
+	// introduced in the write path), while the write still acks success.
+	FaultBitFlip
+	// FaultLostWrite acks the write but persists nothing.
+	FaultLostWrite
+	// FaultMisdirected acks the write but persists it at a seeded-random
+	// other block inside the rule's range, clobbering a neighbour and
+	// leaving the intended block stale. Write-only.
+	FaultMisdirected
+	// FaultTornWrite persists the first half of the block (old second
+	// half intact) and fails with ErrInjected, like the legacy
+	// SetTornWrites path but rule-scheduled. Write-only.
+	FaultTornWrite
+)
+
+// FaultOp selects which operations a FaultRule matches.
+type FaultOp int
+
+const (
+	// OpWrite matches WriteBlock.
+	OpWrite FaultOp = iota
+	// OpRead matches ReadBlock.
+	OpRead
+)
+
+// FaultRule schedules one class of injected fault. Zero values widen the
+// rule: Hi == 0 covers the whole device, Prob == 0 fires on every match,
+// Count == 0 never exhausts.
+type FaultRule struct {
+	Kind FaultKind
+	Op   FaultOp
+	// Lo, Hi restrict the rule to blocks in [Lo, Hi); Hi == 0 means the
+	// whole device.
+	Lo, Hi uint64
+	// After skips the first After matching operations before the rule
+	// becomes eligible, so a fault can be planted deep in a workload.
+	After int64
+	// Prob fires the rule with this probability per eligible operation
+	// (seeded via Seed); 0 or >= 1 fires deterministically.
+	Prob float64
+	// Count caps total firings; 0 is unlimited.
+	Count int64
+}
+
+// Rule is an armed FaultRule plus firing statistics.
+type Rule struct {
+	FaultRule
+	seen  int64 // matching ops observed (including skipped/non-fired)
+	fired atomic.Int64
+}
+
+// Fired reports how many times the rule has injected its fault.
+func (r *Rule) Fired() int64 { return r.fired.Load() }
+
+// faultAction is one resolved injection: the kind plus any seeded-random
+// choices (made under the device lock so runs are deterministic).
+type faultAction struct {
+	kind    FaultKind
+	byteOff int
+	bit     uint
+	target  uint64
+}
+
+// FaultDevice wraps a Device and injects faults two ways: a legacy write
+// countdown (FailAfterWrites, with optional torn final write) that models
+// a crash, and a seeded rule matrix (AddRule) that models media faults —
+// bit rot, lost writes, misdirected writes, probabilistic read errors —
+// scheduled by operation count, block range, and probability.
 type FaultDevice struct {
 	inner Device
 
@@ -379,13 +454,95 @@ type FaultDevice struct {
 	failReads atomic.Bool
 	torn      atomic.Bool
 	tripped   atomic.Bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*Rule
 }
 
-// NewFault wraps dev with fault injection disarmed (unlimited writes).
+// NewFault wraps dev with fault injection disarmed (unlimited writes,
+// no rules). The rule matrix is deterministically seeded; use Seed to
+// vary runs.
 func NewFault(dev Device) *FaultDevice {
-	f := &FaultDevice{inner: dev}
+	f := &FaultDevice{inner: dev, rng: rand.New(rand.NewSource(1))}
 	f.remaining.Store(-1)
 	return f
+}
+
+// Seed reseeds the rule matrix's randomness (bit positions, misdirect
+// targets, probabilistic firing). Same seed + same schedule + same
+// workload = same faults.
+func (f *FaultDevice) Seed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// AddRule arms a corruption rule and returns a handle exposing how often
+// it fired. Rules are evaluated in insertion order; the first rule that
+// fires on an operation wins.
+func (f *FaultDevice) AddRule(r FaultRule) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rule := &Rule{FaultRule: r}
+	f.rules = append(f.rules, rule)
+	return rule
+}
+
+// ClearRules removes every armed rule (the countdown is untouched).
+func (f *FaultDevice) ClearRules() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// pick resolves the first firing rule for the operation, making all
+// random choices under the lock.
+func (f *FaultDevice) pick(op FaultOp, n uint64, blockLen int) (faultAction, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if n < r.Lo || (r.Hi != 0 && n >= r.Hi) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count != 0 && r.fired.Load() >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired.Add(1)
+		act := faultAction{kind: r.Kind}
+		switch r.Kind {
+		case FaultBitFlip:
+			act.byteOff = f.rng.Intn(blockLen)
+			act.bit = uint(f.rng.Intn(8))
+		case FaultMisdirected:
+			lo, hi := r.Lo, r.Hi
+			if hi == 0 {
+				hi = f.inner.NumBlocks()
+			}
+			if hi-lo > 1 {
+				for {
+					act.target = lo + uint64(f.rng.Int63n(int64(hi-lo)))
+					if act.target != n {
+						break
+					}
+				}
+			} else {
+				act.target = n // degenerate one-block range: self-directed
+			}
+		}
+		return act, true
+	}
+	return faultAction{}, false
 }
 
 // FailAfterWrites arms the device to allow n more successful writes and
@@ -395,11 +552,13 @@ func (f *FaultDevice) FailAfterWrites(n int64) {
 	f.remaining.Store(n)
 }
 
-// Disarm removes any pending fault.
+// Disarm removes any pending fault: the countdown, the read-failure
+// latch, and every armed rule.
 func (f *FaultDevice) Disarm() {
 	f.remaining.Store(-1)
 	f.tripped.Store(false)
 	f.failReads.Store(false)
+	f.ClearRules()
 }
 
 // SetTornWrites makes the faulting write persist only the first half of
@@ -417,11 +576,45 @@ func (f *FaultDevice) ReadBlock(n uint64, p []byte) error {
 	if f.tripped.Load() && f.failReads.Load() {
 		return ErrInjected
 	}
-	return f.inner.ReadBlock(n, p)
+	act, ok := f.pick(OpRead, n, len(p))
+	if ok && act.kind == FaultError {
+		return ErrInjected
+	}
+	if err := f.inner.ReadBlock(n, p); err != nil {
+		return err
+	}
+	if ok && act.kind == FaultBitFlip {
+		p[act.byteOff] ^= 1 << act.bit
+	}
+	return nil
 }
 
 // WriteBlock implements Device.
 func (f *FaultDevice) WriteBlock(n uint64, p []byte) error {
+	if act, ok := f.pick(OpWrite, n, len(p)); ok {
+		switch act.kind {
+		case FaultError:
+			return ErrInjected
+		case FaultLostWrite:
+			return nil // acked, dropped
+		case FaultMisdirected:
+			return f.inner.WriteBlock(act.target, p)
+		case FaultBitFlip:
+			flipped := make([]byte, len(p))
+			copy(flipped, p)
+			flipped[act.byteOff] ^= 1 << act.bit
+			return f.inner.WriteBlock(n, flipped)
+		case FaultTornWrite:
+			half := make([]byte, len(p))
+			copy(half, p[:len(p)/2])
+			orig := make([]byte, len(p))
+			if err := f.inner.ReadBlock(n, orig); err == nil {
+				copy(half[len(p)/2:], orig[len(p)/2:])
+			}
+			_ = f.inner.WriteBlock(n, half)
+			return ErrInjected
+		}
+	}
 	for {
 		cur := f.remaining.Load()
 		if cur < 0 {

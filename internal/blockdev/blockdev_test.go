@@ -304,6 +304,326 @@ func TestFaultUnlimitedByDefault(t *testing.T) {
 	}
 }
 
+// TestFaultRuleMatrix drives every rule kind through one table: arm one
+// rule, run a fixed read/write sequence, and check what the wrapped
+// device actually did versus what the caller was told.
+func TestFaultRuleMatrix(t *testing.T) {
+	const bs = 512
+	cases := []struct {
+		name string
+		rule FaultRule
+		run  func(t *testing.T, f *FaultDevice, mem *MemDevice)
+	}{
+		{
+			name: "write-error-in-range",
+			rule: FaultRule{Kind: FaultError, Op: OpWrite, Lo: 2, Hi: 4},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				buf := fill(bs, 1)
+				if err := f.WriteBlock(1, buf); err != nil {
+					t.Fatalf("out-of-range write: %v", err)
+				}
+				if err := f.WriteBlock(2, buf); !errors.Is(err, ErrInjected) {
+					t.Fatalf("in-range write = %v, want ErrInjected", err)
+				}
+				if err := f.ReadBlock(2, make([]byte, bs)); err != nil {
+					t.Fatalf("reads must be unaffected by a write rule: %v", err)
+				}
+			},
+		},
+		{
+			name: "read-error",
+			rule: FaultRule{Kind: FaultError, Op: OpRead, Lo: 3, Hi: 4},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				if err := f.ReadBlock(3, make([]byte, bs)); !errors.Is(err, ErrInjected) {
+					t.Fatalf("in-range read = %v, want ErrInjected", err)
+				}
+				if err := f.ReadBlock(0, make([]byte, bs)); err != nil {
+					t.Fatalf("out-of-range read: %v", err)
+				}
+				if err := f.WriteBlock(3, make([]byte, bs)); err != nil {
+					t.Fatalf("writes must be unaffected by a read rule: %v", err)
+				}
+			},
+		},
+		{
+			name: "read-bit-flip-is-transient",
+			rule: FaultRule{Kind: FaultBitFlip, Op: OpRead, Count: 1},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				want := fill(bs, 0xAA)
+				if err := mem.WriteBlock(1, want); err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, bs)
+				if err := f.ReadBlock(1, got); err != nil {
+					t.Fatalf("bit-flip read must ack: %v", err)
+				}
+				if diff := countBitDiffs(got, want); diff != 1 {
+					t.Fatalf("flipped read differs by %d bits, want 1", diff)
+				}
+				// The flip was in the returned buffer only.
+				if err := f.ReadBlock(1, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatal("device content mutated by a read bit-flip")
+				}
+			},
+		},
+		{
+			name: "write-bit-flip-is-persistent",
+			rule: FaultRule{Kind: FaultBitFlip, Op: OpWrite, Count: 1},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				want := fill(bs, 0x55)
+				if err := f.WriteBlock(1, want); err != nil {
+					t.Fatalf("bit-flip write must ack: %v", err)
+				}
+				got := make([]byte, bs)
+				if err := mem.ReadBlock(1, got); err != nil {
+					t.Fatal(err)
+				}
+				if diff := countBitDiffs(got, want); diff != 1 {
+					t.Fatalf("stored block differs by %d bits, want 1", diff)
+				}
+				if want[0] != 0x55 {
+					t.Fatal("caller's buffer was mutated")
+				}
+			},
+		},
+		{
+			name: "lost-write-acks-and-drops",
+			rule: FaultRule{Kind: FaultLostWrite, Op: OpWrite, Lo: 1, Hi: 2},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				old := fill(bs, 3)
+				if err := mem.WriteBlock(1, old); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.WriteBlock(1, fill(bs, 4)); err != nil {
+					t.Fatalf("lost write must ack: %v", err)
+				}
+				got := make([]byte, bs)
+				if err := mem.ReadBlock(1, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, old) {
+					t.Fatal("lost write actually landed")
+				}
+			},
+		},
+		{
+			name: "misdirected-write",
+			rule: FaultRule{Kind: FaultMisdirected, Op: OpWrite, Lo: 4, Hi: 8, Count: 1},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				data := fill(bs, 9)
+				if err := f.WriteBlock(5, data); err != nil {
+					t.Fatalf("misdirected write must ack: %v", err)
+				}
+				got := make([]byte, bs)
+				if err := mem.ReadBlock(5, got); err != nil {
+					t.Fatal(err)
+				}
+				if bytes.Equal(got, data) {
+					t.Fatal("intended block received the misdirected write")
+				}
+				// The payload landed somewhere else inside [4,8).
+				found := false
+				for blk := uint64(4); blk < 8; blk++ {
+					if blk == 5 {
+						continue
+					}
+					if err := mem.ReadBlock(blk, got); err != nil {
+						t.Fatal(err)
+					}
+					if bytes.Equal(got, data) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatal("misdirected payload not found in the rule's range")
+				}
+			},
+		},
+		{
+			name: "torn-write-rule",
+			rule: FaultRule{Kind: FaultTornWrite, Op: OpWrite, Lo: 2, Hi: 3},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				if err := mem.WriteBlock(2, fill(bs, 1)); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.WriteBlock(2, fill(bs, 2)); !errors.Is(err, ErrInjected) {
+					t.Fatalf("torn write = %v, want ErrInjected", err)
+				}
+				got := make([]byte, bs)
+				if err := mem.ReadBlock(2, got); err != nil {
+					t.Fatal(err)
+				}
+				if got[0] != 2 || got[bs-1] != 1 {
+					t.Fatalf("torn block = first %d last %d, want 2/1", got[0], got[bs-1])
+				}
+			},
+		},
+		{
+			name: "after-skips-matching-ops",
+			rule: FaultRule{Kind: FaultError, Op: OpWrite, After: 2},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				buf := make([]byte, bs)
+				for i := 0; i < 2; i++ {
+					if err := f.WriteBlock(uint64(i), buf); err != nil {
+						t.Fatalf("write %d inside After window: %v", i, err)
+					}
+				}
+				if err := f.WriteBlock(2, buf); !errors.Is(err, ErrInjected) {
+					t.Fatalf("write past After = %v, want ErrInjected", err)
+				}
+			},
+		},
+		{
+			name: "count-caps-firings",
+			rule: FaultRule{Kind: FaultLostWrite, Op: OpWrite, Count: 2},
+			run: func(t *testing.T, f *FaultDevice, mem *MemDevice) {
+				data := fill(bs, 7)
+				for i := 0; i < 2; i++ {
+					if err := f.WriteBlock(0, data); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Third write is past the cap and must land.
+				if err := f.WriteBlock(0, data); err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, bs)
+				if err := mem.ReadBlock(0, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatal("write past Count cap was still dropped")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := NewMem(16, bs)
+			f := NewFault(mem)
+			f.Seed(42)
+			rule := f.AddRule(tc.rule)
+			tc.run(t, f, mem)
+			if rule.Fired() == 0 {
+				t.Error("rule never fired")
+			}
+		})
+	}
+}
+
+func countBitDiffs(a, b []byte) int {
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			n += int(x & 1)
+			x >>= 1
+		}
+	}
+	return n
+}
+
+// TestFaultProbabilisticDeterministic checks that Prob-gated rules fire a
+// plausible fraction of the time and that the same seed reproduces the
+// exact firing pattern.
+func TestFaultProbabilisticDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		f := NewFault(NewMem(4, 512))
+		f.Seed(seed)
+		f.AddRule(FaultRule{Kind: FaultError, Op: OpRead, Prob: 0.3})
+		var out []bool
+		buf := make([]byte, 512)
+		for i := 0; i < 200; i++ {
+			out = append(out, errors.Is(f.ReadBlock(uint64(i%4), buf), ErrInjected))
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different firing patterns")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 {
+		t.Errorf("Prob=0.3 fired %d/200 times, want roughly 60", fired)
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical firing patterns")
+	}
+}
+
+// TestFaultDisarmInterleavings exercises Disarm against both the
+// countdown and the rule matrix mid-sequence: disarm must clear
+// everything, and re-arming must work.
+func TestFaultDisarmInterleavings(t *testing.T) {
+	mem := NewMem(16, 512)
+	f := NewFault(mem)
+	buf := make([]byte, 512)
+
+	// Arm both mechanisms, trip the countdown, then disarm.
+	f.FailAfterWrites(1)
+	f.SetFailReads(true)
+	f.AddRule(FaultRule{Kind: FaultLostWrite, Op: OpWrite, Lo: 8, Hi: 16})
+	if err := f.WriteBlock(0, buf); err != nil {
+		t.Fatalf("write within countdown: %v", err)
+	}
+	if err := f.WriteBlock(1, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("countdown write = %v, want ErrInjected", err)
+	}
+	if err := f.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tripped read = %v, want ErrInjected", err)
+	}
+	f.Disarm()
+	if f.Tripped() {
+		t.Error("Tripped() still true after Disarm")
+	}
+	// Countdown, read latch, and rules are all gone.
+	if err := f.ReadBlock(0, buf); err != nil {
+		t.Fatalf("read after disarm: %v", err)
+	}
+	data := fill(512, 5)
+	if err := f.WriteBlock(9, data); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := mem.ReadBlock(9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("lost-write rule survived Disarm")
+	}
+
+	// Re-arm a rule after disarm; it must fire, and ClearRules alone must
+	// not touch a fresh countdown.
+	r := f.AddRule(FaultRule{Kind: FaultError, Op: OpWrite})
+	if err := f.WriteBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("re-armed rule write = %v, want ErrInjected", err)
+	}
+	if r.Fired() != 1 {
+		t.Errorf("re-armed rule Fired() = %d, want 1", r.Fired())
+	}
+	f.ClearRules()
+	f.FailAfterWrites(0)
+	if err := f.WriteBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("countdown after ClearRules = %v, want ErrInjected", err)
+	}
+}
+
 func TestFaultSyncReflectsTrip(t *testing.T) {
 	f := NewFault(NewMem(4, 512))
 	if err := f.Sync(); err != nil {

@@ -57,7 +57,10 @@ func (v *Volume) Batch(fn func(*Batch) error) error {
 		return err
 	}
 	defer unlock()
-	op, done := v.beginOp()
+	op, done, err := v.beginOp()
+	if err != nil {
+		return err
+	}
 	b := &Batch{v: v, op: op, puts: make(map[index.Store][]index.Put)}
 	err = fn(b)
 	if err == nil {

@@ -501,7 +501,10 @@ func TestLazyIndexingTransactional(t *testing.T) {
 	// Make the postings searchable: flush the in-memory buffer to a
 	// segment (still inside the worker-free foreground path is fine —
 	// Flush itself is synchronous).
-	op, done := v.beginOp()
+	op, done, berr := v.beginOp()
+	if berr != nil {
+		t.Fatal(berr)
+	}
 	if err := done(v.ft.Inner().Flush(op)); err != nil {
 		t.Fatal(err)
 	}

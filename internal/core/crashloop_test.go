@@ -85,6 +85,10 @@ func TestCrashLoop(t *testing.T) {
 				t.Fatalf("round %d: fault did not fire", round)
 			}
 		}
+		// The crashed volume's checkpointer would otherwise resurrect once
+		// the fault disarms and scribble over the recovered image; a real
+		// crash kills the process, so kill its background writer here.
+		v.stopCheckpointer()
 		fd.Disarm()
 
 		// "Reboot": recover from the raw surviving image.
@@ -155,8 +159,11 @@ func sharedPageAnomaly(t *testing.T, imageLogging bool) bool {
 
 	// Open both brackets before either mutates, so the page-image mode's
 	// broadcast capture demonstrably shares the mutated pages.
-	op1, done1 := v.beginOp()
-	op2, done2 := v.beginOp()
+	op1, done1, err1 := v.beginOp()
+	op2, done2, err2 := v.beginOp()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	_ = done1 // never called: txn 1 crashes uncommitted
 	if err := v.addNameDeferred(op1, oid1, index.TagUDef, []byte("ghost")); err != nil {
 		t.Fatal(err)
@@ -265,6 +272,10 @@ func TestCrashLoopConcurrentWriters(t *testing.T) {
 			fd.FailAfterWrites(0)
 			_, _ = v.OSD.CreateObject("x", osd.ModeRegular)
 		}
+		// The crashed volume's checkpointer would otherwise resurrect once
+		// the fault disarms and scribble over the recovered image; a real
+		// crash kills the process, so kill its background writer here.
+		v.stopCheckpointer()
 		fd.Disarm()
 
 		v2, err := Open(mem, Options{})

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand/v2"
 	"sync"
@@ -268,6 +269,10 @@ func TestRecountHealsCountersAndTableSize(t *testing.T) {
 				if err := mem.WriteBlock(b, buf); err != nil {
 					t.Fatal(err)
 				}
+				// The skew models counters drifting through legitimate
+				// writes (which would have maintained the page's checksum),
+				// not media rot, so refresh the sidecar entry to match.
+				refreshSidecarSum(t, mem, b, buf)
 				patched = true
 				break
 			}
@@ -404,6 +409,10 @@ func TestCrashLoopExtentChurn(t *testing.T) {
 			fd.FailAfterWrites(0)
 			_, _ = v.OSD.CreateObject("x", osd.ModeRegular)
 		}
+		// The crashed volume's checkpointer would otherwise resurrect once
+		// the fault disarms and scribble over the recovered image; a real
+		// crash kills the process, so kill its background writer here.
+		v.stopCheckpointer()
 		fd.Disarm()
 
 		v2, err := Open(mem, Options{})
@@ -448,5 +457,27 @@ func TestCrashLoopExtentChurn(t *testing.T) {
 			t.Fatalf("round %d re-wrap open: %v", round, err)
 		}
 		v = v3
+	}
+}
+
+// refreshSidecarSum rewrites the durable checksum sidecar entry for block
+// b to match content, for tests that patch the raw image to simulate
+// state that arrived through legitimate (checksum-maintaining) writes.
+func refreshSidecarSum(t *testing.T, dev blockdev.Device, b uint64, content []byte) {
+	t.Helper()
+	sb, err := readSuperblock(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBlk := uint64(dev.BlockSize() / sumEntrySize)
+	i := b - sb.dataStart
+	buf := make([]byte, dev.BlockSize())
+	if err := dev.ReadBlock(sb.csumStart+i/perBlk, buf); err != nil {
+		t.Fatal(err)
+	}
+	e := sumKnown | uint64(crc32.Checksum(content, crcTable))
+	binary.LittleEndian.PutUint64(buf[(i%perBlk)*sumEntrySize:], e)
+	if err := dev.WriteBlock(sb.csumStart+i/perBlk, buf); err != nil {
+		t.Fatal(err)
 	}
 }

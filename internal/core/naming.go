@@ -63,7 +63,10 @@ func (v *Volume) AddName(oid OID, tag string, value []byte) error {
 		return err
 	}
 	defer unlock()
-	op, done := v.beginOp()
+	op, done, err := v.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(v.addNameDeferred(op, oid, tag, value))
 }
 
@@ -97,7 +100,10 @@ func (v *Volume) RemoveName(oid OID, tag string, value []byte) error {
 		return err
 	}
 	defer unlock()
-	op, done := v.beginOp()
+	op, done, err := v.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(v.removeNameDeferred(op, oid, tag, value))
 }
 
@@ -152,7 +158,10 @@ func (v *Volume) RemoveAllNames(oid OID) error {
 		return err
 	}
 	defer unlock()
-	op, done := v.beginOp()
+	op, done, err := v.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(v.removeAllNamesDeferred(op, oid))
 }
 
@@ -185,7 +194,10 @@ func (v *Volume) DeleteObject(oid OID) error {
 		return err
 	}
 	defer unlock()
-	op, done := v.beginOp()
+	op, done, err := v.beginOp()
+	if err != nil {
+		return err
+	}
 	// The whole section (name stripping included) is non-undoable: the
 	// destroy frees extents with no inverse, so a rollback that restored
 	// only the names would resurrect references to a destroyed object.
@@ -765,7 +777,10 @@ func (v *Volume) IndexContent(oid OID) error {
 	if err != nil {
 		return err
 	}
-	op, done := v.beginOp()
+	op, done, err := v.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(v.addNameDeferred(op, oid, index.TagFulltext, text))
 }
 
@@ -787,7 +802,10 @@ func (v *Volume) IndexContentLazy(oid OID) error {
 	}
 	// Record the name relationship immediately; postings land when the
 	// background thread gets there.
-	op, done := v.beginOp()
+	op, done, err := v.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(v.reverse.PutOp(op, revKey(oid, index.TagFulltext, nil), nil))
 }
 

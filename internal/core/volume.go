@@ -26,6 +26,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -53,6 +54,12 @@ var (
 	ErrQuery         = errors.New("core: invalid query")
 	ErrNotFound      = errors.New("core: not found")
 	ErrClosed        = errors.New("core: volume closed")
+	// ErrReadOnly fails mutations fast while the volume is degraded: the
+	// log wedged (or the device refused a flush) and the checkpoint that
+	// would clear it keeps failing. Reads continue; the background
+	// checkpointer retries with capped backoff and lifts the state on
+	// success.
+	ErrReadOnly = errors.New("core: volume degraded (read-only)")
 )
 
 // OID aliases the OSD identifier.
@@ -60,19 +67,20 @@ type OID = osd.OID
 
 // Superblock layout (block 0, little-endian):
 //
-//	[0:4]   magic
-//	[4:8]   version
-//	[8:12]  block size
-//	[12:16] flags (bit 0: transactional, bit 1: clean shutdown)
-//	[16:24] wal start block   [24:32] wal blocks
-//	[32:40] snapshot start    [40:48] snapshot blocks
-//	[48:56] data region start [56:64] data region blocks
-//	[64:72] OSD header page
-//	[72:80] catalog header page
-//	[80:84] crc32 of bytes [0:80]
+//	[0:4]    magic
+//	[4:8]    version
+//	[8:12]   block size
+//	[12:16]  flags (bit 0: transactional, bit 1: clean shutdown)
+//	[16:24]  wal start block   [24:32]  wal blocks
+//	[32:40]  snapshot start    [40:48]  snapshot blocks
+//	[48:56]  data region start [56:64]  data region blocks
+//	[64:72]  OSD header page
+//	[72:80]  catalog header page
+//	[80:88]  checksum sidecar start [88:96] checksum sidecar blocks
+//	[96:100] crc32 of bytes [0:96]
 const (
 	sbMagic   = 0x68464144 // "hFAD"
-	sbVersion = 1
+	sbVersion = 2          // v2: page-checksum sidecar region
 
 	flagTransactional = 1 << 0
 	flagClean         = 1 << 1
@@ -132,7 +140,18 @@ func (o *Options) fill() {
 
 // Volume is an open hFAD volume.
 type Volume struct {
-	dev  blockdev.Device
+	// dev is the checksumming view of the device: data-region writes
+	// record CRC32C sums, reads verify them (see csum.go). Everything
+	// that touches home pages — the pager, the extent layer's direct
+	// data I/O — goes through it.
+	dev blockdev.Device
+	// raw is the device itself, for I/O that must bypass verification:
+	// superblock and sidecar maintenance, and recovery's replay reads
+	// (home pages may legitimately trail or lead the checkpoint-time
+	// sidecar; replay rebuilds them from logged base images).
+	raw  blockdev.Device
+	sums *pageSums
+	cdev *csumDevice
 	opts Options
 	pg   *pager.Pager
 	ba   *buddy.Allocator
@@ -148,6 +167,7 @@ type Volume struct {
 
 	dataStart, dataBlocks uint64
 	snapStart, snapBlocks uint64
+	csumStart, csumBlocks uint64
 
 	// commitMu serializes commits only in SerialCommit compatibility
 	// mode; the group-committed pipeline never takes it.
@@ -189,7 +209,20 @@ type Volume struct {
 	// cache-capacity (no-steal) fallback was retired. E18 asserts it stays
 	// zero for bigger-than-cache batches.
 	ckptFallbacks atomic.Int64
+
+	// degraded latches when a checkpoint fails and clears when one
+	// succeeds: mutations fail fast with ErrReadOnly, reads keep serving,
+	// and the background checkpointer retries with capped backoff.
+	degraded atomic.Bool
+	// ckptFailures counts failed checkpoints since open (health surface).
+	ckptFailures atomic.Int64
 }
+
+// Background checkpoint retry backoff while degraded.
+const (
+	ckptRetryMin = 5 * time.Millisecond
+	ckptRetryMax = time.Second
+)
 
 // ckptHighWater is the fraction of log capacity past which a commit
 // triggers a background checkpoint, so long ingest runs drain the log
@@ -221,22 +254,36 @@ func Create(dev blockdev.Device, opts Options) (*Volume, error) {
 		walBlocks = 0
 	}
 	snapStart := 1 + walBlocks
-	dataStart := snapStart + opts.SnapshotBlocks
-	if dev.NumBlocks() <= dataStart+16 {
-		return nil, fmt.Errorf("%w: %d blocks, need > %d", ErrTooSmall, dev.NumBlocks(), dataStart+16)
+	csumStart := snapStart + opts.SnapshotBlocks
+	if dev.NumBlocks() <= csumStart+16 {
+		return nil, fmt.Errorf("%w: %d blocks, need > %d", ErrTooSmall, dev.NumBlocks(), csumStart+16)
 	}
-	dataBlocks := dev.NumBlocks() - dataStart
+	// Split what remains between the checksum sidecar (sumEntrySize bytes
+	// per data block) and the data region itself.
+	bs := uint64(dev.BlockSize())
+	rest := dev.NumBlocks() - csumStart
+	csumBlocks := (rest*sumEntrySize + bs + sumEntrySize - 1) / (bs + sumEntrySize)
+	dataStart := csumStart + csumBlocks
+	dataBlocks := rest - csumBlocks
+	if dataBlocks < 16 {
+		return nil, fmt.Errorf("%w: %d data blocks after metadata regions", ErrTooSmall, dataBlocks)
+	}
 
 	v := &Volume{
-		dev: dev, opts: opts,
+		raw: dev, opts: opts,
 		ba:         buddy.New(dataStart, dataBlocks),
 		dataStart:  dataStart,
 		dataBlocks: dataBlocks,
 		snapStart:  snapStart,
 		snapBlocks: opts.SnapshotBlocks,
+		csumStart:  csumStart,
+		csumBlocks: csumBlocks,
 		registry:   index.NewRegistry(),
 	}
-	v.pg = pager.New(dev, opts.CachePages, !opts.Transactional)
+	v.sums = newPageSums(dataStart, dataBlocks, dev.BlockSize())
+	v.cdev = &csumDevice{inner: dev, sums: v.sums}
+	v.dev = v.cdev
+	v.pg = pager.New(v.dev, opts.CachePages, !opts.Transactional)
 	if opts.Transactional {
 		v.log = wal.New(dev, 1, walBlocks)
 		// The device may previously have held a volume whose log region
@@ -294,6 +341,12 @@ func Create(dev blockdev.Device, opts Options) (*Volume, error) {
 	// Formatting needs no WAL pass: flushing everything home makes the
 	// fresh volume durable in one stroke.
 	if err := v.pg.Sync(); err != nil {
+		return nil, err
+	}
+	if err := v.flushPageSums(); err != nil {
+		return nil, err
+	}
+	if err := v.raw.Sync(); err != nil {
 		return nil, err
 	}
 	v.enableBaseImages()
@@ -425,8 +478,10 @@ func (v *Volume) writeSuperblock(clean bool) error {
 	binary.LittleEndian.PutUint64(b[56:], v.dataBlocks)
 	binary.LittleEndian.PutUint64(b[64:], v.OSD.HeaderPage())
 	binary.LittleEndian.PutUint64(b[72:], v.catalog.HeaderPage())
-	binary.LittleEndian.PutUint32(b[80:], crc32.ChecksumIEEE(b[:80]))
-	return v.dev.WriteBlock(0, b)
+	binary.LittleEndian.PutUint64(b[80:], v.csumStart)
+	binary.LittleEndian.PutUint64(b[88:], v.csumBlocks)
+	binary.LittleEndian.PutUint32(b[96:], crc32.ChecksumIEEE(b[:96]))
+	return v.raw.WriteBlock(0, b)
 }
 
 type superblock struct {
@@ -437,6 +492,7 @@ type superblock struct {
 	dataStart, dataBlocks uint64
 	osdHeader             uint64
 	catalogHeader         uint64
+	csumStart, csumBlocks uint64
 }
 
 func readSuperblock(dev blockdev.Device) (*superblock, error) {
@@ -447,8 +503,11 @@ func readSuperblock(dev blockdev.Device) (*superblock, error) {
 	if binary.LittleEndian.Uint32(b[0:]) != sbMagic {
 		return nil, fmt.Errorf("%w: magic mismatch", ErrBadSuperblock)
 	}
-	if binary.LittleEndian.Uint32(b[80:]) != crc32.ChecksumIEEE(b[:80]) {
+	if binary.LittleEndian.Uint32(b[96:]) != crc32.ChecksumIEEE(b[:96]) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSuperblock)
+	}
+	if got := binary.LittleEndian.Uint32(b[4:]); got != sbVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadSuperblock, got, sbVersion)
 	}
 	if got := binary.LittleEndian.Uint32(b[8:]); got != uint32(dev.BlockSize()) {
 		return nil, fmt.Errorf("%w: block size %d, device has %d", ErrBadSuperblock, got, dev.BlockSize())
@@ -465,6 +524,8 @@ func readSuperblock(dev blockdev.Device) (*superblock, error) {
 		dataBlocks:    binary.LittleEndian.Uint64(b[56:]),
 		osdHeader:     binary.LittleEndian.Uint64(b[64:]),
 		catalogHeader: binary.LittleEndian.Uint64(b[72:]),
+		csumStart:     binary.LittleEndian.Uint64(b[80:]),
+		csumBlocks:    binary.LittleEndian.Uint64(b[88:]),
 	}, nil
 }
 
@@ -479,14 +540,33 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	opts.Transactional = sb.transactional
 
 	v := &Volume{
-		dev: dev, opts: opts,
+		raw: dev, opts: opts,
 		dataStart:  sb.dataStart,
 		dataBlocks: sb.dataBlocks,
 		snapStart:  sb.snapStart,
 		snapBlocks: sb.snapBlocks,
+		csumStart:  sb.csumStart,
+		csumBlocks: sb.csumBlocks,
 		registry:   index.NewRegistry(),
 	}
-	v.pg = pager.New(dev, opts.CachePages, !sb.transactional)
+	v.sums = newPageSums(sb.dataStart, sb.dataBlocks, dev.BlockSize())
+	if sb.transactional || sb.clean {
+		// The durable sidecar matches the last durable checkpoint; any
+		// later home write is covered by WAL records whose replay below
+		// rewrites the page (recomputing its sum) through v.dev.
+		if err := v.loadPageSums(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Unclean non-transactional shutdown: no log vouches for the
+		// sidecar, so restart detection from the surviving bytes.
+		if err := v.recomputePageSums(); err != nil {
+			return nil, err
+		}
+	}
+	v.cdev = &csumDevice{inner: dev, sums: v.sums}
+	v.dev = v.cdev
+	v.pg = pager.New(v.dev, opts.CachePages, !sb.transactional)
 
 	// Recover the WAL first so all metadata pages are current: committed
 	// redo records replay in LSN (mutation) order against an in-memory
@@ -500,6 +580,14 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 		v.pg.SeedLSN(v.log.MaxLSN())
 		losers = v.log.Losers()
 		if len(losers) == 0 {
+			// The reset discards the records that vouched for replay's home
+			// writes, so the sums they refreshed must be durable first.
+			if err := v.flushPageSums(); err != nil {
+				return nil, err
+			}
+			if err := v.raw.Sync(); err != nil {
+				return nil, err
+			}
 			if err := v.log.Checkpoint(v.pg.CurrentLSN()); err != nil {
 				return nil, err
 			}
@@ -514,17 +602,23 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	}
 
 	// Allocator: restore the snapshot on clean shutdown, else rebuild
-	// from reachability after loading the trees.
-	if sb.clean {
+	// from reachability after loading the trees. A snapshot that fails
+	// its checksum (or decode) is treated as an unclean open: the
+	// allocator is rebuilt from reachability — repaired, not fatal.
+	clean := sb.clean
+	if clean {
 		snap, err := v.readSnapshot()
-		if err != nil {
-			return nil, err
+		if err == nil {
+			v.ba, err = buddy.Restore(snap)
 		}
-		v.ba, err = buddy.Restore(snap)
 		if err != nil {
-			return nil, err
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadSuperblock) {
+				return nil, err
+			}
+			clean = false
 		}
-	} else {
+	}
+	if !clean {
 		// Placeholder; replaced after structures load.
 		v.ba = buddy.New(sb.dataStart, sb.dataBlocks)
 	}
@@ -559,7 +653,7 @@ func Open(dev blockdev.Device, opts Options) (*Volume, error) {
 	if err := v.openIndexes(); err != nil {
 		return nil, err
 	}
-	if !sb.clean {
+	if !clean {
 		// Physiological logging does not journal per-tree key counts
 		// (cross-transaction counters no single redo record can own);
 		// recount them from the leaves before the structural checks below
@@ -673,20 +767,31 @@ func (v *Volume) openIndexes() error {
 // the same map, so cross-page modifications replay against exactly the
 // state earlier records built.
 func (v *Volume) replayLog() error {
-	bs := v.dev.BlockSize()
+	bs := v.raw.BlockSize()
 	pages := make(map[uint64][]byte)
+	pristine := make(map[uint64][]byte)
+	// Materialization reads bypass checksum verification: a stolen page's
+	// home legitimately leads the checkpoint-time sidecar, and a page the
+	// log modifies is rebuilt from its logged first-touch base image
+	// before any delta applies, so disk content is only a placeholder.
+	// The pristine copy lets the write-home loop skip pages replay merely
+	// fetched — rewriting those through the checksumming device would
+	// launder any rot in them into a fresh valid sum.
 	get := func(pno uint64) ([]byte, error) {
 		if d, ok := pages[pno]; ok {
 			return d, nil
 		}
-		if pno >= v.dev.NumBlocks() {
+		if pno >= v.raw.NumBlocks() {
 			return nil, fmt.Errorf("%w: replayed page %d beyond device", ErrBadSuperblock, pno)
 		}
 		d := make([]byte, bs)
-		if err := v.dev.ReadBlock(pno, d); err != nil {
+		if err := v.raw.ReadBlock(pno, d); err != nil {
 			return nil, err
 		}
 		pages[pno] = d
+		p := make([]byte, bs)
+		copy(p, d)
+		pristine[pno] = p
 		return d, nil
 	}
 	n, err := v.log.Recover(func(r redo.Record) error {
@@ -722,11 +827,24 @@ func (v *Volume) replayLog() error {
 		return nil
 	}
 	for pno, d := range pages {
+		if bytes.Equal(d, pristine[pno]) {
+			// The home already holds the WAL-prescribed content (it was
+			// flushed after the last sidecar flush), so the durable sum
+			// may trail it: refresh the entry from the materialized
+			// content, which is WAL-derived via the first-touch base
+			// image, without rewriting the block.
+			if v.sums.covers(pno) {
+				v.sums.set(pno, crc32.Checksum(d, crcTable))
+			}
+			continue
+		}
+		// Through the checksumming device: replayed pages get their sums
+		// recomputed as they go home.
 		if err := v.dev.WriteBlock(pno, d); err != nil {
 			return err
 		}
 	}
-	return v.dev.Sync()
+	return v.raw.Sync()
 }
 
 // recountTreeKeys refreshes every btree's header key count from its
@@ -804,8 +922,8 @@ func (a sysAppender) Wedge() {
 }
 
 // beginHook returns the OSD's operation bracket (Options.Begin).
-func (v *Volume) beginHook() func() (*pager.Op, func(error) error) {
-	return func() (*pager.Op, func(error) error) { return v.beginOp() }
+func (v *Volume) beginHook() func() (*pager.Op, func(error) error, error) {
+	return func() (*pager.Op, func(error) error, error) { return v.beginOp() }
 }
 
 // fulltextConfig is the user's fulltext tuning plus the volume's
@@ -827,9 +945,15 @@ func (v *Volume) fulltextConfig() fulltext.Config {
 //
 // Brackets must not nest (see ckptMu); compound operations call the
 // Deferred variants of sub-operations under a single bracket.
-func (v *Volume) beginOp() (*pager.Op, func(error) error) {
+//
+// A degraded volume fails the bracket before any page is touched —
+// mutations must not half-apply against a log that cannot commit them.
+func (v *Volume) beginOp() (*pager.Op, func(error) error, error) {
 	if v.log == nil {
-		return nil, func(err error) error { return err }
+		return nil, func(err error) error { return err }, nil
+	}
+	if v.degraded.Load() {
+		return nil, nil, ErrReadOnly
 	}
 	if v.opts.SerialCommit {
 		return nil, func(err error) error {
@@ -837,7 +961,7 @@ func (v *Volume) beginOp() (*pager.Op, func(error) error) {
 				return err
 			}
 			return v.commitSerial()
-		}
+		}, nil
 	}
 	if v.opts.ImageLogging {
 		v.ckptMu.RLock()
@@ -864,7 +988,7 @@ func (v *Volume) beginOp() (*pager.Op, func(error) error) {
 				return v.checkpointNow()
 			}
 			return err
-		}
+		}, nil
 	}
 	v.ckptMu.RLock()
 	op := v.pg.NewOp(sysAppender{v})
@@ -920,7 +1044,7 @@ func (v *Volume) beginOp() (*pager.Op, func(error) error) {
 			return v.checkpointNow()
 		}
 		return err
-	}
+	}, nil
 }
 
 // CheckpointFallbacks reports how many commits fell back to a full
@@ -1013,6 +1137,9 @@ func (v *Volume) commitSerial() error {
 		if err := v.pg.FlushDirty(); err != nil {
 			return err
 		}
+		if err := v.flushPageSums(); err != nil {
+			return err
+		}
 		if err := v.dev.Sync(); err != nil {
 			return err
 		}
@@ -1028,6 +1155,9 @@ func (v *Volume) commitSerial() error {
 		return err
 	}
 	if v.log.Used() > v.log.Capacity()/2 {
+		if err := v.flushPageSums(); err != nil {
+			return err
+		}
 		if err := v.dev.Sync(); err != nil {
 			return err
 		}
@@ -1071,15 +1201,38 @@ func (v *Volume) startCheckpointer() {
 	v.ckptDone = make(chan struct{})
 	go func() {
 		defer close(v.ckptDone)
+		backoff := time.Duration(0)
 		for {
-			select {
-			case <-v.ckptQuit:
-				return
-			case <-v.ckptCh:
-				// Best effort: a failing checkpoint leaves the log as
-				// is; commits keep appending until ErrFull forces the
-				// issue on a path that can report the error.
-				_ = v.checkpointNow()
+			if backoff > 0 {
+				// Degraded: retry the failed checkpoint on a capped
+				// exponential backoff rather than waiting for a poke —
+				// while read-only, no commit will arrive to send one.
+				select {
+				case <-v.ckptQuit:
+					return
+				case <-time.After(backoff):
+				}
+			} else {
+				select {
+				case <-v.ckptQuit:
+					return
+				case <-v.ckptCh:
+				}
+			}
+			// Best effort: a failing checkpoint leaves the log as is
+			// and latches the volume degraded; the retry above keeps
+			// trying until the device recovers.
+			if err := v.checkpointNow(); err != nil {
+				if backoff == 0 {
+					backoff = ckptRetryMin
+				} else if backoff < ckptRetryMax {
+					backoff *= 2
+					if backoff > ckptRetryMax {
+						backoff = ckptRetryMax
+					}
+				}
+			} else {
+				backoff = 0
 			}
 		}
 	}()
@@ -1099,17 +1252,38 @@ func (v *Volume) stopCheckpointer() {
 }
 
 // checkpointNow quiesces mutating operations (checkpoint fence), writes
-// every committed-but-cached page home, syncs the device, and resets the
-// log behind an LSN fence (the volume's current LSN: every record of the
-// next generation is stamped above it, so recovery can reject stale-
-// generation leftovers outright). The operation fence guarantees no
-// operation is mid-flight, so everything dirty in the cache is committed
-// state — and every deferred page free can finally be released for
-// reuse.
+// every committed-but-cached page home plus the checksum sidecar, syncs
+// the device, and resets the log behind an LSN fence (the volume's
+// current LSN: every record of the next generation is stamped above it,
+// so recovery can reject stale-generation leftovers outright). The
+// operation fence guarantees no operation is mid-flight, so everything
+// dirty in the cache is committed state — and every deferred page free
+// can finally be released for reuse.
+//
+// Failure latches the volume degraded (read-only); success lifts it. The
+// background checkpointer keeps retrying a failed checkpoint with capped
+// backoff, so a transient device fault heals without intervention.
 func (v *Volume) checkpointNow() error {
+	err := v.doCheckpoint()
+	if err != nil {
+		v.ckptFailures.Add(1)
+		v.degraded.Store(true)
+		v.pokeCheckpointer()
+		return err
+	}
+	v.degraded.Store(false)
+	return nil
+}
+
+func (v *Volume) doCheckpoint() error {
 	v.ckptMu.Lock()
 	defer v.ckptMu.Unlock()
 	if err := v.pg.FlushDirty(); err != nil {
+		return err
+	}
+	// The sidecar goes out under the same sync: after the checkpoint is
+	// durable, every home page matches its durable sum (see csum.go).
+	if err := v.flushPageSums(); err != nil {
 		return err
 	}
 	if err := v.dev.Sync(); err != nil {
@@ -1120,6 +1294,51 @@ func (v *Volume) checkpointNow() error {
 	}
 	return v.ba.ReleaseLimbo()
 }
+
+// pokeCheckpointer nudges the background checkpointer (non-blocking; nil
+// before startCheckpointer runs, e.g. during Open's recovery pass).
+func (v *Volume) pokeCheckpointer() {
+	if v.ckptCh == nil {
+		return
+	}
+	select {
+	case v.ckptCh <- struct{}{}:
+	default:
+	}
+}
+
+// Health is a point-in-time snapshot of the volume's fault state.
+type Health struct {
+	// Degraded: mutations fail fast with ErrReadOnly; reads keep serving
+	// while the background checkpointer retries.
+	Degraded bool
+	// WALWedged: the log refuses appends until a checkpoint clears it.
+	WALWedged bool
+	// CheckpointFailures counts failed checkpoints since open.
+	CheckpointFailures int64
+	// CorruptReads counts reads that failed checksum verification.
+	CorruptReads int64
+}
+
+// Health reports the volume's degraded/wedged state and fault counters.
+func (v *Volume) Health() Health {
+	h := Health{
+		Degraded:           v.degraded.Load(),
+		CheckpointFailures: v.ckptFailures.Load(),
+		CorruptReads:       v.cdev.corrupt.Load(),
+	}
+	if v.log != nil {
+		h.WALWedged = v.log.Wedged()
+	}
+	return h
+}
+
+// Degraded reports whether the volume is in read-only degraded mode.
+func (v *Volume) Degraded() bool { return v.degraded.Load() }
+
+// DataRegion reports the checksummed data region as [start, start+blocks)
+// absolute block numbers (fault-injection harnesses target it).
+func (v *Volume) DataRegion() (start, blocks uint64) { return v.dataStart, v.dataBlocks }
 
 // Allocator exposes the buddy allocator (experiments, fsck).
 func (v *Volume) Allocator() *buddy.Allocator { return v.ba }
@@ -1139,27 +1358,32 @@ func (v *Volume) Fulltext() *index.Fulltext { return v.ft }
 // Images returns the image plug-in index.
 func (v *Volume) Images() *index.ImageIndex { return v.img }
 
-// readSnapshot loads the allocator snapshot region.
+// readSnapshot loads the allocator snapshot region, verifying its CRC.
+// Header: [0:8] length, [8:12] CRC32C of the payload.
 func (v *Volume) readSnapshot() ([]byte, error) {
-	bs := v.dev.BlockSize()
+	bs := v.raw.BlockSize()
 	buf := make([]byte, bs)
-	if err := v.dev.ReadBlock(v.snapStart, buf); err != nil {
+	if err := v.raw.ReadBlock(v.snapStart, buf); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint64(buf)
-	if n > (v.snapBlocks*uint64(bs))-8 {
+	if n > (v.snapBlocks*uint64(bs))-12 {
 		return nil, fmt.Errorf("%w: snapshot length %d", ErrBadSuperblock, n)
 	}
+	want := binary.LittleEndian.Uint32(buf[8:])
 	out := make([]byte, 0, n)
-	out = append(out, buf[8:min(int(n)+8, bs)]...)
+	out = append(out, buf[12:min(int(n)+12, bs)]...)
 	blk := v.snapStart + 1
 	for uint64(len(out)) < n {
-		if err := v.dev.ReadBlock(blk, buf); err != nil {
+		if err := v.raw.ReadBlock(blk, buf); err != nil {
 			return nil, err
 		}
 		remain := int(n) - len(out)
 		out = append(out, buf[:min(remain, bs)]...)
 		blk++
+	}
+	if crc32.Checksum(out, crcTable) != want {
+		return nil, fmt.Errorf("%w: allocator snapshot checksum mismatch", ErrCorrupt)
 	}
 	return out, nil
 }
@@ -1167,15 +1391,16 @@ func (v *Volume) readSnapshot() ([]byte, error) {
 // writeSnapshot persists the allocator state into the snapshot region.
 func (v *Volume) writeSnapshot() error {
 	snap := v.ba.Snapshot()
-	bs := v.dev.BlockSize()
-	capacity := v.snapBlocks*uint64(bs) - 8
+	bs := v.raw.BlockSize()
+	capacity := v.snapBlocks*uint64(bs) - 12
 	if uint64(len(snap)) > capacity {
 		return fmt.Errorf("core: allocator snapshot %d bytes exceeds region %d", len(snap), capacity)
 	}
 	buf := make([]byte, bs)
 	binary.LittleEndian.PutUint64(buf, uint64(len(snap)))
-	n := copy(buf[8:], snap)
-	if err := v.dev.WriteBlock(v.snapStart, buf); err != nil {
+	binary.LittleEndian.PutUint32(buf[8:], crc32.Checksum(snap, crcTable))
+	n := copy(buf[12:], snap)
+	if err := v.raw.WriteBlock(v.snapStart, buf); err != nil {
 		return err
 	}
 	blk := v.snapStart + 1
@@ -1184,7 +1409,7 @@ func (v *Volume) writeSnapshot() error {
 			buf[i] = 0
 		}
 		m := copy(buf, snap[n:])
-		if err := v.dev.WriteBlock(blk, buf); err != nil {
+		if err := v.raw.WriteBlock(blk, buf); err != nil {
 			return err
 		}
 		n += m
@@ -1202,7 +1427,10 @@ func (v *Volume) Sync() error {
 	if v.log != nil && !v.opts.SerialCommit {
 		return v.checkpointNow()
 	}
-	if err := v.pg.Sync(); err != nil {
+	if err := v.pg.FlushDirty(); err != nil {
+		return err
+	}
+	if err := v.flushPageSums(); err != nil {
 		return err
 	}
 	return v.dev.Sync()

@@ -42,7 +42,7 @@ type Config struct {
 	// returns the bracket's redo capture and its commit half. The
 	// synchronous API does not use it: those calls already run inside
 	// their caller's bracket and receive its capture as a parameter.
-	Bracket func() (*pager.Op, func(error) error)
+	Bracket func() (*pager.Op, func(error) error, error)
 }
 
 func (c *Config) fill() {
@@ -564,8 +564,11 @@ func (x *Index) StartLazy(queueDepth int) {
 			// Indexing failures are recorded by dropping the doc; the
 			// synchronous API is available when callers need errors.
 			if x.cfg.Bracket != nil {
-				op, done := x.cfg.Bracket()
-				_ = done(x.Add(op, job.docID, job.text))
+				// A refused bracket (degraded volume) drops the doc, same
+				// as any other lazy indexing failure.
+				if op, done, err := x.cfg.Bracket(); err == nil {
+					_ = done(x.Add(op, job.docID, job.text))
+				}
 			} else {
 				_ = x.Add(nil, job.docID, job.text)
 			}

@@ -59,7 +59,10 @@ func (o *Object) ReadAt(p []byte, off uint64) (int, error) {
 // WriteAt writes p at offset off, growing the object as needed; writes
 // past the end create holes (sparse objects).
 func (o *Object) WriteAt(p []byte, off uint64) error {
-	op, done := o.s.beginOp()
+	op, done, err := o.s.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(o.writeAt(op, p, off))
 }
 
@@ -95,8 +98,11 @@ func (o *Object) finishMutation(op *pager.Op, err error) error {
 
 // Append writes p at the current end of the object.
 func (o *Object) Append(p []byte) error {
-	op, done := o.s.beginOp()
-	_, err := o.append(op, p)
+	op, done, err := o.s.beginOp()
+	if err != nil {
+		return err
+	}
+	_, err = o.append(op, p)
 	return done(err)
 }
 
@@ -125,7 +131,10 @@ func (o *Object) append(op *pager.Op, p []byte) (uint64, error) {
 // insert call ("arguments identical to the write call, but instead of
 // overwriting bytes ... it inserts those bytes, growing the file").
 func (o *Object) InsertAt(off uint64, p []byte) error {
-	op, done := o.s.beginOp()
+	op, done, err := o.s.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(o.insertAt(op, off, p))
 }
 
@@ -148,7 +157,10 @@ func (o *Object) insertAt(op *pager.Op, off uint64, p []byte) error {
 // down — the paper's two-off_t truncate ("an offset and length, indicating
 // exactly which bytes to remove from the file").
 func (o *Object) TruncateRange(off, length uint64) error {
-	op, done := o.s.beginOp()
+	op, done, err := o.s.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(o.truncateRange(op, off, length))
 }
 
@@ -169,9 +181,12 @@ func (o *Object) truncateRange(op *pager.Op, off, length uint64) error {
 
 // Truncate sets the object's size (POSIX-style single-argument form).
 func (o *Object) Truncate(size uint64) error {
-	op, done := o.s.beginOp()
+	op, done, err := o.s.beginOp()
+	if err != nil {
+		return err
+	}
 	o.wmu.Lock()
-	err := o.finishMutation(op, o.ext.TruncateOp(op, size))
+	err = o.finishMutation(op, o.ext.TruncateOp(op, size))
 	o.wmu.Unlock()
 	return done(err)
 }

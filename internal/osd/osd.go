@@ -118,10 +118,12 @@ type Options struct {
 	// operation's redo capture (threaded through every page mutation so
 	// each structure layer logs exactly this operation's edits) and the
 	// commit function invoked with the operation's outcome after its
-	// last mutation. The volume wires this to physiological redo capture
+	// last mutation. A non-nil error refuses the bracket — the volume is
+	// read-only (degraded) — and the operation must fail before touching
+	// any page. The volume wires this to physiological redo capture
 	// and WAL group commit; the capture is nil in the page-image logging
 	// modes. Nil means non-transactional.
-	Begin func() (*pager.Op, func(error) error)
+	Begin func() (*pager.Op, func(error) error, error)
 	// ExtentConfig tunes the per-object extent trees.
 	ExtentConfig extent.Config
 	// Clock supplies timestamps; nil uses time.Now. Tests inject fakes.
@@ -200,7 +202,7 @@ func Open(pg *pager.Pager, ba *buddy.Allocator, headerPno uint64, opts Options) 
 	s := &Store{pg: pg, ba: ba, opts: opts, meta: mt, open: make(map[OID]*Object)}
 	v, err := mt.Get(seqKey)
 	if err != nil {
-		return nil, fmt.Errorf("%w: missing OID sequence", ErrCorrupt)
+		return nil, fmt.Errorf("%w: missing OID sequence: %v", ErrCorrupt, err)
 	}
 	s.nextOID = OID(binary.LittleEndian.Uint64(v))
 	return s, nil
@@ -234,18 +236,21 @@ func (s *Store) persistSeq(op *pager.Op) error {
 // returns its redo capture plus the function that commits (or, on a
 // non-nil operation error, aborts) it. With no Begin hook all parts are
 // no-ops.
-func (s *Store) beginOp() (*pager.Op, func(error) error) {
+func (s *Store) beginOp() (*pager.Op, func(error) error, error) {
 	if s.opts.Begin == nil {
-		return nil, func(err error) error { return err }
+		return nil, func(err error) error { return err }, nil
 	}
-	op, done := s.opts.Begin()
+	op, done, err := s.opts.Begin()
+	if err != nil {
+		return nil, nil, err
+	}
 	return op, func(opErr error) error {
 		err := done(opErr)
 		if opErr == nil && err == nil {
 			s.stats.commits.Add(1)
 		}
 		return err
-	}
+	}, nil
 }
 
 func (s *Store) now() int64 { return s.opts.Clock().UnixNano() }
@@ -274,7 +279,10 @@ func (s *Store) Stats() Stats {
 // mode bits and returns an open handle. The whole allocation commits as
 // one transaction.
 func (s *Store) CreateObject(owner string, mode uint32) (*Object, error) {
-	op, done := s.beginOp()
+	op, done, err := s.beginOp()
+	if err != nil {
+		return nil, err
+	}
 	obj, err := s.createObject(op, owner, mode)
 	if err := done(err); err != nil {
 		return nil, err
@@ -395,7 +403,10 @@ func (s *Store) SetTimes(oid OID, atime, mtime int64) error {
 }
 
 func (s *Store) updateMeta(oid OID, f func(*Meta)) error {
-	op, done := s.beginOp()
+	op, done, err := s.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(s.updateMetaNoCommit(op, oid, f))
 }
 
@@ -461,7 +472,10 @@ func (s *Store) RepairSize(oid OID, size uint64) error {
 // DeleteObject destroys the object and releases all its storage. Open
 // handles become invalid.
 func (s *Store) DeleteObject(oid OID) error {
-	op, done := s.beginOp()
+	op, done, err := s.beginOp()
+	if err != nil {
+		return err
+	}
 	return done(s.deleteObject(op, oid))
 }
 

@@ -333,9 +333,9 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 
 func TestCommitHookFires(t *testing.T) {
 	begins, commits := 0, 0
-	s, _ := newStore(t, Options{Begin: func() (*pager.Op, func(error) error) {
+	s, _ := newStore(t, Options{Begin: func() (*pager.Op, func(error) error, error) {
 		begins++
-		return nil, func(err error) error { commits++; return err }
+		return nil, func(err error) error { commits++; return err }, nil
 	}})
 	obj, err := s.CreateObject("u", ModeRegular)
 	if err != nil {

@@ -2,9 +2,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -67,8 +69,26 @@ func IsBusy(err error) bool {
 	return ok && se.Code == http.StatusTooManyRequests
 }
 
+// jitter spreads a backoff over [wait/2, wait) so a herd of clients
+// rejected by the same admission burst doesn't retry in lockstep and
+// re-create the burst it's backing off from.
+func jitter(wait time.Duration) time.Duration {
+	if wait <= 1 {
+		return wait
+	}
+	half := wait / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
 // do sends one JSON request, retrying 429s with the hinted backoff.
 func (c *Client) do(method, path string, req, resp any) error {
+	return c.doCtx(context.Background(), method, path, req, resp)
+}
+
+// doCtx is do with a caller deadline: the request carries ctx, and a
+// backoff sleep is cut short (returning ctx.Err()) rather than slept
+// past the caller's budget.
+func (c *Client) doCtx(ctx context.Context, method, path string, req, resp any) error {
 	var body []byte
 	if req != nil {
 		var err error
@@ -78,7 +98,7 @@ func (c *Client) do(method, path string, req, resp any) error {
 	}
 	backoff := 10 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		hreq, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+		hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -94,31 +114,54 @@ func (c *Client) do(method, path string, req, resp any) error {
 		if err != nil {
 			return err
 		}
-		if hresp.StatusCode == http.StatusTooManyRequests && attempt < c.MaxRetries {
+		if retryable(hresp.StatusCode) && attempt < c.MaxRetries {
 			var e ErrorResp
 			wait := backoff
 			if json.Unmarshal(data, &e) == nil && e.RetryAfterMS > 0 {
 				wait = time.Duration(e.RetryAfterMS) * time.Millisecond
 			}
-			time.Sleep(wait)
+			wait = jitter(wait)
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < wait {
+				// Not enough budget left to wait and retry; surface
+				// the rejection now instead of timing out silently.
+				return statusErr(hresp.StatusCode, data)
+			}
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
 			if backoff < time.Second {
 				backoff *= 2
 			}
 			continue
 		}
 		if hresp.StatusCode/100 != 2 {
-			var e ErrorResp
-			msg := string(data)
-			if json.Unmarshal(data, &e) == nil && e.Error != "" {
-				msg = e.Error
-			}
-			return &StatusError{Code: hresp.StatusCode, Msg: msg}
+			return statusErr(hresp.StatusCode, data)
 		}
 		if resp != nil {
 			return json.Unmarshal(data, resp)
 		}
 		return nil
 	}
+}
+
+// retryable reports whether a status is transient backpressure: 429 is
+// admission control shedding load, 503 is the store degraded or
+// draining — both send a Retry-After hint.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+func statusErr(code int, data []byte) error {
+	var e ErrorResp
+	msg := string(data)
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &StatusError{Code: code, Msg: msg}
 }
 
 // Create makes one object.

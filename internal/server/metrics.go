@@ -30,6 +30,17 @@ type Metrics struct {
 	Cache   CacheMetrics  `json:"cache"`
 	WAL     *WALMetrics   `json:"wal,omitempty"`
 	Alloc   AllocMetrics  `json:"alloc"`
+
+	// Fault state (see /healthz).
+	Health HealthMetrics `json:"health"`
+}
+
+// HealthMetrics is the store's degraded/fault state.
+type HealthMetrics struct {
+	Degraded           bool  `json:"degraded"`
+	WALWedged          bool  `json:"wal_wedged"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	CorruptReads       int64 `json:"corrupt_reads"`
 }
 
 // LatencySummary condenses one class's histogram.
@@ -130,6 +141,13 @@ func (s *Server) Metrics() Metrics {
 		UsedBlocks: ss.Alloc.UsedBlocks,
 		Frag:       ss.Alloc.Fragmentation(),
 	}
+	h := s.st.Health()
+	m.Health = HealthMetrics{
+		Degraded:           h.Degraded,
+		WALWedged:          h.WALWedged,
+		CheckpointFailures: h.CheckpointFailures,
+		CorruptReads:       h.CorruptReads,
+	}
 	if w := ss.WAL; w != nil {
 		wm := &WALMetrics{
 			Commits: w.Commits, Groups: w.Groups, Syncs: w.Syncs,
@@ -202,6 +220,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		c("hfadd_wal_checkpoints_total", w.Checkpoints)
 		g("hfadd_wal_avg_group", w.AvgGroup)
 	}
+
+	b01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	g("hfadd_degraded", b01(m.Health.Degraded))
+	g("hfadd_wal_wedged", b01(m.Health.WALWedged))
+	c("hfadd_checkpoint_failures_total", m.Health.CheckpointFailures)
+	c("hfadd_corrupt_reads_total", m.Health.CorruptReads)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, b.String())

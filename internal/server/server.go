@@ -413,10 +413,7 @@ func toU64(ids []hfad.OID) []uint64 {
 // Handler returns the HTTP/JSON surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.instrument("admin", s.handleMetrics))
 	mux.Handle("GET /debug/stats", s.instrument("admin", s.handleDebugStats))
 
@@ -435,6 +432,37 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/search", s.instrument("query", s.handleSearch))
 	mux.Handle("POST /v1/batch", s.instrument("write", s.handleBatch))
 	return mux
+}
+
+// HealthResp is the /healthz body.
+type HealthResp struct {
+	Status             string `json:"status"` // "ok" or "degraded"
+	Degraded           bool   `json:"degraded"`
+	WALWedged          bool   `json:"wal_wedged"`
+	CheckpointFailures int64  `json:"checkpoint_failures"`
+	CorruptReads       int64  `json:"corrupt_reads"`
+}
+
+// handleHealthz reports liveness and fault state: 200 while the store is
+// fully operational, 503 once it is degraded (read-only: the WAL wedged
+// and the clearing checkpoint keeps failing) so load balancers stop
+// routing writes — reads keep being served on the data endpoints either
+// way. No admission slot: health probes must answer under overload.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.st.Health()
+	resp := HealthResp{
+		Status:             "ok",
+		Degraded:           h.Degraded,
+		WALWedged:          h.WALWedged,
+		CheckpointFailures: h.CheckpointFailures,
+		CorruptReads:       h.CorruptReads,
+	}
+	code := http.StatusOK
+	if h.Degraded {
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // instrument wraps a handler with admission control and latency
@@ -650,6 +678,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusTooManyRequests
 		retryMS = busyRetryMS
 	case errors.Is(err, ErrShutdown), errors.Is(err, core.ErrClosed):
+		code = http.StatusServiceUnavailable
+		retryMS = shutdownRetryMS
+		w.Header().Set("Retry-After", strconv.Itoa(shutdownRetryMS/1000))
+	case errors.Is(err, core.ErrReadOnly):
+		// Degraded (read-only) store: the write may succeed once the
+		// checkpoint retry clears the wedge, so advertise a retry.
 		code = http.StatusServiceUnavailable
 		retryMS = shutdownRetryMS
 		w.Header().Set("Retry-After", strconv.Itoa(shutdownRetryMS/1000))
