@@ -8,6 +8,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -129,7 +130,7 @@ func BenchmarkF1_ArchitectureWalk(b *testing.B) {
 		if err := obj.InsertAt(5, []byte(" deep")); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := obj.ReadAt(buf[:10], 0); err != nil && err != io.EOF {
+		if _, err := obj.ReadAt(buf[:10], 0); err != nil && !errors.Is(err, io.EOF) {
 			b.Fatal(err)
 		}
 		obj.Close()
@@ -200,7 +201,7 @@ func BenchmarkE1_SearchToData(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+			if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 				b.Fatal(err)
 			}
 			obj.Close()
@@ -423,7 +424,7 @@ func BenchmarkE5_AttributeSearch(b *testing.B) {
 				if info.IsDir() {
 					return nil
 				}
-				if _, err := fs.ReadAt(pp, buf, 0); err != nil && err != io.EOF {
+				if _, err := fs.ReadAt(pp, buf, 0); err != nil && !errors.Is(err, io.EOF) {
 					return err
 				}
 				found++
@@ -474,7 +475,7 @@ func BenchmarkE6_ClusteringIllusory(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, p := range set {
 				buf := make([]byte, p.Size)
-				if _, err := fs.ReadAt(p.Path(), buf, 0); err != nil && err != io.EOF {
+				if _, err := fs.ReadAt(p.Path(), buf, 0); err != nil && !errors.Is(err, io.EOF) {
 					b.Fatal(err)
 				}
 			}

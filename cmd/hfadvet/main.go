@@ -1,0 +1,80 @@
+// Command hfadvet is the multichecker for this module's invariant
+// analyzers. It speaks the go command's vettool protocol, so the
+// canonical invocation is
+//
+//	go vet -vettool=$(command -v hfadvet) ./...
+//
+// (or any built path to the binary). As a convenience, invoking it with
+// package patterns instead of a vet .cfg file re-executes itself through
+// `go vet`:
+//
+//	hfadvet ./...
+//
+// Analyzers (each documented in its package under internal/analysis):
+//
+//	opbracket        beginOp/Options.Begin brackets reach done(err) on
+//	                 every path; op-threading call errors are not dropped
+//	lockorder        documented lock order Volume.mu → osd.Object.wmu →
+//	                 tree locks → pager shard latches never inverts
+//	sentinelerr      sentinel errors are matched with errors.Is, not ==
+//	replayexhaustive every redo record kind/opcode is handled by replay
+//	waldata          no direct device writes bypass the WAL capture in
+//	                 btree, extent, osd
+//
+// A finding can be suppressed — visibly, greppably — with a trailing
+// comment: //hfadvet:allow <analyzer> — reason.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/opbracket"
+	"repro/internal/analysis/replayexhaustive"
+	"repro/internal/analysis/sentinelerr"
+	"repro/internal/analysis/unitchecker"
+	"repro/internal/analysis/waldata"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		opbracket.Analyzer,
+		lockorder.Analyzer,
+		sentinelerr.Analyzer,
+		replayexhaustive.Analyzer,
+		waldata.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") && !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		// Package patterns: drive ourselves through go vet, which owns
+		// package loading, export data, and per-package fact caching.
+		standalone(args)
+	}
+	unitchecker.Main(analyzers()...)
+}
+
+func standalone(patterns []string) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hfadvet: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "hfadvet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -63,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	buf := make([]byte, obj.Size())
-	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		log.Fatal(err)
 	}
 	fmt.Printf("after insert + truncate-range: %q\n", string(buf))

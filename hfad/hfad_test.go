@@ -67,7 +67,7 @@ func TestInsertTruncateThroughPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf := make([]byte, obj.Size())
-	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(buf) != "there, world" {
@@ -324,7 +324,7 @@ func TestBatchPublicAPI(t *testing.T) {
 	}
 	defer obj.Close()
 	buf := make([]byte, 10)
-	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(buf[:4]) != "bulk" {

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment. The full form is
+// "//hfadvet:allow <analyzer> — reason"; the reason is free text.
+const allowPrefix = "hfadvet:allow"
+
+// AllowedLines returns the set of file lines excused for the named
+// analyzer: every line carrying an allow comment, plus the line directly
+// below a comment that stands alone on its line (annotation-above style).
+func AllowedLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, _, _ := strings.Cut(rest, " ")
+				name = strings.TrimRight(name, ":,—-")
+				if name != analyzer && name != "all" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// Suppressed reports whether a diagnostic at pos is excused by an allow
+// comment collected by AllowedLines.
+func Suppressed(fset *token.FileSet, allowed map[string]map[int]bool, pos token.Pos) bool {
+	if len(allowed) == 0 {
+		return false
+	}
+	p := fset.Position(pos)
+	return allowed[p.Filename][p.Line]
+}

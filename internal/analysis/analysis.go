@@ -1,0 +1,83 @@
+// Package analysis is a minimal, self-contained analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write the
+// hfadvet invariant analyzers without an external dependency.
+//
+// An Analyzer inspects one type-checked package at a time through a
+// Pass. Cross-package analyzers (lockorder) exchange serialized "facts"
+// — a per-package blob exported by the pass and delivered to dependent
+// packages' passes — which the unitchecker driver persists in the .vetx
+// files the go command threads between `go vet` invocations.
+//
+// Diagnostics can be suppressed per line with an explicit annotation:
+//
+//	//hfadvet:allow <analyzer> — reason
+//
+// The annotation must share the line it excuses (or be the whole line
+// immediately above it). Suppression is handled by the drivers, not by
+// individual analyzers, so every analyzer gets it uniformly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-paragraph description of the discipline enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+	// UsesFacts marks analyzers that export a per-package fact blob and
+	// want their dependencies' blobs (Pass.DepFacts) on import.
+	UsesFacts bool
+}
+
+// Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// DepFacts holds the fact blobs exported by directly imported
+	// packages, keyed by package path. Populated only for analyzers with
+	// UsesFacts; nil blobs never appear.
+	DepFacts map[string][]byte
+
+	// ExportFact records this package's fact blob for dependents. Only
+	// the last call wins. Nil for analyzers without UsesFacts under
+	// drivers that do not persist facts.
+	ExportFact func([]byte)
+
+	// Report emits one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers need.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

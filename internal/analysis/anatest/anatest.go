@@ -1,0 +1,213 @@
+// Package anatest is the analysistest analogue for this module's
+// analyzers: it type-checks fixture packages under testdata/src, runs an
+// analyzer over them, and matches reported diagnostics against
+// expectations written in the fixtures themselves:
+//
+//	bad := thing()      // want "regexp matching the message"
+//
+// Multiple quoted regexps on one line expect multiple diagnostics.
+// Fixture packages may import each other by their directory name
+// (resolved under testdata/src, with facts flowing between them in the
+// order given to Run) and may import the standard library (type-checked
+// from source — keep fixture imports small).
+package anatest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes the named fixture packages (directories under
+// testdata/src, dependency-first if facts matter) and checks the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := &loader{
+		fset:   token.NewFileSet(),
+		root:   filepath.Join("testdata", "src"),
+		pkgs:   make(map[string]*fixturePkg),
+		source: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	facts := make(map[string][]byte)
+	for _, path := range pkgs {
+		fp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		allowed := analysis.AllowedLines(l.fset, fp.files, a.Name)
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.fset,
+			Files:     fp.files,
+			Pkg:       fp.pkg,
+			TypesInfo: fp.info,
+			Report: func(d analysis.Diagnostic) {
+				if analysis.Suppressed(l.fset, allowed, d.Pos) {
+					return
+				}
+				diags = append(diags, d)
+			},
+			ExportFact: func(b []byte) { facts[path] = b },
+		}
+		if a.UsesFacts {
+			pass.DepFacts = make(map[string][]byte)
+			for p, b := range facts {
+				if p != path {
+					pass.DepFacts[p] = b
+				}
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on fixture %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, fp, diags)
+	}
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	pkgs   map[string]*fixturePkg
+	source types.Importer
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	cfg := &types.Config{Importer: importerFunc(l.importPkg)}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = fp
+	return fp, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp.pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return l.source.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\")|(?:`([^`]*)`)")
+
+func check(t *testing.T, fset *token.FileSet, fp *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					} else {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

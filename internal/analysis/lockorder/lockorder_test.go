@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// core first: btree's inversion is only visible through core's
+	// exported function summaries (the facts path).
+	anatest.Run(t, lockorder.Analyzer, "core", "btree")
+}

@@ -1,0 +1,35 @@
+// Package core is a fixture stub mirroring the real core.Volume lock
+// fields: lockorder ranks by (package last element, type, field).
+package core
+
+import "sync"
+
+// Volume carries the two outermost ranked locks.
+type Volume struct {
+	mu     sync.Mutex   // rank 10
+	ckptMu sync.RWMutex // rank 15
+}
+
+// Freeze takes the volume lock; its exported summary lets dependent
+// packages see rank 10 through the facts file.
+func (v *Volume) Freeze() {
+	v.mu.Lock()
+	v.mu.Unlock()
+}
+
+// FreezeCheckpoint respects the hierarchy: outer rank before inner.
+func (v *Volume) FreezeCheckpoint() {
+	v.mu.Lock()
+	v.ckptMu.Lock()
+	v.ckptMu.Unlock()
+	v.mu.Unlock()
+}
+
+// closeUnderFence inverts it: the checkpoint fence is held while the
+// volume lock is acquired.
+func (v *Volume) closeUnderFence() {
+	v.ckptMu.Lock()
+	v.mu.Lock() // want `acquires core.Volume.mu \(rank 10\) while holding core.Volume.ckptMu \(rank 15\)`
+	v.mu.Unlock()
+	v.ckptMu.Unlock()
+}

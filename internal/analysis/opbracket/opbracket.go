@@ -1,0 +1,389 @@
+// Package opbracket enforces the operation-bracket discipline around
+// core.Volume.beginOp / osd.Options.Begin.
+//
+// Every mutating operation runs inside a bracket: the begin hook returns
+// `(*pager.Op, func(error) error, error)`, and the second result — the
+// done/commit function — owns the transaction's fate. It stages the
+// op's captured redo records with the group committer on success, rolls
+// the op back through the undo path on failure, and releases the
+// checkpoint fence either way. A return path that drops `done` leaks the
+// fence read-lock (checkpoints stall forever — the PR 3 liveness bug
+// class) and strands captured records (the osd test counting
+// begins/commits exists precisely because this was once wrong).
+//
+// Checked, for every call whose results have exactly that shape:
+//
+//   - the done function is not assigned to the blank identifier;
+//   - every return path of the enclosing function after the acquisition
+//     either calls done, defers it, or is the immediate `if err != nil`
+//     guard on the acquisition itself (done is nil there);
+//   - if done escapes (stored, passed along, captured by a nested
+//     closure), the function is trusted — the bracket's fate moved
+//     somewhere this analyzer cannot follow.
+//
+// Additionally, a statement that calls a mutator threading a *pager.Op
+// and discards its error result is flagged: the op's captured records
+// and inverses no longer match the structure state the caller believes
+// in, which is how partially-applied mutations slip past rollback.
+package opbracket
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the opbracket analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "opbracket",
+	Doc:  "operation brackets reach done(err) on every path; op-threading errors are not dropped",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, fd.Body)
+			// Closures are their own bracket scopes.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkScope(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	checkDiscardedOpErrors(pass)
+	return nil
+}
+
+// acquisition is one `op, done, err := begin()` in a function scope.
+type acquisition struct {
+	stmt    *ast.AssignStmt
+	block   *ast.BlockStmt // the statement list containing stmt
+	index   int            // position of stmt within block
+	done    types.Object   // nil if blank
+	errObj  types.Object   // nil if blank
+	blank   bool           // done assigned to _
+	callPos ast.Node
+}
+
+// checkScope analyzes one function body (excluding nested closures,
+// which are checked as scopes of their own).
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var acqs []acquisition
+	walkBlocks(body, func(b *ast.BlockStmt) {
+		for i, st := range b.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 3 || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBracketBegin(pass, call) {
+				continue
+			}
+			a := acquisition{stmt: as, block: b, index: i, callPos: call}
+			if id, ok := as.Lhs[1].(*ast.Ident); ok {
+				if id.Name == "_" {
+					a.blank = true
+				} else {
+					a.done = pass.TypesInfo.ObjectOf(id)
+				}
+			}
+			if id, ok := as.Lhs[2].(*ast.Ident); ok && id.Name != "_" {
+				a.errObj = pass.TypesInfo.ObjectOf(id)
+			}
+			acqs = append(acqs, a)
+		}
+	})
+	for _, a := range acqs {
+		checkAcquisition(pass, body, a)
+	}
+}
+
+// walkBlocks visits every statement list lexically within body, without
+// descending into nested function literals.
+func walkBlocks(body *ast.BlockStmt, fn func(*ast.BlockStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			fn(n)
+		}
+		return true
+	})
+}
+
+func checkAcquisition(pass *analysis.Pass, body *ast.BlockStmt, a acquisition) {
+	if a.blank || a.done == nil {
+		pass.Reportf(a.stmt.Pos(), "operation bracket's done func is discarded; every begin must reach done(err)")
+		return
+	}
+	var (
+		deferred     bool
+		escapes      bool
+		topLevelCall []ast.Node // statements of the outer body that call done
+	)
+	// Classify every use of done in this scope. A closure capturing done
+	// means the bracket escapes — even if the closure only calls it, the
+	// call happens at a time this analyzer cannot order (the osd.beginOp
+	// wrapper returns done re-wrapped exactly this way).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if usesObj(pass, n.Body, a.done) {
+				escapes = true
+			}
+			return false
+		case *ast.DeferStmt:
+			if isCallTo(pass, n.Call, a.done) {
+				deferred = true
+				return false
+			}
+		case *ast.Ident:
+			// Uses only: the declaring ident of the := itself is a Def,
+			// not a value use.
+			if pass.TypesInfo.Uses[n] != a.done {
+				return true
+			}
+			if !isCallPosition(body, n) {
+				escapes = true
+			}
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+	for _, st := range body.List {
+		if st.Pos() <= a.stmt.Pos() {
+			continue
+		}
+		if _, isDefer := st.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		if callsObj(pass, st, a.done) {
+			topLevelCall = append(topLevelCall, st)
+		}
+	}
+
+	var guard *ast.IfStmt
+	if a.index+1 < len(a.block.List) {
+		if ifs, ok := a.block.List[a.index+1].(*ast.IfStmt); ok && condMentions(pass, ifs.Cond, a.errObj) {
+			guard = ifs
+		}
+	}
+
+	anyFinish := deferred || len(topLevelCall) > 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < a.stmt.End() {
+			return true
+		}
+		if deferred || callsObj(pass, ret, a.done) {
+			anyFinish = true
+			return true
+		}
+		if guard != nil && ret.Pos() >= guard.Pos() && ret.End() <= guard.End() {
+			return true // the begin-error guard; done is nil here
+		}
+		for _, st := range topLevelCall {
+			if st.End() <= ret.Pos() {
+				return true // done already called on the straight-line path
+			}
+			// `if err := done(err); err != nil { return ... }`: the return
+			// sits inside the very statement whose init called done.
+			if st.Pos() <= ret.Pos() && ret.End() <= st.End() && doneCalledBefore(pass, st, a.done, ret.Pos()) {
+				return true
+			}
+		}
+		pass.Reportf(ret.Pos(), "return leaks the operation bracket: done(err) is not called on this path (bracket opened at %s)",
+			pass.Fset.Position(a.stmt.Pos()))
+		return true
+	})
+	if !anyFinish {
+		pass.Reportf(a.stmt.Pos(), "operation bracket is never finished: no call or defer of done(err) in this function")
+	}
+}
+
+// isCallPosition reports whether id is the function operand of a call
+// (done(...)) rather than a value use, looking only at this scope.
+func isCallPosition(body *ast.BlockStmt, id *ast.Ident) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if fun, isIdent := call.Fun.(*ast.Ident); isIdent && fun == id {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func callsObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isCallTo(pass, call, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// usesObj reports whether any ident under n (closures included) uses obj.
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// doneCalledBefore reports whether a call to obj lexically inside st
+// (closures excluded) completes before pos.
+func doneCalledBefore(pass *analysis.Pass, st ast.Node, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isCallTo(pass, call, obj) && call.End() <= pos {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func isCallTo(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+func condMentions(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isBracketBegin matches calls returning (*pager.Op, func(error) error, error).
+func isBracketBegin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() != 3 {
+		return false
+	}
+	return isPagerOpPtr(res.At(0).Type()) &&
+		isDoneFunc(res.At(1).Type()) &&
+		isErrorType(res.At(2).Type())
+}
+
+func isPagerOpPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Op" && obj.Pkg() != nil && lastElem(obj.Pkg().Path()) == "pager"
+}
+
+func isDoneFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isErrorType(sig.Params().At(0).Type()) && isErrorType(sig.Results().At(0).Type())
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// checkDiscardedOpErrors flags expression statements that call a
+// function threading a *pager.Op and drop its error result.
+func checkDiscardedOpErrors(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok {
+				return true
+			}
+			sig, ok := tv.Type.Underlying().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return true
+			}
+			if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+				return true
+			}
+			opParam := false
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isPagerOpPtr(sig.Params().At(i).Type()) {
+					opParam = true
+					break
+				}
+			}
+			if !opParam {
+				return true
+			}
+			pass.Reportf(es.Pos(), "error result of op-threading call is discarded: a failed mutation leaves the op's capture out of sync with the structure")
+			return true
+		})
+	}
+}

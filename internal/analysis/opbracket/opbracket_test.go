@@ -1,0 +1,12 @@
+package opbracket_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/opbracket"
+)
+
+func TestOpBracket(t *testing.T) {
+	anatest.Run(t, opbracket.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+package a
+
+import "pager"
+
+func begin() (*pager.Op, func(error) error, error) {
+	op := &pager.Op{}
+	return op, func(err error) error { return err }, nil
+}
+
+func mutate(op *pager.Op, n int) error {
+	op.N = n
+	return nil
+}
+
+// good is the canonical bracket: guard the acquisition, finish through
+// done on the one return path.
+func good() error {
+	op, done, err := begin()
+	if err != nil {
+		return err
+	}
+	return done(mutate(op, 1))
+}
+
+// goodDefer finishes via defer; every later return is covered.
+func goodDefer() error {
+	op, done, err := begin()
+	if err != nil {
+		return err
+	}
+	defer done(nil)
+	if op.N > 0 {
+		return nil
+	}
+	return mutate(op, 2)
+}
+
+// leak reproduces the historical bug class: an error path added later
+// returns without calling done, stranding the checkpoint fence.
+func leak() error {
+	op, done, err := begin()
+	if err != nil {
+		return err
+	}
+	if err := mutate(op, 1); err != nil {
+		return err // want `return leaks the operation bracket`
+	}
+	return done(nil)
+}
+
+// blank discards the done func outright.
+func blank() error {
+	op, _, err := begin() // want `operation bracket's done func is discarded`
+	if err != nil {
+		return err
+	}
+	return mutate(op, 1)
+}
+
+// wrapDone mirrors osd.beginOp: done is re-wrapped in a returned
+// closure, so the bracket escapes and the wrapper is trusted.
+func wrapDone() (*pager.Op, func(error) error, error) {
+	op, done, err := begin()
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, func(opErr error) error {
+		return done(opErr)
+	}, nil
+}
+
+// guardedDone is the repo-wide finish idiom: done runs in the if init,
+// and the return inside that statement is a finished path.
+func guardedDone() (*pager.Op, error) {
+	op, done, err := begin()
+	if err != nil {
+		return nil, err
+	}
+	mutErr := mutate(op, 3)
+	if err := done(mutErr); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// escapes hands the bracket to its caller; the analyzer trusts it.
+func escapes() (func(error) error, error) {
+	_, done, err := begin()
+	if err != nil {
+		return nil, err
+	}
+	return done, nil
+}
+
+// drop discards a mutator's error while threading the op: the capture
+// no longer matches the structure the caller believes in.
+func drop(op *pager.Op) {
+	mutate(op, 2) // want `error result of op-threading call is discarded`
+}

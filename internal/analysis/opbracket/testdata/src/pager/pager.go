@@ -1,0 +1,9 @@
+// Package pager is a fixture stub: opbracket matches the begin-hook
+// shape (*pager.Op, func(error) error, error) by the last element of
+// the defining package's path, so this stands in for the real pager.
+package pager
+
+// Op is the capture handle threaded through mutators.
+type Op struct {
+	N int
+}

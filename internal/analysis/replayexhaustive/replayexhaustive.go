@@ -1,0 +1,221 @@
+// Package replayexhaustive keeps the redo vocabulary and the replay
+// switches in lockstep: a record kind (or structure opcode) that replay
+// does not handle is a recovery corruption waiting for the first crash,
+// not a compile error — PR 5 grew exactly such a vocabulary
+// (KindExtentOp and the xop* opcodes) and had to teach replay by hand.
+// This analyzer turns "forgot to teach replay" into a CI failure.
+//
+// Checked functions and their vocabularies:
+//
+//   - core's replayLog: every `Kind*` constant of the imported redo
+//     package must appear as a case in its switch (the switch lives in
+//     the closure passed to wal.Recover — closures are searched).
+//   - btree's ReplayOp: every `op*` opcode constant of the package.
+//   - extent's ReplayOp: every `xop*` opcode constant of the package.
+//
+// A kind that deliberately never reaches a replay switch (KindUndo and
+// KindChunk terminate in the WAL's chain resolution) is exempted at the
+// checked function with an explicit, greppable comment in the same file:
+//
+//	//hfadvet:replay-exempt KindUndo KindChunk — reason
+package replayexhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the replayexhaustive analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "replayexhaustive",
+	Doc:  "every redo record kind and structure opcode is handled by its replay switch",
+	Run:  run,
+}
+
+const exemptPrefix = "hfadvet:replay-exempt"
+
+// vocabSpec names one replay function and where its opcode constants live.
+type vocabSpec struct {
+	funcName    string
+	constPrefix string
+	// imported is the last path element of the package defining the
+	// constants; empty means the analyzed package itself.
+	imported string
+}
+
+// specs keys on the last element of the analyzed package's path.
+var specs = map[string][]vocabSpec{
+	"core":   {{funcName: "replayLog", constPrefix: "Kind", imported: "redo"}},
+	"btree":  {{funcName: "ReplayOp", constPrefix: "op"}},
+	"extent": {{funcName: "ReplayOp", constPrefix: "xop"}},
+}
+
+func run(pass *analysis.Pass) error {
+	pkgSpecs := specs[lastElem(pass.Pkg.Path())]
+	if len(pkgSpecs) == 0 {
+		return nil
+	}
+	for _, spec := range pkgSpecs {
+		vocab := vocabulary(pass, spec)
+		if len(vocab) == 0 {
+			continue
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != spec.funcName || fd.Body == nil {
+					continue
+				}
+				checkReplayFunc(pass, f, fd, vocab)
+			}
+		}
+	}
+	return nil
+}
+
+// vocabulary maps constant int64 values to constant names for the
+// spec's opcode namespace.
+func vocabulary(pass *analysis.Pass, spec vocabSpec) map[int64]string {
+	scope := pass.Pkg.Scope()
+	prefix := ""
+	if spec.imported != "" {
+		scope = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if lastElem(imp.Path()) == spec.imported {
+				scope = imp.Scope()
+				prefix = imp.Name() + "."
+				break
+			}
+		}
+		if scope == nil {
+			return nil
+		}
+	}
+	out := make(map[int64]string)
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, spec.constPrefix) {
+			continue
+		}
+		rest := name[len(spec.constPrefix):]
+		if rest == "" || !(rest[0] >= 'A' && rest[0] <= 'Z') {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if v, ok := constant.Int64Val(constant.ToInt(c.Val())); ok {
+			out[v] = prefix + name
+		}
+	}
+	return out
+}
+
+// checkReplayFunc finds the replay switch inside fd (closures included)
+// and reports vocabulary constants with no case and no exemption.
+func checkReplayFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, vocab map[int64]string) {
+	exempt := exemptions(pass, file, vocab)
+
+	covered := make(map[int64]bool)
+	var switchPos token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		var vals []int64
+		for _, clause := range sw.Body.List {
+			for _, e := range clause.(*ast.CaseClause).List {
+				tv, ok := pass.TypesInfo.Types[e]
+				if !ok || tv.Value == nil {
+					continue
+				}
+				if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+					vals = append(vals, v)
+				}
+			}
+		}
+		hit := false
+		for _, v := range vals {
+			if _, ok := vocab[v]; ok {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return true // not the replay switch (e.g. an inner length switch)
+		}
+		if switchPos == token.NoPos {
+			switchPos = sw.Pos()
+		}
+		for _, v := range vals {
+			covered[v] = true
+		}
+		return true
+	})
+
+	if switchPos == token.NoPos {
+		pass.Reportf(fd.Pos(), "%s has no switch over its replay vocabulary", fd.Name.Name)
+		return
+	}
+	var missing []string
+	for v, name := range vocab {
+		if !covered[v] && !exempt[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(switchPos, "%s's replay switch does not handle %s: a logged record of that kind would be silently unreplayable (add a case, or an explicit //hfadvet:replay-exempt)",
+			fd.Name.Name, strings.Join(missing, ", "))
+	}
+}
+
+// exemptions collects //hfadvet:replay-exempt names from the file,
+// resolved against the vocabulary's (possibly qualified) names.
+func exemptions(pass *analysis.Pass, file *ast.File, vocab map[int64]string) map[string]bool {
+	byBare := make(map[string]string)
+	for _, qual := range vocab {
+		bare := qual
+		if i := strings.IndexByte(qual, '.'); i >= 0 {
+			bare = qual[i+1:]
+		}
+		byBare[bare] = qual
+	}
+	out := make(map[string]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, exemptPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, exemptPrefix))
+			for _, tok := range strings.Fields(rest) {
+				tok = strings.TrimRight(tok, ",;")
+				if tok == "—" || tok == "-" || tok == "--" {
+					break // rationale follows
+				}
+				if i := strings.IndexByte(tok, '.'); i >= 0 {
+					tok = tok[i+1:]
+				}
+				if qual, ok := byBare[tok]; ok {
+					out[qual] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

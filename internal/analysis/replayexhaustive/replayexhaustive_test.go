@@ -1,0 +1,12 @@
+package replayexhaustive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/replayexhaustive"
+)
+
+func TestReplayExhaustive(t *testing.T) {
+	anatest.Run(t, replayexhaustive.Analyzer, "core", "btree", "extent")
+}

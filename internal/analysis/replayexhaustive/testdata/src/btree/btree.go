@@ -1,0 +1,17 @@
+// Package btree is a fixture with a partial opcode switch.
+package btree
+
+// The opcode vocabulary.
+const (
+	opInit = iota + 1
+	opInsert
+	opDelete
+)
+
+func ReplayOp(code int) error {
+	switch code { // want `ReplayOp's replay switch does not handle opDelete`
+	case opInit, opInsert:
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package core is a fixture whose replayLog mirrors the real one: the
+// replay switch lives in a closure handed to the recovery driver, and
+// the PR 5 bug class — a Kind added to the vocabulary without a case —
+// must be caught there.
+package core
+
+import "redo"
+
+type rec struct {
+	kind redo.Kind
+}
+
+//hfadvet:replay-exempt KindUndo — resolved by the WAL's chain scan, never dispatched to the switch
+func replayLog(recs []rec) error {
+	apply := func(r rec) error {
+		switch r.kind { // want `replayLog's replay switch does not handle redo.KindRange`
+		case redo.KindImage:
+			return nil
+		default:
+			return nil
+		}
+	}
+	for _, r := range recs {
+		if err := apply(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

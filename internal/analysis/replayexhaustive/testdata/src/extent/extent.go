@@ -1,0 +1,16 @@
+// Package extent is a fixture whose ReplayOp lost its switch entirely.
+package extent
+
+// The opcode vocabulary.
+const (
+	xopInit = iota + 1
+	xopAppend
+)
+
+func ReplayOp(code int) error { // want `ReplayOp has no switch over its replay vocabulary`
+	if code == xopInit {
+		return nil
+	}
+	_ = xopAppend
+	return nil
+}

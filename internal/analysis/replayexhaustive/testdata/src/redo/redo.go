@@ -1,0 +1,13 @@
+// Package redo is a fixture stub carrying the Kind* vocabulary the
+// core spec checks against.
+package redo
+
+// Kind tags one redo record.
+type Kind uint8
+
+// The record vocabulary.
+const (
+	KindImage Kind = iota + 1
+	KindRange
+	KindUndo
+)

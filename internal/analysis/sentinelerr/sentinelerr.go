@@ -1,0 +1,132 @@
+// Package sentinelerr forbids ==/!= comparisons against sentinel error
+// values, requiring errors.Is.
+//
+// Every sentinel in this module is routinely wrapped (`fmt.Errorf("...:
+// %w", ErrX)` — the wal, osd, hierfs, and server packages all do), so a
+// direct identity comparison silently stops matching the moment a
+// wrapping layer is inserted between producer and consumer. That is not
+// hypothetical: PR 8 made core.ErrCorrupt reachable only through the
+// wrapped ErrCorruptPage, and the == comparisons that survived in tests
+// and internal packages kept compiling while testing nothing.
+//
+// Flagged: a ==/!= whose operand denotes a package-level `error`
+// variable named Err* (any package), or io.EOF / io.ErrUnexpectedEOF
+// (which this module's layered readers forward through wrapping call
+// chains). Switch statements over an error value with sentinel case
+// clauses are the same comparison in disguise and are flagged too.
+//
+// Exempt: the body of an `Is(error) bool` method — identity comparison
+// against the target is exactly the errors.Is protocol (core.ErrCorruptPage
+// does this).
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the sentinelerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "forbid ==/!= against sentinel errors; require errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if isErrorsIsMethod(pass, n) {
+					return false // the errors.Is protocol compares identity
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, operand := range [2]ast.Expr{n.X, n.Y} {
+					if name, ok := sentinel(pass, operand); ok {
+						pass.Reportf(n.Pos(), "comparison %s %s: sentinel errors are wrapped in this module; use errors.Is(err, %s)",
+							n.Op, name, name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n.Tag]; !ok || !isErrorType(tv.Type) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc := clause.(*ast.CaseClause)
+					for _, v := range cc.List {
+						if name, ok := sentinel(pass, v); ok {
+							pass.Reportf(v.Pos(), "switch over error compares case %s by identity; use errors.Is(err, %s)", name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinel reports whether e denotes a sentinel error value: a
+// package-level variable of type error named Err*, or io.EOF /
+// io.ErrUnexpectedEOF.
+func sentinel(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	name := obj.Name()
+	if obj.Pkg().Path() == "io" && (name == "EOF" || name == "ErrUnexpectedEOF") {
+		return "io." + name, true
+	}
+	if strings.HasPrefix(name, "Err") && len(name) > 3 && name[3] >= 'A' && name[3] <= 'Z' {
+		if obj.Pkg().Path() == pass.Pkg.Path() {
+			return name, true
+		}
+		return obj.Pkg().Name() + "." + name, true
+	}
+	return "", false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+// isErrorsIsMethod matches `func (x T) Is(target error) bool` — the
+// errors.Is unwrapping protocol, whose whole point is an identity check.
+func isErrorsIsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 &&
+		isErrorType(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}

@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	anatest.Run(t, sentinelerr.Analyzer, "a")
+}

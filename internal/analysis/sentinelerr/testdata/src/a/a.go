@@ -1,0 +1,41 @@
+package a
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrClosed is a sentinel in the module's Err* vocabulary.
+var ErrClosed = errors.New("closed")
+
+// errSmall is package-local shorthand, not part of the wrapped
+// vocabulary; identity comparison is left alone.
+var errSmall = errors.New("small")
+
+type wrapErr struct{ e error }
+
+func (w wrapErr) Error() string { return "wrap: " + w.e.Error() }
+
+// Is implements the errors.Is protocol; its identity check is the
+// point, not a violation.
+func (w wrapErr) Is(target error) bool { return target == ErrClosed }
+
+func classify(err error) int {
+	if err == ErrClosed { // want `use errors.Is\(err, ErrClosed\)`
+		return 1
+	}
+	if err != io.EOF { // want `use errors.Is\(err, io.EOF\)`
+		return 2
+	}
+	if err == errSmall {
+		return 3
+	}
+	if errors.Is(err, ErrClosed) {
+		return 4
+	}
+	switch err {
+	case ErrClosed: // want `switch over error compares case ErrClosed by identity`
+		return 5
+	}
+	return 0
+}

@@ -1,0 +1,262 @@
+// Package unitchecker implements the driver protocol the go command
+// speaks to a vet tool (`go vet -vettool=$(which hfadvet)`), without
+// depending on golang.org/x/tools.
+//
+// The protocol, as implemented by cmd/go:
+//
+//   - The tool is first invoked as `tool -V=full` and must print a line
+//     that uniquely identifies its build (used as a cache key).
+//   - For every package in the build graph the tool is invoked as
+//     `tool [flags] <objdir>/vet.cfg`. The cfg file is JSON describing
+//     the package: its compiled Go files, the import map, and the
+//     export-data files of its dependencies.
+//   - The tool must write a "facts" file at cfg.VetxOutput (dependency
+//     fact files arrive in cfg.PackageVetx); diagnostics go to stderr in
+//     "file:line:col: message" form and exit status 2 reports findings.
+//     Packages vetted only for their facts set VetxOnly.
+//
+// Type-checking uses the standard library's gc export-data importer fed
+// by cfg.PackageFile, so no source of any dependency is re-parsed.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors the JSON schema of the go command's vet.cfg files.
+// Unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ModulePrefix scopes analysis to this module: packages outside it (the
+// standard library, mainly — `go vet` walks the whole build graph for
+// facts) are acknowledged with an empty facts file and never parsed.
+const ModulePrefix = "repro"
+
+// Main is the entry point for a vettool binary. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			os.Exit(0)
+		case "-flags", "--flags":
+			// The go command probes the tool's flag set to decide which
+			// vet flags to forward; this tool defines none.
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		fmt.Fprintf(os.Stderr, "hfadvet: expected a vet .cfg file; run me via `go vet -vettool` (or `hfadvet ./...`)\n")
+		os.Exit(1)
+	}
+	// Flags other than the cfg are the go command's business (it may
+	// forward user vet flags); none affect this tool.
+	if err := Run(args[len(args)-1], analyzers); err != nil {
+		fmt.Fprintf(os.Stderr, "hfadvet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func printVersion() {
+	// The content only needs to be unique per build of the tool; hash
+	// the executable the way x/tools' unitchecker does.
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("hfadvet version devel buildID=%02x\n", h.Sum(nil))
+}
+
+// Run executes one unitchecker invocation. Diagnostics are printed to
+// stderr and terminate the process with status 2.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) error {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput == "" {
+		return fmt.Errorf("%s: no VetxOutput", cfgFile)
+	}
+
+	if !inModule(cfg.ImportPath) {
+		// Outside the module: nothing to analyze, nothing to export.
+		return writeFacts(cfg.VetxOutput, nil)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeFacts(cfg.VetxOutput, nil)
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tcfg := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, "amd64"),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeFacts(cfg.VetxOutput, nil)
+		}
+		return fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	depFacts := readDepFacts(cfg)
+
+	exported := make(map[string][]byte)
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.ExportFact = func(b []byte) { exported[name] = b }
+		if a.UsesFacts {
+			pass.DepFacts = depFacts[a.Name]
+		}
+		allowed := analysis.AllowedLines(fset, files, a.Name)
+		if !cfg.VetxOnly {
+			pass.Report = func(d analysis.Diagnostic) {
+				if analysis.Suppressed(fset, allowed, d.Pos) {
+					return
+				}
+				diags = append(diags, analysis.Diagnostic{
+					Pos:     d.Pos,
+					Message: a.Name + ": " + d.Message,
+				})
+			}
+		} else {
+			pass.Report = func(analysis.Diagnostic) {}
+		}
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+
+	if err := writeFacts(cfg.VetxOutput, exported); err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		os.Exit(2)
+	}
+	return nil
+}
+
+func inModule(importPath string) bool {
+	// Test variants are named "path [other.test]"; the synthetic test
+	// main package is "path.test".
+	p, _, _ := strings.Cut(importPath, " ")
+	return p == ModulePrefix || strings.HasPrefix(p, ModulePrefix+"/")
+}
+
+// readDepFacts loads every dependency's facts file and regroups the
+// blobs per analyzer: analyzer name -> dep package path -> blob.
+func readDepFacts(cfg Config) map[string]map[string][]byte {
+	out := make(map[string]map[string][]byte)
+	for depPath, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil || len(data) == 0 {
+			continue // deps outside the module export nothing
+		}
+		var m map[string][]byte
+		if err := gob.NewDecoder(strings.NewReader(string(data))).Decode(&m); err != nil {
+			continue
+		}
+		for aname, blob := range m {
+			if out[aname] == nil {
+				out[aname] = make(map[string][]byte)
+			}
+			out[aname][depPath] = blob
+		}
+	}
+	return out
+}
+
+func writeFacts(path string, m map[string][]byte) error {
+	var sb strings.Builder
+	if len(m) > 0 {
+		if err := gob.NewEncoder(&sb).Encode(m); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o666)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

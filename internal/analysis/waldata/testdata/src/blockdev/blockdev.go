@@ -1,0 +1,9 @@
+// Package blockdev is a fixture stub: waldata matches WriteBlock
+// methods by the defining package's last path element.
+package blockdev
+
+// Device is a raw block device.
+type Device struct{}
+
+// WriteBlock writes one block.
+func (d *Device) WriteBlock(n uint64, b []byte) error { return nil }

@@ -1,0 +1,17 @@
+// Package btree is a fixture for the PR 4 bug class: a structure-layer
+// mutation written straight to the device, with no redo record below it.
+package btree
+
+import "blockdev"
+
+type Tree struct {
+	dev *blockdev.Device
+}
+
+func (t *Tree) splitUnsafe(b []byte) error {
+	return t.dev.WriteBlock(7, b) // want `direct device write bypasses the WAL op capture`
+}
+
+func (t *Tree) rawAudited(b []byte) error {
+	return t.dev.WriteBlock(8, b) //hfadvet:allow waldata — fixture carve-out mirroring extent's raw object-data I/O
+}

@@ -1,0 +1,82 @@
+// Package waldata structurally enforces WAL-before-data in the
+// structure layers: inside btree, extent, and osd, page mutations must
+// flow through the pager's op capture (MarkDirtyRec and friends), which
+// stamps an LSN and stages a redo record the WAL flushes before the
+// page can go home. A direct blockdev write from those packages skips
+// the capture entirely — bytes reach the device with no record below
+// them, and the first crash diverges recovery from the acked state (the
+// PR 4 bug class that motivated first-touch base images).
+//
+// Flagged: any call to a WriteBlock method defined by the blockdev
+// package (the Device interface or a concrete device) from non-test
+// code in a package whose path ends in btree, extent, or osd.
+//
+// The one audited carve-out — the extent layer's raw object-data I/O,
+// whose content atomicity is old-or-new by documented design
+// (DESIGN.md "residual caveats") and whose durability the enclosing
+// extent records carry — is annotated in place:
+//
+//	//hfadvet:allow waldata — reason
+//
+// so adding a new direct write is a CI failure until it is either
+// routed through the capture or explicitly argued for at the site.
+package waldata
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the waldata analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "waldata",
+	Doc:  "no direct device writes bypass the WAL op capture in btree, extent, osd",
+	Run:  run,
+}
+
+var checkedPkgs = map[string]bool{"btree": true, "extent": true, "osd": true}
+
+func run(pass *analysis.Pass) error {
+	if !checkedPkgs[lastElem(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			// Tests legitimately write raw blocks: crash-replay harnesses
+			// play recovery's role, corruption tests plant rot.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "WriteBlock" {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.MethodVal {
+				return true
+			}
+			m, ok := s.Obj().(*types.Func)
+			if !ok || m.Pkg() == nil || lastElem(m.Pkg().Path()) != "blockdev" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct device write bypasses the WAL op capture (WAL-before-data): stage the mutation via pager MarkDirtyRec, or annotate the audited carve-out with //hfadvet:allow waldata")
+			return true
+		})
+	}
+	return nil
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package waldata_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/waldata"
+)
+
+func TestWalData(t *testing.T) {
+	anatest.Run(t, waldata.Analyzer, "btree", "other")
+}

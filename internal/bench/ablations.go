@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -92,7 +93,7 @@ func RunE6(s Scale) (*Result, error) {
 			base := sim.Stats()
 			for _, p := range set {
 				buf := make([]byte, p.Size)
-				if _, err := fs.ReadAt(p.Path(), buf, 0); err != nil && err != io.EOF {
+				if _, err := fs.ReadAt(p.Path(), buf, 0); err != nil && !errors.Is(err, io.EOF) {
 					return blockdev.Stats{}, err
 				}
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -376,7 +377,7 @@ func RunE5(s Scale) (*Result, error) {
 			}
 			inspected++
 			nr, err := fs.ReadAt(pp, buf, 0)
-			if err != nil && err != io.EOF {
+			if err != nil && !errors.Is(err, io.EOF) {
 				return err
 			}
 			meta := string(buf[:nr])

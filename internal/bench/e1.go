@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -138,7 +139,7 @@ func RunE1(s Scale) (*Result, error) {
 				if err != nil {
 					return err
 				}
-				if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+				if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 					obj.Close()
 					return err
 				}

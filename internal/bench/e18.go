@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -87,7 +88,7 @@ func RunE18(s Scale) (*Result, error) {
 				st.Close()
 				return nil, err
 			}
-			if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+			if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 				obj.Close()
 				st.Close()
 				return nil, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -148,7 +149,7 @@ func RunF1(s Scale) (*Result, error) {
 		return nil, err
 	}
 	head := make([]byte, 28)
-	if _, err := obj.ReadAt(head, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(head, 0); err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	tbl.AddRow(4, "access interfaces", fmt.Sprintf("insert at 15 -> %q", string(head)))

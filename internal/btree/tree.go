@@ -3,6 +3,7 @@ package btree
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -263,7 +264,7 @@ func (t *Tree) Has(key []byte) (bool, error) {
 	switch {
 	case err == nil:
 		return true, nil
-	case err == ErrNotFound:
+	case errors.Is(err, ErrNotFound):
 		return false, nil
 	default:
 		return false, err

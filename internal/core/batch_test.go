@@ -302,7 +302,7 @@ func TestConcurrentAppendsSameObjectNoLostUpdate(t *testing.T) {
 	// Every writer's bytes must all be present: chunk-aligned runs, with
 	// exactly perWriter runs of each writer's fill byte.
 	buf := make([]byte, want)
-	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	counts := make(map[byte]int)
@@ -390,7 +390,7 @@ func TestBatchConcurrentCloseNoDeadlock(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		select {
 		case err := <-batchDone:
-			if err != nil && err != ErrClosed {
+			if err != nil && !errors.Is(err, ErrClosed) {
 				t.Fatalf("batch: %v", err)
 			}
 		case err := <-closeDone:

@@ -65,7 +65,7 @@ func TestCreateAndReopenVolume(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, 15)
-	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(got) != "volume contents" {
@@ -593,7 +593,7 @@ func TestObjectDataIntact(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, len(content)+8)
-	if _, err := obj2.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := obj2.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	want := append(append(append([]byte{}, content[:1000]...), []byte("INSERTED")...), content[1000:]...)

@@ -48,7 +48,7 @@ func readExtObj(t *testing.T, v *Volume, oid OID, size int) []byte {
 		return buf
 	}
 	n, err := obj.ReadAt(buf, 0)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		t.Fatalf("read %d: %v", oid, err)
 	}
 	if n != size {

@@ -115,7 +115,7 @@ func (v *Volume) removeNameDeferred(op *pager.Op, oid OID, tag string, value []b
 	if err := st.Remove(op, value, oid); err != nil {
 		return err
 	}
-	if err := v.reverse.DeleteOp(op, revKey(oid, tag, reverseValue(tag, value))); err != nil && err != btree.ErrNotFound {
+	if err := v.reverse.DeleteOp(op, revKey(oid, tag, reverseValue(tag, value))); err != nil && !errors.Is(err, btree.ErrNotFound) {
 		return err
 	}
 	return nil
@@ -178,7 +178,7 @@ func (v *Volume) removeAllNamesDeferred(op *pager.Op, oid OID) error {
 		if err := st.Remove(op, tv.Value, oid); err != nil {
 			return err
 		}
-		if err := v.reverse.DeleteOp(op, revKey(oid, tv.Tag, tv.Value)); err != nil && err != btree.ErrNotFound {
+		if err := v.reverse.DeleteOp(op, revKey(oid, tv.Tag, tv.Value)); err != nil && !errors.Is(err, btree.ErrNotFound) {
 			return err
 		}
 	}

@@ -714,7 +714,7 @@ func (v *Volume) openIndexes() error {
 		var shards []index.Store
 		for i := 0; ; i++ {
 			pno, err := v.catalogGet(fmt.Sprintf("idx/%s/%d", tag, i))
-			if err == btree.ErrNotFound {
+			if errors.Is(err, btree.ErrNotFound) {
 				break
 			}
 			if err != nil {
@@ -794,6 +794,7 @@ func (v *Volume) replayLog() error {
 		pristine[pno] = p
 		return d, nil
 	}
+	//hfadvet:replay-exempt KindUndo KindChunk — both terminate inside the WAL: undo records drive rollback through chain resolution and chunk records reassemble oversized payloads before Recover ever surfaces a logical record here
 	n, err := v.log.Recover(func(r redo.Record) error {
 		switch r.Kind {
 		case redo.KindImage:
@@ -1445,7 +1446,7 @@ func (v *Volume) Close() error {
 		return nil
 	}
 	v.stopCheckpointer()
-	if err := v.ft.Inner().Close(); err != nil && err != fulltext.ErrClosed {
+	if err := v.ft.Inner().Close(); err != nil && !errors.Is(err, fulltext.ErrClosed) {
 		return err
 	}
 	if err := v.Sync(); err != nil {

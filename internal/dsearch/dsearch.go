@@ -82,7 +82,7 @@ func (d *FileDevice) ReadBlock(n uint64, p []byte) error {
 		return blockdev.ErrBadLength
 	}
 	_, err := d.fs.ReadAtIno(d.ino, p, n*uint64(d.bs))
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		err = nil
 	}
 	return err
@@ -305,7 +305,7 @@ func (e *Engine) SearchToData(term string) ([]string, Stats, error) {
 
 	buf := make([]byte, blockdev.DefaultBlockSize)
 	for _, p := range paths {
-		if _, err := e.fs.ReadAt(p, buf, 0); err != nil && err != io.EOF {
+		if _, err := e.fs.ReadAt(p, buf, 0); err != nil && !errors.Is(err, io.EOF) {
 			return nil, Stats{}, err
 		}
 	}

@@ -54,7 +54,7 @@ func readAll(t *testing.T, tr *Tree) []byte {
 		return out
 	}
 	n, err := tr.ReadAt(out, 0)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		t.Fatalf("ReadAt: %v", err)
 	}
 	if n != len(out) {
@@ -76,7 +76,7 @@ func TestEmptyObject(t *testing.T) {
 	if tr.Size() != 0 {
 		t.Errorf("Size = %d", tr.Size())
 	}
-	if _, err := tr.ReadAt(make([]byte, 1), 0); err != io.EOF {
+	if _, err := tr.ReadAt(make([]byte, 1), 0); !errors.Is(err, io.EOF) {
 		t.Errorf("read empty = %v, want EOF", err)
 	}
 	mustCheck(t, tr)
@@ -114,7 +114,7 @@ func TestPartialReads(t *testing.T) {
 	}
 	// Read crossing EOF.
 	n, err = tr.ReadAt(buf, 4950)
-	if err != io.EOF || n != 50 {
+	if !errors.Is(err, io.EOF) || n != 50 {
 		t.Errorf("EOF read = %d, %v; want 50, EOF", n, err)
 	}
 	if !bytes.Equal(buf[:50], data[4950:]) {
@@ -182,7 +182,7 @@ func TestSparseWriteCreatesHole(t *testing.T) {
 		}
 	}
 	tail := make([]byte, 4)
-	if _, err := tr.ReadAt(tail, 100000); err != nil && err != io.EOF {
+	if _, err := tr.ReadAt(tail, 100000); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(tail) != "tail" {
@@ -430,7 +430,7 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 		t.Errorf("reopened Size = %d", tr2.Size())
 	}
 	out := make([]byte, 50000)
-	if _, err := tr2.ReadAt(out, 0); err != nil && err != io.EOF {
+	if _, err := tr2.ReadAt(out, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out, data) {
@@ -562,7 +562,7 @@ func TestKeyedMapRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := make([]byte, 20000)
-	if _, err := m.ReadAt(out, 0); err != nil && err != io.EOF {
+	if _, err := m.ReadAt(out, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out, data) {
@@ -590,7 +590,7 @@ func TestKeyedMapInsertRenumbers(t *testing.T) {
 		t.Errorf("RenumberedKeys = %d, want 9", got)
 	}
 	out := make([]byte, 41060)
-	if _, err := m.ReadAt(out, 0); err != nil && err != io.EOF {
+	if _, err := m.ReadAt(out, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	want := append(append(append([]byte{}, pattern(40960, 1)[:4096]...), pattern(100, 9)...), pattern(40960, 1)[4096:]...)
@@ -658,11 +658,11 @@ func TestKeyedMapMatchesCountedTree(t *testing.T) {
 		t.Fatalf("sizes: keyed=%d counted=%d ref=%d", m.Size(), tr.Size(), len(ref))
 	}
 	a := make([]byte, len(ref))
-	if _, err := m.ReadAt(a, 0); err != nil && err != io.EOF {
+	if _, err := m.ReadAt(a, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	b := make([]byte, len(ref))
-	if _, err := tr.ReadAt(b, 0); err != nil && err != io.EOF {
+	if _, err := tr.ReadAt(b, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a, ref) {

@@ -2,6 +2,7 @@ package extent
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -162,12 +163,12 @@ func TestReadAtEdgeCases(t *testing.T) {
 	// Read exactly at EOF boundary.
 	buf := make([]byte, 10)
 	n, err = tr.ReadAt(buf, 100)
-	if n != 0 || err != io.EOF {
+	if n != 0 || !errors.Is(err, io.EOF) {
 		t.Errorf("read at EOF = %d, %v", n, err)
 	}
 	// Read exactly ending at EOF: full read, EOF signalled.
 	n, err = tr.ReadAt(buf, 90)
-	if n != 10 || err != io.EOF {
+	if n != 10 || !errors.Is(err, io.EOF) {
 		t.Errorf("read to EOF = %d, %v", n, err)
 	}
 }
@@ -202,7 +203,7 @@ func TestCountedTreeReopenUnderChurn(t *testing.T) {
 		e.pg = pg
 	}
 	got := make([]byte, len(ref))
-	if _, err := tr.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := tr.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, ref) {

@@ -1,6 +1,7 @@
 package fulltext
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -435,10 +436,10 @@ func TestCloseRejectsFurtherWork(t *testing.T) {
 	if err := x.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Add(nil, 2, "late"); err != ErrClosed {
+	if err := x.Add(nil, 2, "late"); !errors.Is(err, ErrClosed) {
 		t.Errorf("Add after close = %v, want ErrClosed", err)
 	}
-	if err := x.Close(); err != ErrClosed {
+	if err := x.Close(); !errors.Is(err, ErrClosed) {
 		t.Errorf("double close = %v, want ErrClosed", err)
 	}
 }

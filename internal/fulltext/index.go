@@ -400,7 +400,7 @@ func (x *Index) compactLocked(op *pager.Op) error {
 			return err
 		}
 		for doc := range s.dead {
-			if err := x.manifest.DeleteOp(op, tombKey(s.id, doc)); err != nil && err != btree.ErrNotFound {
+			if err := x.manifest.DeleteOp(op, tombKey(s.id, doc)); err != nil && !errors.Is(err, btree.ErrNotFound) {
 				return err
 			}
 		}
@@ -420,7 +420,7 @@ func (x *Index) compactLocked(op *pager.Op) error {
 	for doc := range x.segDocs {
 		if !live[doc] {
 			delete(x.segDocs, doc)
-			if err := x.manifest.DeleteOp(op, docKey(doc)); err != nil && err != btree.ErrNotFound {
+			if err := x.manifest.DeleteOp(op, docKey(doc)); err != nil && !errors.Is(err, btree.ErrNotFound) {
 				return err
 			}
 		}
@@ -434,7 +434,7 @@ func (x *Index) postings(term string) ([]Posting, error) {
 	var out []Posting
 	for _, s := range x.segments {
 		v, err := s.tree.Get([]byte(term))
-		if err == btree.ErrNotFound {
+		if errors.Is(err, btree.ErrNotFound) {
 			continue
 		}
 		if err != nil {

@@ -2,6 +2,7 @@ package hierfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -429,7 +430,7 @@ func (f *FS) InsertAt(path string, off uint64, p []byte) error {
 	tailLen := in.Size - off
 	tail := make([]byte, tailLen)
 	if tailLen > 0 {
-		if _, err := f.readInodeData(ino, in, tail, off); err != nil && err != io.EOF {
+		if _, err := f.readInodeData(ino, in, tail, off); err != nil && !errors.Is(err, io.EOF) {
 			return err
 		}
 	}
@@ -467,7 +468,7 @@ func (f *FS) DeleteRangeAt(path string, off, n uint64) error {
 	tailLen := in.Size - off - n
 	if tailLen > 0 {
 		tail := make([]byte, tailLen)
-		if _, err := f.readInodeData(ino, in, tail, off+n); err != nil && err != io.EOF {
+		if _, err := f.readInodeData(ino, in, tail, off+n); err != nil && !errors.Is(err, io.EOF) {
 			return err
 		}
 		if err := f.writeInodeData(ino, in, tail, off); err != nil {

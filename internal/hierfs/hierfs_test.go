@@ -85,7 +85,7 @@ func TestLargeFileIndirectBlocks(t *testing.T) {
 	}
 	// Sparse read inside.
 	buf := make([]byte, 100)
-	if _, err := fs.ReadAt("/big", buf, 3*1024*1024); err != nil && err != io.EOF {
+	if _, err := fs.ReadAt("/big", buf, 3*1024*1024); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, big[3*1024*1024:3*1024*1024+100]) {

@@ -53,7 +53,7 @@ func components(p string) []string {
 func (f *FS) readDirEntries(ino uint64, in *inode) ([]DirEntry, error) {
 	data := make([]byte, in.Size)
 	if in.Size > 0 {
-		if _, err := f.readInodeData(ino, in, data, 0); err != nil && err != io.EOF {
+		if _, err := f.readInodeData(ino, in, data, 0); err != nil && !errors.Is(err, io.EOF) {
 			return nil, err
 		}
 	}
@@ -535,7 +535,7 @@ func (f *FS) ReadFile(p string) ([]byte, error) {
 	if info.Size == 0 {
 		return out, nil
 	}
-	if _, err := f.ReadAtIno(info.Ino, out, 0); err != nil && err != io.EOF {
+	if _, err := f.ReadAtIno(info.Ino, out, 0); err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return out, nil

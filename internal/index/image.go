@@ -2,6 +2,7 @@ package index
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -137,7 +138,7 @@ func (x *ImageIndex) Remove(op *pager.Op, value []byte, oid OID) error {
 			return err
 		}
 		for _, k := range doomed {
-			if err := x.tree.DeleteOp(op, k); err != nil && err != btree.ErrNotFound {
+			if err := x.tree.DeleteOp(op, k); err != nil && !errors.Is(err, btree.ErrNotFound) {
 				return err
 			}
 		}
@@ -148,7 +149,7 @@ func (x *ImageIndex) Remove(op *pager.Op, value []byte, oid OID) error {
 		return err
 	}
 	err = x.tree.DeleteOp(op, sigKey(sig, oid))
-	if err == btree.ErrNotFound {
+	if errors.Is(err, btree.ErrNotFound) {
 		return nil
 	}
 	return err

@@ -2,6 +2,7 @@ package index
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -145,7 +146,7 @@ func (x *KVIndex) InsertMany(op *pager.Op, puts []Put) error {
 // (naming removal is idempotent).
 func (x *KVIndex) Remove(op *pager.Op, value []byte, oid OID) error {
 	err := x.tree.DeleteOp(op, entryKey(value, oid))
-	if err == btree.ErrNotFound {
+	if errors.Is(err, btree.ErrNotFound) {
 		return nil
 	}
 	return err

@@ -1,6 +1,7 @@
 package osd
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -206,7 +207,7 @@ func (o *Object) refreshMeta(op *pager.Op) error {
 // callers that batch the commit themselves.
 func (s *Store) updateMetaNoCommit(op *pager.Op, oid OID, f func(*Meta)) error {
 	v, err := s.meta.Get(oidKey(oid))
-	if err == btree.ErrNotFound {
+	if errors.Is(err, btree.ErrNotFound) {
 		return fmt.Errorf("%w: oid %d", ErrNotFound, oid)
 	}
 	if err != nil {

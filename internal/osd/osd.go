@@ -369,7 +369,7 @@ func (s *Store) OpenObject(oid OID) (*Object, error) {
 // Stat returns the object's metadata.
 func (s *Store) Stat(oid OID) (Meta, error) {
 	v, err := s.meta.Get(oidKey(oid))
-	if err == btree.ErrNotFound {
+	if errors.Is(err, btree.ErrNotFound) {
 		return Meta{}, fmt.Errorf("%w: oid %d", ErrNotFound, oid)
 	}
 	if err != nil {

@@ -71,7 +71,7 @@ func TestObjectReadWrite(t *testing.T) {
 		t.Errorf("Size = %d", obj.Size())
 	}
 	got := make([]byte, 4000)
-	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
@@ -99,7 +99,7 @@ func TestInsertAndTruncateRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, obj.Size())
-	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(got) != "hello brave world" {
@@ -109,7 +109,7 @@ func TestInsertAndTruncateRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	got = make([]byte, obj.Size())
-	if _, err := obj.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(got) != "hello world" {
@@ -164,7 +164,7 @@ func TestOpenObjectSharesState(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, 6)
-	if _, err := h2.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := h2.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(got) != "shared" {
@@ -315,7 +315,7 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, 13)
-	if _, err := obj2.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := obj2.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(got) != "durable bytes" {
@@ -445,7 +445,7 @@ func TestConcurrentAppendsResolveDistinctOffsets(t *testing.T) {
 		t.Fatalf("size = %d, want %d (lost update)", got, want)
 	}
 	buf := make([]byte, want)
-	if _, err := obj.ReadAt(buf, 0); err != nil && err != io.EOF {
+	if _, err := obj.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	counts := make(map[byte]int)

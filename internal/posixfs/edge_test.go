@@ -144,7 +144,7 @@ func TestIOFSDirReadPagination(t *testing.T) {
 	if err != nil || len(batch3) != 1 {
 		t.Fatalf("batch3 = %d, %v", len(batch3), err)
 	}
-	if _, err := dir.ReadDir(1); err != io.EOF {
+	if _, err := dir.ReadDir(1); !errors.Is(err, io.EOF) {
 		t.Errorf("post-end ReadDir = %v, want EOF", err)
 	}
 	// Reading a directory as a file fails.
@@ -200,7 +200,7 @@ func TestLargeFileThroughPosix(t *testing.T) {
 		t.Errorf("sparse Size = %d", f.Size())
 	}
 	buf := make([]byte, 3)
-	if _, err := f.ReadAt(buf, 5<<20); err != nil && err != io.EOF {
+	if _, err := f.ReadAt(buf, 5<<20); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(buf) != "end" {

@@ -677,7 +677,7 @@ func (f *FS) ReadFile(p string) ([]byte, error) {
 	if len(out) == 0 {
 		return out, nil
 	}
-	if _, err := file.obj.ReadAt(out, 0); err != nil && err != io.EOF {
+	if _, err := file.obj.ReadAt(out, 0); err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return out, nil

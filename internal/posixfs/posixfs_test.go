@@ -128,7 +128,7 @@ func TestFileSeekReadWrite(t *testing.T) {
 		t.Fatalf("Seek = %d, %v", pos, err)
 	}
 	buf := make([]byte, 3)
-	if _, err := f.Read(buf); err != nil && err != io.EOF {
+	if _, err := f.Read(buf); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if string(buf) != "234" {
@@ -562,7 +562,7 @@ func TestTarOverVolume(t *testing.T) {
 	found := map[string]int64{}
 	for {
 		hdr, err := tr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

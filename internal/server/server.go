@@ -207,7 +207,7 @@ func (s *Server) Read(oid uint64, off, n uint64) ([]byte, error) {
 	}
 	buf := make([]byte, n)
 	got, err := obj.ReadAt(buf, off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return buf[:got], nil

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -419,7 +420,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 	t.Logf("%d acked writes all present after shutdown+reopen", total)
 
 	// Submitting after shutdown fails cleanly.
-	if err := srv.in.submit(func(b *hfad.Batch) error { return nil }); err != ErrShutdown {
+	if err := srv.in.submit(func(b *hfad.Batch) error { return nil }); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("submit after drain = %v, want ErrShutdown", err)
 	}
 }

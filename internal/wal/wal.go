@@ -95,18 +95,19 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Stats counts log activity.
 type Stats struct {
-	Commits       int64
-	Groups        int64 // group-commit rounds (≤ Commits; Commits/Groups is the batching factor)
-	Syncs         int64 // device syncs issued by commits (one per group)
-	PagesLogged   int64 // redo records appended (images, ranges, ops)
-	BytesLogged   int64
-	SystemTxns    int64 // auto-committed structure-modification transactions
-	Chunks        int64 // mid-transaction chunk flushes (steal / dependency)
-	ChunkRecords  int64 // records appended inside chunks
-	Checkpoints   int64
-	Recoveries    int64
-	PagesReplayed int64 // redo records replayed
-	LoserChains   int64 // unresolved chunk chains found by the last Recover
+	Commits         int64
+	Groups          int64 // group-commit rounds (≤ Commits; Commits/Groups is the batching factor)
+	Syncs           int64 // device syncs issued by commits (one per group)
+	PagesLogged     int64 // redo records appended (images, ranges, ops)
+	BytesLogged     int64
+	SystemTxns      int64 // auto-committed structure-modification transactions
+	Chunks          int64 // mid-transaction chunk flushes (steal / dependency)
+	ChunkRecords    int64 // records appended inside chunks
+	Checkpoints     int64
+	SalvagedCommits int64 // commits acknowledged from the durable frontier after a device error
+	Recoveries      int64
+	PagesReplayed   int64 // redo records replayed
+	LoserChains     int64 // unresolved chunk chains found by the last Recover
 }
 
 // LoserChain is one uncommitted transaction whose records reached the
@@ -174,6 +175,11 @@ type gcBatch struct {
 	txn  *Txn
 	done bool
 	err  error
+	// end is the head offset just past this batch's commit record, set
+	// once the batch is fully staged. On a device error mid-group it is
+	// compared against the durable frontier to decide whether recovery
+	// will replay this batch (see failGroup).
+	end uint64
 }
 
 // New creates (or opens for recovery) a log over the given region.
@@ -344,8 +350,9 @@ func (t *Txn) commit(fill func(*Txn)) error {
 
 // commitGroup appends every batch in the group and syncs once, filling in
 // per-batch errors. A batch that does not fit fails with ErrFull without
-// affecting its neighbours; a device error poisons the whole group (the
-// log tail is in an unknown state, so no batch may report success).
+// affecting its neighbours; a device error wedges the log and resolves
+// each batch against the durable frontier (see failGroup) so the verdict
+// reported to the caller matches what recovery will replay.
 func (l *Log) commitGroup(group []*gcBatch) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -380,26 +387,27 @@ func (l *Log) commitGroup(group []*gcBatch) {
 		b.txn.id = id
 		for _, r := range b.txn.recs {
 			if b.err = l.appendLocked(r.Kind, id, r.Page, r.LSN, r.Data); b.err != nil {
-				l.poisonGroup(group, b.err)
+				l.failGroup(group, b.err)
 				return
 			}
 			l.stats.PagesLogged++
 		}
 		if b.err = l.appendLocked(kindCommit, id, 0, 0, chainPayload); b.err != nil {
-			l.poisonGroup(group, b.err)
+			l.failGroup(group, b.err)
 			return
 		}
+		b.end = l.head.Load()
 		appended++
 	}
 	if appended == 0 {
 		return
 	}
 	if err := l.terminateLocked(); err != nil {
-		l.poisonGroup(group, err)
+		l.failGroup(group, err)
 		return
 	}
 	if err := l.dev.Sync(); err != nil {
-		l.poisonGroup(group, err)
+		l.failGroup(group, err)
 		return
 	}
 	l.stats.Syncs++
@@ -531,19 +539,70 @@ func (l *Log) AppendChunk(prev uint64, recs []redo.Record) (uint64, error) {
 	return id, nil
 }
 
-// poisonGroup marks every batch without a verdict as failed with err.
-// Batches whose records were appended before the failure also fail:
-// their commit records never became durable. The device error leaves
-// the log tail in an unknown state, so the log also wedges: appending
-// past a possibly-torn region would strand every later commit behind a
-// CRC break that recovery treats as the tail.
-func (l *Log) poisonGroup(group []*gcBatch, err error) {
+// failGroup resolves a group after a device error. The log wedges either
+// way — no further appends until a checkpoint resets the region — but the
+// per-batch verdicts must agree with what recovery will do, and "error
+// everything" does not: the staging buffer flushes whenever head crosses
+// a block boundary, so a batch's records and commit record can already be
+// durable when a later write in the same group fails. Erroring such a
+// batch resurrects it at recovery — the caller was told the operation
+// failed, yet replay applies it. failGroup instead computes the exact
+// durable frontier and acknowledges every batch whose commit record lies
+// at or below it; batches recovery cannot commit (their commit record is
+// past the frontier, so replay's CRC/prefix scan stops before it) fail.
+func (l *Log) failGroup(group []*gcBatch, err error) {
 	l.wedged = true
+	frontier := l.durableFrontierLocked()
 	for _, b := range group {
-		if b.err == nil {
-			b.err = err
+		if b.err != nil {
+			continue // ErrFull or the failing append's own error
 		}
+		if b.end != 0 && b.end <= frontier {
+			// Commit record provably durable: recovery will replay this
+			// transaction, so its caller must be told it committed.
+			l.stats.Commits++
+			l.stats.SalvagedCommits++
+			b.txn.recs = nil
+			continue
+		}
+		b.err = err
 	}
+}
+
+// durableFrontierLocked returns the byte offset up to which appended log
+// bytes are known to be on the device after a mid-append failure. Blocks
+// below the staging buffer's block were flushed when head crossed them;
+// for the staging block itself the device content is read back and
+// compared against the intended bytes, so a torn flush that persisted a
+// prefix of the block is credited exactly. If the readback itself fails
+// the staging block counts as lost — the conservative direction here
+// errors a possibly-durable batch, the same exposure real hardware has
+// when a device stops answering reads, and recovery's consistency checks
+// still hold either way.
+func (l *Log) durableFrontierLocked() uint64 {
+	head := l.head.Load()
+	if !l.bufOK {
+		return head
+	}
+	base := l.bufBlk * uint64(l.bs)
+	if head <= base {
+		// terminateLocked's rewind can park head just below a freshly
+		// opened staging block; everything at or below head is flushed.
+		return head
+	}
+	limit := head - base
+	if limit > uint64(l.bs) {
+		limit = uint64(l.bs)
+	}
+	tmp := make([]byte, l.bs)
+	if rerr := l.dev.ReadBlock(l.start+l.bufBlk, tmp); rerr != nil {
+		return base
+	}
+	var n uint64
+	for n < limit && tmp[n] == l.buf[n] {
+		n++
+	}
+	return base + n
 }
 
 // Abort discards the staged records; nothing was written.

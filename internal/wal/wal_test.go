@@ -508,6 +508,66 @@ func TestGroupCommitCrashMidGroup(t *testing.T) {
 	}
 }
 
+// TestGroupCommitFaultVerdictsMatchRecovery pins the contract failGroup
+// exists for: after a device error mid group commit, the per-batch
+// verdicts must agree EXACTLY with what recovery replays. The staging
+// buffer flushes whenever head crosses a block boundary, so a batch's
+// commit record can be durable before a later write in the same group
+// fails; erroring it (the old blanket poisoning) resurrects the "failed"
+// operation at recovery. The converse — acking a batch whose commit
+// record never persisted — would lose an acknowledged write. With one
+// monotonically numbered page per writer, both directions collapse to
+// recovered == acked.
+func TestGroupCommitFaultVerdictsMatchRecovery(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		for _, cut := range []int64{3, 7, 15, 29, 61, 113} {
+			const writers = 6
+			mem := blockdev.NewMem(2058, bs)
+			fd := blockdev.NewFault(mem)
+			fd.SetTornWrites(torn)
+			l := New(fd, 10, 2048)
+			fd.FailAfterWrites(cut)
+
+			acked := make([]int, writers)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				acked[w] = -1
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						tx := l.Begin()
+						tx.LogPage(uint64(200+w), page(byte(i)))
+						if err := tx.Commit(); err != nil {
+							return
+						}
+						acked[w] = i
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			l2 := New(mem, 10, 2048)
+			final := map[uint64]int{}
+			for w := 0; w < writers; w++ {
+				final[uint64(200+w)] = -1
+			}
+			if _, err := l2.Recover(func(r redo.Record) error {
+				final[r.Page] = int(r.Data[0])
+				return nil
+			}); err != nil {
+				t.Fatalf("torn=%v cut=%d: Recover: %v", torn, cut, err)
+			}
+			for w := 0; w < writers; w++ {
+				if got := final[uint64(200+w)]; got != acked[w] {
+					t.Errorf("torn=%v cut=%d: writer %d acked seq %d but recovery replayed %d",
+						torn, cut, w, acked[w], got)
+				}
+			}
+		}
+	}
+}
+
 // TestGroupCommitErrFullIsPerBatch: a batch too large for the remaining
 // region fails with ErrFull while a small batch in the same group
 // commits.
