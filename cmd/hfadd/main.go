@@ -111,7 +111,7 @@ func openStore(vol string, blocks uint64, mem bool, opts hfad.Options) (*hfad.St
 		}
 		st, err := hfad.Open(dev, opts)
 		if err != nil {
-			dev.Close()
+			dev.Close() //hfadvet:allow syncerr — best-effort cleanup; the Open failure is the verdict
 			return nil, err
 		}
 		log.Printf("hfadd: opened %s (%d blocks)", vol, dev.NumBlocks())
@@ -128,7 +128,7 @@ func openStore(vol string, blocks uint64, mem bool, opts hfad.Options) (*hfad.St
 	}
 	st, err := hfad.Create(dev, opts)
 	if err != nil {
-		dev.Close()
+		dev.Close() //hfadvet:allow syncerr — best-effort cleanup; the image is removed next anyway
 		os.Remove(vol)
 		return nil, err
 	}

@@ -20,6 +20,14 @@
 //	replayexhaustive every redo record kind/opcode is handled by replay
 //	waldata          no direct device writes bypass the WAL capture in
 //	                 btree, extent, osd
+//	pinbalance       every page Acquire reaches exactly one Release on
+//	                 all paths (forward dataflow over the CFG)
+//	pinescape        values derived from pinned page data must not
+//	                 outlive the pin (interprocedural taint facts)
+//	atomicfield      a field accessed via sync/atomic is accessed
+//	                 atomically everywhere
+//	syncerr          errors from durability barriers (Sync, Close,
+//	                 FlushDirty, Checkpoint) are checked (liveness)
 //
 // A finding can be suppressed — visibly, greppably — with a trailing
 // comment: //hfadvet:allow <analyzer> — reason.
@@ -32,10 +40,14 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/opbracket"
+	"repro/internal/analysis/pinbalance"
+	"repro/internal/analysis/pinescape"
 	"repro/internal/analysis/replayexhaustive"
 	"repro/internal/analysis/sentinelerr"
+	"repro/internal/analysis/syncerr"
 	"repro/internal/analysis/unitchecker"
 	"repro/internal/analysis/waldata"
 )
@@ -47,6 +59,10 @@ func analyzers() []*analysis.Analyzer {
 		sentinelerr.Analyzer,
 		replayexhaustive.Analyzer,
 		waldata.Analyzer,
+		pinbalance.Analyzer,
+		pinescape.Analyzer,
+		atomicfield.Analyzer,
+		syncerr.Analyzer,
 	}
 }
 

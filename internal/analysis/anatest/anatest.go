@@ -166,7 +166,14 @@ func check(t *testing.T, fset *token.FileSet, fp *fixturePkg, diags []analysis.D
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+				matches := wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1)
+				if len(matches) == 0 {
+					// A want with no parsable pattern would otherwise
+					// assert nothing and rot silently.
+					t.Errorf("%s: malformed want comment %q: no quoted pattern", pos, strings.TrimSpace(text))
+					continue
+				}
+				for _, m := range matches {
 					pat := m[1]
 					if pat == "" {
 						pat = m[2]
@@ -196,7 +203,7 @@ func check(t *testing.T, fset *token.FileSet, fp *fixturePkg, diags []analysis.D
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s\n\t%s", pos, d.Message, sourceLine(pos.Filename, pos.Line))
 		}
 	}
 	sort.Slice(wants, func(i, j int) bool {
@@ -207,7 +214,21 @@ func check(t *testing.T, fset *token.FileSet, fp *fixturePkg, diags []analysis.D
 	})
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none\n\t%s", w.file, w.line, w.raw, sourceLine(w.file, w.line))
 		}
 	}
+}
+
+// sourceLine returns the fixture's source at file:line, trimmed, so a
+// mismatch report shows the code under test without a second lookup.
+func sourceLine(file string, line int) string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "(source unavailable)"
+	}
+	lines := strings.Split(string(data), "\n")
+	if line < 1 || line > len(lines) {
+		return "(source unavailable)"
+	}
+	return strings.TrimSpace(lines[line-1])
 }

@@ -1,0 +1,235 @@
+// Package atomicfield enforces access-mode consistency for fields used
+// with sync/atomic: a field touched by `atomic.LoadX`/`StoreX`/`AddX`/
+// `CompareAndSwapX` anywhere must be accessed atomically everywhere. A
+// mixed-mode field is a data race the race detector only catches when a
+// test happens to interleave the two modes — and on relaxed-memory
+// hardware the plain read can observe a torn or stale value forever
+// (the stats-counter shape: one goroutine atomic.Adds, a reporting
+// path reads the field bare and undercounts without a crash).
+//
+// Per package, the analyzer collects (a) fields reached through an
+// `&s.f` (or `&s.v[i]`, tracked per-field at element granularity)
+// argument to a sync/atomic call, and (b) every other selector access
+// to the same field, then reports each plain access with the position
+// of the atomic access it races with. Fields of type atomic.Int64 &c.
+// never trigger it — their method calls aren't mixed-mode by
+// construction, which is also why new code should prefer them.
+//
+// Facts export the per-package atomic-field set, so a plain access in a
+// downstream package races against an upstream atomic.Add just the
+// same (only exported fields can cross that line, but they do exist in
+// test hooks). Composite literals don't count as accesses: `S{n: 0}`
+// runs before the struct is shared. Initialisation that the author
+// KNOWS is unshared takes `//hfadvet:allow atomicfield — reason`.
+package atomicfield
+
+import (
+	"bytes"
+	"encoding/gob"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "a field accessed via sync/atomic must be accessed atomically everywhere",
+	Run:       run,
+	UsesFacts: true,
+}
+
+// factFile carries field keys ("pkgpath.Type.field", with "[]"
+// appended for element-granular slice fields) that some package
+// accesses atomically.
+type factFile struct {
+	Fields map[string]bool
+}
+
+// fieldKey names a field stably across compilation units: package
+// path, the named type the selection went through, and the field name.
+// (Struct fields have no Parent scope, so the selection's receiver is
+// the only way to recover the owner; an embedded field accessed via
+// two outer types gets two keys, which can miss cross-type mixes but
+// never mis-attributes.)
+func fieldKey(f *types.Var, recv types.Type, elem bool) string {
+	owner := "_"
+	if named := analysis.NamedOf(recv); named != nil {
+		owner = named.Obj().Name()
+	}
+	key := f.Pkg().Path() + "." + owner + "." + f.Name()
+	if elem {
+		key += "[]"
+	}
+	return key
+}
+
+func run(pass *analysis.Pass) error {
+	imported := map[string]bool{}
+	for _, blob := range pass.DepFacts {
+		var ff factFile
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&ff); err != nil {
+			continue
+		}
+		for k := range ff.Fields {
+			imported[k] = true
+		}
+	}
+
+	// Pass 1: find atomic accesses; remember the selector nodes they
+	// wrap so pass 2 does not re-count them as plain.
+	atomicAt := map[string]token.Pos{} // field key -> first atomic site
+	inAtomic := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, elem := fieldTarget(pass, un.X)
+				if sel == nil {
+					continue
+				}
+				fv, recv := fieldOf(pass, sel)
+				if fv == nil {
+					continue
+				}
+				inAtomic[sel] = true
+				key := fieldKey(fv, recv, elem)
+				if _, seen := atomicAt[key]; !seen {
+					atomicAt[key] = sel.Pos()
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other access to those fields must be atomic too.
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomic[sel] {
+				return true
+			}
+			s, isSel := pass.TypesInfo.Selections[sel]
+			if !isSel || s.Kind() != types.FieldVal {
+				return true
+			}
+			fv, _ := s.Obj().(*types.Var)
+			if fv == nil {
+				return true
+			}
+			// Field-granular: any touch of the field races.
+			key := fieldKey(fv, s.Recv(), false)
+			if pos, ok := atomicAt[key]; ok {
+				pass.Reportf(sel.Pos(), "plain access to %s, which is accessed atomically at %s: mixed-mode field access is a data race",
+					fv.Name(), pass.Fset.Position(pos))
+				return true
+			}
+			if imported[key] {
+				pass.Reportf(sel.Pos(), "plain access to %s, which an imported package accesses atomically: mixed-mode field access is a data race", fv.Name())
+				return true
+			}
+			// Element-granular: only indexing into the slice races;
+			// len/cap/reslicing the header is fine.
+			ekey := fieldKey(fv, s.Recv(), true)
+			if _, ok := atomicAt[ekey]; !ok && !imported[ekey] {
+				return true
+			}
+			if isIndexedUse(f, sel) {
+				pos := atomicAt[ekey]
+				where := pass.Fset.Position(pos).String()
+				if pos == token.NoPos {
+					where = "an imported package"
+				}
+				pass.Reportf(sel.Pos(), "plain element access to %s, whose elements are accessed atomically at %s", fv.Name(), where)
+			}
+			return true
+		})
+	}
+
+	if pass.ExportFact != nil {
+		out := factFile{Fields: map[string]bool{}}
+		for k := range imported {
+			out.Fields[k] = true
+		}
+		for k := range atomicAt {
+			out.Fields[k] = true
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+			return err
+		}
+		pass.ExportFact(buf.Bytes())
+	}
+	return nil
+}
+
+// fieldTarget unwraps the &-operand of an atomic call: `s.f` yields
+// (sel, false); `s.v[i]` yields (sel of s.v, true).
+func fieldTarget(pass *analysis.Pass, e ast.Expr) (*ast.SelectorExpr, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return e, false
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+			return sel, true
+		}
+	}
+	return nil, false
+}
+
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Var, types.Type) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	fv, _ := s.Obj().(*types.Var)
+	return fv, s.Recv()
+}
+
+// isIndexedUse reports whether sel appears as the base of an index
+// expression (s.v[i]) somewhere in f. A linear parent lookup is fine at
+// this scale.
+func isIndexedUse(f *ast.File, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ix, ok := n.(*ast.IndexExpr); ok {
+			if ast.Unparen(ix.X) == ast.Expr(sel) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isAtomicCall matches calls to sync/atomic package functions.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	anatest.Run(t, atomicfield.Analyzer, "a")
+}

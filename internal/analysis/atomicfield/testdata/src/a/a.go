@@ -1,0 +1,60 @@
+// Package a exercises atomicfield: a field accessed via sync/atomic
+// must be accessed atomically everywhere.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64 // mixed-mode: bump() is atomic, read()/reset() are plain
+	ok   int64 // consistently atomic
+	cold int64 // never atomic
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.ok, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n + atomic.LoadInt64(&c.ok) + c.cold // want "plain access to n, which is accessed atomically"
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want "plain access to n, which is accessed atomically"
+}
+
+// newCounter: composite literals are initialisation, not access.
+func newCounter() *counter {
+	return &counter{n: 0, ok: 0, cold: 0}
+}
+
+// typed has a same-named field of typed-atomic flavour; the owner-
+// qualified key must keep it clear of counter.n's verdict.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump() { t.n.Add(1) }
+
+// shards is the element-granular case: atomic ops on s.v[i] make
+// element accesses racy, but header operations (len, range bound,
+// reslice, replacement during single-threaded setup) stay legal.
+type shards struct {
+	v []int64
+}
+
+func (s *shards) init(n int) {
+	s.v = make([]int64, n)
+}
+
+func (s *shards) inc(i int) {
+	atomic.AddInt64(&s.v[i], 1)
+}
+
+func (s *shards) snapshot() []int64 {
+	out := make([]int64, len(s.v))
+	for i := range s.v {
+		out[i] = s.v[i] // want "plain element access to v"
+	}
+	return out
+}

@@ -1,0 +1,457 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// describe renders the graph as one "from -> succ, succ" line per block
+// that is reachable or has nodes, in index order. Tests compare this
+// against hand-written expectations.
+func describe(g *Graph) []string {
+	reachable := make(map[*Block]bool)
+	var mark func(*Block)
+	mark = func(b *Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			mark(s)
+		}
+	}
+	mark(g.Entry)
+	var out []string
+	for _, b := range g.Blocks {
+		if !reachable[b] && len(b.Nodes) == 0 {
+			continue
+		}
+		var succs []string
+		for _, s := range b.Succs {
+			succs = append(succs, s.String())
+		}
+		out = append(out, fmt.Sprintf("%s -> %s", b, strings.Join(succs, ", ")))
+	}
+	return out
+}
+
+func expectGraph(t *testing.T, g *Graph, want []string) {
+	t.Helper()
+	got := describe(g)
+	if len(got) != len(want) {
+		t.Fatalf("graph shape mismatch:\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("block %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, `
+		x := 1
+		if x > 0 {
+			x = 2
+		} else {
+			x = 3
+		}
+		_ = x
+	`)
+	expectGraph(t, g, []string{
+		"b0.entry -> b2.if.then, b4.if.else",
+		"b1.exit -> ",
+		"b2.if.then -> b3.if.done",
+		"b3.if.done -> b1.exit",
+		"b4.if.else -> b3.if.done",
+	})
+}
+
+func TestShortCircuitAnd(t *testing.T) {
+	// `a && b` must evaluate b in its own block, reached only when a is
+	// true; false edges from BOTH leaves go to the else target.
+	g := build(t, `
+		a, b := true, false
+		if a && b {
+			_ = 1
+		}
+		_ = 2
+	`)
+	expectGraph(t, g, []string{
+		"b0.entry -> b4.cond.and, b3.if.done",
+		"b1.exit -> ",
+		"b2.if.then -> b3.if.done",
+		"b3.if.done -> b1.exit",
+		"b4.cond.and -> b2.if.then, b3.if.done",
+	})
+	// The leaf-condition blocks expose Cond with true edge first.
+	entry := g.Entry
+	if entry.Cond == nil || entry.Succs[0].Kind != "cond.and" || entry.Succs[1].Kind != "if.done" {
+		t.Fatalf("entry branch shape wrong: cond=%v succs=%v", entry.Cond, entry.Succs)
+	}
+}
+
+func TestShortCircuitOrNot(t *testing.T) {
+	// `!a || b`: a true (i.e. !a false... ) — the NOT swaps edges; the
+	// OR short-circuits to then.
+	g := build(t, `
+		a, b := true, false
+		if !a || b {
+			_ = 1
+		}
+	`)
+	expectGraph(t, g, []string{
+		// The NOT swaps the leaf's edges: edge 0 (a true) goes to the
+		// OR's right operand, edge 1 (a false) straight to then.
+		"b0.entry -> b4.cond.or, b2.if.then",
+		"b1.exit -> ",
+		"b2.if.then -> b3.if.done",
+		"b3.if.done -> b1.exit",
+		"b4.cond.or -> b2.if.then, b3.if.done",
+	})
+}
+
+func TestForLoopWithPost(t *testing.T) {
+	g := build(t, `
+		s := 0
+		for i := 0; i < 10; i++ {
+			s += i
+		}
+		_ = s
+	`)
+	expectGraph(t, g, []string{
+		"b0.entry -> b2.for.head",
+		"b1.exit -> ",
+		"b2.for.head -> b3.for.body, b4.for.done",
+		"b3.for.body -> b5.for.post",
+		"b4.for.done -> b1.exit",
+		"b5.for.post -> b2.for.head",
+	})
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	// break outer must exit BOTH loops; continue outer must hit the
+	// outer post, not the inner one.
+	g := build(t, `
+	outer:
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if j == i {
+					continue outer
+				}
+				if j > i {
+					break outer
+				}
+			}
+		}
+	`)
+	byKind := map[string]*Block{}
+	for _, b := range g.Blocks {
+		byKind[b.Kind] = b
+	}
+	// Two for.post blocks exist (outer first by construction order);
+	// find them by index order.
+	var posts []*Block
+	var dones []*Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.post":
+			posts = append(posts, b)
+		case "for.done":
+			dones = append(dones, b)
+		}
+	}
+	if len(posts) != 2 || len(dones) != 2 {
+		t.Fatalf("want 2 posts and 2 dones, got %d/%d", len(posts), len(dones))
+	}
+	outerPost, outerDone := posts[0], dones[0]
+	// continue outer: some if.then block's successor is the OUTER post.
+	// break outer: some if.then block's successor is the OUTER done.
+	foundCont, foundBreak := false, false
+	for _, b := range g.Blocks {
+		if b.Kind != "if.then" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == outerPost {
+				foundCont = true
+			}
+			if s == outerDone {
+				foundBreak = true
+			}
+		}
+	}
+	if !foundCont {
+		t.Errorf("continue outer does not target the outer for.post")
+	}
+	if !foundBreak {
+		t.Errorf("break outer does not target the outer for.done")
+	}
+}
+
+func TestDeferInLoop(t *testing.T) {
+	// Each loop iteration registers a defer; the graph records all
+	// defer statements and keeps them inside the loop body block.
+	g := build(t, `
+		for i := 0; i < 3; i++ {
+			defer println(i)
+		}
+	`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("want 1 recorded defer stmt, got %d", len(g.Defers))
+	}
+	var bodyBlk *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" {
+			bodyBlk = b
+		}
+	}
+	if bodyBlk == nil || len(bodyBlk.Nodes) != 1 {
+		t.Fatalf("defer not recorded in for.body: %v", bodyBlk)
+	}
+	if _, ok := bodyBlk.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Fatalf("for.body node is %T, want *ast.DeferStmt", bodyBlk.Nodes[0])
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+		c := make(chan int)
+		d := make(chan int)
+		select {
+		case v := <-c:
+			_ = v
+		case d <- 1:
+			return
+		}
+		_ = 0
+	`)
+	expectGraph(t, g, []string{
+		"b0.entry -> b3.select.case, b4.select.case",
+		"b1.exit -> ",
+		"b2.select.done -> b1.exit",
+		"b3.select.case -> b2.select.done",
+		"b4.select.case -> b1.exit",
+	})
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := build(t, `
+		x := 1
+		switch x {
+		case 1:
+			x = 10
+			fallthrough
+		case 2:
+			x = 20
+		default:
+			x = 30
+		}
+		_ = x
+	`)
+	// head -> case1, case2, default (no edge to done: default exists);
+	// case1 -> case2 (fallthrough); all cases -> done.
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Kind == "switch.case" && head == nil && b.Kind == "entry" {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no switch head found")
+	}
+	if len(head.Succs) != 3 {
+		t.Fatalf("switch head should reach exactly the 3 case blocks, got %v", head.Succs)
+	}
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("want 3 case blocks, got %d", len(cases))
+	}
+	// fallthrough: case[0] must have case[1] among its successors.
+	ok := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("fallthrough edge case1 -> case2 missing: %v", cases[0].Succs)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, `
+		i := 0
+	again:
+		i++
+		if i < 3 {
+			goto again
+		}
+	`)
+	var lbl *Block
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "label.") {
+			lbl = b
+		}
+	}
+	if lbl == nil {
+		t.Fatal("no label block")
+	}
+	// Some if.then block (the goto) must edge back to the label block.
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind != "if.then" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == lbl {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("goto edge back to label block missing")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, `
+		x := 1
+		if x > 0 {
+			panic("boom")
+		}
+		_ = x
+	`)
+	var then *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "if.then" {
+			then = b
+		}
+	}
+	if then == nil {
+		t.Fatal("no then block")
+	}
+	if len(then.Succs) != 1 || then.Succs[0] != g.Exit {
+		t.Fatalf("panic block should edge only to exit, got %v", then.Succs)
+	}
+}
+
+func TestFuncLitNotInlined(t *testing.T) {
+	g := build(t, `
+		f := func() { return }
+		f()
+	`)
+	if len(g.FuncLits) != 1 {
+		t.Fatalf("want 1 recorded func lit, got %d", len(g.FuncLits))
+	}
+	// The closure's return must NOT create an edge to this graph's exit
+	// from the entry block's position: entry flows straight through.
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("closure body leaked into outer graph: %v", g.Entry.Succs)
+	}
+}
+
+// TestSolverLiveness exercises the backward solver with a classic live-
+// variables analysis over a diamond.
+func TestSolverLiveness(t *testing.T) {
+	g := build(t, `
+		a := 1
+		b := 2
+		if a > 0 {
+			println(a)
+		} else {
+			println(b)
+		}
+	`)
+	// Fact: set of identifier names read. Bottom = empty.
+	type fact = map[string]bool
+	uses := func(b *Block) fact {
+		f := fact{}
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && (id.Name == "a" || id.Name == "b") {
+					f[id.Name] = true
+				}
+				return true
+			})
+		}
+		return f
+	}
+	res := Solve(g, Problem[fact]{
+		Dir:      Backward,
+		Boundary: fact{},
+		Bottom:   func() fact { return fact{} },
+		Transfer: func(b *Block, out fact) fact {
+			in := fact{}
+			for k := range out {
+				in[k] = true
+			}
+			for k := range uses(b) {
+				in[k] = true
+			}
+			return in
+		},
+		Join: func(x, y fact) fact {
+			m := fact{}
+			for k := range x {
+				m[k] = true
+			}
+			for k := range y {
+				m[k] = true
+			}
+			return m
+		},
+		Equal: func(x, y fact) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	var keys []string
+	for k := range res.In[g.Entry] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if strings.Join(keys, ",") != "a,b" {
+		t.Fatalf("live-in at entry = %v, want a,b", keys)
+	}
+	// After the branch (in the then block) only a is used.
+	for _, b := range g.Blocks {
+		if b.Kind == "if.then" {
+			if !res.In[b]["a"] || res.In[b]["b"] {
+				t.Fatalf("then live-in = %v, want only a", res.In[b])
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package cfg
+
+// Dir selects the direction a dataflow problem propagates facts.
+type Dir int
+
+const (
+	// Forward propagates entry→exit: a block's in-fact is the join of
+	// its predecessors' out-facts.
+	Forward Dir = iota
+	// Backward propagates exit→entry: a block's out-fact is the join of
+	// its successors' in-facts.
+	Backward
+)
+
+// Problem is one dataflow problem over a Graph. The fact type F and the
+// four lattice operations are the pluggable parts; Solve supplies the
+// worklist iteration.
+type Problem[F any] struct {
+	Dir Dir
+
+	// Boundary is the fact at the boundary block: Entry's in-fact
+	// (Forward) or Exit's out-fact (Backward).
+	Boundary F
+
+	// Bottom returns the lattice bottom, the initial in/out fact of
+	// every non-boundary block. Called once per block.
+	Bottom func() F
+
+	// Transfer computes a block's out-fact from its in-fact (Forward)
+	// or its in-fact from its out-fact (Backward). It must not retain
+	// or mutate its argument.
+	Transfer func(b *Block, f F) F
+
+	// Edge, if non-nil, refines the fact flowing across one edge before
+	// it joins into the destination: from's out-fact filtered by which
+	// successor (succIdx into from.Succs) is taken. This is how a
+	// client models branch conditions (from.Cond true on edge 0, false
+	// on edge 1). Forward-only; ignored for Backward problems.
+	Edge func(from *Block, succIdx int, f F) F
+
+	// Join combines facts at control-flow merges. It must not mutate
+	// its arguments.
+	Join func(a, b F) F
+
+	// Equal reports lattice equality; iteration stops when every
+	// block's facts are stable under it.
+	Equal func(a, b F) bool
+}
+
+// Result holds the solved facts per block.
+type Result[F any] struct {
+	In  map[*Block]F // fact before the block's first node
+	Out map[*Block]F // fact after the block's last node
+}
+
+// Solve iterates the problem to a fixed point and returns the per-block
+// facts. Termination requires the usual lattice conditions: Join
+// monotone with finite ascending chains.
+func Solve[F any](g *Graph, p Problem[F]) Result[F] {
+	res := Result[F]{In: make(map[*Block]F, len(g.Blocks)), Out: make(map[*Block]F, len(g.Blocks))}
+	for _, b := range g.Blocks {
+		res.In[b] = p.Bottom()
+		res.Out[b] = p.Bottom()
+	}
+	if p.Dir == Forward {
+		res.In[g.Entry] = p.Boundary
+	} else {
+		res.Out[g.Exit] = p.Boundary
+	}
+
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range work {
+		inWork[b] = true
+	}
+	pop := func() *Block {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		return b
+	}
+	push := func(b *Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+
+	for len(work) > 0 {
+		b := pop()
+		if p.Dir == Forward {
+			if b != g.Entry {
+				in := p.Bottom()
+				for _, pred := range b.Preds {
+					f := res.Out[pred]
+					if p.Edge != nil {
+						for i, s := range pred.Succs {
+							if s == b {
+								f = p.Edge(pred, i, f)
+								break
+							}
+						}
+					}
+					in = p.Join(in, f)
+				}
+				res.In[b] = in
+			}
+			out := p.Transfer(b, res.In[b])
+			if !p.Equal(out, res.Out[b]) {
+				res.Out[b] = out
+				for _, s := range b.Succs {
+					push(s)
+				}
+			}
+		} else {
+			if b != g.Exit {
+				out := p.Bottom()
+				for _, s := range b.Succs {
+					out = p.Join(out, res.In[s])
+				}
+				res.Out[b] = out
+			}
+			in := p.Transfer(b, res.Out[b])
+			if !p.Equal(in, res.In[b]) {
+				res.In[b] = in
+				for _, pred := range b.Preds {
+					push(pred)
+				}
+			}
+		}
+	}
+	return res
+}

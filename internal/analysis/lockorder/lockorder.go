@@ -40,7 +40,6 @@ import (
 	"go/ast"
 	"go/types"
 	"sort"
-	"strings"
 
 	"repro/internal/analysis"
 )
@@ -209,7 +208,7 @@ func collectAcquires(pass *analysis.Pass, body *ast.BlockStmt, global map[string
 			set[cls.rank] = true
 			return true
 		}
-		if callee := staticCallee(pass, call); callee != nil {
+		if callee := analysis.StaticCallee(pass.TypesInfo, call); callee != nil {
 			for _, r := range global[funcKey(callee)].Ranks {
 				set[r] = true
 			}
@@ -270,7 +269,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt, global map[string]summa
 			if len(held) == 0 {
 				return true
 			}
-			callee := staticCallee(pass, n)
+			callee := analysis.StaticCallee(pass.TypesInfo, n)
 			if callee == nil {
 				return true
 			}
@@ -321,11 +320,11 @@ func lockCall(pass *analysis.Pass, call *ast.CallExpr) (cls *lockClass, unlock b
 	if !ok {
 		return nil, false
 	}
-	owner := namedOf(fieldSel.Recv())
+	owner := analysis.NamedOf(fieldSel.Recv())
 	if owner == nil || owner.Obj().Pkg() == nil {
 		return nil, false
 	}
-	pkgElem := lastElem(owner.Obj().Pkg().Path())
+	pkgElem := analysis.LastElem(owner.Obj().Pkg().Path())
 	for i := range classes {
 		c := &classes[i]
 		if c.pkg == pkgElem && c.typ == owner.Obj().Name() && c.field == field.Name() {
@@ -333,49 +332,4 @@ func lockCall(pass *analysis.Pass, call *ast.CallExpr) (cls *lockClass, unlock b
 		}
 	}
 	return nil, false
-}
-
-func namedOf(t types.Type) *types.Named {
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, _ := t.(*types.Named)
-	return named
-}
-
-// staticCallee resolves a call to a module-level function or a method
-// with a concrete receiver. Interface methods and function values return
-// nil.
-func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
-			if types.IsInterface(sel.Recv().Underlying()) {
-				return nil
-			}
-		}
-	default:
-		return nil
-	}
-	f, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	if f == nil || f.Pkg() == nil {
-		return nil
-	}
-	if sig, ok := f.Type().(*types.Signature); ok {
-		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type().Underlying()) {
-			return nil
-		}
-	}
-	return f
-}
-
-func lastElem(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[i+1:]
-	}
-	return path
 }

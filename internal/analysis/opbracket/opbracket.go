@@ -31,7 +31,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"repro/internal/analysis"
 )
@@ -313,7 +312,7 @@ func isBracketBegin(pass *analysis.Pass, call *ast.CallExpr) bool {
 	}
 	return isPagerOpPtr(res.At(0).Type()) &&
 		isDoneFunc(res.At(1).Type()) &&
-		isErrorType(res.At(2).Type())
+		analysis.IsErrorType(res.At(2).Type())
 }
 
 func isPagerOpPtr(t types.Type) bool {
@@ -326,7 +325,7 @@ func isPagerOpPtr(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Op" && obj.Pkg() != nil && lastElem(obj.Pkg().Path()) == "pager"
+	return obj.Name() == "Op" && obj.Pkg() != nil && analysis.LastElem(obj.Pkg().Path()) == "pager"
 }
 
 func isDoneFunc(t types.Type) bool {
@@ -334,18 +333,7 @@ func isDoneFunc(t types.Type) bool {
 	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
 		return false
 	}
-	return isErrorType(sig.Params().At(0).Type()) && isErrorType(sig.Results().At(0).Type())
-}
-
-func isErrorType(t types.Type) bool {
-	return types.Identical(t, types.Universe.Lookup("error").Type())
-}
-
-func lastElem(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[i+1:]
-	}
-	return path
+	return analysis.IsErrorType(sig.Params().At(0).Type()) && analysis.IsErrorType(sig.Results().At(0).Type())
 }
 
 // checkDiscardedOpErrors flags expression statements that call a
@@ -369,7 +357,7 @@ func checkDiscardedOpErrors(pass *analysis.Pass) {
 			if !ok || sig.Results().Len() == 0 {
 				return true
 			}
-			if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+			if !analysis.IsErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
 				return true
 			}
 			opParam := false

@@ -1,0 +1,517 @@
+// Package pinbalance enforces the pager's pin discipline: every page
+// acquisition — any call returning `(*pager.Page, error)`, i.e.
+// `Acquire`, `AcquireZero`, and any future wrapper with that shape —
+// must reach exactly one `Release` on every path, in the function that
+// acquired it or in a callee/closure the page visibly escapes to.
+//
+// A leaked pin is not a leak in the garbage-collected sense: a pinned
+// page can never be evicted, so each leak permanently shrinks the buffer
+// cache until `makeRoomLocked` finds no evictable frame and the volume
+// wedges with ErrCacheFull — the failure surfaces arbitrarily far from
+// the leak, under memory pressure only. A double release panics
+// immediately ("release of unpinned page") on whatever innocent path
+// runs it second. Both shapes have haunted the btree/extent descent
+// loops, whose early error returns are exactly where a Release is
+// forgotten.
+//
+// The analysis is a forward dataflow over the package cfg's graph with a
+// per-variable state lattice {unpinned, pinned, released} (sets of
+// those, joined by union at merges). It is branch-sensitive about the
+// acquisition's error result: on the `err != nil` edge the page is known
+// unpinned (Acquire failed), so the ubiquitous
+//
+//	pg, err := t.pg.Acquire(no)
+//	if err != nil { return err }        // no Release needed here
+//	defer t.pg.Release(pg)
+//
+// needs no special-casing. Moves (`pg = npg`) transfer the state — the
+// descent-loop idiom releases through the moved-from variable. A page
+// that escapes — returned, stored into a structure, captured by a
+// closure, or passed to any call other than Release/MarkDirty* — is
+// trusted: ownership moved somewhere this intraprocedural analysis
+// cannot follow (pinescape polices those paths).
+//
+// Reported:
+//   - a path from acquisition to return with the page still pinned;
+//   - a Release reachable with the page already released;
+//   - an acquisition whose page result is assigned to the blank
+//     identifier (the pin can never be released);
+//   - a re-acquisition into a variable that may still hold a pinned
+//     page (the old pin becomes unreleasable).
+package pinbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the pinbalance analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinbalance",
+	Doc:  "every page Acquire reaches exactly one Release on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.LastElem(pass.Pkg.Path()) == "pager" {
+		return nil // the pager's own internals manage pins structurally
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			// Crash/fault harnesses pin pages across injected failures on
+			// purpose; the production rules don't transfer.
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// state is a bitset of possible pin states for one tracked variable.
+type state uint8
+
+const (
+	unpinned state = 1 << iota // no pin held through this variable
+	pinned                     // holds a live pin
+	released                   // pin was released through this variable
+)
+
+// fact maps each tracked page variable to its possible states, plus the
+// error-witness association used for branch refinement. Maps are
+// treated as immutable; transfer copies before writing.
+type fact struct {
+	pins map[types.Object]state
+	// errWitness maps an error variable to the page variable whose
+	// acquisition produced it, while that association is current.
+	errWitness map[types.Object]types.Object
+}
+
+func (f fact) clone() fact {
+	nf := fact{pins: make(map[types.Object]state, len(f.pins)), errWitness: make(map[types.Object]types.Object, len(f.errWitness))}
+	for k, v := range f.pins {
+		nf.pins[k] = v
+	}
+	for k, v := range f.errWitness {
+		nf.errWitness[k] = v
+	}
+	return nf
+}
+
+type checker struct {
+	pass *analysis.Pass
+	g    *cfg.Graph
+	// escaped vars are trusted entirely; deferRelease vars are released
+	// by a defer on every exit.
+	escaped      map[types.Object]bool
+	deferRelease map[types.Object]bool
+	// acqPos remembers where each variable was (last) acquired, for
+	// diagnostics.
+	acqPos map[types.Object]token.Pos
+	// reported de-duplicates diagnostics per position.
+	reported map[token.Pos]bool
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Fast pre-scan: nothing to do in functions with no acquisitions.
+	any := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return true // closures are scanned too: their bodies get their own pass
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isAcquire(pass, call) {
+			any = true
+		}
+		return !any
+	})
+	if !any {
+		return
+	}
+
+	c := &checker{
+		pass:         pass,
+		g:            cfg.Build(body),
+		escaped:      make(map[types.Object]bool),
+		deferRelease: make(map[types.Object]bool),
+		acqPos:       make(map[types.Object]token.Pos),
+		reported:     make(map[token.Pos]bool),
+	}
+	c.classify(body)
+
+	bottom := func() fact { return fact{} }
+	res := cfg.Solve(c.g, cfg.Problem[fact]{
+		Dir:      cfg.Forward,
+		Boundary: fact{pins: map[types.Object]state{}, errWitness: map[types.Object]types.Object{}},
+		Bottom:   bottom,
+		Transfer: func(b *cfg.Block, in fact) fact { return c.transfer(b, in, false) },
+		Edge:     c.edge,
+		Join:     join,
+		Equal:    equal,
+	})
+
+	// Second pass over the stable solution to emit diagnostics (the
+	// solver may visit blocks with interim facts; reporting only from
+	// the fixed point keeps messages deterministic).
+	for _, b := range c.g.Blocks {
+		if b == c.g.Exit {
+			continue
+		}
+		c.transfer(b, res.In[b], true)
+	}
+
+	// Exit check: any variable that may still be pinned leaks.
+	exit := res.In[c.g.Exit]
+	for v, s := range exit.pins {
+		if s&pinned == 0 || c.escaped[v] || c.deferRelease[v] {
+			continue
+		}
+		pos := c.acqPos[v]
+		c.reportOnce(pos, "pin of %s may leak: no Release on some path to return (a leaked pin permanently shrinks the cache)", v.Name())
+	}
+}
+
+// classify pre-computes escapes and deferred releases: these properties
+// are path-insensitive (any escape anywhere trusts the variable).
+func (c *checker) classify(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing a tracked page escapes it.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Uses[id]; obj != nil && isPagePtr(obj.Type()) {
+						c.escaped[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.DeferStmt:
+			if v := releaseArg(c.pass, n.Call); v != nil {
+				c.deferRelease[v] = true
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Uses[id]; obj != nil && isPagePtr(obj.Type()) {
+						c.escaped[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Passing the page to anything but Release/MarkDirty* (or
+			// calling a method ON it) escapes it.
+			if releaseArg(c.pass, n) != nil || isNonConsumingPagerCall(c.pass, n) {
+				return true
+			}
+			for _, a := range n.Args {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Uses[id]; obj != nil && isPagePtr(obj.Type()) {
+						c.escaped[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// A page stored anywhere but a plain local variable escapes.
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if rhs == nil {
+					continue
+				}
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					obj := c.pass.TypesInfo.Uses[id]
+					if obj == nil || !isPagePtr(obj.Type()) {
+						continue
+					}
+					if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						// var-to-var move: handled flow-sensitively.
+						_ = lid
+						continue
+					}
+					c.escaped[obj] = true // field/index/deref store
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) transfer(b *cfg.Block, in fact, report bool) fact {
+	out := in.clone()
+	if out.pins == nil {
+		out.pins = map[types.Object]state{}
+	}
+	if out.errWitness == nil {
+		out.errWitness = map[types.Object]types.Object{}
+	}
+	for _, n := range b.Nodes {
+		c.transferNode(n, &out, report)
+	}
+	return out
+}
+
+func (c *checker) transferNode(n ast.Node, f *fact, report bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Acquisition?
+		if len(n.Rhs) == 1 {
+			if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isAcquire(c.pass, call) && len(n.Lhs) == 2 {
+				pgObj := objOf(c.pass, n.Lhs[0])
+				errObj := objOf(c.pass, n.Lhs[1])
+				if pgObj == nil {
+					if report {
+						c.reportOnce(n.Pos(), "acquired page is discarded: the pin can never be released")
+					}
+					return
+				}
+				if report && f.pins[pgObj]&pinned != 0 && !c.escaped[pgObj] && !c.deferRelease[pgObj] {
+					c.reportOnce(n.Pos(), "re-acquisition into %s may overwrite a still-pinned page acquired at %s",
+						pgObj.Name(), c.pass.Fset.Position(c.acqPos[pgObj]))
+				}
+				f.pins[pgObj] = pinned
+				if _, seen := c.acqPos[pgObj]; !seen || !report {
+					c.acqPos[pgObj] = n.Pos()
+				}
+				// Refresh the error witness for branch refinement.
+				for e, p := range f.errWitness {
+					if p == pgObj {
+						delete(f.errWitness, e)
+					}
+				}
+				if errObj != nil {
+					f.errWitness[errObj] = pgObj
+				}
+				return
+			}
+		}
+		// Moves and overwrites of tracked variables.
+		for i, lhs := range n.Lhs {
+			lobj := objOf(c.pass, lhs)
+			if lobj == nil || !isPagePtr(lobj.Type()) {
+				// Any assignment to an error var invalidates its witness.
+				if lobj != nil {
+					delete(f.errWitness, lobj)
+				}
+				continue
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			}
+			if rhs != nil {
+				if robj := objOf(c.pass, rhs); robj != nil && isPagePtr(robj.Type()) {
+					// Move: the state travels; the source no longer pins.
+					f.pins[lobj] = f.pins[robj]
+					f.pins[robj] = unpinned
+					continue
+				}
+			}
+			f.pins[lobj] = unpinned // nil or untracked source
+		}
+	case *ast.ExprStmt:
+		c.transferCall(n.X, f, report)
+	case ast.Expr, *ast.DeferStmt, *ast.GoStmt, *ast.ReturnStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.BranchStmt,
+		*ast.RangeStmt:
+		// No pin-state effect beyond what classify() captured.
+	}
+}
+
+func (c *checker) transferCall(e ast.Expr, f *fact, report bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	v := releaseArg(c.pass, call)
+	if v == nil {
+		return
+	}
+	s := f.pins[v]
+	if report && s&released != 0 && !c.escaped[v] {
+		c.reportOnce(call.Pos(), "%s may already be released on this path: Release panics on an unpinned page", v.Name())
+	}
+	f.pins[v] = released
+}
+
+// edge refines facts along the branches of an acquisition's error
+// guard: on the err-is-non-nil edge the page is known unpinned.
+func (c *checker) edge(from *cfg.Block, succIdx int, f fact) fact {
+	if from.Cond == nil {
+		return f
+	}
+	be, ok := ast.Unparen(from.Cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return f
+	}
+	var errID *ast.Ident
+	if id, ok := ast.Unparen(be.X).(*ast.Ident); ok && isNilIdent(be.Y) {
+		errID = id
+	} else if id, ok := ast.Unparen(be.Y).(*ast.Ident); ok && isNilIdent(be.X) {
+		errID = id
+	}
+	if errID == nil {
+		return f
+	}
+	errObj := c.pass.TypesInfo.Uses[errID]
+	if errObj == nil {
+		return f
+	}
+	pg, ok := f.errWitness[errObj]
+	if !ok {
+		return f
+	}
+	// Which edge is "err is non-nil"? NEQ: true edge (0). EQL: false
+	// edge (1).
+	nonNilEdge := 0
+	if be.Op == token.EQL {
+		nonNilEdge = 1
+	}
+	if succIdx != nonNilEdge {
+		return f
+	}
+	nf := f.clone()
+	nf.pins[pg] = unpinned
+	return nf
+}
+
+func (c *checker) reportOnce(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+func join(a, b fact) fact {
+	if a.pins == nil && a.errWitness == nil {
+		return b
+	}
+	if b.pins == nil && b.errWitness == nil {
+		return a
+	}
+	out := fact{pins: make(map[types.Object]state), errWitness: make(map[types.Object]types.Object)}
+	for k, v := range a.pins {
+		out.pins[k] = v
+	}
+	for k, v := range b.pins {
+		out.pins[k] |= v
+	}
+	// A witness survives a merge only when both sides agree.
+	for k, v := range a.errWitness {
+		if b.errWitness[k] == v {
+			out.errWitness[k] = v
+		}
+	}
+	return out
+}
+
+func equal(a, b fact) bool {
+	if len(a.pins) != len(b.pins) || len(a.errWitness) != len(b.errWitness) {
+		return false
+	}
+	for k, v := range a.pins {
+		if b.pins[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.errWitness {
+		if b.errWitness[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func objOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isAcquire matches any call whose results are exactly
+// (*pager.Page, error).
+func isAcquire(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	return res.Len() == 2 && isPagePtr(res.At(0).Type()) && analysis.IsErrorType(res.At(1).Type())
+}
+
+func isPagePtr(t types.Type) bool {
+	return analysis.NamedIn(t, "pager", "Page") && isPtr(t)
+}
+
+func isPtr(t types.Type) bool {
+	_, ok := t.(*types.Pointer)
+	return ok
+}
+
+// releaseArg returns the page variable released by call, if call is
+// `X.Release(pg)` with X a pager-package type.
+func releaseArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" || len(call.Args) != 1 {
+		return nil
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || analysis.LastElem(f.Pkg().Path()) != "pager" {
+		return nil
+	}
+	obj := objOf(pass, call.Args[0])
+	if obj == nil || !isPagePtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// isNonConsumingPagerCall matches pager methods that take the page but
+// neither release nor retain it (MarkDirty and the record-stamping
+// variants).
+func isNonConsumingPagerCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "MarkDirty", "MarkDirtyRec", "MarkDirtyImage":
+	default:
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && f.Pkg() != nil && analysis.LastElem(f.Pkg().Path()) == "pager"
+}

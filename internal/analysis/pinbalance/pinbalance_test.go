@@ -1,0 +1,12 @@
+package pinbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/pinbalance"
+)
+
+func TestPinBalance(t *testing.T) {
+	anatest.Run(t, pinbalance.Analyzer, "a")
+}

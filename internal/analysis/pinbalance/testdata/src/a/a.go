@@ -1,0 +1,145 @@
+// Package a exercises pinbalance: every acquisition must reach exactly
+// one Release on all paths.
+package a
+
+import "pager"
+
+// --- clean shapes ---
+
+// guardThenDefer is the canonical idiom: the err != nil edge needs no
+// Release (branch refinement knows the pin failed).
+func guardThenDefer(p *pager.Pager) error {
+	pg, err := p.Acquire(1)
+	if err != nil {
+		return err
+	}
+	defer p.Release(pg)
+	if pg.Data()[0] == 1 {
+		return nil
+	}
+	return nil
+}
+
+// explicitBothBranches releases on every path by hand.
+func explicitBothBranches(p *pager.Pager) int {
+	pg, err := p.AcquireZero(2)
+	if err != nil {
+		return -1
+	}
+	if pg.Data()[0] == 0 {
+		p.Release(pg)
+		return 0
+	}
+	p.MarkDirty(pg)
+	p.Release(pg)
+	return 1
+}
+
+// descend is the btree descent idiom: the child replaces the parent via
+// a move, and the moved-from pin is released before the move.
+func descend(p *pager.Pager) error {
+	pg, err := p.Acquire(3)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		npg, err := p.Acquire(uint64(i))
+		if err != nil {
+			p.Release(pg)
+			return err
+		}
+		p.Release(pg)
+		pg = npg
+	}
+	p.Release(pg)
+	return nil
+}
+
+// handoff transfers pin ownership to the caller: returning the page is
+// an escape, not a leak.
+func handoff(p *pager.Pager) (*pager.Page, error) {
+	pg, err := p.Acquire(4)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// helperEscape hands the page to a callee; ownership moved somewhere
+// this analysis cannot follow.
+func helperEscape(p *pager.Pager) error {
+	pg, err := p.Acquire(5)
+	if err != nil {
+		return err
+	}
+	stash(p, pg)
+	return nil
+}
+
+func stash(p *pager.Pager, pg *pager.Page) { p.Release(pg) }
+
+// closureEscape captures the page in a closure; trusted likewise.
+func closureEscape(p *pager.Pager) func() {
+	pg, err := p.Acquire(6)
+	if err != nil {
+		return nil
+	}
+	return func() { p.Release(pg) }
+}
+
+// --- violations ---
+
+// leakOnEarlyReturn forgets the Release on the early-out path.
+func leakOnEarlyReturn(p *pager.Pager) error {
+	pg, err := p.Acquire(7) // want "pin of pg may leak"
+	if err != nil {
+		return err
+	}
+	if pg.Data()[0] == 0 {
+		return nil
+	}
+	p.Release(pg)
+	return nil
+}
+
+// doubleRelease releases twice on the fall-through path.
+func doubleRelease(p *pager.Pager) {
+	pg, err := p.Acquire(8)
+	if err != nil {
+		return
+	}
+	p.Release(pg)
+	p.Release(pg) // want "pg may already be released"
+}
+
+// releaseOnOneBranchOnly joins {pinned, released} and then releases: on
+// one incoming path the pin is already gone.
+func releaseOnOneBranchOnly(p *pager.Pager, cond bool) {
+	pg, err := p.Acquire(9)
+	if err != nil {
+		return
+	}
+	if cond {
+		p.Release(pg)
+	}
+	p.Release(pg) // want "pg may already be released"
+}
+
+// discardedPage throws away the page result: that pin is unreleasable.
+func discardedPage(p *pager.Pager) error {
+	_, err := p.Acquire(10) // want "acquired page is discarded"
+	return err
+}
+
+// reacquireOverPinned overwrites a live pin with a fresh acquisition.
+func reacquireOverPinned(p *pager.Pager) {
+	pg, err := p.Acquire(11)
+	if err != nil {
+		return
+	}
+	pg, err = p.Acquire(12) // want "re-acquisition into pg may overwrite"
+	if err != nil {
+		return
+	}
+	p.Release(pg)
+}

@@ -1,0 +1,14 @@
+package pinescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/pinescape"
+)
+
+func TestPinEscape(t *testing.T) {
+	// helper first: package a's keeper/view violations are only visible
+	// through helper's exported facts.
+	anatest.Run(t, pinescape.Analyzer, "helper", "a")
+}

@@ -1,0 +1,175 @@
+// Package a exercises pinescape: values derived from pinned page data
+// must not outlive the pin.
+package a
+
+import (
+	"helper"
+	"pager"
+)
+
+var global []byte
+
+type holder struct{ buf []byte }
+
+// ref mirrors the btree's pageRef idiom: a value struct wrapping the
+// pinned slice, with accessor methods resolved through same-package
+// facts.
+type ref struct{ d []byte }
+
+func (r ref) key(i int) []byte { return r.d[i:] }
+
+// --- clean shapes ---
+
+// localUse keeps everything inside the pin scope.
+func localUse(p *pager.Pager) (int, error) {
+	pg, err := p.Acquire(1)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Release(pg)
+	b := pg.Data()
+	return int(b[0]) + helper.Sum(b), nil
+}
+
+// copiesOut duplicates the bytes before the pin drops.
+func copiesOut(p *pager.Pager) ([]byte, error) {
+	pg, err := p.Acquire(2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(pg.Data()))
+	copy(out, pg.Data())
+	p.Release(pg)
+	return out, nil
+}
+
+// stringCopy: a string conversion copies too.
+func stringCopy(p *pager.Pager) (string, error) {
+	pg, err := p.Acquire(3)
+	if err != nil {
+		return "", err
+	}
+	defer p.Release(pg)
+	return string(pg.Data()[:4]), nil
+}
+
+// appendBytes copies byte elements into a caller-owned slice.
+func appendBytes(p *pager.Pager, out []byte) ([]byte, error) {
+	pg, err := p.Acquire(4)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release(pg)
+	return append(out, pg.Data()...), nil
+}
+
+// handoff returns the page itself: pin ownership transfer, pinbalance's
+// territory, not an escape of unpinned data.
+func handoff(p *pager.Pager) (*pager.Page, error) {
+	pg, err := p.Acquire(5)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// cur keeps its page pinned and returns data from it: not a local
+// violation — the Returns fact makes callers accountable instead.
+type cur struct {
+	p  *pager.Pager
+	pg *pager.Page
+}
+
+func (c *cur) datum() []byte {
+	return c.pg.Data()
+}
+
+// --- violations ---
+
+// storesToField parks the pinned slice in a caller-visible struct.
+func storesToField(p *pager.Pager, h *holder) {
+	pg, err := p.Acquire(6)
+	if err != nil {
+		return
+	}
+	defer p.Release(pg)
+	h.buf = pg.Data() // want "pinned page data stored to a struct field outlives the pin"
+}
+
+// storesToGlobal parks a sub-slice in a package variable.
+func storesToGlobal(p *pager.Pager) {
+	pg, err := p.Acquire(7)
+	if err != nil {
+		return
+	}
+	defer p.Release(pg)
+	global = pg.Data()[2:6] // want "pinned page data stored to a heap location outlives the pin"
+}
+
+// sendsToChannel hands the slice to a goroutine of unknowable lifetime.
+func sendsToChannel(p *pager.Pager, ch chan []byte) {
+	pg, err := p.Acquire(8)
+	if err != nil {
+		return
+	}
+	defer p.Release(pg)
+	ch <- pg.Data() // want "pinned page data sent to a channel escapes the pin scope"
+}
+
+// goCapture spawns a goroutine over the pinned slice.
+func goCapture(p *pager.Pager) {
+	pg, err := p.Acquire(9)
+	if err != nil {
+		return
+	}
+	defer p.Release(pg)
+	b := pg.Data()
+	go func() {
+		global = append(global, b...) // want "pinned page data captured by a goroutine outlives the pin"
+	}()
+}
+
+// returnsAfterRelease is the classic dangling read: the deferred
+// Release runs before the caller ever sees the slice.
+func returnsAfterRelease(p *pager.Pager) ([]byte, error) {
+	pg, err := p.Acquire(10)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release(pg)
+	return pg.Data()[:8], nil // want "returns data derived from page pg whose pin is released in this function"
+}
+
+// returnsRefKey launders the slice through the same-package ref idiom;
+// the (ref).key Returns fact closes the loop.
+func returnsRefKey(p *pager.Pager) ([]byte, error) {
+	pg, err := p.Acquire(11)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release(pg)
+	return ref{pg.Data()}.key(2), nil // want "returns data derived from page pg whose pin is released in this function"
+}
+
+// passesToKeeper hands pinned data to a callee whose imported fact says
+// it retains its argument.
+func passesToKeeper(p *pager.Pager) {
+	pg, err := p.Acquire(12)
+	if err != nil {
+		return
+	}
+	defer p.Release(pg)
+	helper.Keep(pg.Data()) // want "passes pinned page data to Keep, which retains its argument past the call"
+}
+
+// returnsImportedView launders the slice through an imported aliasing
+// helper; the Returns fact carries the taint back.
+func returnsImportedView(p *pager.Pager) []byte {
+	pg, err := p.Acquire(13)
+	if err != nil {
+		return nil
+	}
+	v := helper.View(pg.Data())
+	p.Release(pg)
+	return v // want "returns data derived from page pg whose pin is released in this function"
+}

@@ -1,0 +1,26 @@
+// Package helper exists to exercise pinescape's interprocedural facts:
+// Keep retains its argument (Retains), View's result aliases its
+// argument (Returns). Neither is a violation here — the violations
+// appear at pinned call sites in package a.
+package helper
+
+var sink [][]byte
+
+// Keep files b away; callers must not pass pinned page data.
+func Keep(b []byte) {
+	sink = append(sink, b)
+}
+
+// View returns a sub-slice aliasing b.
+func View(b []byte) []byte {
+	return b[1:]
+}
+
+// Sum copies nothing out: no fact, safe for pinned data.
+func Sum(b []byte) int {
+	n := 0
+	for i := 0; i < len(b); i++ {
+		n += int(b[i])
+	}
+	return n
+}

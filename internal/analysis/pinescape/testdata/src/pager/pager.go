@@ -1,0 +1,31 @@
+// Package pager is a fixture stub: pinbalance matches acquisitions by
+// result shape (*pager.Page, error) and releases by method name on a
+// type whose package path ends in "pager", so this stands in for the
+// real pager.
+package pager
+
+// Page is a pinned cache frame handle.
+type Page struct {
+	data []byte
+}
+
+// Data returns the frame contents; valid only while pinned.
+func (p *Page) Data() []byte { return p.data }
+
+// Pager is the buffer cache.
+type Pager struct{}
+
+// Acquire pins a page.
+func (p *Pager) Acquire(no uint64) (*Page, error) { return &Page{data: make([]byte, 16)}, nil }
+
+// AcquireZero pins a fresh zeroed page.
+func (p *Pager) AcquireZero(no uint64) (*Page, error) { return &Page{data: make([]byte, 16)}, nil }
+
+// Release unpins a page.
+func (p *Pager) Release(pg *Page) {}
+
+// MarkDirty notes a page as modified without consuming the pin.
+func (p *Pager) MarkDirty(pg *Page) {}
+
+// MarkDirtyRec notes a record-stamped modification.
+func (p *Pager) MarkDirtyRec(pg *Page) {}

@@ -57,7 +57,7 @@ var specs = map[string][]vocabSpec{
 }
 
 func run(pass *analysis.Pass) error {
-	pkgSpecs := specs[lastElem(pass.Pkg.Path())]
+	pkgSpecs := specs[analysis.LastElem(pass.Pkg.Path())]
 	if len(pkgSpecs) == 0 {
 		return nil
 	}
@@ -87,7 +87,7 @@ func vocabulary(pass *analysis.Pass, spec vocabSpec) map[int64]string {
 	if spec.imported != "" {
 		scope = nil
 		for _, imp := range pass.Pkg.Imports() {
-			if lastElem(imp.Path()) == spec.imported {
+			if analysis.LastElem(imp.Path()) == spec.imported {
 				scope = imp.Scope()
 				prefix = imp.Name() + "."
 				break
@@ -211,11 +211,4 @@ func exemptions(pass *analysis.Pass, file *ast.File, vocab map[int64]string) map
 		}
 	}
 	return out
-}
-
-func lastElem(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[i+1:]
-	}
-	return path
 }

@@ -1,0 +1,12 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anatest"
+	"repro/internal/analysis/syncerr"
+)
+
+func TestSyncErr(t *testing.T) {
+	anatest.Run(t, syncerr.Analyzer, "a")
+}

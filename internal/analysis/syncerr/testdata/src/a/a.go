@@ -1,0 +1,84 @@
+// Package a exercises syncerr: durability-barrier errors must be
+// checked.
+package a
+
+import "blockdev"
+
+// --- clean shapes ---
+
+// checked is the canonical guard.
+func checked(d blockdev.Device) error {
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+// namedResult publishes through the named result at the naked return.
+func namedResult(d blockdev.Device) (err error) {
+	err = d.Sync()
+	return
+}
+
+// checkedLater tolerates intervening statements; liveness, not
+// adjacency, is the rule.
+func checkedLater(d blockdev.Device, n *int) error {
+	err := d.Sync()
+	*n++
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// branchChecked reads err on only one branch: still live.
+func branchChecked(d blockdev.Device, hard bool) error {
+	err := d.Sync()
+	if hard {
+		return err
+	}
+	return nil
+}
+
+// closureKeeps captures err; the closure's lifetime is unknown, so the
+// variable is conservatively always live.
+func closureKeeps(d blockdev.Device) func() error {
+	err := d.Sync()
+	return func() error { return err }
+}
+
+// --- violations ---
+
+// dropped discards the result outright.
+func dropped(d blockdev.Device) {
+	d.Sync() // want "error from Device.Sync is discarded"
+}
+
+// blanked launders the result through the blank identifier.
+func blanked(d blockdev.Device) {
+	_ = d.Close() // want "error from Device.Close is assigned to the blank identifier"
+}
+
+// deferredClose has no receiver for the verdict by construction.
+func deferredClose(d blockdev.Device) error {
+	defer d.Close() // want "deferred Device.Close discards its error"
+	return d.Sync()
+}
+
+// overwritten kills the error before anyone reads it.
+func overwritten(d blockdev.Device) error {
+	err := d.Sync() // want "error from Device.Sync is assigned to err but never checked"
+	err = d.Close()
+	return err
+}
+
+// forgotten checks the first barrier and forgets the second: err is
+// reassigned and then falls off the nil return.
+func forgotten(d blockdev.Device) error {
+	err := d.Sync()
+	if err != nil {
+		return err
+	}
+	err = d.Close() // want "error from Device.Close is assigned to err but never checked"
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package blockdev is a fixture stub: syncerr matches durability
+// methods by name on types defined in a package whose path ends in
+// "blockdev", so this stands in for the real device layer.
+package blockdev
+
+// Device is the durability surface.
+type Device interface {
+	// Sync flushes buffered state to stable storage.
+	Sync() error
+	// Close releases the device.
+	Close() error
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LastElem returns the final element of a slash-separated import path.
+// Analyzers match packages by it so analysistest fixtures (which mirror
+// the real packages under short paths) behave identically to the real
+// tree.
+func LastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// NamedIn reports whether t (or the pointee, if a pointer) is a named
+// type called name defined in a package whose path ends in pkgElem.
+func NamedIn(t types.Type, pkgElem, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && LastElem(obj.Pkg().Path()) == pkgElem
+}
+
+// NamedOf unwraps one level of pointer and returns the named type, or
+// nil.
+func NamedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// StaticCallee resolves a call to a package-level function or a method
+// with a concrete receiver. Interface methods and calls through stored
+// function values return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv().Underlying()) {
+				return nil
+			}
+		}
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	if f == nil || f.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := f.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type().Underlying()) {
+			return nil
+		}
+	}
+	return f
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

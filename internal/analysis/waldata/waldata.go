@@ -40,7 +40,7 @@ var Analyzer = &analysis.Analyzer{
 var checkedPkgs = map[string]bool{"btree": true, "extent": true, "osd": true}
 
 func run(pass *analysis.Pass) error {
-	if !checkedPkgs[lastElem(pass.Pkg.Path())] {
+	if !checkedPkgs[analysis.LastElem(pass.Pkg.Path())] {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -64,7 +64,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			m, ok := s.Obj().(*types.Func)
-			if !ok || m.Pkg() == nil || lastElem(m.Pkg().Path()) != "blockdev" {
+			if !ok || m.Pkg() == nil || analysis.LastElem(m.Pkg().Path()) != "blockdev" {
 				return true
 			}
 			pass.Reportf(call.Pos(), "direct device write bypasses the WAL op capture (WAL-before-data): stage the mutation via pager MarkDirtyRec, or annotate the audited carve-out with //hfadvet:allow waldata")
@@ -72,11 +72,4 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
-}
-
-func lastElem(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[i+1:]
-	}
-	return path
 }

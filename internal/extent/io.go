@@ -586,35 +586,34 @@ func (t *Tree) appendBytes(p []byte) error {
 		if err != nil {
 			return err
 		}
+		// Decode what the slack decision needs and drop the pin at
+		// once: leafCell copies the cell into an Extent value, so
+		// nothing below aliases the page.
 		node := nodeRef{pg.Data()}
 		cnt := node.ncells()
-		extended := false
+		var last Extent
 		if cnt > 0 {
-			last := node.leafCell(cnt - 1)
-			if !last.IsHole() {
-				slack := uint64(last.AllocBlocks)*t.bsU64 - uint64(last.Len)
-				if slack > 0 {
-					m := uint64(len(p))
-					if m > slack {
-						m = slack
-					}
-					t.pg.Release(pg)
-					if err := t.writeExtentData(last, uint64(last.Len), p[:m]); err != nil {
-						return err
-					}
-					if err := t.setLeafCellLen(path, leafPno, cnt-1, last.Len+uint32(m)); err != nil {
-						return err
-					}
-					t.size += m
-					p = p[m:]
-					extended = true
-				}
-			}
-		}
-		if extended {
-			continue
+			last = node.leafCell(cnt - 1)
 		}
 		t.pg.Release(pg)
+		if cnt > 0 && !last.IsHole() {
+			slack := uint64(last.AllocBlocks)*t.bsU64 - uint64(last.Len)
+			if slack > 0 {
+				m := uint64(len(p))
+				if m > slack {
+					m = slack
+				}
+				if err := t.writeExtentData(last, uint64(last.Len), p[:m]); err != nil {
+					return err
+				}
+				if err := t.setLeafCellLen(path, leafPno, cnt-1, last.Len+uint32(m)); err != nil {
+					return err
+				}
+				t.size += m
+				p = p[m:]
+				continue
+			}
+		}
 		chunk := len(p)
 		if chunk > int(t.cfg.MaxExtentBytes) {
 			chunk = int(t.cfg.MaxExtentBytes)
